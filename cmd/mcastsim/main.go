@@ -1,0 +1,159 @@
+// Command mcastsim runs the paper's experiments and prints their tables.
+//
+// Usage:
+//
+//	mcastsim -exp fig6                 # one experiment, quick scale
+//	mcastsim -exp fig9 -full           # paper scale (1M-cycle load runs)
+//	mcastsim -exp all -csv out/        # everything, CSV files per table
+//	mcastsim -list                     # experiment catalogue
+//	mcastsim -compare net.topo -degree 16   # scheme comparison on a
+//	                                        # topogen-format topology
+//
+// Experiment IDs map to the paper's figures and text experiments; see
+// DESIGN.md §4 and `mcastsim -list`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"mcastsim/internal/core"
+	"mcastsim/internal/experiment"
+	"mcastsim/internal/metrics"
+	"mcastsim/internal/rng"
+	"mcastsim/internal/topology"
+)
+
+func main() {
+	var (
+		expID   = flag.String("exp", "", "experiment id (or 'all')")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		full    = flag.Bool("full", false, "paper-scale runs (slow) instead of quick")
+		seed    = flag.Uint64("seed", 0, "override the experiment seed (0 = default)")
+		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory")
+		compare = flag.String("compare", "", "run a scheme comparison on this topology file instead of an experiment")
+		degree  = flag.Int("degree", 16, "multicast degree for -compare")
+		flits   = flag.Int("flits", 128, "message flits for -compare")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("available experiments:")
+		for _, e := range experiment.Registry() {
+			fmt.Printf("  %-9s %s\n", e.ID, e.Paper)
+		}
+		return
+	}
+	if *compare != "" {
+		if err := runCompare(*compare, *degree, *flits, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "mcastsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *expID == "" {
+		fmt.Fprintln(os.Stderr, "mcastsim: -exp required (try -list)")
+		os.Exit(2)
+	}
+
+	cfg := experiment.Quick()
+	if *full {
+		cfg = experiment.Full()
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	var entries []experiment.Entry
+	if *expID == "all" {
+		entries = experiment.Registry()
+	} else {
+		for _, id := range strings.Split(*expID, ",") {
+			e, err := experiment.Lookup(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			entries = append(entries, e)
+		}
+	}
+
+	for _, e := range entries {
+		start := time.Now()
+		tables, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mcastsim: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		for ti, tab := range tables {
+			if err := tab.Render(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Println()
+			if *csvDir != "" {
+				if err := writeCSV(*csvDir, e.ID, ti, tab); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+			}
+		}
+		fmt.Printf("[%s done in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// runCompare loads a topogen-format topology and compares every scheme on
+// random multicasts over it.
+func runCompare(path string, degree, flits int, seed uint64) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	topo, err := topology.ReadText(f)
+	if err != nil {
+		return err
+	}
+	sys, err := core.SystemFromTopology(topo, core.Options{Seed: seed})
+	if err != nil {
+		return err
+	}
+	if degree >= topo.NumNodes {
+		return fmt.Errorf("degree %d with %d nodes", degree, topo.NumNodes)
+	}
+	r := rng.New(seed + 1)
+	picks := r.Sample(topo.NumNodes, degree+1)
+	src := topology.NodeID(picks[0])
+	dests := make([]topology.NodeID, degree)
+	for i, v := range picks[1:] {
+		dests[i] = topology.NodeID(v)
+	}
+	fmt.Printf("%s: %d nodes, %d switches; %d-way multicast from node %d, %d flits\n",
+		path, topo.NumNodes, topo.NumSwitches, degree, src, flits)
+	results, err := sys.Compare(src, dests, flits)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-14s %12s %12s\n", "scheme", "latency(cyc)", "latency(µs)")
+	for _, res := range results {
+		fmt.Printf("%-14s %12d %12.2f\n", res.Scheme, res.Latency, float64(res.LatencyNS)/1000)
+	}
+	return nil
+}
+
+func writeCSV(dir, id string, idx int, tab *metrics.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	name := filepath.Join(dir, fmt.Sprintf("%s_%02d.csv", id, idx))
+	f, err := os.Create(name)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return tab.WriteCSV(f)
+}

@@ -1,0 +1,89 @@
+// Command netviz inspects a topology: Graphviz DOT export and an up*/down*
+// routing report (BFS levels, link orientations, per-port reachability
+// strings — the switch state of the paper's §3.2.3).
+//
+// Usage:
+//
+//	topogen -seed 7 | netviz -dot > net.dot
+//	netviz -in net.topo -routing
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"mcastsim/internal/topology"
+	"mcastsim/internal/updown"
+)
+
+func main() {
+	var (
+		in      = flag.String("in", "-", "topology file in topogen text format ('-' = stdin)")
+		dot     = flag.Bool("dot", false, "emit Graphviz DOT")
+		routing = flag.Bool("routing", false, "emit the up*/down* routing report")
+	)
+	flag.Parse()
+	if !*dot && !*routing {
+		*dot = true
+	}
+
+	var r io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	topo, err := topology.ReadText(r)
+	if err != nil {
+		fatal(err)
+	}
+	if *dot {
+		if err := topology.WriteDOT(os.Stdout, topo); err != nil {
+			fatal(err)
+		}
+	}
+	if *routing {
+		rt, err := updown.New(topo)
+		if err != nil {
+			fatal(err)
+		}
+		report(topo, rt)
+	}
+}
+
+func report(topo *topology.Topology, rt *updown.Routing) {
+	fmt.Printf("up*/down* routing report: %d switches, %d nodes, root = switch %d\n",
+		topo.NumSwitches, topo.NumNodes, rt.Root)
+	for s := 0; s < topo.NumSwitches; s++ {
+		sw := topology.SwitchID(s)
+		fmt.Printf("switch %d (level %d", s, rt.Level[s])
+		if rt.Parent[s] >= 0 {
+			fmt.Printf(", parent %d", rt.Parent[s])
+		}
+		fmt.Println(")")
+		for p := 0; p < topo.PortsPerSwitch; p++ {
+			e := topo.Conn[s][p]
+			switch e.Kind {
+			case topology.ToSwitch:
+				fmt.Printf("  port %d -> switch %d [%s]", p, e.Switch, rt.Dirs[s][p])
+				if rt.Dirs[s][p] == updown.DirDown {
+					fmt.Printf(" reach=%s", rt.DownReach[s][p])
+				}
+				fmt.Println()
+			case topology.ToNode:
+				fmt.Printf("  port %d -> node %d\n", p, e.Node)
+			}
+		}
+		fmt.Printf("  covers %d/%d nodes without climbing\n", rt.Cover[sw].Count(), topo.NumNodes)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "netviz:", err)
+	os.Exit(1)
+}

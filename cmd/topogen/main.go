@@ -1,0 +1,74 @@
+// Command topogen generates random irregular switch topologies in the
+// library's text interchange format (see topology.WriteText).
+//
+// Usage:
+//
+//	topogen -switches 8 -ports 8 -nodes 32 -seed 7 > net.topo
+//	topogen -family 10 -seed 1998 -dir topos/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"mcastsim/internal/rng"
+	"mcastsim/internal/topology"
+)
+
+func main() {
+	var (
+		switches = flag.Int("switches", 8, "number of switches")
+		ports    = flag.Int("ports", 8, "ports per switch")
+		nodes    = flag.Int("nodes", 32, "number of processing nodes")
+		extra    = flag.Float64("extra", -1, "extra links per switch beyond the spanning tree (-1 = default 0.75)")
+		seed     = flag.Uint64("seed", 1, "generation seed")
+		family   = flag.Int("family", 0, "generate a family of this many topologies into -dir")
+		dir      = flag.String("dir", ".", "output directory for -family")
+	)
+	flag.Parse()
+
+	cfg := topology.Config{
+		Switches:            *switches,
+		PortsPerSwitch:      *ports,
+		Nodes:               *nodes,
+		ExtraLinksPerSwitch: *extra,
+	}
+	if *family > 0 {
+		fam, err := topology.GenerateFamily(cfg, *family, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.MkdirAll(*dir, 0o755); err != nil {
+			fatal(err)
+		}
+		for i, t := range fam {
+			name := filepath.Join(*dir, fmt.Sprintf("topo_%03d.topo", i))
+			f, err := os.Create(name)
+			if err != nil {
+				fatal(err)
+			}
+			if err := topology.WriteText(f, t); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s (%d links)\n", name, len(t.Links))
+		}
+		return
+	}
+	t, err := topology.Generate(cfg, rng.New(*seed))
+	if err != nil {
+		fatal(err)
+	}
+	if err := topology.WriteText(os.Stdout, t); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "topogen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,49 @@
+// Barrier: the paper's §1 motivation made concrete — barrier
+// synchronization and all-reduce built on top of each multicast scheme
+// (combining-gather up, multicast release down). Shows how far the
+// multicast-scheme advantage survives inside a full collective.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mcastsim/internal/collective"
+	"mcastsim/internal/core"
+)
+
+func main() {
+	sys, err := core.BuildSystem(core.Options{Seed: 21})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("collectives on %d nodes / %d switches, per multicast scheme\n\n",
+		sys.Topo.NumNodes, sys.Topo.NumSwitches)
+	fmt.Printf("%-14s %12s %12s %15s\n", "scheme", "broadcast", "barrier", "allreduce(256B)")
+
+	for _, name := range core.SchemeNames() {
+		sch, _ := core.LookupScheme(name)
+		base := collective.Config{Scheme: sch, Params: sys.Params, Root: 0, Flits: 16, Seed: 5}
+
+		bc, err := collective.Broadcast(sys.Routing, base)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bar, err := collective.Barrier(sys.Routing, base)
+		if err != nil {
+			log.Fatal(err)
+		}
+		arCfg := base
+		arCfg.Flits = 256
+		ar, err := collective.AllReduce(sys.Routing, arCfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s %12d %12d %15d\n", name, bc.Latency, bar.Latency, ar.Latency)
+	}
+	fmt.Println("\nlatencies in cycles. The broadcast phase carries the scheme's")
+	fmt.Println("advantage; the combining gather is scheme-independent and dilutes")
+	fmt.Println("it — hardware multicast helps collectives most when the gather")
+	fmt.Println("direction is also accelerated (the paper's companion work on")
+	fmt.Println("gather worms and acknowledgement combining).")
+}

@@ -1,0 +1,3 @@
+module mcastsim
+
+go 1.22

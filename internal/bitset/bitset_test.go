@@ -1,0 +1,243 @@
+package bitset
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mcastsim/internal/rng"
+)
+
+func TestNewEmpty(t *testing.T) {
+	s := New(100)
+	if !s.Empty() || s.Count() != 0 || s.Len() != 100 {
+		t.Fatalf("New(100) not empty: count=%d len=%d", s.Count(), s.Len())
+	}
+}
+
+func TestAddRemoveContains(t *testing.T) {
+	s := New(130) // crosses a word boundary
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if s.Contains(i) {
+			t.Fatalf("bit %d set before Add", i)
+		}
+		s.Add(i)
+		if !s.Contains(i) {
+			t.Fatalf("bit %d not set after Add", i)
+		}
+	}
+	if s.Count() != 8 {
+		t.Fatalf("count = %d, want 8", s.Count())
+	}
+	s.Remove(64)
+	if s.Contains(64) || s.Count() != 7 {
+		t.Fatal("Remove failed")
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	for name, fn := range map[string]func(*Set){
+		"Add-high":  func(s *Set) { s.Add(10) },
+		"Add-neg":   func(s *Set) { s.Add(-1) },
+		"Contains":  func(s *Set) { s.Contains(10) },
+		"Remove":    func(s *Set) { s.Remove(10) },
+		"NegLength": func(s *Set) { New(-1) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			fn(New(10))
+		})
+	}
+}
+
+func TestUniverseMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mixed universes did not panic")
+		}
+	}()
+	New(10).UnionWith(New(11))
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := FromIndices(64, []int{1, 5, 9})
+	b := FromIndices(64, []int{5, 9, 20})
+
+	u := a.Clone()
+	u.UnionWith(b)
+	if got := u.Indices(); len(got) != 4 || got[0] != 1 || got[3] != 20 {
+		t.Fatalf("union = %v", got)
+	}
+
+	i := a.Clone()
+	i.IntersectWith(b)
+	if got := i.Indices(); len(got) != 2 || got[0] != 5 || got[1] != 9 {
+		t.Fatalf("intersection = %v", got)
+	}
+
+	d := a.Clone()
+	d.DifferenceWith(b)
+	if got := d.Indices(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("difference = %v", got)
+	}
+}
+
+func TestIntersectsMatchesAnd(t *testing.T) {
+	r := rng.New(1)
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + r.Intn(200)
+		a, b := New(n), New(n)
+		for i := 0; i < n; i++ {
+			if r.Intn(4) == 0 {
+				a.Add(i)
+			}
+			if r.Intn(4) == 0 {
+				b.Add(i)
+			}
+		}
+		if a.Intersects(b) != !And(a, b).Empty() {
+			t.Fatalf("Intersects disagrees with And on n=%d", n)
+		}
+	}
+}
+
+func TestSubsetOf(t *testing.T) {
+	a := FromIndices(70, []int{3, 66})
+	b := FromIndices(70, []int{3, 10, 66})
+	if !a.SubsetOf(b) {
+		t.Fatal("a should be subset of b")
+	}
+	if b.SubsetOf(a) {
+		t.Fatal("b should not be subset of a")
+	}
+	if !a.SubsetOf(a) {
+		t.Fatal("a should be subset of itself")
+	}
+	empty := New(70)
+	if !empty.SubsetOf(a) {
+		t.Fatal("empty should be subset of anything")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := FromIndices(32, []int{0, 31})
+	b := FromIndices(32, []int{0, 31})
+	c := FromIndices(32, []int{0})
+	d := FromIndices(33, []int{0, 31})
+	if !a.Equal(b) || a.Equal(c) || a.Equal(d) {
+		t.Fatal("Equal misbehaves")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := FromIndices(10, []int{2})
+	b := a.Clone()
+	b.Add(3)
+	if a.Contains(3) {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestClear(t *testing.T) {
+	a := FromIndices(100, []int{1, 99})
+	a.Clear()
+	if !a.Empty() {
+		t.Fatal("Clear left bits")
+	}
+}
+
+func TestIndicesRoundTrip(t *testing.T) {
+	f := func(raw []uint16) bool {
+		const n = 300
+		s := New(n)
+		want := map[int]bool{}
+		for _, v := range raw {
+			i := int(v) % n
+			s.Add(i)
+			want[i] = true
+		}
+		idx := s.Indices()
+		if len(idx) != len(want) {
+			return false
+		}
+		prev := -1
+		for _, i := range idx {
+			if i <= prev || !want[i] {
+				return false
+			}
+			prev = i
+		}
+		return s.Count() == len(want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	s := FromIndices(100, []int{1, 2, 3, 4})
+	var visited []int
+	s.ForEach(func(i int) bool {
+		visited = append(visited, i)
+		return len(visited) < 2
+	})
+	if len(visited) != 2 || visited[0] != 1 || visited[1] != 2 {
+		t.Fatalf("ForEach early stop visited %v", visited)
+	}
+}
+
+func TestString(t *testing.T) {
+	s := FromIndices(8, []int{1, 4})
+	if got := s.String(); got != "01001000" {
+		t.Fatalf("String = %q, want 01001000", got)
+	}
+}
+
+func TestHeaderBytes(t *testing.T) {
+	cases := map[int]int{1: 1, 8: 1, 9: 2, 32: 4, 33: 5, 128: 16}
+	for n, want := range cases {
+		if got := New(n).HeaderBytes(); got != want {
+			t.Fatalf("HeaderBytes(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestDeMorgan(t *testing.T) {
+	// (A ∪ B) \ (A ∩ B) == symmetric difference, built two ways.
+	f := func(rawA, rawB []uint8) bool {
+		const n = 128
+		a, b := New(n), New(n)
+		for _, v := range rawA {
+			a.Add(int(v) % n)
+		}
+		for _, v := range rawB {
+			b.Add(int(v) % n)
+		}
+		lhs := a.Clone()
+		lhs.UnionWith(b)
+		lhs.DifferenceWith(And(a, b))
+
+		aOnly := a.Clone()
+		aOnly.DifferenceWith(b)
+		bOnly := b.Clone()
+		bOnly.DifferenceWith(a)
+		rhs := aOnly
+		rhs.UnionWith(bOnly)
+		return lhs.Equal(rhs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkIntersects(b *testing.B) {
+	x := FromIndices(1024, []int{1000})
+	y := FromIndices(1024, []int{3})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = x.Intersects(y)
+	}
+}

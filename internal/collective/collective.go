@@ -1,0 +1,238 @@
+// Package collective builds the collective communication operations the
+// paper motivates (§1: multicast "is used for implementing several of the
+// other collective operations" — barrier synchronization, reduction,
+// MPI-style broadcasts) on top of the multicast schemes and the simulator.
+//
+// The operations run on a fresh simulator instance and report completion
+// latency, so experiments can ask the paper's question one level up: how
+// much does the choice of multicast support change a full barrier or
+// all-reduce?
+//
+// Gather-direction traffic uses a switch-clustered binomial combining
+// tree of unicast messages: a node forwards its combined contribution to
+// its parent once every child's message has arrived at its host (the
+// per-message o_r at the parent is the combining cost, charged naturally
+// by the host model).
+package collective
+
+import (
+	"fmt"
+
+	"mcastsim/internal/event"
+	"mcastsim/internal/mcast"
+	"mcastsim/internal/sim"
+	"mcastsim/internal/topology"
+	"mcastsim/internal/updown"
+)
+
+// Config parameterizes one collective run.
+type Config struct {
+	// Scheme drives the multicast (broadcast-direction) phases.
+	Scheme mcast.Scheme
+	Params sim.Params
+	// Root is the collective's root node.
+	Root topology.NodeID
+	// Flits is the payload size per message.
+	Flits int
+	// Seed feeds simulator arbitration.
+	Seed uint64
+}
+
+// Result reports one collective operation.
+type Result struct {
+	// Latency is start-to-global-completion in cycles.
+	Latency event.Time
+	// Messages is the number of point-to-point/multicast messages used.
+	Messages int64
+}
+
+// Broadcast multicasts from the root to every other node.
+func Broadcast(rt *updown.Routing, cfg Config) (Result, error) {
+	n, err := sim.New(rt, cfg.Params, cfg.Seed)
+	if err != nil {
+		return Result{}, err
+	}
+	done, err := broadcastOn(n, rt, cfg, 0)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := n.Drain(0); err != nil {
+		return Result{}, err
+	}
+	if err := n.CheckConservation(); err != nil {
+		return Result{}, err
+	}
+	return Result{Latency: *done, Messages: n.Stats().MessagesSent}, nil
+}
+
+// broadcastOn issues the broadcast at time at and returns a pointer that
+// will hold the completion time after the network drains.
+func broadcastOn(n *sim.Network, rt *updown.Routing, cfg Config, at event.Time) (*event.Time, error) {
+	dests := allExcept(rt.Topo.NumNodes, cfg.Root)
+	plan, err := cfg.Scheme.Plan(rt, cfg.Params, cfg.Root, dests, cfg.Flits)
+	if err != nil {
+		return nil, err
+	}
+	done := new(event.Time)
+	_, err = n.Send(plan, cfg.Flits, at, func(m *sim.Message) {
+		*done = n.Now()
+	})
+	if err != nil {
+		return nil, err
+	}
+	return done, nil
+}
+
+// Gather runs the combining tree toward the root: every node contributes
+// one message; inner nodes combine and forward. Completion is the root's
+// receipt of its last child's combined message.
+func Gather(rt *updown.Routing, cfg Config) (Result, error) {
+	n, err := sim.New(rt, cfg.Params, cfg.Seed)
+	if err != nil {
+		return Result{}, err
+	}
+	done, err := gatherOn(n, rt, cfg, nil)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := n.Drain(0); err != nil {
+		return Result{}, err
+	}
+	if err := n.CheckConservation(); err != nil {
+		return Result{}, err
+	}
+	return Result{Latency: *done, Messages: n.Stats().MessagesSent}, nil
+}
+
+// Barrier is a combining gather followed by a release broadcast: the full
+// synchronization the paper's §1 lists among multicast's clients. All
+// nodes arrive at time 0.
+func Barrier(rt *updown.Routing, cfg Config) (Result, error) {
+	n, err := sim.New(rt, cfg.Params, cfg.Seed)
+	if err != nil {
+		return Result{}, err
+	}
+	release := new(event.Time)
+	_, err = gatherOn(n, rt, cfg, func() {
+		// The root saw every arrival: release.
+		done, err := broadcastOn(n, rt, cfg, n.Now())
+		if err != nil {
+			panic(err) // plans were validated in gatherOn's twin path
+		}
+		release = done
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	if err := n.Drain(0); err != nil {
+		return Result{}, err
+	}
+	if err := n.CheckConservation(); err != nil {
+		return Result{}, err
+	}
+	return Result{Latency: *release, Messages: n.Stats().MessagesSent}, nil
+}
+
+// AllReduce is semantically reduce-then-broadcast: the combining gather
+// carries data (cfg.Flits per contribution) and the result is broadcast
+// back. Latency-wise it is Barrier with payload.
+func AllReduce(rt *updown.Routing, cfg Config) (Result, error) {
+	return Barrier(rt, cfg)
+}
+
+// gatherOn wires the combining tree on a live network. onRootDone
+// (optional) fires when the root has combined everything. The returned
+// pointer holds the gather completion time after draining.
+func gatherOn(n *sim.Network, rt *updown.Routing, cfg Config, onRootDone func()) (*event.Time, error) {
+	numNodes := rt.Topo.NumNodes
+	if int(cfg.Root) < 0 || int(cfg.Root) >= numNodes {
+		return nil, fmt.Errorf("collective: root %d out of range", cfg.Root)
+	}
+	if cfg.Flits <= 0 {
+		return nil, fmt.Errorf("collective: flits %d", cfg.Flits)
+	}
+	parent, children := combineTree(rt, cfg.Root)
+	pending := make(map[topology.NodeID]int, numNodes)
+	done := new(event.Time)
+
+	var contribute func(v topology.NodeID)
+	contribute = func(v topology.NodeID) {
+		if v == cfg.Root {
+			*done = n.Now()
+			if onRootDone != nil {
+				onRootDone()
+			}
+			return
+		}
+		p := parent[v]
+		plan := &sim.Plan{
+			Source: v,
+			Dests:  []topology.NodeID{p},
+			HostSends: map[topology.NodeID][]sim.WormSpec{
+				v: {{Kind: sim.WormUnicast, Dest: p}},
+			},
+		}
+		_, err := n.Send(plan, cfg.Flits, n.Now(), func(*sim.Message) {
+			// p has combined this child (o_r charged by the host model).
+			pending[p]--
+			if pending[p] == 0 {
+				contribute(p)
+			}
+		})
+		if err != nil {
+			panic(err) // structurally impossible: validated plan shape
+		}
+	}
+
+	for v := 0; v < numNodes; v++ {
+		pending[topology.NodeID(v)] = len(children[topology.NodeID(v)])
+	}
+	// Leaves fire at t=0; inner nodes when their subtree completes.
+	n.Schedule(0, func() {
+		for v := 0; v < numNodes; v++ {
+			node := topology.NodeID(v)
+			if pending[node] == 0 && node != cfg.Root {
+				contribute(node)
+			}
+		}
+		if pending[cfg.Root] == 0 {
+			// Degenerate single-node "collective".
+			contribute(cfg.Root)
+		}
+	})
+	return done, nil
+}
+
+// combineTree builds a switch-clustered binomial combining tree rooted at
+// root, returning parent and children maps.
+func combineTree(rt *updown.Routing, root topology.NodeID) (map[topology.NodeID]topology.NodeID, map[topology.NodeID][]topology.NodeID) {
+	others := allExcept(rt.Topo.NumNodes, root)
+	ordered := mcast.ClusterBySwitch(rt, root, others)
+	parent := make(map[topology.NodeID]topology.NodeID)
+	children := make(map[topology.NodeID][]topology.NodeID)
+	var build func(list []topology.NodeID)
+	build = func(list []topology.NodeID) {
+		// list[0] is the subtree root; split binomially as in the
+		// broadcast direction, reversed.
+		for len(list) > 1 {
+			half := (len(list) + 1) / 2
+			far := list[half:]
+			parent[far[0]] = list[0]
+			children[list[0]] = append(children[list[0]], far[0])
+			build(far)
+			list = list[:half]
+		}
+	}
+	build(append([]topology.NodeID{root}, ordered...))
+	return parent, children
+}
+
+func allExcept(numNodes int, skip topology.NodeID) []topology.NodeID {
+	out := make([]topology.NodeID, 0, numNodes-1)
+	for v := 0; v < numNodes; v++ {
+		if topology.NodeID(v) != skip {
+			out = append(out, topology.NodeID(v))
+		}
+	}
+	return out
+}

@@ -1,0 +1,173 @@
+// Package core is the library's front door: it assembles a routed
+// irregular network into a System and runs multicasts on it with any of
+// the paper's schemes, hiding the topology/updown/sim plumbing. The
+// examples and command-line tools are written against this package;
+// lower-level control (custom plans, open-loop load, per-figure
+// experiments) remains available from the internal packages it wraps.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"mcastsim/internal/event"
+	"mcastsim/internal/mcast"
+	"mcastsim/internal/mcast/binomial"
+	"mcastsim/internal/mcast/kbinomial"
+	"mcastsim/internal/mcast/pathworm"
+	"mcastsim/internal/mcast/treeworm"
+	"mcastsim/internal/rng"
+	"mcastsim/internal/sim"
+	"mcastsim/internal/topology"
+	"mcastsim/internal/updown"
+)
+
+// System is a routed irregular network ready to simulate multicasts.
+type System struct {
+	Topo    *topology.Topology
+	Routing *updown.Routing
+	Params  sim.Params
+	seed    uint64
+}
+
+// Options configures BuildSystem. The zero value selects the paper's
+// default system (32 nodes, eight 8-port switches, default timing).
+type Options struct {
+	// Topology generation; zero-valued fields fall back to the defaults.
+	Switches       int
+	PortsPerSwitch int
+	Nodes          int
+	// Seed drives topology generation and simulator arbitration.
+	Seed uint64
+	// Params overrides the timing parameters when non-nil.
+	Params *sim.Params
+}
+
+// BuildSystem generates a random irregular topology, computes its up*/down*
+// routing state, and returns the ready System.
+func BuildSystem(opt Options) (*System, error) {
+	cfg := topology.DefaultConfig()
+	if opt.Switches > 0 {
+		cfg.Switches = opt.Switches
+	}
+	if opt.PortsPerSwitch > 0 {
+		cfg.PortsPerSwitch = opt.PortsPerSwitch
+	}
+	if opt.Nodes > 0 {
+		cfg.Nodes = opt.Nodes
+	}
+	topo, err := topology.Generate(cfg, rng.New(opt.Seed))
+	if err != nil {
+		return nil, err
+	}
+	return SystemFromTopology(topo, opt)
+}
+
+// SystemFromTopology wraps an explicit (e.g. hand-built or file-loaded)
+// topology instead of generating one.
+func SystemFromTopology(topo *topology.Topology, opt Options) (*System, error) {
+	rt, err := updown.New(topo)
+	if err != nil {
+		return nil, err
+	}
+	p := sim.DefaultParams()
+	if opt.Params != nil {
+		p = *opt.Params
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &System{Topo: topo, Routing: rt, Params: p, seed: opt.Seed}, nil
+}
+
+// Schemes returns the multicast schemes the paper compares, keyed by name:
+// "sw-binomial" (software baseline), "ni-kbinomial" (NI-based),
+// "sw-tree" (single tree worm), "sw-path" (MDP-LG path worms).
+func Schemes() map[string]mcast.Scheme {
+	return map[string]mcast.Scheme{
+		"sw-binomial":  binomial.New(),
+		"ni-kbinomial": kbinomial.New(),
+		"sw-tree":      treeworm.New(),
+		"sw-path":      pathworm.New(),
+	}
+}
+
+// SchemeNames returns the registered scheme names in stable order.
+func SchemeNames() []string {
+	names := make([]string, 0, 4)
+	for n := range Schemes() {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// LookupScheme resolves a scheme by name.
+func LookupScheme(name string) (mcast.Scheme, error) {
+	s, ok := Schemes()[name]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown scheme %q (have %v)", name, SchemeNames())
+	}
+	return s, nil
+}
+
+// MulticastResult reports one simulated multicast.
+type MulticastResult struct {
+	Scheme string
+	// Latency is initiation-to-last-host-completion, in cycles.
+	Latency event.Time
+	// LatencyNS converts Latency using the configured cycle time.
+	LatencyNS int64
+	// PerDest gives each destination's completion time (cycles after
+	// initiation).
+	PerDest map[topology.NodeID]event.Time
+	// Network traffic accounting for the multicast.
+	Stats sim.Stats
+}
+
+// Multicast runs one isolated multicast on a fresh simulator instance and
+// returns its timing. msgFlits is the payload length in flits (bytes).
+func (s *System) Multicast(scheme mcast.Scheme, src topology.NodeID, dests []topology.NodeID, msgFlits int) (*MulticastResult, error) {
+	plan, err := scheme.Plan(s.Routing, s.Params, src, dests, msgFlits)
+	if err != nil {
+		return nil, err
+	}
+	n, err := sim.New(s.Routing, s.Params, s.seed)
+	if err != nil {
+		return nil, err
+	}
+	m, err := n.RunSingle(plan, msgFlits)
+	if err != nil {
+		return nil, err
+	}
+	if err := n.CheckConservation(); err != nil {
+		return nil, err
+	}
+	per := make(map[topology.NodeID]event.Time, len(m.DoneAt))
+	for d, t := range m.DoneAt {
+		per[d] = t - m.Initiated
+	}
+	lat := m.Latency()
+	return &MulticastResult{
+		Scheme:    scheme.Name(),
+		Latency:   lat,
+		LatencyNS: int64(lat) * int64(s.Params.CycleNS),
+		PerDest:   per,
+		Stats:     n.Stats(),
+	}, nil
+}
+
+// Compare runs the same multicast under every registered scheme and
+// returns the results sorted fastest-first.
+func (s *System) Compare(src topology.NodeID, dests []topology.NodeID, msgFlits int) ([]*MulticastResult, error) {
+	var out []*MulticastResult
+	for _, name := range SchemeNames() {
+		res, err := s.Multicast(Schemes()[name], src, dests, msgFlits)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		out = append(out, res)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Latency < out[j].Latency })
+	return out, nil
+}

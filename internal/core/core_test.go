@@ -1,0 +1,163 @@
+package core
+
+import (
+	"testing"
+
+	"mcastsim/internal/sim"
+	"mcastsim/internal/topology"
+)
+
+func TestBuildSystemDefaults(t *testing.T) {
+	s, err := BuildSystem(Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Topo.NumNodes != 32 || s.Topo.NumSwitches != 8 {
+		t.Fatalf("default system shape %d/%d", s.Topo.NumNodes, s.Topo.NumSwitches)
+	}
+	if s.Params.PacketFlits != 128 {
+		t.Fatal("default params not applied")
+	}
+}
+
+func TestBuildSystemOverrides(t *testing.T) {
+	p := sim.DefaultParams().WithR(4)
+	s, err := BuildSystem(Options{Switches: 16, Nodes: 24, PortsPerSwitch: 8, Seed: 2, Params: &p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Topo.NumSwitches != 16 || s.Topo.NumNodes != 24 {
+		t.Fatal("overrides ignored")
+	}
+	if s.Params.ONISend != 25 {
+		t.Fatalf("params override ignored: %d", s.Params.ONISend)
+	}
+}
+
+func TestBuildSystemRejectsBadParams(t *testing.T) {
+	p := sim.DefaultParams()
+	p.PacketFlits = 0
+	if _, err := BuildSystem(Options{Seed: 1, Params: &p}); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+}
+
+func TestSchemeRegistry(t *testing.T) {
+	names := SchemeNames()
+	if len(names) != 4 {
+		t.Fatalf("scheme count %d", len(names))
+	}
+	for _, n := range names {
+		s, err := LookupScheme(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Name() != n {
+			t.Fatalf("registry name %q vs scheme name %q", n, s.Name())
+		}
+	}
+	if _, err := LookupScheme("nope"); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+}
+
+func TestMulticastAllSchemes(t *testing.T) {
+	s, err := BuildSystem(Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dests := []topology.NodeID{1, 5, 9, 13, 17, 21, 25, 29}
+	for name, sch := range Schemes() {
+		res, err := s.Multicast(sch, 0, dests, 128)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Latency <= 0 {
+			t.Fatalf("%s: latency %d", name, res.Latency)
+		}
+		if res.LatencyNS != int64(res.Latency)*10 {
+			t.Fatalf("%s: ns conversion wrong", name)
+		}
+		if len(res.PerDest) != len(dests) {
+			t.Fatalf("%s: per-dest map size %d", name, len(res.PerDest))
+		}
+		for d, dt := range res.PerDest {
+			if dt <= 0 || dt > res.Latency {
+				t.Fatalf("%s: dest %d completion %d outside (0, %d]", name, d, dt, res.Latency)
+			}
+		}
+	}
+}
+
+func TestCompareSortedAndTreeWins(t *testing.T) {
+	s, err := BuildSystem(Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dests := []topology.NodeID{2, 4, 6, 8, 10, 12, 14, 16, 18, 20, 22, 24, 26, 28, 30, 31}
+	results, err := s.Compare(0, dests, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("results %d", len(results))
+	}
+	for i := 1; i < len(results); i++ {
+		if results[i-1].Latency > results[i].Latency {
+			t.Fatal("results not sorted")
+		}
+	}
+	// The paper's headline: the single-phase tree worm wins.
+	if results[0].Scheme != "sw-tree" {
+		t.Fatalf("fastest scheme %q, want sw-tree", results[0].Scheme)
+	}
+	// And the software baseline loses.
+	if results[3].Scheme != "sw-binomial" {
+		t.Fatalf("slowest scheme %q, want sw-binomial", results[3].Scheme)
+	}
+}
+
+func TestSystemFromTopology(t *testing.T) {
+	topo, err := topology.Build(2, 4,
+		[][4]int{{0, 0, 1, 0}},
+		[][2]int{{0, 2}, {0, 3}, {1, 2}, {1, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := SystemFromTopology(topo, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Multicast(Schemes()["sw-tree"], 0, []topology.NodeID{1, 2, 3}, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerDest) != 3 {
+		t.Fatal("custom topology multicast incomplete")
+	}
+}
+
+func TestMulticastPropagatesPlanErrors(t *testing.T) {
+	s, err := BuildSystem(Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch := Schemes()["sw-tree"]
+	if _, err := s.Multicast(sch, 0, nil, 128); err == nil {
+		t.Fatal("empty destination set accepted")
+	}
+	if _, err := s.Multicast(sch, 0, []topology.NodeID{0}, 128); err == nil {
+		t.Fatal("self-multicast accepted")
+	}
+	if _, err := s.Multicast(sch, 0, []topology.NodeID{1}, 0); err == nil {
+		t.Fatal("zero-length message accepted")
+	}
+}
+
+func TestSchemesReturnsFreshMap(t *testing.T) {
+	a := Schemes()
+	delete(a, "sw-tree")
+	if _, err := LookupScheme("sw-tree"); err != nil {
+		t.Fatal("mutating the returned map corrupted the registry")
+	}
+}

@@ -1,0 +1,144 @@
+// Package event provides the discrete-event core of the simulator: a
+// monotonic clock and a stable min-heap of scheduled callbacks.
+//
+// Time is measured in integer cycles (the paper's 10 ns switch cycle).
+// Events scheduled for the same cycle run in scheduling order (FIFO), which
+// keeps the simulator deterministic without imposing artificial sub-cycle
+// ordering on unrelated components.
+package event
+
+import "fmt"
+
+// Time is a simulation timestamp in cycles.
+type Time int64
+
+// Queue is a future-event list. The zero value is ready to use.
+type Queue struct {
+	now    Time
+	seq    uint64
+	events []entry
+	ran    uint64
+}
+
+type entry struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+// Now returns the current simulation time.
+func (q *Queue) Now() Time { return q.now }
+
+// Len returns the number of pending events.
+func (q *Queue) Len() int { return len(q.events) }
+
+// Processed returns the total number of events executed, a cheap progress
+// measure used by deadlock watchdogs.
+func (q *Queue) Processed() uint64 { return q.ran }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it always indicates a model bug, and silently clamping would hide it.
+func (q *Queue) At(t Time, fn func()) {
+	if t < q.now {
+		panic(fmt.Sprintf("event: scheduling at %d before now %d", t, q.now))
+	}
+	q.push(entry{at: t, seq: q.seq, fn: fn})
+	q.seq++
+}
+
+// After schedules fn to run delay cycles from now.
+func (q *Queue) After(delay Time, fn func()) {
+	if delay < 0 {
+		panic("event: negative delay")
+	}
+	q.At(q.now+delay, fn)
+}
+
+// Step runs the earliest pending event, advancing the clock to its
+// timestamp. It returns false when no events remain.
+func (q *Queue) Step() bool {
+	if len(q.events) == 0 {
+		return false
+	}
+	e := q.pop()
+	q.now = e.at
+	q.ran++
+	e.fn()
+	return true
+}
+
+// RunUntil executes events with timestamps <= limit, leaving the clock at
+// min(limit, last event time). It returns the number of events run.
+func (q *Queue) RunUntil(limit Time) uint64 {
+	var n uint64
+	for len(q.events) > 0 && q.events[0].at <= limit {
+		q.Step()
+		n++
+	}
+	if q.now < limit && len(q.events) == 0 {
+		q.now = limit
+	} else if q.now < limit && q.events[0].at > limit {
+		q.now = limit
+	}
+	return n
+}
+
+// Drain runs events until none remain or maxEvents have executed; it
+// returns true if the queue drained. maxEvents bounds runaway simulations
+// (a livelocked model would otherwise spin forever).
+func (q *Queue) Drain(maxEvents uint64) bool {
+	for i := uint64(0); i < maxEvents; i++ {
+		if !q.Step() {
+			return true
+		}
+	}
+	return q.Len() == 0
+}
+
+// --- binary heap, ordered by (at, seq) ---
+
+func (q *Queue) less(i, j int) bool {
+	a, b := &q.events[i], &q.events[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (q *Queue) push(e entry) {
+	q.events = append(q.events, e)
+	i := len(q.events) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.events[i], q.events[parent] = q.events[parent], q.events[i]
+		i = parent
+	}
+}
+
+func (q *Queue) pop() entry {
+	top := q.events[0]
+	last := len(q.events) - 1
+	q.events[0] = q.events[last]
+	q.events[last] = entry{} // release the closure
+	q.events = q.events[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(q.events) && q.less(l, smallest) {
+			smallest = l
+		}
+		if r < len(q.events) && q.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		q.events[i], q.events[smallest] = q.events[smallest], q.events[i]
+		i = smallest
+	}
+	return top
+}

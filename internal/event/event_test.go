@@ -1,0 +1,190 @@
+package event
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mcastsim/internal/rng"
+)
+
+func TestTimeOrdering(t *testing.T) {
+	var q Queue
+	var got []Time
+	for _, at := range []Time{50, 10, 30, 20, 40} {
+		at := at
+		q.At(at, func() { got = append(got, at) })
+	}
+	for q.Step() {
+	}
+	want := []Time{10, 20, 30, 40, 50}
+	for i, v := range want {
+		if got[i] != v {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFIFOWithinCycle(t *testing.T) {
+	var q Queue
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		q.At(5, func() { got = append(got, i) })
+	}
+	for q.Step() {
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-cycle events ran out of order: %v", got)
+		}
+	}
+}
+
+func TestClockAdvances(t *testing.T) {
+	var q Queue
+	q.At(7, func() {})
+	q.Step()
+	if q.Now() != 7 {
+		t.Fatalf("Now = %d, want 7", q.Now())
+	}
+}
+
+func TestAfterRelative(t *testing.T) {
+	var q Queue
+	var fired Time = -1
+	q.At(10, func() {
+		q.After(5, func() { fired = q.Now() })
+	})
+	for q.Step() {
+	}
+	if fired != 15 {
+		t.Fatalf("After fired at %d, want 15", fired)
+	}
+}
+
+func TestSchedulingDuringExecution(t *testing.T) {
+	// An event scheduled for the current cycle from within an event must
+	// still run, after already-queued same-cycle events.
+	var q Queue
+	var got []string
+	q.At(1, func() {
+		got = append(got, "a")
+		q.At(1, func() { got = append(got, "c") })
+	})
+	q.At(1, func() { got = append(got, "b") })
+	for q.Step() {
+	}
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestPastSchedulingPanics(t *testing.T) {
+	var q Queue
+	q.At(10, func() {})
+	q.Step()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	q.At(5, func() {})
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	var q Queue
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay did not panic")
+		}
+	}()
+	q.After(-1, func() {})
+}
+
+func TestRunUntil(t *testing.T) {
+	var q Queue
+	var ran []Time
+	for _, at := range []Time{5, 10, 15, 20} {
+		at := at
+		q.At(at, func() { ran = append(ran, at) })
+	}
+	n := q.RunUntil(12)
+	if n != 2 || len(ran) != 2 || ran[1] != 10 {
+		t.Fatalf("RunUntil(12) ran %v (n=%d)", ran, n)
+	}
+	if q.Now() != 12 {
+		t.Fatalf("Now = %d, want 12", q.Now())
+	}
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", q.Len())
+	}
+}
+
+func TestRunUntilEmptyAdvancesClock(t *testing.T) {
+	var q Queue
+	q.RunUntil(100)
+	if q.Now() != 100 {
+		t.Fatalf("Now = %d, want 100", q.Now())
+	}
+}
+
+func TestDrainBound(t *testing.T) {
+	var q Queue
+	// Self-perpetuating event chain: Drain must give up at the bound.
+	var tick func()
+	tick = func() { q.After(1, tick) }
+	q.At(0, tick)
+	if q.Drain(100) {
+		t.Fatal("Drain claimed an endless chain drained")
+	}
+	var q2 Queue
+	q2.At(1, func() {})
+	if !q2.Drain(100) {
+		t.Fatal("Drain failed on a finite queue")
+	}
+}
+
+func TestProcessedCounts(t *testing.T) {
+	var q Queue
+	for i := 0; i < 5; i++ {
+		q.At(Time(i), func() {})
+	}
+	for q.Step() {
+	}
+	if q.Processed() != 5 {
+		t.Fatalf("Processed = %d", q.Processed())
+	}
+}
+
+func TestHeapPropertyRandom(t *testing.T) {
+	f := func(raw []uint16) bool {
+		var q Queue
+		var got []Time
+		for _, v := range raw {
+			at := Time(v % 1000)
+			q.At(at, func() { got = append(got, at) })
+		}
+		for q.Step() {
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i] < got[i-1] {
+				return false
+			}
+		}
+		return len(got) == len(raw)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	r := rng.New(1)
+	var q Queue
+	nop := func() {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.At(q.Now()+Time(r.Intn(64)), nop)
+		q.Step()
+	}
+}

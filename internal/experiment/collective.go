@@ -1,0 +1,57 @@
+package experiment
+
+import (
+	"mcastsim/internal/collective"
+	"mcastsim/internal/metrics"
+	"mcastsim/internal/updown"
+)
+
+// Collectives asks the paper's question one level up (§1 motivates
+// multicast via barrier/reduction/broadcast): how much does the choice of
+// multicast support change full collective operations? Broadcast uses the
+// scheme directly; barrier and all-reduce add the combining-gather phase,
+// which is scheme-independent and therefore dilutes the differences — an
+// Amdahl effect worth seeing quantified.
+func Collectives(cfg Config) ([]*metrics.Table, error) {
+	rts, err := family(cfg.TopoCfg, cfg.Topologies, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	ops := []struct {
+		label string
+		run   func(rt *updown.Routing, c collective.Config) (collective.Result, error)
+	}{
+		{"broadcast", collective.Broadcast},
+		{"barrier", collective.Barrier},
+		{"allreduce-256f", func(rt *updown.Routing, c collective.Config) (collective.Result, error) {
+			c.Flits = 256
+			return collective.AllReduce(rt, c)
+		}},
+	}
+	tab := &metrics.Table{
+		Title:  "Collectives built on each multicast scheme (32 nodes)",
+		XLabel: "operation (1=broadcast 2=barrier 3=allreduce)",
+		YLabel: "mean completion latency (cycles)",
+	}
+	for _, sch := range compared() {
+		s := metrics.Series{Label: sch.Name()}
+		for oi, op := range ops {
+			var sum float64
+			for i, rt := range rts {
+				res, err := op.run(rt, collective.Config{
+					Scheme: sch, Params: cfg.Params, Root: 0,
+					Flits: cfg.MsgFlits, Seed: cfg.Seed + uint64(i),
+				})
+				if err != nil {
+					return nil, err
+				}
+				sum += float64(res.Latency)
+			}
+			s.X = append(s.X, float64(oi+1))
+			s.Y = append(s.Y, sum/float64(len(rts)))
+			s.Note = append(s.Note, op.label)
+		}
+		tab.Series = append(tab.Series, s)
+	}
+	return []*metrics.Table{tab}, nil
+}

@@ -1,0 +1,406 @@
+// Package experiment reproduces the paper's evaluation (§4): one runner
+// per figure, each returning renderable metrics.Tables. Every experiment
+// varies exactly one parameter from the default system (32 nodes, eight
+// 8-port switches, R=1, 128-flit packets, single-packet messages) and
+// averages over a family of random irregular topologies, as the paper
+// does. DESIGN.md §4 maps experiment IDs to paper artifacts.
+package experiment
+
+import (
+	"fmt"
+
+	"mcastsim/internal/event"
+	"mcastsim/internal/mcast"
+	"mcastsim/internal/mcast/binomial"
+	"mcastsim/internal/mcast/kbinomial"
+	"mcastsim/internal/mcast/pathworm"
+	"mcastsim/internal/mcast/treeworm"
+	"mcastsim/internal/metrics"
+	"mcastsim/internal/sim"
+	"mcastsim/internal/topology"
+	"mcastsim/internal/traffic"
+	"mcastsim/internal/updown"
+)
+
+// Config scales an experiment run. Full() reproduces the paper's scale;
+// Quick() is sized for tests and benchmarks.
+type Config struct {
+	Seed uint64
+	// Topologies is the family size for single-multicast experiments;
+	// LoadTopologies for the (far costlier) load experiments.
+	Topologies     int
+	LoadTopologies int
+	// Probes is the number of random multicasts per topology.
+	Probes int
+	// Degree is the multicast fan-out for single-multicast experiments.
+	Degree int
+	// MsgFlits is the default payload length.
+	MsgFlits int
+	// Open-loop load windows (cycles) and the swept effective loads.
+	Warmup  event.Time
+	Measure event.Time
+	Drain   event.Time
+	Loads   []float64
+	// LoadDegrees are the fan-outs for the load experiments (paper: 8, 16).
+	LoadDegrees []int
+
+	TopoCfg topology.Config
+	Params  sim.Params
+}
+
+// Full returns the paper-scale configuration (10 topologies, >=1M-cycle
+// load runs with a 100k cold start).
+func Full() Config {
+	return Config{
+		Seed:           1998,
+		Topologies:     10,
+		LoadTopologies: 5,
+		Probes:         30,
+		Degree:         16,
+		MsgFlits:       128,
+		Warmup:         100_000,
+		Measure:        900_000,
+		Drain:          100_000,
+		Loads:          []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8},
+		LoadDegrees:    []int{8, 16},
+		TopoCfg:        topology.DefaultConfig(),
+		Params:         sim.DefaultParams(),
+	}
+}
+
+// Quick returns a scaled-down configuration with the same structure,
+// suitable for go test / go bench; trends survive the scaling, absolute
+// noise is higher.
+func Quick() Config {
+	cfg := Full()
+	cfg.Topologies = 3
+	cfg.LoadTopologies = 2
+	cfg.Probes = 8
+	cfg.Warmup = 10_000
+	cfg.Measure = 60_000
+	cfg.Drain = 40_000
+	cfg.Loads = []float64{0.1, 0.3, 0.5, 0.7}
+	return cfg
+}
+
+// compared returns the three schemes the paper's figures compare.
+func compared() []mcast.Scheme {
+	return []mcast.Scheme{kbinomial.New(), treeworm.New(), pathworm.New()}
+}
+
+// family generates and routes the experiment's topology family.
+func family(cfg topology.Config, count int, seed uint64) ([]*updown.Routing, error) {
+	topos, err := topology.GenerateFamily(cfg, count, seed)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*updown.Routing, len(topos))
+	for i, t := range topos {
+		rt, err := updown.New(t)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: topology %d: %w", i, err)
+		}
+		out[i] = rt
+	}
+	return out, nil
+}
+
+// singleMean measures the mean isolated-multicast latency of sch over a
+// routed family.
+func singleMean(rts []*updown.Routing, sch mcast.Scheme, p sim.Params, degree, flits, probes int, seed uint64) (float64, error) {
+	var all []float64
+	for i, rt := range rts {
+		lats, err := traffic.RunSingle(rt, traffic.SingleConfig{
+			Scheme: sch, Params: p, Degree: degree, MsgFlits: flits,
+			Probes: probes, Seed: seed + uint64(i)*7919,
+		})
+		if err != nil {
+			return 0, err
+		}
+		all = append(all, lats...)
+	}
+	return metrics.Mean(all), nil
+}
+
+// sweepSingle runs a single-multicast sweep: for each x value, build builds
+// the per-point (family, params, degree, flits) and the mean latency per
+// scheme becomes one curve point.
+func sweepSingle(cfg Config, title, xLabel string, xs []float64,
+	build func(x float64) ([]*updown.Routing, sim.Params, int, int, error)) (*metrics.Table, error) {
+	tab := &metrics.Table{Title: title, XLabel: xLabel, YLabel: "mean single multicast latency (cycles)"}
+	series := make(map[string]*metrics.Series)
+	order := []string{}
+	for _, sch := range compared() {
+		s := &metrics.Series{Label: sch.Name()}
+		series[sch.Name()] = s
+		order = append(order, sch.Name())
+	}
+	for _, x := range xs {
+		rts, p, degree, flits, err := build(x)
+		if err != nil {
+			return nil, err
+		}
+		for _, sch := range compared() {
+			mean, err := singleMean(rts, sch, p, degree, flits, cfg.Probes, cfg.Seed)
+			if err != nil {
+				return nil, fmt.Errorf("%s at %s=%v: %w", sch.Name(), xLabel, x, err)
+			}
+			s := series[sch.Name()]
+			s.X = append(s.X, x)
+			s.Y = append(s.Y, mean)
+		}
+	}
+	for _, name := range order {
+		tab.Series = append(tab.Series, *series[name])
+	}
+	return tab, nil
+}
+
+// Fig6EffectOfR reproduces Figure 6: single-multicast latency as the
+// host/NI overhead ratio R varies (o_ni = o_h / R).
+func Fig6EffectOfR(cfg Config) ([]*metrics.Table, error) {
+	rts, err := family(cfg.TopoCfg, cfg.Topologies, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	tab, err := sweepSingle(cfg, "Fig 6: effect of R = o_h/o_ni (single multicast)", "R",
+		[]float64{0.5, 1, 2, 4},
+		func(x float64) ([]*updown.Routing, sim.Params, int, int, error) {
+			return rts, cfg.Params.WithR(x), cfg.Degree, cfg.MsgFlits, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return []*metrics.Table{tab}, nil
+}
+
+// Fig7EffectOfSwitches reproduces Figure 7: single-multicast latency as the
+// switch count grows at fixed system size.
+func Fig7EffectOfSwitches(cfg Config) ([]*metrics.Table, error) {
+	tab, err := sweepSingle(cfg, "Fig 7: effect of number of switches (single multicast)", "switches",
+		[]float64{8, 16, 32},
+		func(x float64) ([]*updown.Routing, sim.Params, int, int, error) {
+			tc := cfg.TopoCfg
+			tc.Switches = int(x)
+			rts, err := family(tc, cfg.Topologies, cfg.Seed+uint64(x))
+			return rts, cfg.Params, cfg.Degree, cfg.MsgFlits, err
+		})
+	if err != nil {
+		return nil, err
+	}
+	return []*metrics.Table{tab}, nil
+}
+
+// Fig8EffectOfMessageLength reproduces Figure 8: single-multicast latency
+// as the message grows past the 128-flit packet size.
+func Fig8EffectOfMessageLength(cfg Config) ([]*metrics.Table, error) {
+	rts, err := family(cfg.TopoCfg, cfg.Topologies, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	tab, err := sweepSingle(cfg, "Fig 8: effect of message length (single multicast)", "message flits",
+		[]float64{128, 256, 512, 1024},
+		func(x float64) ([]*updown.Routing, sim.Params, int, int, error) {
+			return rts, cfg.Params, cfg.Degree, int(x), nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return []*metrics.Table{tab}, nil
+}
+
+// loadCurve sweeps effective load for one scheme, averaging the mean
+// latency across the family; the sweep stops at the first saturated point
+// (annotated "SAT").
+func loadCurve(rts []*updown.Routing, sch mcast.Scheme, cfg Config, p sim.Params, degree, flits int) (metrics.Series, error) {
+	s := metrics.Series{Label: sch.Name()}
+	for _, l := range cfg.Loads {
+		var means []float64
+		saturated := false
+		for i, rt := range rts {
+			res, err := traffic.RunLoad(rt, traffic.LoadConfig{
+				Scheme: sch, Params: p, Degree: degree, MsgFlits: flits,
+				EffectiveLoad: l, Warmup: cfg.Warmup, Measure: cfg.Measure,
+				Drain: cfg.Drain, Seed: cfg.Seed + uint64(i)*104729,
+			})
+			if err != nil {
+				return s, err
+			}
+			if res.Saturated {
+				saturated = true
+			}
+			if res.Latency.Count > 0 {
+				means = append(means, res.Latency.Mean)
+			}
+		}
+		note := ""
+		if saturated {
+			note = "SAT"
+		}
+		s.X = append(s.X, l)
+		s.Y = append(s.Y, metrics.Mean(means))
+		s.Note = append(s.Note, note)
+		if saturated {
+			break
+		}
+	}
+	return s, nil
+}
+
+// loadPanels builds one table per (variant, degree), each with one curve
+// per scheme. build maps a variant value to (family, params, flits).
+func loadPanels(cfg Config, title string, variants []float64, variantName string,
+	build func(v float64) ([]*updown.Routing, sim.Params, int, error)) ([]*metrics.Table, error) {
+	var out []*metrics.Table
+	for _, v := range variants {
+		rts, p, flits, err := build(v)
+		if err != nil {
+			return nil, err
+		}
+		for _, degree := range cfg.LoadDegrees {
+			tab := &metrics.Table{
+				Title:  fmt.Sprintf("%s [%s=%v, %d-way]", title, variantName, v, degree),
+				XLabel: "effective applied load",
+				YLabel: "mean multicast latency (cycles)",
+			}
+			for _, sch := range compared() {
+				series, err := loadCurve(rts, sch, cfg, p, degree, flits)
+				if err != nil {
+					return nil, fmt.Errorf("%s %s=%v %d-way: %w", sch.Name(), variantName, v, degree, err)
+				}
+				tab.Series = append(tab.Series, series)
+			}
+			out = append(out, tab)
+		}
+	}
+	return out, nil
+}
+
+// Fig9LoadVsR reproduces Figure 9: latency under increasing multicast load
+// for R in {0.5, 1, 4}, at 8- and 16-way degrees.
+func Fig9LoadVsR(cfg Config) ([]*metrics.Table, error) {
+	rts, err := family(cfg.TopoCfg, cfg.LoadTopologies, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return loadPanels(cfg, "Fig 9: load vs latency under R", []float64{0.5, 1, 4}, "R",
+		func(v float64) ([]*updown.Routing, sim.Params, int, error) {
+			return rts, cfg.Params.WithR(v), cfg.MsgFlits, nil
+		})
+}
+
+// Fig10LoadVsSwitches reproduces Figure 10: latency under load as the
+// switch count grows.
+func Fig10LoadVsSwitches(cfg Config) ([]*metrics.Table, error) {
+	return loadPanels(cfg, "Fig 10: load vs latency under switch count", []float64{8, 16, 32}, "switches",
+		func(v float64) ([]*updown.Routing, sim.Params, int, error) {
+			tc := cfg.TopoCfg
+			tc.Switches = int(v)
+			rts, err := family(tc, cfg.LoadTopologies, cfg.Seed+uint64(v))
+			return rts, cfg.Params, cfg.MsgFlits, err
+		})
+}
+
+// Fig11LoadVsMessageLength reproduces Figure 11: latency under load for
+// longer messages.
+func Fig11LoadVsMessageLength(cfg Config) ([]*metrics.Table, error) {
+	rts, err := family(cfg.TopoCfg, cfg.LoadTopologies, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return loadPanels(cfg, "Fig 11: load vs latency under message length", []float64{128, 512, 1024}, "flits",
+		func(v float64) ([]*updown.Routing, sim.Params, int, error) {
+			return rts, cfg.Params, int(v), nil
+		})
+}
+
+// ExtHostOverhead reproduces the §4.2 text experiment on host start-up
+// overhead: o_h varies with o_ni pinned at the default.
+func ExtHostOverhead(cfg Config) ([]*metrics.Table, error) {
+	rts, err := family(cfg.TopoCfg, cfg.Topologies, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	tab, err := sweepSingle(cfg, "Ext: effect of host overhead o_h (single multicast)", "o_h (cycles)",
+		[]float64{50, 100, 200, 400},
+		func(x float64) ([]*updown.Routing, sim.Params, int, int, error) {
+			p := cfg.Params
+			p.OHostSend = event.Time(x)
+			p.OHostRecv = event.Time(x)
+			return rts, p, cfg.Degree, cfg.MsgFlits, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return []*metrics.Table{tab}, nil
+}
+
+// ExtSystemSize reproduces the §4.2 text experiment on system size: nodes
+// and switches scale together (4 nodes per 8-port switch).
+func ExtSystemSize(cfg Config) ([]*metrics.Table, error) {
+	tab, err := sweepSingle(cfg, "Ext: effect of system size (single multicast)", "nodes",
+		[]float64{16, 32, 64, 128},
+		func(x float64) ([]*updown.Routing, sim.Params, int, int, error) {
+			tc := cfg.TopoCfg
+			tc.Nodes = int(x)
+			tc.Switches = int(x) / 4
+			degree := cfg.Degree
+			if degree >= tc.Nodes {
+				degree = tc.Nodes / 2
+			}
+			rts, err := family(tc, cfg.Topologies, cfg.Seed+uint64(x))
+			return rts, cfg.Params, degree, cfg.MsgFlits, err
+		})
+	if err != nil {
+		return nil, err
+	}
+	return []*metrics.Table{tab}, nil
+}
+
+// ExtPacketLength reproduces the §4.2 text experiment on packet length,
+// with a fixed 1024-flit message split into varying packet sizes.
+func ExtPacketLength(cfg Config) ([]*metrics.Table, error) {
+	rts, err := family(cfg.TopoCfg, cfg.Topologies, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	tab, err := sweepSingle(cfg, "Ext: effect of packet length (single multicast, 1024-flit message)", "packet flits",
+		[]float64{32, 64, 128, 256},
+		func(x float64) ([]*updown.Routing, sim.Params, int, int, error) {
+			p := cfg.Params
+			p.PacketFlits = int(x)
+			return rts, p, cfg.Degree, 1024, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return []*metrics.Table{tab}, nil
+}
+
+// BaselineComparison extends Figure 6's default point with the software
+// binomial baseline (paper §3.1) for reference.
+func BaselineComparison(cfg Config) ([]*metrics.Table, error) {
+	rts, err := family(cfg.TopoCfg, cfg.Topologies, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	tab := &metrics.Table{
+		Title:  "Baseline: all four schemes at default parameters",
+		XLabel: "multicast degree",
+		YLabel: "mean single multicast latency (cycles)",
+	}
+	schemes := append([]mcast.Scheme{binomial.New()}, compared()...)
+	for _, sch := range schemes {
+		s := metrics.Series{Label: sch.Name()}
+		for _, degree := range []float64{4, 8, 16, 31} {
+			mean, err := singleMean(rts, sch, cfg.Params, int(degree), cfg.MsgFlits, cfg.Probes, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			s.X = append(s.X, degree)
+			s.Y = append(s.Y, mean)
+		}
+		tab.Series = append(tab.Series, s)
+	}
+	return []*metrics.Table{tab}, nil
+}

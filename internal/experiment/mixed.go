@@ -1,0 +1,45 @@
+package experiment
+
+import (
+	"mcastsim/internal/metrics"
+	"mcastsim/internal/traffic"
+)
+
+// MixedTraffic measures multicast latency over a unicast background — the
+// regime a production network of workstations actually runs in (the
+// paper's load experiments use pure multicast traffic; its technical
+// report points at mixed traffic as follow-on work). Each curve sweeps
+// the background intensity for one scheme.
+func MixedTraffic(cfg Config) ([]*metrics.Table, error) {
+	rts, err := family(cfg.TopoCfg, cfg.LoadTopologies, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	tab := &metrics.Table{
+		Title:  "Multicast latency over unicast background traffic (16-way)",
+		XLabel: "background unicast load (flits/cycle/node)",
+		YLabel: "mean multicast latency (cycles)",
+	}
+	for _, sch := range compared() {
+		s := metrics.Series{Label: sch.Name()}
+		for _, bg := range []float64{0, 0.05, 0.1, 0.15} {
+			var all []float64
+			for i, rt := range rts {
+				lats, err := traffic.RunMixed(rt, traffic.MixedConfig{
+					Scheme: sch, Params: cfg.Params, Degree: 16, MsgFlits: cfg.MsgFlits,
+					BackgroundLoad: bg, BackgroundFlits: cfg.MsgFlits,
+					Probes: cfg.Probes, ProbeGap: 5_000, Warmup: cfg.Warmup,
+					Seed: cfg.Seed + uint64(i)*53,
+				})
+				if err != nil {
+					return nil, err
+				}
+				all = append(all, lats...)
+			}
+			s.X = append(s.X, bg)
+			s.Y = append(s.Y, metrics.Mean(all))
+		}
+		tab.Series = append(tab.Series, s)
+	}
+	return []*metrics.Table{tab}, nil
+}

@@ -1,0 +1,61 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+
+	"mcastsim/internal/metrics"
+)
+
+// Runner executes one named experiment.
+type Runner func(Config) ([]*metrics.Table, error)
+
+// Entry describes a registered experiment.
+type Entry struct {
+	ID    string // CLI name, e.g. "fig6"
+	Paper string // paper artifact it reproduces
+	Run   Runner
+}
+
+// Registry lists every experiment, in presentation order.
+func Registry() []Entry {
+	return []Entry{
+		{"fig6", "Figure 6: single multicast vs R", Fig6EffectOfR},
+		{"fig7", "Figure 7: single multicast vs switch count", Fig7EffectOfSwitches},
+		{"fig8", "Figure 8: single multicast vs message length", Fig8EffectOfMessageLength},
+		{"fig9", "Figure 9: load vs latency under R (8/16-way)", Fig9LoadVsR},
+		{"fig10", "Figure 10: load vs latency under switch count (8/16-way)", Fig10LoadVsSwitches},
+		{"fig11", "Figure 11: load vs latency under message length (8/16-way)", Fig11LoadVsMessageLength},
+		{"oh", "§4.2 text: single multicast vs host overhead", ExtHostOverhead},
+		{"size", "§4.2 text: single multicast vs system size", ExtSystemSize},
+		{"pkt", "§4.2 text: single multicast vs packet length", ExtPacketLength},
+		{"arch", "§3.3: architectural cost comparison", ArchComparison},
+		{"unisat", "§4.3: unicast saturation sanity bound", UnicastSaturation},
+		{"baseline", "§3.1: all four schemes vs degree", BaselineComparison},
+		{"ab-tree", "ablation: tree worm branching policy", AblationTreeEarlyBranch},
+		{"ab-path", "ablation: path worm dispatch policy", AblationPathSchedule},
+		{"ab-buf", "ablation: switch buffer depth", AblationBufferSize},
+		{"ab-fpfs", "ablation: smart-NI FPFS vs store-and-forward", AblationFPFS},
+		{"ab-k", "ablation: k-binomial fanout model validation", AblationOptimalK},
+		{"coll", "extension: collectives (broadcast/barrier/allreduce) per scheme", Collectives},
+		{"root", "extension: up*/down* root placement vs tree-worm performance", RootSelection},
+		{"mixed", "extension: multicast latency over unicast background traffic", MixedTraffic},
+		{"routing", "extension: BFS vs DFS up*/down* substrate", RoutingVariant},
+		{"fault", "extension: reconfiguration after one link failure", FaultReconfiguration},
+	}
+}
+
+// Lookup finds an experiment by ID.
+func Lookup(id string) (Entry, error) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	ids := make([]string, 0)
+	for _, e := range Registry() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Entry{}, fmt.Errorf("experiment: unknown id %q (have %v)", id, ids)
+}

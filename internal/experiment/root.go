@@ -1,0 +1,110 @@
+package experiment
+
+import (
+	"fmt"
+
+	"mcastsim/internal/mcast/treeworm"
+	"mcastsim/internal/metrics"
+	"mcastsim/internal/topology"
+	"mcastsim/internal/traffic"
+	"mcastsim/internal/updown"
+)
+
+// RootSelection measures a known up*/down* lever the paper holds fixed:
+// where the spanning-tree root sits. Autonet's UID-based agreement (our
+// deterministic switch 0) can land the root at the graph's edge, deepening
+// the tree and lengthening tree-worm climbs; rooting at a graph center
+// shortens them. The experiment compares tree-worm latency under both
+// roots, isolated and under load.
+func RootSelection(cfg Config) ([]*metrics.Table, error) {
+	variants := []struct {
+		label  string
+		center bool
+	}{
+		{"default root (lowest ID)", false},
+		{"center root", true},
+	}
+	build := func(center bool, count int, seedOff uint64) ([]*updown.Routing, error) {
+		topos, err := topology.GenerateFamily(cfg.TopoCfg, count, cfg.Seed+seedOff)
+		if err != nil {
+			return nil, err
+		}
+		rts := make([]*updown.Routing, len(topos))
+		for i, t := range topos {
+			rt, err := updown.NewWithOptions(t, updown.Options{Root: -1, CenterRoot: center})
+			if err != nil {
+				return nil, err
+			}
+			rts[i] = rt
+		}
+		return rts, nil
+	}
+
+	iso := &metrics.Table{
+		Title:  "Root selection: isolated tree-worm multicast",
+		XLabel: "multicast degree",
+		YLabel: "mean single multicast latency (cycles)",
+	}
+	for _, v := range variants {
+		rts, err := build(v.center, cfg.Topologies, 0)
+		if err != nil {
+			return nil, err
+		}
+		s := metrics.Series{Label: v.label}
+		for _, degree := range []float64{8, 16, 31} {
+			mean, err := singleMean(rts, treeworm.New(), cfg.Params, int(degree), cfg.MsgFlits, cfg.Probes, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			s.X = append(s.X, degree)
+			s.Y = append(s.Y, mean)
+		}
+		iso.Series = append(iso.Series, s)
+	}
+
+	load := &metrics.Table{
+		Title:  fmt.Sprintf("Root selection: tree worms under %d-way load", cfg.LoadDegrees[0]),
+		XLabel: "effective applied load",
+		YLabel: "mean multicast latency (cycles)",
+	}
+	for _, v := range variants {
+		rts, err := build(v.center, cfg.LoadTopologies, 0)
+		if err != nil {
+			return nil, err
+		}
+		s := metrics.Series{Label: v.label}
+		for _, l := range cfg.Loads {
+			var means []float64
+			sat := false
+			for i, rt := range rts {
+				res, err := traffic.RunLoad(rt, traffic.LoadConfig{
+					Scheme: treeworm.New(), Params: cfg.Params,
+					Degree: cfg.LoadDegrees[0], MsgFlits: cfg.MsgFlits,
+					EffectiveLoad: l, Warmup: cfg.Warmup, Measure: cfg.Measure,
+					Drain: cfg.Drain, Seed: cfg.Seed + uint64(i)*37,
+				})
+				if err != nil {
+					return nil, err
+				}
+				if res.Saturated {
+					sat = true
+				}
+				if res.Latency.Count > 0 {
+					means = append(means, res.Latency.Mean)
+				}
+			}
+			note := ""
+			if sat {
+				note = "SAT"
+			}
+			s.X = append(s.X, l)
+			s.Y = append(s.Y, metrics.Mean(means))
+			s.Note = append(s.Note, note)
+			if sat {
+				break
+			}
+		}
+		load.Series = append(load.Series, s)
+	}
+	return []*metrics.Table{iso, load}, nil
+}

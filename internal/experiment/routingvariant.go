@@ -1,0 +1,109 @@
+package experiment
+
+import (
+	"fmt"
+
+	"mcastsim/internal/metrics"
+	"mcastsim/internal/topology"
+	"mcastsim/internal/traffic"
+	"mcastsim/internal/updown"
+)
+
+// RoutingVariant compares the paper's Autonet-style BFS up*/down* substrate
+// against the depth-first-tree variant from the routing literature, for
+// all three schemes, isolated and under load. The multicast schemes are
+// routing-agnostic (they consume the same reachability/legality API), so
+// this shows how much of each scheme's behavior is owed to the substrate.
+func RoutingVariant(cfg Config) ([]*metrics.Table, error) {
+	variants := []struct {
+		label string
+		tree  updown.TreePolicy
+	}{
+		{"BFS tree (Autonet)", updown.TreeBFS},
+		{"DFS tree", updown.TreeDFS},
+	}
+	build := func(tree updown.TreePolicy, count int) ([]*updown.Routing, error) {
+		topos, err := topology.GenerateFamily(cfg.TopoCfg, count, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		rts := make([]*updown.Routing, len(topos))
+		for i, t := range topos {
+			rt, err := updown.NewWithOptions(t, updown.Options{Root: -1, Tree: tree})
+			if err != nil {
+				return nil, err
+			}
+			rts[i] = rt
+		}
+		return rts, nil
+	}
+
+	iso := &metrics.Table{
+		Title:  "Routing substrate: isolated 16-way multicast, BFS vs DFS up*/down*",
+		XLabel: "scheme (1=ni 2=tree 3=path)",
+		YLabel: "mean single multicast latency (cycles)",
+	}
+	for _, v := range variants {
+		rts, err := build(v.tree, cfg.Topologies)
+		if err != nil {
+			return nil, err
+		}
+		s := metrics.Series{Label: v.label}
+		for si, sch := range compared() {
+			mean, err := singleMean(rts, sch, cfg.Params, cfg.Degree, cfg.MsgFlits, cfg.Probes, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			s.X = append(s.X, float64(si+1))
+			s.Y = append(s.Y, mean)
+			s.Note = append(s.Note, sch.Name())
+		}
+		iso.Series = append(iso.Series, s)
+	}
+
+	load := &metrics.Table{
+		Title:  fmt.Sprintf("Routing substrate: tree worms under %d-way load, BFS vs DFS", cfg.LoadDegrees[0]),
+		XLabel: "effective applied load",
+		YLabel: "mean multicast latency (cycles)",
+	}
+	for _, v := range variants {
+		rts, err := build(v.tree, cfg.LoadTopologies)
+		if err != nil {
+			return nil, err
+		}
+		s := metrics.Series{Label: v.label}
+		for _, l := range cfg.Loads {
+			var means []float64
+			sat := false
+			for i, rt := range rts {
+				res, err := traffic.RunLoad(rt, traffic.LoadConfig{
+					Scheme: compared()[1], Params: cfg.Params,
+					Degree: cfg.LoadDegrees[0], MsgFlits: cfg.MsgFlits,
+					EffectiveLoad: l, Warmup: cfg.Warmup, Measure: cfg.Measure,
+					Drain: cfg.Drain, Seed: cfg.Seed + uint64(i)*41,
+				})
+				if err != nil {
+					return nil, err
+				}
+				if res.Saturated {
+					sat = true
+				}
+				if res.Latency.Count > 0 {
+					means = append(means, res.Latency.Mean)
+				}
+			}
+			note := ""
+			if sat {
+				note = "SAT"
+			}
+			s.X = append(s.X, l)
+			s.Y = append(s.Y, metrics.Mean(means))
+			s.Note = append(s.Note, note)
+			if sat {
+				break
+			}
+		}
+		load.Series = append(load.Series, s)
+	}
+	return []*metrics.Table{iso, load}, nil
+}

@@ -1,0 +1,64 @@
+// Package binomial implements the traditional multi-phase software
+// multicast (paper §3.1): in every communication step each node holding
+// the message forwards one unicast copy to a node that lacks it, so a
+// multicast to m destinations completes in ceil(log2(m+1)) steps — the best
+// achievable with unicast primitives and full host involvement per hop.
+package binomial
+
+import (
+	"mcastsim/internal/mcast"
+	"mcastsim/internal/sim"
+	"mcastsim/internal/topology"
+	"mcastsim/internal/updown"
+)
+
+// Scheme is the software binomial-tree multicast baseline.
+type Scheme struct{}
+
+// New returns the baseline scheme.
+func New() Scheme { return Scheme{} }
+
+// Name implements mcast.Scheme.
+func (Scheme) Name() string { return "sw-binomial" }
+
+// Plan implements mcast.Scheme. Destinations are switch-clustered so the
+// recursive halves stay topologically local (reduces link contention
+// between concurrent phases).
+func (Scheme) Plan(rt *updown.Routing, _ sim.Params, src topology.NodeID, dests []topology.NodeID, _ int) (*sim.Plan, error) {
+	if err := mcast.CheckArgs(rt, src, dests); err != nil {
+		return nil, err
+	}
+	ordered := mcast.ClusterBySwitch(rt, src, dests)
+	sends := make(map[topology.NodeID][]sim.WormSpec)
+	build(append([]topology.NodeID{src}, ordered...), sends)
+	return &sim.Plan{
+		Source:    src,
+		Dests:     dests,
+		HostSends: sends,
+	}, nil
+}
+
+// build constructs the binomial recursion over list (list[0] is the root
+// holding the message): the root sends to the head of the far half, then
+// both halves recurse concurrently. Sends appended to sends[root] are in
+// phase order; the simulator's host serialization reproduces the step
+// structure.
+func build(list []topology.NodeID, sends map[topology.NodeID][]sim.WormSpec) {
+	for len(list) > 1 {
+		half := (len(list) + 1) / 2
+		far := list[half:]
+		sends[list[0]] = append(sends[list[0]], sim.WormSpec{Kind: sim.WormUnicast, Dest: far[0]})
+		build(far, sends)
+		list = list[:half]
+	}
+}
+
+// Steps returns the number of communication steps the plan needs for m
+// destinations: ceil(log2(m+1)).
+func Steps(m int) int {
+	steps := 0
+	for covered := 1; covered < m+1; covered *= 2 {
+		steps++
+	}
+	return steps
+}

@@ -1,0 +1,121 @@
+package binomial
+
+import (
+	"testing"
+
+	"mcastsim/internal/rng"
+	"mcastsim/internal/sim"
+	"mcastsim/internal/topology"
+	"mcastsim/internal/updown"
+)
+
+func routed(t *testing.T, seed uint64) *updown.Routing {
+	t.Helper()
+	topo, err := topology.Generate(topology.DefaultConfig(), rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := updown.New(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+func TestSteps(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 2, 3: 2, 4: 3, 7: 3, 8: 4, 15: 4, 31: 5}
+	for m, want := range cases {
+		if got := Steps(m); got != want {
+			t.Errorf("Steps(%d) = %d, want %d", m, got, want)
+		}
+	}
+}
+
+// phaseDepth computes, for a host-sends plan, the communication step at
+// which each destination receives: sender's own receive step + 1 + its
+// position in the sender's send list.
+func phaseDepth(plan *sim.Plan) map[topology.NodeID]int {
+	depth := map[topology.NodeID]int{plan.Source: 0}
+	// Iterate to fixpoint (sends form a DAG rooted at the source).
+	for changed := true; changed; {
+		changed = false
+		for sender, specs := range plan.HostSends {
+			d, ok := depth[sender]
+			if !ok {
+				continue
+			}
+			for i, w := range specs {
+				nd := d + i + 1
+				if cur, ok := depth[w.Dest]; !ok || nd < cur {
+					depth[w.Dest] = nd
+					changed = true
+				}
+			}
+		}
+	}
+	return depth
+}
+
+func TestPlanStepCountMatchesTheory(t *testing.T) {
+	rt := routed(t, 1)
+	r := rng.New(2)
+	for trial := 0; trial < 20; trial++ {
+		m := 1 + r.Intn(31)
+		picks := r.Sample(32, m+1)
+		src := topology.NodeID(picks[0])
+		dests := make([]topology.NodeID, m)
+		for i, v := range picks[1:] {
+			dests[i] = topology.NodeID(v)
+		}
+		plan, err := New().Plan(rt, sim.DefaultParams(), src, dests, 128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := plan.Validate(32, rt.Topo.NumSwitches); err != nil {
+			t.Fatalf("m=%d: %v", m, err)
+		}
+		depth := phaseDepth(plan)
+		worst := 0
+		for _, d := range dests {
+			dd, ok := depth[d]
+			if !ok {
+				t.Fatalf("m=%d: destination %d unreachable in plan", m, d)
+			}
+			if dd > worst {
+				worst = dd
+			}
+		}
+		if want := Steps(m); worst != want {
+			t.Fatalf("m=%d: plan completes in %d steps, want %d", m, worst, want)
+		}
+	}
+}
+
+func TestPlanUsesOnlyUnicast(t *testing.T) {
+	rt := routed(t, 3)
+	plan, err := New().Plan(rt, sim.DefaultParams(), 0, []topology.NodeID{1, 2, 3, 4, 5}, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sender, specs := range plan.HostSends {
+		for _, w := range specs {
+			if w.Kind != sim.WormUnicast {
+				t.Fatalf("sender %d uses %v worm", sender, w.Kind)
+			}
+		}
+	}
+	if plan.NITree != nil {
+		t.Fatal("baseline must not use NI support")
+	}
+}
+
+func TestSingleDestination(t *testing.T) {
+	rt := routed(t, 4)
+	plan, err := New().Plan(rt, sim.DefaultParams(), 3, []topology.NodeID{9}, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.HostSends) != 1 || len(plan.HostSends[3]) != 1 {
+		t.Fatalf("degenerate plan wrong: %+v", plan.HostSends)
+	}
+}

@@ -1,0 +1,101 @@
+// Package mcast defines the multicast-scheme abstraction the experiments
+// compare, plus helpers shared by the concrete planners in its
+// subpackages:
+//
+//   - binomial: multi-phase software unicast multicast (paper §3.1, the
+//     traditional baseline),
+//   - kbinomial: the NI-based scheme — k-binomial tree with FPFS smart-NI
+//     forwarding (paper §3.2.1),
+//   - treeworm: the switch-based single-phase scheme — one bit-string
+//     multidestination worm (paper §3.2.3),
+//   - pathworm: the switch-based multi-phase scheme — MDP-LG multi-drop
+//     path worms (paper §3.2.4).
+//
+// A Scheme turns (routing state, system parameters, source, destinations,
+// message length) into a sim.Plan; the simulator does the rest. Schemes are
+// stateless and safe for reuse across messages and topologies.
+package mcast
+
+import (
+	"fmt"
+	"sort"
+
+	"mcastsim/internal/sim"
+	"mcastsim/internal/topology"
+	"mcastsim/internal/updown"
+)
+
+// Scheme builds executable multicast plans.
+type Scheme interface {
+	// Name is a short stable identifier ("ni-kbinomial", "sw-tree", ...).
+	Name() string
+	// Plan constructs the scheme's strategy for one multicast. msgFlits is
+	// the payload length (schemes that adapt to packetization use it).
+	Plan(rt *updown.Routing, p sim.Params, src topology.NodeID, dests []topology.NodeID, msgFlits int) (*sim.Plan, error)
+}
+
+// CheckArgs validates the (src, dests) pair against the routed topology;
+// planners call it first so all schemes reject bad input identically.
+func CheckArgs(rt *updown.Routing, src topology.NodeID, dests []topology.NodeID) error {
+	n := rt.Topo.NumNodes
+	if int(src) < 0 || int(src) >= n {
+		return fmt.Errorf("mcast: source %d out of range", src)
+	}
+	if len(dests) == 0 {
+		return fmt.Errorf("mcast: empty destination set")
+	}
+	seen := make(map[topology.NodeID]bool, len(dests))
+	for _, d := range dests {
+		if int(d) < 0 || int(d) >= n {
+			return fmt.Errorf("mcast: destination %d out of range", d)
+		}
+		if d == src {
+			return fmt.Errorf("mcast: source %d in destination set", d)
+		}
+		if seen[d] {
+			return fmt.Errorf("mcast: duplicate destination %d", d)
+		}
+		seen[d] = true
+	}
+	return nil
+}
+
+// ClusterBySwitch orders destinations so nodes sharing a switch are
+// adjacent, with switch groups ordered by hop distance from the source's
+// switch (nearest first) and by switch ID within equal distance. Both
+// host-driven tree builders use this ordering so subtrees stay
+// switch-local, the contention-minimizing construction of the authors'
+// HPCA'97 k-binomial work.
+func ClusterBySwitch(rt *updown.Routing, src topology.NodeID, dests []topology.NodeID) []topology.NodeID {
+	t := rt.Topo
+	home := t.NodeSwitch[src]
+	out := append([]topology.NodeID(nil), dests...)
+	sort.Slice(out, func(i, j int) bool {
+		si, sj := t.NodeSwitch[out[i]], t.NodeSwitch[out[j]]
+		if si != sj {
+			di, dj := rt.DistUp(home, si), rt.DistUp(home, sj)
+			if di != dj {
+				return di < dj
+			}
+			return si < sj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// DestSwitches returns the destinations grouped by home switch, as a map
+// plus the set of switches in ascending ID order.
+func DestSwitches(rt *updown.Routing, dests []topology.NodeID) (map[topology.SwitchID][]topology.NodeID, []topology.SwitchID) {
+	groups := make(map[topology.SwitchID][]topology.NodeID)
+	for _, d := range dests {
+		s := rt.Topo.NodeSwitch[d]
+		groups[s] = append(groups[s], d)
+	}
+	switches := make([]topology.SwitchID, 0, len(groups))
+	for s := range groups {
+		switches = append(switches, s)
+	}
+	sort.Slice(switches, func(i, j int) bool { return switches[i] < switches[j] })
+	return groups, switches
+}

@@ -1,0 +1,287 @@
+package pathworm
+
+import (
+	"testing"
+
+	"mcastsim/internal/rng"
+	"mcastsim/internal/sim"
+	"mcastsim/internal/topology"
+	"mcastsim/internal/updown"
+)
+
+func routedCfg(t *testing.T, cfg topology.Config, seed uint64) *updown.Routing {
+	t.Helper()
+	topo, err := topology.Generate(cfg, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := updown.New(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+func randomSrcDests(r *rng.Source, n, m int) (topology.NodeID, []topology.NodeID) {
+	picks := r.Sample(n, m+1)
+	src := topology.NodeID(picks[0])
+	dests := make([]topology.NodeID, m)
+	for i, v := range picks[1:] {
+		dests[i] = topology.NodeID(v)
+	}
+	return src, dests
+}
+
+// checkWormLegality verifies the structural legality the simulator will
+// enforce at runtime: the stop chain is one contiguous legal up*/down*
+// path (each continuation port physically connects consecutive stops and
+// never turns up after a down move).
+func checkWormLegality(t *testing.T, rt *updown.Routing, w sim.WormSpec) {
+	t.Helper()
+	phase := updown.PhaseUp
+	for i, seg := range w.Path {
+		for _, d := range seg.Drops {
+			if rt.Topo.NodeSwitch[d] != seg.Switch {
+				t.Fatalf("segment %d: drop %d not attached to stop switch %d", i, d, seg.Switch)
+			}
+		}
+		if seg.NextPort == -1 {
+			if i != len(w.Path)-1 {
+				t.Fatalf("segment %d ends worm early", i)
+			}
+			continue
+		}
+		dir := rt.Dirs[seg.Switch][seg.NextPort]
+		if dir == updown.DirNone {
+			t.Fatalf("segment %d: continuation through non-switch port", i)
+		}
+		if dir == updown.DirUp && phase == updown.PhaseDown {
+			t.Fatalf("segment %d: up turn after down", i)
+		}
+		if dir == updown.DirDown {
+			phase = updown.PhaseDown
+		}
+		peer := rt.Topo.Conn[seg.Switch][seg.NextPort].Switch
+		if peer != w.Path[i+1].Switch {
+			t.Fatalf("segment %d: continuation port reaches switch %d, header says %d", i, peer, w.Path[i+1].Switch)
+		}
+	}
+}
+
+func coverAll(t *testing.T, rt *updown.Routing, s Scheme, src topology.NodeID, dests []topology.NodeID) Result {
+	t.Helper()
+	res, err := s.Cover(rt, src, dests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[topology.NodeID]int{}
+	for _, specs := range res.Sends {
+		for _, w := range specs {
+			checkWormLegality(t, rt, w)
+			for _, seg := range w.Path {
+				for _, d := range seg.Drops {
+					got[d]++
+				}
+			}
+		}
+	}
+	for _, d := range dests {
+		if got[d] != 1 {
+			t.Fatalf("dest %d covered %d times", d, got[d])
+		}
+	}
+	if len(got) != len(dests) {
+		t.Fatalf("extra deliveries: %d vs %d", len(got), len(dests))
+	}
+	return res
+}
+
+func TestWormsCoverEveryDestExactlyOnce(t *testing.T) {
+	cfgs := []topology.Config{
+		{Switches: 8, PortsPerSwitch: 8, Nodes: 32, ExtraLinksPerSwitch: -1},
+		{Switches: 16, PortsPerSwitch: 8, Nodes: 32, ExtraLinksPerSwitch: -1},
+		{Switches: 32, PortsPerSwitch: 8, Nodes: 32, ExtraLinksPerSwitch: -1},
+		{Switches: 32, PortsPerSwitch: 8, Nodes: 32, ExtraLinksPerSwitch: 0},
+	}
+	for ci, cfg := range cfgs {
+		rt := routedCfg(t, cfg, uint64(ci+1))
+		r := rng.New(uint64(ci) + 77)
+		for trial := 0; trial < 20; trial++ {
+			src, dests := randomSrcDests(r, cfg.Nodes, 1+r.Intn(cfg.Nodes-2))
+			coverAll(t, rt, New(), src, dests)
+		}
+	}
+}
+
+func TestWormPathsAreShortest(t *testing.T) {
+	// Every worm's stop chain must be exactly a shortest legal path from
+	// its sender's switch to its terminal.
+	rt := routedCfg(t, topology.DefaultConfig(), 5)
+	r := rng.New(55)
+	for trial := 0; trial < 15; trial++ {
+		src, dests := randomSrcDests(r, 32, 16)
+		res, err := New().Cover(rt, src, dests)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for sender, specs := range res.Sends {
+			from := rt.Topo.NodeSwitch[sender]
+			for _, w := range specs {
+				first := w.Path[0].Switch
+				last := w.Path[len(w.Path)-1].Switch
+				if first != from {
+					t.Fatalf("worm from %d does not start at its sender's switch", sender)
+				}
+				if got, want := len(w.Path)-1, rt.DistUp(from, last); got != want {
+					t.Fatalf("worm %d->%d has %d hops, shortest legal is %d", from, last, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestWormCountGrowsWithSwitches(t *testing.T) {
+	// The paper's Figure 7 driver: fewer destinations per switch => more
+	// worms.
+	avgWorms := func(cfg topology.Config, seed uint64) float64 {
+		total, count := 0, 0
+		for ti := uint64(0); ti < 5; ti++ {
+			rt := routedCfg(t, cfg, seed+ti)
+			r := rng.New(seed*100 + ti)
+			for trial := 0; trial < 10; trial++ {
+				src, dests := randomSrcDests(r, cfg.Nodes, 16)
+				total += New().Worms(rt, src, dests)
+				count++
+			}
+		}
+		return float64(total) / float64(count)
+	}
+	few := avgWorms(topology.Config{Switches: 8, PortsPerSwitch: 8, Nodes: 32, ExtraLinksPerSwitch: -1}, 1)
+	many := avgWorms(topology.Config{Switches: 32, PortsPerSwitch: 8, Nodes: 32, ExtraLinksPerSwitch: -1}, 2)
+	if many <= few {
+		t.Fatalf("worm count did not grow with switches: 8sw=%.2f 32sw=%.2f", few, many)
+	}
+}
+
+func TestSerialScheduleAllFromSource(t *testing.T) {
+	rt := routedCfg(t, topology.Config{Switches: 16, PortsPerSwitch: 8, Nodes: 32, ExtraLinksPerSwitch: -1}, 3)
+	r := rng.New(33)
+	src, dests := randomSrcDests(r, 32, 20)
+	res := coverAll(t, rt, Scheme{SerialSchedule: true}, src, dests)
+	for sender := range res.Sends {
+		if sender != src {
+			t.Fatalf("serial schedule recruited sender %d", sender)
+		}
+	}
+}
+
+func TestMultiPhaseUsesSecondarySources(t *testing.T) {
+	// On a 32-switch topology a 20-way multicast needs several worms; the
+	// multi-phase schedule should recruit at least one secondary sender
+	// (if it never does, phases collapse to serial and the scheme loses
+	// its defining property).
+	recruited := false
+	for seed := uint64(1); seed <= 5 && !recruited; seed++ {
+		rt := routedCfg(t, topology.Config{Switches: 32, PortsPerSwitch: 8, Nodes: 32, ExtraLinksPerSwitch: -1}, seed)
+		r := rng.New(seed * 11)
+		for trial := 0; trial < 10; trial++ {
+			src, dests := randomSrcDests(r, 32, 20)
+			res, err := New().Cover(rt, src, dests)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Sends) > 1 {
+				recruited = true
+				break
+			}
+		}
+	}
+	if !recruited {
+		t.Fatal("multi-phase schedule never recruited a secondary sender")
+	}
+}
+
+func TestScheduleRespectsDataDependencies(t *testing.T) {
+	rt := routedCfg(t, topology.Config{Switches: 32, PortsPerSwitch: 8, Nodes: 32, ExtraLinksPerSwitch: -1}, 4)
+	r := rng.New(44)
+	for trial := 0; trial < 10; trial++ {
+		src, dests := randomSrcDests(r, 32, 20)
+		plan, err := New().Plan(rt, sim.DefaultParams(), src, dests, 128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := plan.Validate(32, rt.Topo.NumSwitches); err != nil {
+			t.Fatal(err)
+		}
+		informed := map[topology.NodeID]bool{src: true}
+		remaining := map[topology.NodeID][]sim.WormSpec{}
+		for s, ws := range plan.HostSends {
+			remaining[s] = append([]sim.WormSpec(nil), ws...)
+		}
+		for rounds := 0; len(remaining) > 0 && rounds < 100; rounds++ {
+			progress := false
+			for s, ws := range remaining {
+				if !informed[s] {
+					continue
+				}
+				for _, w := range ws {
+					for _, seg := range w.Path {
+						for _, d := range seg.Drops {
+							informed[d] = true
+						}
+					}
+				}
+				delete(remaining, s)
+				progress = true
+			}
+			if !progress {
+				t.Fatalf("trial %d: schedule has senders that never learn the message", trial)
+			}
+		}
+	}
+}
+
+func TestSingleSwitchAllDests(t *testing.T) {
+	// All destinations on the source's own switch: exactly one worm with
+	// one stop and no continuation.
+	rt := routedCfg(t, topology.DefaultConfig(), 6)
+	groups := map[topology.SwitchID][]topology.NodeID{}
+	for n := 0; n < 32; n++ {
+		s := rt.Topo.NodeSwitch[n]
+		groups[s] = append(groups[s], topology.NodeID(n))
+	}
+	for _, nodes := range groups {
+		if len(nodes) < 3 {
+			continue
+		}
+		src := nodes[0]
+		dests := nodes[1:]
+		res := coverAll(t, rt, New(), src, dests)
+		if res.Worms != 1 || res.Phases != 1 {
+			t.Fatalf("got %d worms in %d phases, want 1/1", res.Worms, res.Phases)
+		}
+		w := res.Sends[src][0]
+		if len(w.Path) != 1 || w.Path[0].NextPort != -1 {
+			t.Fatalf("degenerate worm shape wrong: %+v", w)
+		}
+		return
+	}
+	t.Skip("no switch with 3+ nodes in this topology")
+}
+
+func TestPhasesBoundedByLogWorms(t *testing.T) {
+	// With binomial sender growth, phases should be far fewer than worms
+	// when many worms exist.
+	rt := routedCfg(t, topology.Config{Switches: 32, PortsPerSwitch: 8, Nodes: 32, ExtraLinksPerSwitch: 0}, 7)
+	r := rng.New(70)
+	for trial := 0; trial < 10; trial++ {
+		src, dests := randomSrcDests(r, 32, 24)
+		res, err := New().Cover(rt, src, dests)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Worms >= 4 && res.Phases >= res.Worms {
+			t.Fatalf("phases %d not better than serial for %d worms", res.Phases, res.Worms)
+		}
+	}
+}

@@ -1,0 +1,248 @@
+// Package metrics provides the statistics and result-shaping utilities the
+// experiment harness reports with: latency summaries, saturation
+// detection, and the Series/Table structures that render the paper's
+// figures as aligned text or CSV.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary describes a latency sample set (cycles).
+type Summary struct {
+	Count  int
+	Mean   float64
+	Median float64
+	P95    float64
+	Min    float64
+	Max    float64
+	StdDev float64
+}
+
+// Summarize computes a Summary; an empty input yields a zero Summary.
+func Summarize(samples []float64) Summary {
+	if len(samples) == 0 {
+		return Summary{}
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	var sum, sq float64
+	for _, v := range s {
+		sum += v
+	}
+	mean := sum / float64(len(s))
+	for _, v := range s {
+		sq += (v - mean) * (v - mean)
+	}
+	return Summary{
+		Count:  len(s),
+		Mean:   mean,
+		Median: quantile(s, 0.5),
+		P95:    quantile(s, 0.95),
+		Min:    s[0],
+		Max:    s[len(s)-1],
+		StdDev: math.Sqrt(sq / float64(len(s))),
+	}
+}
+
+// quantile interpolates the q-quantile of sorted data.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	hi := lo + 1
+	if hi >= len(sorted) {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean is a convenience over Summarize for the common case.
+func Mean(samples []float64) float64 { return Summarize(samples).Mean }
+
+// Series is one labeled curve of a figure.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+	// Note holds per-point annotations (e.g. "SAT" past saturation);
+	// empty or shorter than X is fine.
+	Note []string
+}
+
+// Table is a renderable experiment result: one figure (or panel of one).
+type Table struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Render writes the table in aligned text, x values as rows and one column
+// per series — the layout EXPERIMENTS.md embeds.
+func (t *Table) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# %s\n", t.Title); err != nil {
+		return err
+	}
+	// Collect the union of x values in order.
+	xs := unionX(t.Series)
+	cols := make([]string, 0, len(t.Series)+1)
+	cols = append(cols, t.XLabel)
+	for _, s := range t.Series {
+		cols = append(cols, s.Label)
+	}
+	rows := [][]string{cols}
+	for _, x := range xs {
+		row := []string{trimFloat(x)}
+		for _, s := range t.Series {
+			row = append(row, lookup(s, x))
+		}
+		rows = append(rows, row)
+	}
+	widths := make([]int, len(cols))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for ri, row := range rows {
+		var b strings.Builder
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(pad(cell, widths[i]))
+		}
+		if _, err := fmt.Fprintln(w, strings.TrimRight(b.String(), " ")); err != nil {
+			return err
+		}
+		if ri == 0 {
+			if _, err := fmt.Fprintln(w, strings.Repeat("-", sumWidths(widths))); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintf(w, "(y: %s)\n", t.YLabel)
+	return err
+}
+
+// WriteCSV emits the table with one row per (series, x, y) triple.
+func (t *Table) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "title,series,%s,%s,note\n", csvEscape(t.XLabel), csvEscape(t.YLabel)); err != nil {
+		return err
+	}
+	for _, s := range t.Series {
+		for i := range s.X {
+			note := ""
+			if i < len(s.Note) {
+				note = s.Note[i]
+			}
+			if _, err := fmt.Fprintf(w, "%s,%s,%v,%v,%s\n",
+				csvEscape(t.Title), csvEscape(s.Label), s.X[i], s.Y[i], csvEscape(note)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+func unionX(series []Series) []float64 {
+	seen := map[float64]bool{}
+	var xs []float64
+	for _, s := range series {
+		for _, x := range s.X {
+			if !seen[x] {
+				seen[x] = true
+				xs = append(xs, x)
+			}
+		}
+	}
+	sort.Float64s(xs)
+	return xs
+}
+
+func lookup(s Series, x float64) string {
+	for i, sx := range s.X {
+		if sx == x {
+			cell := trimFloat(s.Y[i])
+			if i < len(s.Note) && s.Note[i] != "" {
+				cell += " " + s.Note[i]
+			}
+			return cell
+		}
+	}
+	return "-"
+}
+
+func trimFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+func sumWidths(ws []int) int {
+	total := 0
+	for _, w := range ws {
+		total += w
+	}
+	return total + 2*(len(ws)-1)
+}
+
+// CrossoverX locates the first x at which series a rises above series b
+// (linear interpolation between shared sample points); ok is false when
+// they never cross. Used by EXPERIMENTS.md to report where scheme
+// orderings flip.
+func CrossoverX(a, b Series) (float64, bool) {
+	n := len(a.X)
+	if len(b.X) < n {
+		n = len(b.X)
+	}
+	for i := 0; i < n; i++ {
+		if a.X[i] != b.X[i] {
+			return 0, false // series must share a grid
+		}
+	}
+	prev := 0.0
+	prevSign := 0
+	for i := 0; i < n; i++ {
+		d := a.Y[i] - b.Y[i]
+		sign := 0
+		if d > 0 {
+			sign = 1
+		} else if d < 0 {
+			sign = -1
+		}
+		if i > 0 && prevSign < 0 && sign >= 0 {
+			// Interpolate the crossing between x[i-1] and x[i].
+			dPrev := prev
+			frac := -dPrev / (d - dPrev)
+			return a.X[i-1] + frac*(a.X[i]-a.X[i-1]), true
+		}
+		prev, prevSign = d, sign
+	}
+	return 0, false
+}

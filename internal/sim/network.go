@@ -1,0 +1,308 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"mcastsim/internal/event"
+	"mcastsim/internal/rng"
+	"mcastsim/internal/topology"
+	"mcastsim/internal/updown"
+)
+
+// Stats aggregates conservation and throughput counters over a simulation.
+type Stats struct {
+	WormsCreated    int64 // worm entities, including replication children
+	PacketsInjected int64 // packet streams started at NIs
+	FlitHops        int64 // flit transmissions over any channel
+	FlitsDelivered  int64 // flits absorbed by NIs
+	PacketsAtNI     int64 // packets fully assembled at receiving NIs
+	PacketsToHost   int64 // packets DMA'd into host memory
+	MessagesSent    int64
+	MessagesDone    int64
+}
+
+// switchState holds one switch's per-port runtime structures; unwired
+// (open) ports have nil entries.
+type switchState struct {
+	inBufs   []*inputBuf
+	outPorts []*outPort
+}
+
+// portPeer records one end of an up link for the climb BFS.
+type portPeer struct {
+	sw   int // peer switch (upAdj) or predecessor switch (revUp)
+	port int // local port carrying the link
+}
+
+// Network is a runnable simulation instance: a routed topology plus all
+// switch, link and NI state, driven by a discrete-event queue. It is not
+// safe for concurrent use; one goroutine owns one Network.
+type Network struct {
+	topo   *topology.Topology
+	rt     *updown.Routing
+	params Params
+	queue  event.Queue
+	arb    *rng.Source
+
+	switches []*switchState
+	nis      []*ni
+
+	// upAdj[s] lists s's up ports and their peers; revUp[q] lists the
+	// (switch, port) pairs whose up port lands on q.
+	upAdj [][]portPeer
+	revUp [][]portPeer
+
+	outstanding int
+	nextWormID  int64
+	nextMsgID   int64
+	stats       Stats
+	tracer      func(TraceEvent)
+}
+
+// New assembles a network over a routed topology. The seed drives only
+// adaptive-routing tie-breaks; identical seeds give identical runs.
+func New(rt *updown.Routing, params Params, seed uint64) (*Network, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	t := rt.Topo
+	n := &Network{
+		topo:   t,
+		rt:     rt,
+		params: params,
+		arb:    rng.New(seed),
+	}
+
+	// Instantiate per-port structures.
+	n.switches = make([]*switchState, t.NumSwitches)
+	for s := 0; s < t.NumSwitches; s++ {
+		st := &switchState{
+			inBufs:   make([]*inputBuf, t.PortsPerSwitch),
+			outPorts: make([]*outPort, t.PortsPerSwitch),
+		}
+		n.switches[s] = st
+		for p := 0; p < t.PortsPerSwitch; p++ {
+			if t.Conn[s][p].Kind == topology.Open {
+				continue
+			}
+			st.inBufs[p] = &inputBuf{net: n, sw: topology.SwitchID(s), port: p, cap: params.BufferFlits}
+			st.outPorts[p] = &outPort{net: n, sw: topology.SwitchID(s), port: p}
+		}
+	}
+
+	// Wire channels: switch output ports to their peers, and per-node
+	// injection lines.
+	for s := 0; s < t.NumSwitches; s++ {
+		for p := 0; p < t.PortsPerSwitch; p++ {
+			e := t.Conn[s][p]
+			op := n.switches[s].outPorts[p]
+			switch e.Kind {
+			case topology.ToSwitch:
+				peer := n.switches[e.Switch].inBufs[e.Port]
+				op.ch = &channel{toSwitch: true, dstBuf: peer, credits: peer.cap,
+					label: fmt.Sprintf("s%dp%d->s%d", s, p, e.Switch)}
+				peer.bindUpstream(op.ch)
+			case topology.ToNode:
+				op.ch = &channel{toSwitch: false, dstNode: e.Node,
+					label: fmt.Sprintf("ej n%d", e.Node)}
+			}
+		}
+	}
+	n.nis = make([]*ni, t.NumNodes)
+	for node := 0; node < t.NumNodes; node++ {
+		home := t.NodeSwitch[node]
+		buf := n.switches[home].inBufs[t.NodePort[node]]
+		inj := &channel{toSwitch: true, dstBuf: buf, credits: buf.cap,
+			label: fmt.Sprintf("inj n%d", node)}
+		buf.bindUpstream(inj)
+		n.nis[node] = newNI(n, topology.NodeID(node), inj)
+	}
+
+	// Up-link adjacency for the tree-worm climb.
+	n.upAdj = make([][]portPeer, t.NumSwitches)
+	n.revUp = make([][]portPeer, t.NumSwitches)
+	for s := 0; s < t.NumSwitches; s++ {
+		for p := 0; p < t.PortsPerSwitch; p++ {
+			if rt.Dirs[s][p] != updown.DirUp {
+				continue
+			}
+			q := int(t.Conn[s][p].Switch)
+			n.upAdj[s] = append(n.upAdj[s], portPeer{sw: q, port: p})
+			n.revUp[q] = append(n.revUp[q], portPeer{sw: s, port: p})
+		}
+	}
+	return n, nil
+}
+
+// Topology returns the simulated topology.
+func (n *Network) Topology() *topology.Topology { return n.topo }
+
+// Routing returns the up*/down* state the network routes with.
+func (n *Network) Routing() *updown.Routing { return n.rt }
+
+// Params returns the network's timing parameters.
+func (n *Network) Params() Params { return n.params }
+
+// Now returns the current simulation time.
+func (n *Network) Now() event.Time { return n.queue.Now() }
+
+// Stats returns a snapshot of the conservation counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// Outstanding returns the number of in-flight messages.
+func (n *Network) Outstanding() int { return n.outstanding }
+
+// Schedule runs fn at absolute simulation time t (for traffic generators).
+func (n *Network) Schedule(t event.Time, fn func()) { n.queue.At(t, fn) }
+
+// Send schedules a multicast described by plan carrying flits payload flits,
+// initiated at time at. onComplete (optional) fires when the last
+// destination's host has the message.
+func (n *Network) Send(plan *Plan, flits int, at event.Time, onComplete func(*Message)) (*Message, error) {
+	if err := plan.Validate(n.topo.NumNodes, n.topo.NumSwitches); err != nil {
+		return nil, err
+	}
+	if flits <= 0 {
+		return nil, fmt.Errorf("sim: message length %d", flits)
+	}
+	if at < n.queue.Now() {
+		return nil, fmt.Errorf("sim: send scheduled in the past")
+	}
+	m := &Message{
+		ID:         n.nextMsgID,
+		Plan:       plan,
+		Flits:      flits,
+		Packets:    n.params.Packets(flits),
+		Initiated:  at,
+		DoneAt:     make(map[topology.NodeID]event.Time, len(plan.Dests)),
+		remaining:  len(plan.Dests),
+		onComplete: onComplete,
+	}
+	n.nextMsgID++
+	n.outstanding++
+	n.stats.MessagesSent++
+	n.queue.At(at, func() {
+		src := n.nis[plan.Source]
+		if plan.NITree != nil {
+			src.hostSend(m, nil)
+			return
+		}
+		for i := range plan.HostSends[plan.Source] {
+			src.hostSend(m, &plan.HostSends[plan.Source][i])
+		}
+	})
+	return m, nil
+}
+
+// DeadlockError reports a simulation that stopped making progress with
+// messages still in flight.
+type DeadlockError struct {
+	At          event.Time
+	Outstanding int
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: no runnable events at t=%d with %d messages outstanding", e.At, e.Outstanding)
+}
+
+// Drain runs the simulation until all in-flight work completes. maxEvents
+// (0 = a generous default) bounds runaway simulations. It returns a
+// DeadlockError if the event queue empties with messages outstanding.
+func (n *Network) Drain(maxEvents uint64) error {
+	if maxEvents == 0 {
+		maxEvents = 1 << 34
+	}
+	for i := uint64(0); i < maxEvents; i++ {
+		if !n.queue.Step() {
+			if n.outstanding > 0 {
+				return &DeadlockError{At: n.queue.Now(), Outstanding: n.outstanding}
+			}
+			return nil
+		}
+		if n.outstanding == 0 && n.queue.Len() == 0 {
+			return nil
+		}
+	}
+	return fmt.Errorf("sim: event budget %d exhausted at t=%d (%d outstanding)", maxEvents, n.queue.Now(), n.outstanding)
+}
+
+// RunUntil advances the simulation clock to limit, executing all events due
+// by then (open-loop load experiments use this).
+func (n *Network) RunUntil(limit event.Time) { n.queue.RunUntil(limit) }
+
+// RunSingle sends one multicast at the current time, drains the network,
+// and returns the completed message. It is the primitive behind all
+// single-multicast latency experiments.
+func (n *Network) RunSingle(plan *Plan, flits int) (*Message, error) {
+	m, err := n.Send(plan, flits, n.queue.Now(), nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := n.Drain(0); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// ChannelUse is one channel's carried-flit count, for utilization studies.
+type ChannelUse struct {
+	Label string
+	Flits int64
+}
+
+// ChannelUsage returns every channel's carried flits, busiest first. Divide
+// by elapsed cycles for utilization (each channel carries 1 flit/cycle).
+func (n *Network) ChannelUsage() []ChannelUse {
+	var out []ChannelUse
+	add := func(ch *channel) {
+		if ch != nil {
+			out = append(out, ChannelUse{Label: ch.label, Flits: ch.busyFlits})
+		}
+	}
+	for _, st := range n.switches {
+		for _, op := range st.outPorts {
+			if op != nil {
+				add(op.ch)
+			}
+		}
+	}
+	for _, x := range n.nis {
+		add(x.inj)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Flits > out[j].Flits })
+	return out
+}
+
+// CheckConservation verifies flit/packet/message accounting invariants on
+// an idle network and returns a descriptive error on violation.
+func (n *Network) CheckConservation() error {
+	if n.outstanding != 0 {
+		return fmt.Errorf("sim: conservation checked with %d messages in flight", n.outstanding)
+	}
+	s := n.stats
+	if s.MessagesSent != s.MessagesDone {
+		return fmt.Errorf("sim: %d messages sent but %d completed", s.MessagesSent, s.MessagesDone)
+	}
+	if s.PacketsAtNI != s.PacketsToHost {
+		return fmt.Errorf("sim: %d packets at NIs but %d reached hosts", s.PacketsAtNI, s.PacketsToHost)
+	}
+	for _, x := range n.nis {
+		if len(x.rxFlits) != 0 || len(x.rxMsgs) != 0 || len(x.rxHeld) != 0 || len(x.ready) != 0 || x.streaming {
+			return fmt.Errorf("sim: NI %d left with residual state", x.node)
+		}
+	}
+	for s2, st := range n.switches {
+		for p, b := range st.inBufs {
+			if b != nil && (b.used != 0 || len(b.occupants) != 0) {
+				return fmt.Errorf("sim: buffer %d/%d not empty after drain", s2, p)
+			}
+		}
+		for p, op := range st.outPorts {
+			if op != nil && (op.holder != nil || len(op.queue) != 0) {
+				return fmt.Errorf("sim: port %d/%d still allocated after drain", s2, p)
+			}
+		}
+	}
+	return nil
+}

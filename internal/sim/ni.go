@@ -1,0 +1,257 @@
+package sim
+
+import (
+	"fmt"
+
+	"mcastsim/internal/event"
+	"mcastsim/internal/topology"
+)
+
+// ni models one host's network interface together with the host-side
+// resources involved in messaging: the host CPU (per-message software
+// overheads o_s/o_r), the NI processor (per-packet overheads o_ni), and the
+// shared I/O bus moving packets between host memory and NI memory by DMA.
+// Each is a serially reusable resource tracked by a next-free time.
+type ni struct {
+	net  *Network
+	node topology.NodeID
+	inj  *channel // injection line into the home switch
+
+	hostFree event.Time
+	niFree   event.Time
+	busFree  event.Time
+
+	// Injection: a burst is one packet's worth of outgoing worms — a
+	// single worm for ordinary sends, or one replica per NI-tree child
+	// when the smart NI replicates a packet. A burst occupies one NI
+	// buffer slot (the packet is stored once) and charges the NI
+	// processor once; its replicas serialize on the injection line.
+	// ready holds bursts whose NI processing has finished; injWait holds
+	// bursts deferred by a full buffer (when NIInjectBufferPackets > 0).
+	ready     []*burst
+	injWait   []*burst
+	injHeld   int
+	streaming bool
+
+	// Reception state.
+	rxFlits map[*worm]int    // flits received per in-flight worm
+	rxMsgs  map[*Message]int // packets DMA'd to host per message
+	// rxHeld counts packets assembled at the NI per message, for the
+	// store-and-forward ablation (Params.NIStoreAndForward).
+	rxHeld map[*Message]int
+}
+
+func newNI(net *Network, node topology.NodeID, inj *channel) *ni {
+	return &ni{
+		net:     net,
+		node:    node,
+		inj:     inj,
+		rxFlits: make(map[*worm]int),
+		rxMsgs:  make(map[*Message]int),
+		rxHeld:  make(map[*Message]int),
+	}
+}
+
+// reserve books dur cycles on a serially reusable resource no earlier than
+// now, returning the completion time.
+func reserve(free *event.Time, now, dur event.Time) event.Time {
+	start := *free
+	if now > start {
+		start = now
+	}
+	*free = start + dur
+	return *free
+}
+
+// --- send side ---
+
+// hostSend initiates one message-send operation: o_s on the host CPU, then
+// per-packet DMA to the NI. spec == nil means this is the NI-based scheme's
+// source send: each packet, once in NI memory, is replicated to the
+// source's children (paper §3.2.1). Callable only from within an event.
+func (x *ni) hostSend(m *Message, spec *WormSpec) {
+	n := x.net
+	softDone := reserve(&x.hostFree, n.queue.Now(), n.params.OHostSend)
+	n.queue.At(softDone, func() {
+		cur := n.queue.Now()
+		for pkt := 0; pkt < m.Packets; pkt++ {
+			pkt := pkt
+			bytes := n.payloadFlits(m, pkt)
+			dmaDone := reserve(&x.busFree, cur, n.params.BusCycles(bytes))
+			n.queue.At(dmaDone, func() {
+				if spec == nil {
+					x.admitBurst(x.replicaBurst(m, pkt))
+				} else {
+					x.admitBurst(&burst{worms: []*worm{n.newWorm(m, spec, pkt)}})
+				}
+			})
+		}
+	})
+}
+
+// burst is one packet's outgoing worm set sharing an NI buffer slot and a
+// single NI processing charge.
+type burst struct {
+	worms []*worm
+	next  int
+}
+
+// replicaBurst builds the NI-tree replicas of one packet for this node's
+// children.
+func (x *ni) replicaBurst(m *Message, pkt int) *burst {
+	kids := m.Plan.NITree[x.node]
+	b := &burst{worms: make([]*worm, len(kids))}
+	for i, kid := range kids {
+		b.worms[i] = x.net.newWorm(m, &WormSpec{Kind: WormUnicast, Dest: kid}, pkt)
+	}
+	return b
+}
+
+// admitBurst takes an NI buffer slot for b (deferring when the buffer is
+// bounded and full) and charges the per-packet NI send overhead.
+func (x *ni) admitBurst(b *burst) {
+	limit := x.net.params.NIInjectBufferPackets
+	if limit > 0 && (x.injHeld >= limit || len(x.injWait) > 0) {
+		x.injWait = append(x.injWait, b)
+		return
+	}
+	x.injHeld++
+	x.chargeAndReady(b)
+}
+
+func (x *ni) chargeAndReady(b *burst) {
+	n := x.net
+	procDone := reserve(&x.niFree, n.queue.Now(), n.params.ONISend)
+	n.queue.At(procDone, func() {
+		x.ready = append(x.ready, b)
+		if !x.streaming {
+			x.startStream()
+		}
+	})
+}
+
+// startStream begins injecting the next ready worm on the injection line.
+func (x *ni) startStream() {
+	b := x.ready[0]
+	w := b.worms[b.next]
+	b.next++
+	lastOfBurst := b.next == len(b.worms)
+	if lastOfBurst {
+		x.ready = x.ready[1:]
+	}
+	x.streaming = true
+	br := &branch{net: x.net, w: w, ch: x.inj}
+	br.bindChannel()
+	x.inj.sender = br
+	br.onDone = func() {
+		x.streaming = false
+		if lastOfBurst {
+			x.injHeld--
+			if len(x.injWait) > 0 {
+				next := x.injWait[0]
+				x.injWait = x.injWait[1:]
+				x.injHeld++
+				x.chargeAndReady(next)
+			}
+		}
+		if len(x.ready) > 0 {
+			x.startStream()
+		}
+	}
+	x.net.stats.PacketsInjected++
+	x.net.trace(TraceEvent{Kind: TraceInject, Worm: w.id, Msg: w.msg.ID, Pkt: w.pkt, Node: x.node})
+	br.schedulePump(x.net.queue.Now())
+}
+
+// --- receive side ---
+
+// flitArrive accepts one flit of w from the ejection channel.
+func (x *ni) flitArrive(w *worm) {
+	x.net.stats.FlitsDelivered++
+	c := x.rxFlits[w] + 1
+	if c > w.len {
+		panic("sim: NI received more flits than worm length")
+	}
+	if c == w.len {
+		delete(x.rxFlits, w)
+		x.packetArrived(w)
+		return
+	}
+	x.rxFlits[w] = c
+}
+
+// packetArrived runs when a packet has fully assembled in NI memory: per-
+// packet NI receive processing, then concurrently (a) replica injection to
+// NI-tree children and (b) DMA to host memory; the receiving host's o_r is
+// charged once, after the message's last packet lands (paper §3.2.1: the
+// smart NI hides the host receive overhead and eliminates the host send
+// overhead at intermediate destinations).
+func (x *ni) packetArrived(w *worm) {
+	n := x.net
+	n.stats.PacketsAtNI++
+	n.trace(TraceEvent{Kind: TraceDeliver, Worm: w.id, Msg: w.msg.ID, Pkt: w.pkt, Node: x.node})
+	m := w.msg
+	procDone := reserve(&x.niFree, n.queue.Now(), n.params.ONIRecv)
+	n.queue.At(procDone, func() {
+		if m.Plan.NITree != nil && len(m.Plan.NITree[x.node]) > 0 {
+			if n.params.NIStoreAndForward {
+				// Ablation: hold replicas until the whole message is here.
+				held := x.rxHeld[m] + 1
+				if held < m.Packets {
+					x.rxHeld[m] = held
+				} else {
+					delete(x.rxHeld, m)
+					for pkt := 0; pkt < m.Packets; pkt++ {
+						x.admitBurst(x.replicaBurst(m, pkt))
+					}
+				}
+			} else {
+				// FPFS: forward this packet immediately (paper §3.2.1).
+				x.admitBurst(x.replicaBurst(m, w.pkt))
+			}
+		}
+		bytes := n.payloadFlits(m, w.pkt)
+		dmaDone := reserve(&x.busFree, n.queue.Now(), n.params.BusCycles(bytes))
+		n.queue.At(dmaDone, func() { x.hostPacketArrived(m) })
+	})
+}
+
+// hostPacketArrived counts packets landed in host memory; the last one
+// triggers the per-message host receive overhead and completion.
+func (x *ni) hostPacketArrived(m *Message) {
+	n := x.net
+	c := x.rxMsgs[m] + 1
+	n.stats.PacketsToHost++
+	if c < m.Packets {
+		x.rxMsgs[m] = c
+		return
+	}
+	delete(x.rxMsgs, m)
+	done := reserve(&x.hostFree, n.queue.Now(), n.params.OHostRecv)
+	n.queue.At(done, func() { n.destDone(m, x.node) })
+}
+
+// destDone records destination completion, fires any secondary-source
+// sends this node owes (multi-phase schemes), and completes the message.
+func (n *Network) destDone(m *Message, node topology.NodeID) {
+	if _, dup := m.DoneAt[node]; dup {
+		panic(fmt.Sprintf("sim: node %d received message %d twice", node, m.ID))
+	}
+	m.DoneAt[node] = n.queue.Now()
+	m.remaining--
+	if m.OnDestDone != nil {
+		m.OnDestDone(m, node)
+	}
+	if m.Plan.HostSends != nil {
+		for i := range m.Plan.HostSends[node] {
+			n.nis[node].hostSend(m, &m.Plan.HostSends[node][i])
+		}
+	}
+	if m.remaining == 0 {
+		n.outstanding--
+		n.stats.MessagesDone++
+		if m.onComplete != nil {
+			m.onComplete(m)
+		}
+	}
+}

@@ -1,0 +1,278 @@
+package sim
+
+import (
+	"fmt"
+
+	"mcastsim/internal/event"
+	"mcastsim/internal/topology"
+)
+
+// WormKind distinguishes the three wire formats the switches understand.
+type WormKind uint8
+
+const (
+	// WormUnicast is a conventional single-destination worm (2 header
+	// flits: tag + destination node ID). The NI-based and software
+	// schemes use only these.
+	WormUnicast WormKind = iota
+	// WormTree is a tree-based multidestination worm with an N-bit
+	// bit-string header (paper §3.2.3).
+	WormTree
+	// WormPath is a multi-drop path-based worm whose header alternates
+	// node-ID and port-mask fields (paper §3.2.4).
+	WormPath
+)
+
+func (k WormKind) String() string {
+	switch k {
+	case WormUnicast:
+		return "unicast"
+	case WormTree:
+		return "tree"
+	case WormPath:
+		return "path"
+	default:
+		return fmt.Sprintf("WormKind(%d)", k)
+	}
+}
+
+// PathSeg is one stop of a path worm: the worm is routed toward Switch;
+// there Drops receive copies and the worm optionally continues out
+// NextPort (which must carry the remaining path legally). The paper
+// addresses stops by "the ID of any arbitrary node connected to the
+// switch" because hardware routing tables are node-indexed; the simulator
+// addresses the switch directly, which also covers transit stops on
+// switches with no attached nodes.
+type PathSeg struct {
+	// Switch is the stop switch.
+	Switch topology.SwitchID
+	// Drops are the destinations delivered at the stop switch; they must
+	// all be attached to it. A stop may have no drops (pure transit with
+	// an explicit continuation).
+	Drops []topology.NodeID
+	// NextPort is the stop switch's output port the worm continues on, or
+	// -1 if this is the final stop.
+	NextPort int
+}
+
+// WormSpec describes one message-worth of worms a host-driven sender emits
+// (the simulator splits it into packets, each its own worm).
+type WormSpec struct {
+	Kind WormKind
+	// Dest is the destination for WormUnicast.
+	Dest topology.NodeID
+	// DestSet lists destinations for WormTree.
+	DestSet []topology.NodeID
+	// Path lists segments for WormPath.
+	Path []PathSeg
+}
+
+// Plan is a scheme-built multicast strategy the simulator executes. Exactly
+// one of the two modes is used:
+//
+//   - NITree (the NI-based scheme): every listed parent's NI forwards each
+//     arriving packet to its children as unicast worms, FPFS order, without
+//     host involvement; the source's NI replicates outgoing packets the
+//     same way. Host send overhead is paid once, at the source.
+//
+//   - HostSends (software and switch-based schemes): each listed sender
+//     emits its WormSpecs as ordinary message sends, paying full host+NI
+//     overhead per spec. The source's sends trigger when the message is
+//     handed to the messaging layer; any other sender's trigger when that
+//     sender's host has completely received the message (it acts as a
+//     secondary source in a later phase, paper §1).
+type Plan struct {
+	Source topology.NodeID
+	Dests  []topology.NodeID
+
+	NITree    map[topology.NodeID][]topology.NodeID
+	HostSends map[topology.NodeID][]WormSpec
+}
+
+// Validate checks structural sanity of the plan against a topology-sized
+// universe (numNodes nodes, numSwitches switches). It does not check route
+// legality — the simulator asserts that at execution time.
+func (p *Plan) Validate(numNodes, numSwitches int) error {
+	inRange := func(n topology.NodeID) bool { return int(n) >= 0 && int(n) < numNodes }
+	if !inRange(p.Source) {
+		return fmt.Errorf("plan: source %d out of range", p.Source)
+	}
+	if len(p.Dests) == 0 {
+		return fmt.Errorf("plan: no destinations")
+	}
+	seen := map[topology.NodeID]bool{}
+	for _, d := range p.Dests {
+		if !inRange(d) {
+			return fmt.Errorf("plan: destination %d out of range", d)
+		}
+		if d == p.Source {
+			return fmt.Errorf("plan: source %d listed as destination", d)
+		}
+		if seen[d] {
+			return fmt.Errorf("plan: duplicate destination %d", d)
+		}
+		seen[d] = true
+	}
+	if (p.NITree == nil) == (p.HostSends == nil) {
+		return fmt.Errorf("plan: exactly one of NITree / HostSends must be set")
+	}
+	// Delivery accounting: the simulator requires every destination to be
+	// delivered exactly once, and no deliveries to non-destinations.
+	delivered := map[topology.NodeID]int{}
+	if p.NITree != nil {
+		if len(p.NITree[p.Source]) == 0 {
+			return fmt.Errorf("plan: NI tree gives the source no children")
+		}
+		for parent, kids := range p.NITree {
+			if !inRange(parent) {
+				return fmt.Errorf("plan: NI parent %d out of range", parent)
+			}
+			if parent != p.Source && !seen[parent] {
+				return fmt.Errorf("plan: NI parent %d is neither source nor destination", parent)
+			}
+			for _, k := range kids {
+				if !inRange(k) {
+					return fmt.Errorf("plan: NI child %d out of range", k)
+				}
+				if k == parent {
+					return fmt.Errorf("plan: node %d forwards to itself", k)
+				}
+				delivered[k]++
+			}
+		}
+	}
+	if p.HostSends != nil && len(p.HostSends[p.Source]) == 0 {
+		return fmt.Errorf("plan: host-send plan gives the source nothing to send")
+	}
+	for sender, specs := range p.HostSends {
+		if !inRange(sender) {
+			return fmt.Errorf("plan: sender %d out of range", sender)
+		}
+		if sender != p.Source && !seen[sender] {
+			return fmt.Errorf("plan: sender %d is neither source nor destination", sender)
+		}
+		for i, w := range specs {
+			if err := w.validate(numNodes, numSwitches); err != nil {
+				return fmt.Errorf("plan: sender %d spec %d: %w", sender, i, err)
+			}
+			switch w.Kind {
+			case WormUnicast:
+				delivered[w.Dest]++
+			case WormTree:
+				for _, d := range w.DestSet {
+					delivered[d]++
+				}
+			case WormPath:
+				for _, seg := range w.Path {
+					for _, d := range seg.Drops {
+						delivered[d]++
+					}
+				}
+			}
+		}
+	}
+	for node, count := range delivered {
+		if !seen[node] {
+			return fmt.Errorf("plan: delivers to non-destination %d", node)
+		}
+		if count != 1 {
+			return fmt.Errorf("plan: destination %d delivered %d times", node, count)
+		}
+	}
+	for _, d := range p.Dests {
+		if delivered[d] != 1 {
+			return fmt.Errorf("plan: destination %d never delivered", d)
+		}
+	}
+	return nil
+}
+
+func (w *WormSpec) validate(numNodes, numSwitches int) error {
+	inRange := func(n topology.NodeID) bool { return int(n) >= 0 && int(n) < numNodes }
+	switch w.Kind {
+	case WormUnicast:
+		if !inRange(w.Dest) {
+			return fmt.Errorf("unicast dest %d out of range", w.Dest)
+		}
+	case WormTree:
+		if len(w.DestSet) == 0 {
+			return fmt.Errorf("tree worm with empty destination set")
+		}
+		for _, d := range w.DestSet {
+			if !inRange(d) {
+				return fmt.Errorf("tree dest %d out of range", d)
+			}
+		}
+	case WormPath:
+		if len(w.Path) == 0 {
+			return fmt.Errorf("path worm with no segments")
+		}
+		anyDrop := false
+		for i, seg := range w.Path {
+			if int(seg.Switch) < 0 || int(seg.Switch) >= numSwitches {
+				return fmt.Errorf("segment %d switch out of range", i)
+			}
+			last := i == len(w.Path)-1
+			if last && seg.NextPort != -1 {
+				return fmt.Errorf("final segment has a continuation port")
+			}
+			if !last && seg.NextPort < 0 {
+				return fmt.Errorf("segment %d missing continuation port", i)
+			}
+			for _, d := range seg.Drops {
+				if !inRange(d) {
+					return fmt.Errorf("segment %d drop %d out of range", i, d)
+				}
+				anyDrop = true
+			}
+		}
+		if !anyDrop {
+			return fmt.Errorf("path worm delivers nothing")
+		}
+	default:
+		return fmt.Errorf("unknown worm kind %d", w.Kind)
+	}
+	return nil
+}
+
+// Message is one multicast in flight. The simulator owns its mutable state.
+type Message struct {
+	ID    int64
+	Plan  *Plan
+	Flits int // payload flit count
+	// Packets is the packet count (derived from Flits and Params).
+	Packets int
+
+	// Initiated is when the multicast entered the source's send queue;
+	// DoneAt[d] is when destination d's host finished receiving.
+	Initiated event.Time
+	DoneAt    map[topology.NodeID]event.Time
+
+	// OnDestDone, when set (immediately after Send returns, before the
+	// simulation advances), fires at each destination's host-completion
+	// time — the hook for building collectives like gather or ack
+	// collection on top of a multicast.
+	OnDestDone func(m *Message, dest topology.NodeID)
+
+	remaining  int
+	onComplete func(*Message)
+}
+
+// Latency returns the multicast completion latency: last destination's host
+// receive completion minus initiation. It panics if the message has not
+// completed.
+func (m *Message) Latency() event.Time {
+	if m.remaining != 0 {
+		panic("sim: Latency on incomplete message")
+	}
+	var last event.Time
+	for _, t := range m.DoneAt {
+		if t > last {
+			last = t
+		}
+	}
+	return last - m.Initiated
+}
+
+// Done reports whether every destination's host has received the message.
+func (m *Message) Done() bool { return m.remaining == 0 }

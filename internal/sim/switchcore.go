@@ -1,0 +1,624 @@
+package sim
+
+import (
+	"fmt"
+
+	"mcastsim/internal/bitset"
+	"mcastsim/internal/event"
+	"mcastsim/internal/topology"
+	"mcastsim/internal/updown"
+)
+
+// channel is one directional hop: a switch output port's line to its peer
+// input buffer, a switch node-port's line to an NI, or a node's injection
+// line into its home switch. A channel carries one flit per cycle and is
+// used by one sender (branch) at a time.
+type channel struct {
+	toSwitch bool
+	dstBuf   *inputBuf       // when toSwitch
+	dstNode  topology.NodeID // when !toSwitch (ejection into an NI)
+
+	credits  int // free slots in dstBuf (meaningless for ejection)
+	lineFree event.Time
+	sender   *branch // active sender, for credit wake-ups
+
+	label     string // "s3p5->s7", "inj n4", "ej n4" — for utilization reports
+	busyFlits int64  // flits carried, for utilization reports
+}
+
+// inputBuf is a switch input port's FIFO flit buffer with credit-based
+// backpressure. Worms pass through it strictly head-of-line: only the
+// oldest resident worm is routed and forwarded.
+type inputBuf struct {
+	net  *Network
+	sw   topology.SwitchID
+	port int
+	cap  int
+	used int
+
+	upstream  *channel // the channel feeding this buffer (for credit return)
+	creditFn  func()   // one-allocation credit-return event (see branch)
+	occupants []*occupant
+}
+
+// bindUpstream finalizes the buffer's credit-return closure once the
+// feeding channel is known.
+func (b *inputBuf) bindUpstream(up *channel) {
+	b.upstream = up
+	net := b.net
+	b.creditFn = func() {
+		up.credits++
+		if up.sender != nil {
+			up.sender.schedulePump(net.queue.Now())
+		}
+	}
+}
+
+// occupant tracks one worm's residence in an input buffer.
+type occupant struct {
+	buf      *inputBuf
+	w        *worm
+	arrived  int // flits received so far
+	evicted  int // flits freed so far (forwarded by every consumer branch)
+	routed   bool
+	routing  bool // a routing event is pending
+	branches []*branch
+}
+
+// branch is one replication output of a worm at a hop: it streams the flit
+// window [offset, w-parent-len) of its occupant's stream through one
+// channel as the child worm `w`. NI packet injection reuses branch with a
+// nil occupant (all flits are already in NI memory).
+//
+// An elastic branch drains from the switch's internal replication buffer:
+// its flits are copied out of the input buffer on arrival, so its own
+// stalls never backpressure upstream. Tree-worm replication is elastic on
+// every branch — the asynchronous central-buffer replication of
+// Stunkel/Sivaram/Panda (ISCA'97) that the paper assumes as "support for
+// deadlock-free replication at the switches" (naive synchronous
+// replication AND-couples branches and deadlocks when down paths
+// reconverge; our stress tests reproduce that). Path-worm drops are
+// likewise elastic (delivery buffering at the switch), but a path worm's
+// continuation is synchronous: when it blocks, the worm stalls and holds
+// its channel chain, the classic wormhole behavior that limits path-based
+// multicast under load.
+type branch struct {
+	net     *Network
+	occ     *occupant // nil for NI injection
+	w       *worm     // the child worm delivered downstream; w.len flits to send
+	elastic bool
+
+	offset int // index in the occupant stream where this branch starts
+	sent   int // flits sent so far; done when sent == w.len
+
+	ch      *channel // set at grant (or at creation for NI injection)
+	port    *outPort // nil for NI injection
+	pumping bool
+	done    bool
+
+	// onDone, when non-nil, runs one cycle after the tail flit is sent
+	// (used by the NI injector to start the next packet).
+	onDone func()
+
+	// pumpFn and deliverFn are the branch's event closures, allocated
+	// once: per-flit scheduling of fresh closures dominated the profile.
+	pumpFn    func()
+	deliverFn func()
+}
+
+// bindChannel prepares the branch's per-flit closures for its channel.
+func (br *branch) bindChannel() {
+	br.pumpFn = br.pump
+	ch := br.ch
+	w := br.w
+	if ch.toSwitch {
+		dst := ch.dstBuf
+		br.deliverFn = func() { dst.flitArrive(w) }
+	} else {
+		x := br.net.nis[ch.dstNode]
+		br.deliverFn = func() { x.flitArrive(w) }
+	}
+}
+
+// outPort is a switch output port with wormhole-style allocation: a worm
+// holds it from header grant until its tail passes; contenders queue FIFO.
+type outPort struct {
+	net    *Network
+	sw     topology.SwitchID
+	port   int
+	ch     *channel
+	holder *branch
+	queue  []*portRequest
+}
+
+// portRequest is an arbitration entry. Adaptive unicast routing files one
+// request against several candidate ports; the first to free up wins and
+// the request is lazily removed from the rest.
+type portRequest struct {
+	br *branch
+	// phases[i] is the up*/down* phase the worm assumes if ports[i] wins.
+	ports   []*outPort
+	phases  []updown.Phase
+	granted bool
+}
+
+// --- input buffer ---
+
+func (b *inputBuf) flitArrive(w *worm) {
+	b.used++
+	if b.used > b.cap {
+		panic(fmt.Sprintf("sim: input buffer %d/%d overflow (credit accounting bug)", b.sw, b.port))
+	}
+	var o *occupant
+	if n := len(b.occupants); n > 0 && b.occupants[n-1].w == w {
+		o = b.occupants[n-1]
+	} else {
+		o = &occupant{buf: b, w: w}
+		b.occupants = append(b.occupants, o)
+	}
+	o.arrived++
+	if o.arrived > w.len {
+		panic("sim: more flits arrived than worm length")
+	}
+	if o == b.occupants[0] && !o.routed && !o.routing {
+		o.routing = true
+		b.net.queue.After(b.net.params.RoutingDelay, o.route)
+	}
+	if o.routed {
+		// New flit may unblock consumer branches.
+		for _, br := range o.branches {
+			br.schedulePump(b.net.queue.Now())
+		}
+		o.advanceEviction()
+	}
+}
+
+// advanceEviction frees buffer slots whose flits every consumer branch has
+// forwarded (or never needed), returning credits upstream.
+func (o *occupant) advanceEviction() {
+	if !o.routed {
+		return
+	}
+	b := o.buf
+	net := b.net
+	for o.evicted < o.arrived {
+		i := o.evicted
+		freed := true
+		for _, br := range o.branches {
+			if br.elastic {
+				continue // drains from the replication buffer instead
+			}
+			if i >= br.offset && br.sent <= i-br.offset {
+				freed = false
+				break
+			}
+		}
+		if !freed {
+			break
+		}
+		o.evicted++
+		b.used--
+		net.queue.After(net.params.LinkDelay, b.creditFn)
+	}
+	o.maybeComplete()
+}
+
+// maybeComplete retires a fully drained head occupant and starts routing
+// the next resident worm.
+func (o *occupant) maybeComplete() {
+	b := o.buf
+	if o.evicted != o.w.len || len(b.occupants) == 0 || b.occupants[0] != o {
+		return
+	}
+	b.occupants = b.occupants[1:]
+	if len(b.occupants) > 0 {
+		next := b.occupants[0]
+		if next.arrived > 0 && !next.routed && !next.routing {
+			next.routing = true
+			b.net.queue.After(b.net.params.RoutingDelay, next.route)
+		}
+	}
+}
+
+// --- routing ---
+
+// route decodes the head occupant's header and creates its branches.
+func (o *occupant) route() {
+	o.routing = false
+	o.routed = true
+	net := o.buf.net
+	s := o.buf.sw
+	w := o.w
+	net.trace(TraceEvent{Kind: TraceRoute, Worm: w.id, Msg: w.msg.ID, Pkt: w.pkt, Switch: s, Port: o.buf.port})
+	switch w.kind {
+	case WormUnicast:
+		net.routeUnicast(o, s, w)
+	case WormTree:
+		net.routeTree(o, s, w)
+		// Tree-worm replication passes through the switch's central
+		// buffer (ISCA'97): wherever the worm split, every branch drains
+		// from that buffer.
+		if len(o.branches) > 1 {
+			for _, b := range o.branches {
+				b.elastic = true
+			}
+		}
+	case WormPath:
+		net.routePath(o, s, w)
+	}
+	// Flits that no branch consumes (absorbed headers, or a worm with no
+	// outputs) can free up immediately.
+	o.advanceEviction()
+}
+
+func (n *Network) routeUnicast(o *occupant, s topology.SwitchID, w *worm) {
+	home := n.topo.NodeSwitch[w.dest]
+	if home == s {
+		p := n.rt.NodePortAt(s, w.dest)
+		br := n.newBranch(o, w.child(n, 0), 0)
+		n.fileRequest(br, []*outPort{n.switches[s].outPorts[p]}, []updown.Phase{w.phase})
+		return
+	}
+	ports, phases := n.rt.NextHops(s, w.phase, home)
+	if len(ports) == 0 {
+		panic(fmt.Sprintf("sim: no legal route for %v at switch %d phase %v", w, s, w.phase))
+	}
+	br := n.newBranch(o, w.child(n, 0), 0)
+	n.fileAdaptive(br, s, ports, phases)
+}
+
+func (n *Network) routeTree(o *occupant, s topology.SwitchID, w *worm) {
+	remaining := w.destSet.Clone()
+	// Local deliveries: destinations attached to this switch drop here
+	// regardless of the climb state.
+	for _, node := range n.topo.NodesAt(s) {
+		if !remaining.Contains(int(node)) {
+			continue
+		}
+		remaining.Remove(int(node))
+		c := w.child(n, 0)
+		c.destSet = bitset.FromIndices(n.topo.NumNodes, []int{int(node)})
+		br := n.newBranch(o, c, 0)
+		p := n.rt.NodePortAt(s, node)
+		n.fileRequest(br, []*outPort{n.switches[s].outPorts[p]}, []updown.Phase{w.phase})
+	}
+	if remaining.Empty() {
+		return
+	}
+	if n.rt.Covers(s, remaining) {
+		// Replicate down: partition the remaining set across down ports.
+		for _, ps := range n.partitionDownAdaptive(s, remaining) {
+			c := w.child(n, 0)
+			c.destSet = ps.sub
+			c.phase = updown.PhaseDown
+			br := n.newBranch(o, c, 0)
+			n.fileRequest(br, []*outPort{n.switches[s].outPorts[ps.port]}, []updown.Phase{updown.PhaseDown})
+		}
+		return
+	}
+	if w.phase == updown.PhaseDown {
+		panic(fmt.Sprintf("sim: tree worm %v descended to switch %d that cannot cover %v", w, s, remaining.Indices()))
+	}
+	if n.params.EarlyTreeBranch {
+		// Ablation variant: peel off down-coverable subsets while climbing.
+		for _, p := range n.rt.DownPorts(s) {
+			sub := bitset.And(remaining, n.rt.DownReach[s][p])
+			if sub.Empty() {
+				continue
+			}
+			remaining.DifferenceWith(sub)
+			c := w.child(n, 0)
+			c.destSet = sub
+			c.phase = updown.PhaseDown
+			br := n.newBranch(o, c, 0)
+			n.fileRequest(br, []*outPort{n.switches[s].outPorts[p]}, []updown.Phase{updown.PhaseDown})
+		}
+		if remaining.Empty() {
+			return
+		}
+	}
+	// Climb: continue on an up port along a shortest up-path to a switch
+	// that covers the remainder (the paper's "travel adaptively to a least
+	// common ancestor switch using links in the up direction").
+	ports := n.climbPorts(s, remaining)
+	if len(ports) == 0 {
+		panic(fmt.Sprintf("sim: tree worm %v stuck at switch %d", w, s))
+	}
+	c := w.child(n, 0)
+	c.destSet = remaining
+	br := n.newBranch(o, c, 0)
+	phases := make([]updown.Phase, len(ports))
+	for i := range phases {
+		phases[i] = updown.PhaseUp
+	}
+	n.fileAdaptive(br, s, ports, phases)
+}
+
+func (n *Network) routePath(o *occupant, s topology.SwitchID, w *worm) {
+	if len(w.path) == 0 {
+		panic("sim: path worm with no remaining segments")
+	}
+	seg := w.path[0]
+	if seg.Switch != s {
+		// In transit toward the segment's stop switch: ordinary adaptive
+		// unicast routing, header intact.
+		ports, phases := n.rt.NextHops(s, w.phase, seg.Switch)
+		if len(ports) == 0 {
+			panic(fmt.Sprintf("sim: path worm %v has no legal route at switch %d", w, s))
+		}
+		br := n.newBranch(o, w.child(n, 0), 0)
+		n.fileAdaptive(br, s, ports, phases)
+		return
+	}
+	// Stop switch: the segment's node-ID and port-mask fields are stripped
+	// here; drops and the continuation forward the shortened stream.
+	skip := PathSegFlits(n.topo.PortsPerSwitch)
+	if skip > w.len {
+		panic("sim: path worm shorter than its own header")
+	}
+	rest := w.path[1:]
+	for _, d := range seg.Drops {
+		p := n.rt.NodePortAt(s, d)
+		if p < 0 {
+			panic(fmt.Sprintf("sim: path worm drop %d not attached to switch %d", d, s))
+		}
+		c := w.child(n, skip)
+		c.path = rest
+		br := n.newBranch(o, c, skip)
+		// Drops are buffered deliveries: the worm never stalls on them
+		// (the multi-drop mechanism's delivery buffering); only the
+		// continuation below is synchronous.
+		br.elastic = true
+		n.fileRequest(br, []*outPort{n.switches[s].outPorts[p]}, []updown.Phase{w.phase})
+	}
+	if seg.NextPort >= 0 {
+		dir := n.rt.Dirs[s][seg.NextPort]
+		if dir == updown.DirNone {
+			panic(fmt.Sprintf("sim: path worm continues out non-switch port %d of switch %d", seg.NextPort, s))
+		}
+		if dir == updown.DirUp && w.phase == updown.PhaseDown {
+			panic(fmt.Sprintf("sim: path worm makes an up turn after down at switch %d", s))
+		}
+		next := w.phase
+		if dir == updown.DirDown {
+			next = updown.PhaseDown
+		}
+		if len(rest) == 0 {
+			panic("sim: path worm continues with no remaining segments")
+		}
+		c := w.child(n, skip)
+		c.path = rest
+		c.phase = next
+		br := n.newBranch(o, c, skip)
+		n.fileRequest(br, []*outPort{n.switches[s].outPorts[seg.NextPort]}, []updown.Phase{next})
+	}
+}
+
+// portSet is one branch of a down partition.
+type portSet struct {
+	port int
+	sub  *bitset.Set
+}
+
+// partitionDownAdaptive splits a covered destination set across down
+// ports like updown.PartitionDown (greedy largest overlap, so copies stay
+// few), but breaks overlap ties with the arbitration RNG. Reachability
+// strings of parallel down paths overlap heavily in dense networks; a
+// deterministic tie-break would funnel every worm through the same ports,
+// while real switches are free to pick any covering port. The result is
+// an ordered slice — callers create branches in this order, and branch
+// order feeds arbitration, so it must not depend on map iteration.
+func (n *Network) partitionDownAdaptive(s topology.SwitchID, set *bitset.Set) []portSet {
+	remaining := set.Clone()
+	var out []portSet
+	used := make(map[int]bool)
+	downs := append([]int(nil), n.rt.DownPorts(s)...)
+	n.arb.Shuffle(len(downs), func(i, j int) { downs[i], downs[j] = downs[j], downs[i] })
+	for !remaining.Empty() {
+		best, bestCount := -1, 0
+		for _, p := range downs {
+			if used[p] {
+				continue
+			}
+			c := bitset.And(remaining, n.rt.DownReach[s][p]).Count()
+			if c > bestCount {
+				best, bestCount = p, c
+			}
+		}
+		if best == -1 {
+			panic(fmt.Sprintf("sim: down partition at switch %d cannot cover %v", s, remaining.Indices()))
+		}
+		sub := bitset.And(remaining, n.rt.DownReach[s][best])
+		used[best] = true
+		out = append(out, portSet{port: best, sub: sub})
+		remaining.DifferenceWith(sub)
+	}
+	return out
+}
+
+// climbPorts returns the up ports of s that begin a shortest all-up path to
+// a switch covering set (reverse BFS from all covering switches over up
+// links).
+func (n *Network) climbPorts(s topology.SwitchID, set *bitset.Set) []int {
+	S := n.topo.NumSwitches
+	dist := make([]int, S)
+	for i := range dist {
+		dist[i] = -1
+	}
+	var queue []int
+	for x := 0; x < S; x++ {
+		if n.rt.Covers(topology.SwitchID(x), set) {
+			dist[x] = 0
+			queue = append(queue, x)
+		}
+	}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		// Predecessors of x along up links: switches with an up port to x.
+		for _, pp := range n.revUp[x] {
+			if dist[pp.sw] == -1 {
+				dist[pp.sw] = dist[x] + 1
+				queue = append(queue, pp.sw)
+			}
+		}
+	}
+	if dist[s] <= 0 {
+		return nil // s covers already (caller bug) or nothing reachable
+	}
+	var out []int
+	for _, pp := range n.upAdj[s] {
+		if dist[pp.sw] == dist[s]-1 {
+			out = append(out, pp.port)
+		}
+	}
+	return out
+}
+
+// --- branches and arbitration ---
+
+func (n *Network) newBranch(o *occupant, child *worm, offset int) *branch {
+	br := &branch{net: n, occ: o, w: child, offset: offset}
+	o.branches = append(o.branches, br)
+	return br
+}
+
+// fileAdaptive shuffles candidate ports (the simulator's adaptivity
+// tie-break) and files the request.
+func (n *Network) fileAdaptive(br *branch, s topology.SwitchID, ports []int, phases []updown.Phase) {
+	n.arb.Shuffle(len(ports), func(i, j int) {
+		ports[i], ports[j] = ports[j], ports[i]
+		phases[i], phases[j] = phases[j], phases[i]
+	})
+	outs := make([]*outPort, len(ports))
+	for i, p := range ports {
+		outs[i] = n.switches[s].outPorts[p]
+	}
+	n.fileRequest(br, outs, phases)
+}
+
+func (n *Network) fileRequest(br *branch, ports []*outPort, phases []updown.Phase) {
+	req := &portRequest{br: br, ports: ports, phases: phases}
+	for i, p := range ports {
+		if p == nil {
+			panic(fmt.Sprintf("sim: request against unwired port (switch %d)", br.occ.buf.sw))
+		}
+		if p.holder == nil {
+			p.grant(req, i)
+			return
+		}
+	}
+	for _, p := range ports {
+		p.queue = append(p.queue, req)
+	}
+}
+
+// grant hands the port to request index i and starts the branch's stream.
+func (o *outPort) grant(req *portRequest, i int) {
+	req.granted = true
+	br := req.br
+	br.port = o
+	br.ch = o.ch
+	br.bindChannel()
+	br.w.phase = req.phases[i]
+	o.holder = br
+	o.ch.sender = br
+	o.net.trace(TraceEvent{Kind: TraceGrant, Worm: br.w.id, Msg: br.w.msg.ID, Pkt: br.w.pkt, Switch: o.sw, Port: o.port})
+	br.schedulePump(o.net.queue.Now() + o.net.params.CrossbarDelay)
+}
+
+// release frees the port after a tail passes and grants the next waiter.
+func (o *outPort) release(br *branch) {
+	if o.holder != br {
+		panic("sim: releasing a port held by another branch")
+	}
+	o.holder = nil
+	if o.ch.sender == br {
+		o.ch.sender = nil
+	}
+	for len(o.queue) > 0 {
+		req := o.queue[0]
+		o.queue = o.queue[1:]
+		if req.granted {
+			continue // won elsewhere
+		}
+		for i, p := range req.ports {
+			if p == o {
+				o.grant(req, i)
+				return
+			}
+		}
+	}
+}
+
+// --- flit pump ---
+
+// schedulePump arranges for pump to run at time t (or now, whichever is
+// later); redundant calls while a pump is pending are no-ops.
+func (br *branch) schedulePump(t event.Time) {
+	if br.pumping || br.done || br.ch == nil {
+		return
+	}
+	br.pumping = true
+	now := br.net.queue.Now()
+	if t < now {
+		t = now
+	}
+	br.net.queue.At(t, br.pumpFn)
+}
+
+// pump attempts to send one flit; it self-schedules while streaming and
+// goes dormant (woken by flit arrival or credit return) when blocked.
+func (br *branch) pump() {
+	br.pumping = false
+	if br.done {
+		return
+	}
+	net := br.net
+	now := net.queue.Now()
+	ch := br.ch
+	if now < ch.lineFree {
+		br.schedulePump(ch.lineFree)
+		return
+	}
+	if br.occ != nil && br.occ.arrived <= br.offset+br.sent {
+		return // flit not here yet; flitArrive will wake us
+	}
+	if ch.toSwitch {
+		if ch.credits == 0 {
+			return // no buffer space; credit return will wake us
+		}
+		ch.credits--
+	}
+	ch.lineFree = now + 1
+	br.sent++
+	ch.busyFlits++
+	net.stats.FlitHops++
+	w := br.w
+	net.queue.After(net.params.LinkDelay, br.deliverFn)
+	if br.occ != nil {
+		br.occ.advanceEviction()
+	}
+	if br.sent == w.len {
+		br.done = true
+		if br.port != nil {
+			net.trace(TraceEvent{Kind: TraceTail, Worm: w.id, Msg: w.msg.ID, Pkt: w.pkt, Switch: br.port.sw, Port: br.port.port})
+		}
+		port, onDone := br.port, br.onDone
+		net.queue.After(1, func() {
+			if port != nil {
+				port.release(br)
+			} else if ch.sender == br {
+				ch.sender = nil
+			}
+			if onDone != nil {
+				onDone()
+			}
+		})
+		if br.occ != nil {
+			br.occ.maybeComplete()
+		}
+		return
+	}
+	br.schedulePump(now + 1)
+}

@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"mcastsim/internal/event"
+	"mcastsim/internal/topology"
+)
+
+// TraceKind labels a TraceEvent.
+type TraceKind uint8
+
+const (
+	// TraceInject: a packet stream starts on a node's injection line.
+	TraceInject TraceKind = iota
+	// TraceRoute: a worm's header was decoded at a switch input.
+	TraceRoute
+	// TraceGrant: a branch obtained its output port.
+	TraceGrant
+	// TraceTail: a branch sent its last flit.
+	TraceTail
+	// TraceDeliver: a packet fully assembled at a destination NI.
+	TraceDeliver
+)
+
+func (k TraceKind) String() string {
+	switch k {
+	case TraceInject:
+		return "inject"
+	case TraceRoute:
+		return "route"
+	case TraceGrant:
+		return "grant"
+	case TraceTail:
+		return "tail"
+	case TraceDeliver:
+		return "deliver"
+	default:
+		return "?"
+	}
+}
+
+// TraceEvent is one observable step of a worm's life. The tracer runs
+// synchronously inside the simulator; keep handlers cheap.
+type TraceEvent struct {
+	At   event.Time
+	Kind TraceKind
+	// Worm/Msg/Pkt identify the entity (worm IDs are unique per copy).
+	Worm int64
+	Msg  int64
+	Pkt  int
+	// Switch/Port locate switch-side events; Node locates NI-side events.
+	Switch topology.SwitchID
+	Port   int
+	Node   topology.NodeID
+}
+
+// SetTracer installs fn as the trace sink (nil disables tracing). Install
+// before the first Send.
+func (n *Network) SetTracer(fn func(TraceEvent)) { n.tracer = fn }
+
+func (n *Network) trace(ev TraceEvent) {
+	if n.tracer != nil {
+		ev.At = n.queue.Now()
+		n.tracer(ev)
+	}
+}

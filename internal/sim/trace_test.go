@@ -1,0 +1,233 @@
+package sim
+
+import (
+	"testing"
+
+	"mcastsim/internal/rng"
+	"mcastsim/internal/topology"
+	"mcastsim/internal/updown"
+)
+
+// collectTrace runs a plan on a traced network and groups route events per
+// worm ID.
+func collectTrace(t *testing.T, n *Network, plan *Plan, flits int) (map[int64][]TraceEvent, []TraceEvent) {
+	t.Helper()
+	var all []TraceEvent
+	n.SetTracer(func(ev TraceEvent) { all = append(all, ev) })
+	if _, err := n.RunSingle(plan, flits); err != nil {
+		t.Fatal(err)
+	}
+	perWorm := map[int64][]TraceEvent{}
+	for _, ev := range all {
+		perWorm[ev.Worm] = append(perWorm[ev.Worm], ev)
+	}
+	return perWorm, all
+}
+
+func TestTraceUnicastVisitsLegalPath(t *testing.T) {
+	n := fixtureNet(t, DefaultParams())
+	rt := n.Routing()
+	perWorm, all := collectTrace(t, n, unicastPlan(7, 0), 128)
+	if len(all) == 0 {
+		t.Fatal("no trace events")
+	}
+	// Exactly one injection, one delivery.
+	counts := map[TraceKind]int{}
+	for _, ev := range all {
+		counts[ev.Kind]++
+	}
+	if counts[TraceInject] != 1 || counts[TraceDeliver] != 1 {
+		t.Fatalf("inject/deliver counts: %v", counts)
+	}
+	// The route sequence must be up* then down* (node 7's switch climbs
+	// to reach node 0's switch in this fixture).
+	for _, evs := range perWorm {
+		var switches []topology.SwitchID
+		for _, ev := range evs {
+			if ev.Kind == TraceRoute {
+				switches = append(switches, ev.Switch)
+			}
+		}
+		if len(switches) == 0 {
+			continue
+		}
+		descended := false
+		for i := 1; i < len(switches); i++ {
+			a, b := switches[i-1], switches[i]
+			dir := linkDir(rt, a, b)
+			if dir == updown.DirNone {
+				t.Fatalf("trace shows non-adjacent hop %d->%d", a, b)
+			}
+			if dir == updown.DirUp && descended {
+				t.Fatalf("up turn after down in %v", switches)
+			}
+			if dir == updown.DirDown {
+				descended = true
+			}
+		}
+	}
+}
+
+// linkDir returns the direction of a->b if adjacent.
+func linkDir(rt *updown.Routing, a, b topology.SwitchID) updown.Dir {
+	topo := rt.Topo
+	for p := 0; p < topo.PortsPerSwitch; p++ {
+		e := topo.Conn[a][p]
+		if e.Kind == topology.ToSwitch && e.Switch == b {
+			return rt.Dirs[a][p]
+		}
+	}
+	return updown.DirNone
+}
+
+func TestTraceTreeWormClimbStopsAtCoveringSwitch(t *testing.T) {
+	n := fixtureNet(t, DefaultParams())
+	rt := n.Routing()
+	dests := []topology.NodeID{0, 1, 2}
+	plan := &Plan{
+		Source:    7,
+		Dests:     dests,
+		HostSends: map[topology.NodeID][]WormSpec{7: {{Kind: WormTree, DestSet: dests}}},
+	}
+	_, all := collectTrace(t, n, plan, 128)
+	// At least one visited switch must cover the full destination set (the
+	// climb's goal), and every destination must see exactly one delivery.
+	covered := false
+	for _, ev := range all {
+		if ev.Kind == TraceRoute {
+			set := rt.Cover[ev.Switch]
+			all3 := true
+			for _, d := range dests {
+				if !set.Contains(int(d)) {
+					all3 = false
+					break
+				}
+			}
+			if all3 {
+				covered = true
+			}
+		}
+	}
+	if !covered {
+		t.Fatal("tree worm never reached a switch covering the full set")
+	}
+	deliveries := 0
+	for _, ev := range all {
+		if ev.Kind == TraceDeliver {
+			deliveries++
+		}
+	}
+	if deliveries != len(dests) {
+		t.Fatalf("deliveries = %d", deliveries)
+	}
+}
+
+func TestTracePathWormVisitsStopsInOrder(t *testing.T) {
+	n := twoSwitch(t)
+	plan := &Plan{
+		Source: 0,
+		Dests:  []topology.NodeID{1, 2, 3},
+		HostSends: map[topology.NodeID][]WormSpec{
+			0: {{Kind: WormPath, Path: []PathSeg{
+				{Switch: 0, Drops: []topology.NodeID{1}, NextPort: 0},
+				{Switch: 1, Drops: []topology.NodeID{2, 3}, NextPort: -1},
+			}}},
+		},
+	}
+	_, all := collectTrace(t, n, plan, 128)
+	// Route events at switch 0 must precede those at switch 1.
+	seen1 := false
+	for _, ev := range all {
+		if ev.Kind != TraceRoute {
+			continue
+		}
+		if ev.Switch == 1 {
+			seen1 = true
+		}
+		if ev.Switch == 0 && seen1 {
+			t.Fatal("stop order violated in trace")
+		}
+	}
+	// Delivery order: node 1 before nodes 2 and 3.
+	var order []topology.NodeID
+	for _, ev := range all {
+		if ev.Kind == TraceDeliver {
+			order = append(order, ev.Node)
+		}
+	}
+	if len(order) != 3 || order[0] != 1 {
+		t.Fatalf("delivery order %v", order)
+	}
+}
+
+func TestTraceGrantBeforeTail(t *testing.T) {
+	// Per (worm, switch, port): grant precedes tail, and event times are
+	// monotone within each worm's lifecycle records.
+	n := fixtureNet(t, DefaultParams())
+	perWorm, _ := collectTrace(t, n, unicastPlan(0, 7), 256)
+	for id, evs := range perWorm {
+		granted := map[[2]int]bool{}
+		for i, ev := range evs {
+			if i > 0 && ev.At < evs[i-1].At {
+				t.Fatalf("worm %d: trace times not monotone", id)
+			}
+			key := [2]int{int(ev.Switch), ev.Port}
+			switch ev.Kind {
+			case TraceGrant:
+				granted[key] = true
+			case TraceTail:
+				if !granted[key] {
+					t.Fatalf("worm %d: tail without grant at %v", id, key)
+				}
+			}
+		}
+	}
+}
+
+func TestTraceDisabledByDefaultNoPanic(t *testing.T) {
+	n := twoSwitch(t)
+	mustRun(t, n, unicastPlan(0, 2), 128) // no tracer installed
+}
+
+func TestTraceRandomTreeWormsRouteLegally(t *testing.T) {
+	// Property over random topologies/sets: every tree-worm branch's
+	// switch sequence observed in the trace is up* then down*.
+	for seed := uint64(1); seed <= 3; seed++ {
+		topo, err := topology.Generate(topology.DefaultConfig(), rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt, err := updown.New(topo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := New(rt, DefaultParams(), seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rng.New(seed * 101)
+		plan := randomTreePlan(r, topo.NumNodes)
+		perWorm, _ := collectTrace(t, n, plan, 128)
+		for id, evs := range perWorm {
+			var switches []topology.SwitchID
+			for _, ev := range evs {
+				if ev.Kind == TraceRoute {
+					switches = append(switches, ev.Switch)
+				}
+			}
+			descended := false
+			for i := 1; i < len(switches); i++ {
+				dir := linkDir(rt, switches[i-1], switches[i])
+				if dir == updown.DirNone {
+					continue // child worms: route events of different branches interleave per worm copy only
+				}
+				if dir == updown.DirUp && descended {
+					t.Fatalf("seed %d worm %d: up after down: %v", seed, id, switches)
+				}
+				if dir == updown.DirDown {
+					descended = true
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"fmt"
+
+	"mcastsim/internal/bitset"
+	"mcastsim/internal/topology"
+	"mcastsim/internal/updown"
+)
+
+// worm is one packet's wire entity as it exists on a particular hop. Switch
+// replication creates child worms that share the Message but carry their own
+// remaining header state and stream length.
+type worm struct {
+	id   int64
+	kind WormKind
+	msg  *Message
+	pkt  int // packet index within the message
+
+	// len is the stream length in flits as it arrives at the current hop
+	// (header-so-far + payload). Path worms shrink as segments strip.
+	len int
+
+	// phase is the up*/down* routing phase carried by the worm.
+	phase updown.Phase
+
+	dest    topology.NodeID // WormUnicast
+	destSet *bitset.Set     // WormTree: remaining destinations
+	path    []PathSeg       // WormPath: remaining segments
+}
+
+func (w *worm) String() string {
+	switch w.kind {
+	case WormUnicast:
+		return fmt.Sprintf("worm%d[uni msg%d pkt%d ->%d len%d]", w.id, w.msg.ID, w.pkt, w.dest, w.len)
+	case WormTree:
+		return fmt.Sprintf("worm%d[tree msg%d pkt%d dests%v len%d]", w.id, w.msg.ID, w.pkt, w.destSet.Indices(), w.len)
+	default:
+		return fmt.Sprintf("worm%d[path msg%d pkt%d segs%d len%d]", w.id, w.msg.ID, w.pkt, len(w.path), w.len)
+	}
+}
+
+// Header sizing (flits; flit = 1 byte). Every worm starts with a 1-flit tag
+// identifying its kind (paper Fig. 5(b) shows the tag field).
+
+// UnicastHeaderFlits is the wire header of a unicast worm: tag + node ID.
+const UnicastHeaderFlits = 2
+
+// TreeHeaderFlits returns the header size of a tree worm in an n-node
+// system: tag + N-bit destination string (paper §3.2.3: header cost grows
+// with system size).
+func TreeHeaderFlits(numNodes int) int {
+	return 1 + (numNodes+7)/8
+}
+
+// PathSegFlits returns the per-segment header size in a system with
+// portsPerSwitch-port switches: node-ID field + port-mask field.
+func PathSegFlits(portsPerSwitch int) int {
+	return 1 + (portsPerSwitch+7)/8
+}
+
+// PathHeaderFlits returns the header size of a path worm with the given
+// number of segments: tag + per-segment fields. Unlike the tree header it
+// is independent of system size (paper §3.3).
+func PathHeaderFlits(segments, portsPerSwitch int) int {
+	return 1 + segments*PathSegFlits(portsPerSwitch)
+}
+
+// headerFlits computes the header length for a spec in this network.
+func (n *Network) headerFlits(spec *WormSpec) int {
+	switch spec.Kind {
+	case WormUnicast:
+		return UnicastHeaderFlits
+	case WormTree:
+		return TreeHeaderFlits(n.topo.NumNodes)
+	case WormPath:
+		return PathHeaderFlits(len(spec.Path), n.topo.PortsPerSwitch)
+	default:
+		panic("sim: unknown worm kind")
+	}
+}
+
+// payloadFlits returns packet pkt's payload size for message m (the last
+// packet may be partial).
+func (n *Network) payloadFlits(m *Message, pkt int) int {
+	rem := m.Flits - pkt*n.params.PacketFlits
+	if rem > n.params.PacketFlits {
+		return n.params.PacketFlits
+	}
+	return rem
+}
+
+// newWorm instantiates packet pkt of spec for message m, as injected at the
+// source (full header present, phase fresh).
+func (n *Network) newWorm(m *Message, spec *WormSpec, pkt int) *worm {
+	w := &worm{
+		id:    n.nextWormID,
+		kind:  spec.Kind,
+		msg:   m,
+		pkt:   pkt,
+		len:   n.headerFlits(spec) + n.payloadFlits(m, pkt),
+		phase: updown.PhaseUp,
+	}
+	n.nextWormID++
+	switch spec.Kind {
+	case WormUnicast:
+		w.dest = spec.Dest
+	case WormTree:
+		w.destSet = bitset.New(n.topo.NumNodes)
+		for _, d := range spec.DestSet {
+			w.destSet.Add(int(d))
+		}
+	case WormPath:
+		w.path = spec.Path
+	}
+	n.stats.WormsCreated++
+	return w
+}
+
+// child clones w for a replication branch: the child carries the stream
+// that leaves the branch (length len minus the flits absorbed at this
+// switch) and its own header state.
+func (w *worm) child(n *Network, skipped int) *worm {
+	c := *w
+	c.id = n.nextWormID
+	n.nextWormID++
+	c.len = w.len - skipped
+	if w.destSet != nil {
+		c.destSet = w.destSet.Clone()
+	}
+	n.stats.WormsCreated++
+	return &c
+}

@@ -1,0 +1,150 @@
+package topology
+
+import (
+	"fmt"
+
+	"mcastsim/internal/rng"
+)
+
+// Config parameterizes random irregular topology generation.
+type Config struct {
+	// Switches is the number of switches (paper default: 8).
+	Switches int
+	// PortsPerSwitch is the uniform port count (paper default: 8).
+	PortsPerSwitch int
+	// Nodes is the number of processing nodes (paper default: 32).
+	Nodes int
+	// ExtraLinksPerSwitch scales the random inter-switch links added
+	// beyond the connectivity spanning tree: extra = round(value x
+	// Switches), capped by port availability. The paper's generator is
+	// unspecified beyond "connected, irregular, multi-links possible", but
+	// its path lengths grow with switch count, implying per-switch link
+	// density stays roughly constant rather than filling the free ports
+	// (32 one-node switches have 7 free ports each). 0.75 reproduces the
+	// density of the paper's Figure 1 example (8 switches, ~13 links) at
+	// every switch count. Negative means "use the default"; 0 yields a
+	// pure tree.
+	ExtraLinksPerSwitch float64
+}
+
+// DefaultConfig returns the paper's default system: 32 nodes on eight
+// 8-port switches.
+func DefaultConfig() Config {
+	return Config{Switches: 8, PortsPerSwitch: 8, Nodes: 32, ExtraLinksPerSwitch: -1}
+}
+
+const defaultExtraLinksPerSwitch = 0.75
+
+// Generate produces a random connected irregular topology from cfg using r.
+// Identical (cfg, r-state) pairs produce identical topologies.
+//
+// Construction order matters for feasibility:
+//  1. a uniform random spanning tree over switches guarantees connectivity,
+//  2. nodes attach to uniformly chosen switches with free ports,
+//  3. extra links randomly pair free ports of distinct switches (parallel
+//     links allowed, per the paper).
+func Generate(cfg Config, r *rng.Source) (*Topology, error) {
+	S, P, N := cfg.Switches, cfg.PortsPerSwitch, cfg.Nodes
+	if S <= 0 || P <= 0 || N < 0 {
+		return nil, fmt.Errorf("topology: invalid config %+v", cfg)
+	}
+	// Feasibility: the spanning tree consumes 2(S-1) port-ends, nodes N.
+	if 2*(S-1)+N > S*P {
+		return nil, fmt.Errorf("topology: %d switches x %d ports cannot host %d nodes plus a spanning tree", S, P, N)
+	}
+	perSwitch := cfg.ExtraLinksPerSwitch
+	if perSwitch < 0 {
+		perSwitch = defaultExtraLinksPerSwitch
+	}
+
+	free := make([]int, S) // free ports per switch
+	for i := range free {
+		free[i] = P
+	}
+	var links [][4]int
+	nextPort := make([]int, S)
+	takePort := func(s int) int {
+		p := nextPort[s]
+		nextPort[s]++
+		free[s]--
+		return p
+	}
+
+	// 1. Random spanning tree: attach each switch (in random order) to a
+	// uniformly random already-placed switch. This yields irregular,
+	// varied-diameter trees rather than stars or chains.
+	order := r.Perm(S)
+	placed := []int{order[0]}
+	for _, s := range order[1:] {
+		// Pick a placed switch with a free port. All placed switches have
+		// >= 1 free port here because P >= 2 whenever S >= 2 (checked by
+		// the feasibility bound), but guard anyway.
+		cand := make([]int, 0, len(placed))
+		for _, q := range placed {
+			if free[q] > 0 {
+				cand = append(cand, q)
+			}
+		}
+		if len(cand) == 0 || free[s] == 0 {
+			return nil, fmt.Errorf("topology: ran out of ports building spanning tree")
+		}
+		q := cand[r.Intn(len(cand))]
+		links = append(links, [4]int{s, takePort(s), q, takePort(q)})
+		placed = append(placed, s)
+	}
+
+	// 2. Node attachment: uniform over switches with a free port.
+	nodes := make([][2]int, N)
+	for n := 0; n < N; n++ {
+		cand := make([]int, 0, S)
+		for s := 0; s < S; s++ {
+			if free[s] > 0 {
+				cand = append(cand, s)
+			}
+		}
+		if len(cand) == 0 {
+			return nil, fmt.Errorf("topology: ran out of ports attaching node %d", n)
+		}
+		s := cand[r.Intn(len(cand))]
+		nodes[n] = [2]int{s, takePort(s)}
+	}
+
+	// 3. Extra links: pair free ports of distinct switches until the
+	// density target is met or no legal pair remains.
+	target := int(perSwitch*float64(S) + 0.5)
+	for added := 0; added < target; added++ {
+		cand := make([]int, 0, S)
+		for s := 0; s < S; s++ {
+			if free[s] > 0 {
+				cand = append(cand, s)
+			}
+		}
+		if len(cand) < 2 {
+			break
+		}
+		a := cand[r.Intn(len(cand))]
+		b := cand[r.Intn(len(cand))]
+		for b == a {
+			b = cand[r.Intn(len(cand))]
+		}
+		links = append(links, [4]int{a, takePort(a), b, takePort(b)})
+	}
+
+	return Build(S, P, links, nodes)
+}
+
+// GenerateFamily returns count independent topologies from cfg, one per
+// seed-split. The paper averages every experiment over a family of random
+// topologies ("our results are averaged over all these topologies").
+func GenerateFamily(cfg Config, count int, seed uint64) ([]*Topology, error) {
+	root := rng.New(seed)
+	out := make([]*Topology, 0, count)
+	for i := 0; i < count; i++ {
+		t, err := Generate(cfg, root.Split())
+		if err != nil {
+			return nil, fmt.Errorf("topology %d: %w", i, err)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

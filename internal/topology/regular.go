@@ -1,0 +1,66 @@
+package topology
+
+import "fmt"
+
+// Regular-topology constructors. The paper studies irregular networks, but
+// the authors' CSIM testbed (WSC'97) models regular switch fabrics too,
+// and regular shapes make exact-value tests possible: on a mesh, BFS
+// levels are Manhattan distances, so the routing substrate can be checked
+// against closed forms rather than properties alone.
+
+// Mesh2D builds a rows x cols switch mesh with nodesPerSwitch nodes on
+// every switch. Port layout per switch: 0=+row, 1=-row, 2=+col, 3=-col
+// (edges leave the ports open), then node ports. Switch (r,c) has ID
+// r*cols+c.
+func Mesh2D(rows, cols, nodesPerSwitch, portsPerSwitch int) (*Topology, error) {
+	if rows <= 0 || cols <= 0 || nodesPerSwitch < 0 {
+		return nil, fmt.Errorf("topology: bad mesh shape %dx%d", rows, cols)
+	}
+	if portsPerSwitch < 4+nodesPerSwitch {
+		return nil, fmt.Errorf("topology: mesh needs >= %d ports, have %d", 4+nodesPerSwitch, portsPerSwitch)
+	}
+	id := func(r, c int) int { return r*cols + c }
+	var links [][4]int
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if r+1 < rows {
+				links = append(links, [4]int{id(r, c), 0, id(r+1, c), 1})
+			}
+			if c+1 < cols {
+				links = append(links, [4]int{id(r, c), 2, id(r, c+1), 3})
+			}
+		}
+	}
+	nodes := make([][2]int, 0, rows*cols*nodesPerSwitch)
+	for s := 0; s < rows*cols; s++ {
+		for k := 0; k < nodesPerSwitch; k++ {
+			nodes = append(nodes, [2]int{s, 4 + k})
+		}
+	}
+	return Build(rows*cols, portsPerSwitch, links, nodes)
+}
+
+// Ring builds a cycle of switches (port 0 = clockwise, port 1 =
+// counter-clockwise) with nodesPerSwitch nodes each. A ring is the
+// smallest topology where up*/down* must break a cycle, making the
+// orientation's loop-freedom directly observable.
+func Ring(switches, nodesPerSwitch, portsPerSwitch int) (*Topology, error) {
+	if switches < 3 {
+		return nil, fmt.Errorf("topology: ring needs >= 3 switches")
+	}
+	if portsPerSwitch < 2+nodesPerSwitch {
+		return nil, fmt.Errorf("topology: ring needs >= %d ports, have %d", 2+nodesPerSwitch, portsPerSwitch)
+	}
+	var links [][4]int
+	for s := 0; s < switches; s++ {
+		next := (s + 1) % switches
+		links = append(links, [4]int{s, 0, next, 1})
+	}
+	nodes := make([][2]int, 0, switches*nodesPerSwitch)
+	for s := 0; s < switches; s++ {
+		for k := 0; k < nodesPerSwitch; k++ {
+			nodes = append(nodes, [2]int{s, 2 + k})
+		}
+	}
+	return Build(switches, portsPerSwitch, links, nodes)
+}

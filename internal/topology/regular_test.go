@@ -1,0 +1,81 @@
+package topology
+
+import "testing"
+
+func TestMesh2DShape(t *testing.T) {
+	m, err := Mesh2D(3, 4, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumSwitches != 12 || m.NumNodes != 24 {
+		t.Fatalf("mesh shape %d/%d", m.NumSwitches, m.NumNodes)
+	}
+	// Links: 2*4 vertical + 3*3 horizontal = 17.
+	if len(m.Links) != 17 {
+		t.Fatalf("mesh links %d, want 17", len(m.Links))
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMesh2DDistancesAreManhattan(t *testing.T) {
+	const rows, cols = 4, 5
+	m, err := Mesh2D(rows, cols, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := m.SwitchDistances()
+	abs := func(x int) int {
+		if x < 0 {
+			return -x
+		}
+		return x
+	}
+	for r1 := 0; r1 < rows; r1++ {
+		for c1 := 0; c1 < cols; c1++ {
+			for r2 := 0; r2 < rows; r2++ {
+				for c2 := 0; c2 < cols; c2++ {
+					want := abs(r1-r2) + abs(c1-c2)
+					got := d[r1*cols+c1][r2*cols+c2]
+					if got != want {
+						t.Fatalf("d[(%d,%d)][(%d,%d)] = %d, want %d", r1, c1, r2, c2, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMesh2DErrors(t *testing.T) {
+	if _, err := Mesh2D(0, 3, 1, 8); err == nil {
+		t.Fatal("zero rows accepted")
+	}
+	if _, err := Mesh2D(2, 2, 5, 8); err == nil {
+		t.Fatal("too many nodes per switch accepted")
+	}
+}
+
+func TestRingShape(t *testing.T) {
+	r, err := Ring(6, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumSwitches != 6 || r.NumNodes != 12 || len(r.Links) != 6 {
+		t.Fatalf("ring shape %d/%d/%d", r.NumSwitches, r.NumNodes, len(r.Links))
+	}
+	d := r.SwitchDistances()
+	// Antipodal distance on a 6-ring is 3.
+	if d[0][3] != 3 || d[1][4] != 3 {
+		t.Fatalf("ring distances wrong: %v", d[0])
+	}
+}
+
+func TestRingErrors(t *testing.T) {
+	if _, err := Ring(2, 1, 4); err == nil {
+		t.Fatal("2-ring accepted")
+	}
+	if _, err := Ring(4, 3, 4); err == nil {
+		t.Fatal("over-full ring accepted")
+	}
+}

@@ -1,0 +1,96 @@
+package topology
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mcastsim/internal/rng"
+)
+
+func TestTextRoundTrip(t *testing.T) {
+	fam, err := GenerateFamily(DefaultConfig(), 5, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, topo := range fam {
+		var buf bytes.Buffer
+		if err := WriteText(&buf, topo); err != nil {
+			t.Fatalf("topology %d: WriteText: %v", i, err)
+		}
+		back, err := ReadText(&buf)
+		if err != nil {
+			t.Fatalf("topology %d: ReadText: %v", i, err)
+		}
+		if back.NumSwitches != topo.NumSwitches || back.NumNodes != topo.NumNodes || back.PortsPerSwitch != topo.PortsPerSwitch {
+			t.Fatalf("topology %d: shape changed", i)
+		}
+		for s := 0; s < topo.NumSwitches; s++ {
+			for p := 0; p < topo.PortsPerSwitch; p++ {
+				if back.Conn[s][p] != topo.Conn[s][p] {
+					t.Fatalf("topology %d: switch %d port %d changed: %+v vs %+v",
+						i, s, p, topo.Conn[s][p], back.Conn[s][p])
+				}
+			}
+		}
+	}
+}
+
+func TestReadTextCommentsAndBlanks(t *testing.T) {
+	in := `# a comment
+topology 2 4 1
+
+# link section
+link 0 0 1 0
+node 0 0 1
+`
+	topo, err := ReadText(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadText: %v", err)
+	}
+	if topo.NumSwitches != 2 || topo.NumNodes != 1 {
+		t.Fatal("parse mismatch")
+	}
+}
+
+func TestReadTextErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing header":     "link 0 0 1 0\n",
+		"duplicate header":   "topology 2 4 0\ntopology 2 4 0\nlink 0 0 1 0\n",
+		"unknown directive":  "topology 2 4 0\nlink 0 0 1 0\nfrob 1\n",
+		"node out of range":  "topology 2 4 1\nlink 0 0 1 0\nnode 5 0 1\n",
+		"duplicate node":     "topology 2 4 1\nlink 0 0 1 0\nnode 0 0 1\nnode 0 0 2\n",
+		"missing node":       "topology 2 4 2\nlink 0 0 1 0\nnode 0 0 1\n",
+		"malformed link":     "topology 2 4 0\nlink 0 0 1\n",
+		"empty input":        "",
+		"disconnected graph": "topology 2 4 0\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadText(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	topo, err := Generate(DefaultConfig(), rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, topo); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "graph irregular {") || !strings.HasSuffix(strings.TrimSpace(out), "}") {
+		t.Fatal("DOT output malformed")
+	}
+	for s := 0; s < topo.NumSwitches; s++ {
+		if !strings.Contains(out, "sw0") {
+			t.Fatalf("DOT missing switch %d", s)
+		}
+	}
+	if strings.Count(out, " -- ") != len(topo.Links)+topo.NumNodes {
+		t.Fatalf("DOT edge count mismatch")
+	}
+}

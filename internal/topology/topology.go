@@ -1,0 +1,316 @@
+// Package topology models irregular switch-based interconnects.
+//
+// Following the paper's system model (§2.1), a network is a set of switches,
+// each with a fixed number of ports. Ports connect to processing nodes
+// (hosts), to ports of other switches (bidirectional links; multiple links
+// between the same switch pair are allowed), or are left open. The only
+// structural guarantee is that the switch graph is connected.
+//
+// The package provides the Topology type, a seeded random generator for
+// irregular topologies, validation, and text/DOT serialization. Routing is
+// deliberately not here — see package updown.
+package topology
+
+import (
+	"fmt"
+)
+
+// SwitchID identifies a switch, in [0, NumSwitches).
+type SwitchID int
+
+// NodeID identifies a processing node (host), in [0, NumNodes).
+type NodeID int
+
+// EndpointKind says what a switch port is wired to.
+type EndpointKind uint8
+
+const (
+	// Open means the port is unconnected.
+	Open EndpointKind = iota
+	// ToSwitch means the port connects to a port of another switch.
+	ToSwitch
+	// ToNode means the port connects to a processing node's NI.
+	ToNode
+)
+
+// Endpoint describes the far side of a switch port.
+type Endpoint struct {
+	Kind   EndpointKind
+	Switch SwitchID // valid when Kind == ToSwitch
+	Port   int      // valid when Kind == ToSwitch
+	Node   NodeID   // valid when Kind == ToNode
+}
+
+// Link is one bidirectional inter-switch link, identified by its two port
+// endpoints. A Link appears once in Topology.Links with A < B by (switch,
+// port) order.
+type Link struct {
+	A, B  SwitchID
+	APort int
+	BPort int
+}
+
+// Topology is an immutable irregular network description.
+//
+// Construct one with Generate or Build; mutating the exported slices after
+// construction invalidates derived state elsewhere and is not supported.
+type Topology struct {
+	// NumSwitches and PortsPerSwitch give the switch array shape. All
+	// switches have the same port count (paper: "eight 8-port switches").
+	NumSwitches    int
+	PortsPerSwitch int
+	// NumNodes is the number of processing nodes attached to the network.
+	NumNodes int
+
+	// Conn[s][p] is the far end of switch s, port p.
+	Conn [][]Endpoint
+
+	// NodeSwitch[n] / NodePort[n] locate node n's attachment point.
+	NodeSwitch []SwitchID
+	NodePort   []int
+
+	// Links lists each inter-switch link exactly once.
+	Links []Link
+}
+
+// Build assembles and validates a Topology from explicit wiring. links lists
+// inter-switch connections as (switchA, portA, switchB, portB); nodes lists
+// attachments as (switch, port) per node in node-ID order.
+func Build(numSwitches, portsPerSwitch int, links [][4]int, nodes [][2]int) (*Topology, error) {
+	t := &Topology{
+		NumSwitches:    numSwitches,
+		PortsPerSwitch: portsPerSwitch,
+		NumNodes:       len(nodes),
+		Conn:           make([][]Endpoint, numSwitches),
+		NodeSwitch:     make([]SwitchID, len(nodes)),
+		NodePort:       make([]int, len(nodes)),
+	}
+	for s := range t.Conn {
+		t.Conn[s] = make([]Endpoint, portsPerSwitch)
+	}
+	claim := func(s, p int) error {
+		if s < 0 || s >= numSwitches {
+			return fmt.Errorf("switch %d out of range", s)
+		}
+		if p < 0 || p >= portsPerSwitch {
+			return fmt.Errorf("port %d out of range on switch %d", p, s)
+		}
+		if t.Conn[s][p].Kind != Open {
+			return fmt.Errorf("switch %d port %d wired twice", s, p)
+		}
+		return nil
+	}
+	for _, l := range links {
+		sa, pa, sb, pb := l[0], l[1], l[2], l[3]
+		if sa == sb {
+			return nil, fmt.Errorf("self-link on switch %d", sa)
+		}
+		if err := claim(sa, pa); err != nil {
+			return nil, err
+		}
+		if err := claim(sb, pb); err != nil {
+			return nil, err
+		}
+		t.Conn[sa][pa] = Endpoint{Kind: ToSwitch, Switch: SwitchID(sb), Port: pb}
+		t.Conn[sb][pb] = Endpoint{Kind: ToSwitch, Switch: SwitchID(sa), Port: pa}
+	}
+	for n, at := range nodes {
+		s, p := at[0], at[1]
+		if err := claim(s, p); err != nil {
+			return nil, fmt.Errorf("node %d: %w", n, err)
+		}
+		t.Conn[s][p] = Endpoint{Kind: ToNode, Node: NodeID(n)}
+		t.NodeSwitch[n] = SwitchID(s)
+		t.NodePort[n] = p
+	}
+	t.rebuildLinks()
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// rebuildLinks recomputes Links from Conn.
+func (t *Topology) rebuildLinks() {
+	t.Links = t.Links[:0]
+	for s := 0; s < t.NumSwitches; s++ {
+		for p := 0; p < t.PortsPerSwitch; p++ {
+			e := t.Conn[s][p]
+			if e.Kind != ToSwitch {
+				continue
+			}
+			// Emit each link once, from its lexicographically smaller end.
+			if int(e.Switch) > s || (int(e.Switch) == s && e.Port > p) {
+				t.Links = append(t.Links, Link{
+					A: SwitchID(s), APort: p,
+					B: e.Switch, BPort: e.Port,
+				})
+			}
+		}
+	}
+}
+
+// Validate checks structural invariants: port symmetry, node table
+// consistency, and switch-graph connectivity.
+func (t *Topology) Validate() error {
+	if t.NumSwitches <= 0 || t.PortsPerSwitch <= 0 {
+		return fmt.Errorf("topology: empty switch array")
+	}
+	seenNode := make([]bool, t.NumNodes)
+	for s := 0; s < t.NumSwitches; s++ {
+		if len(t.Conn[s]) != t.PortsPerSwitch {
+			return fmt.Errorf("switch %d has %d ports, want %d", s, len(t.Conn[s]), t.PortsPerSwitch)
+		}
+		for p := 0; p < t.PortsPerSwitch; p++ {
+			e := t.Conn[s][p]
+			switch e.Kind {
+			case Open:
+			case ToSwitch:
+				if int(e.Switch) < 0 || int(e.Switch) >= t.NumSwitches {
+					return fmt.Errorf("switch %d port %d: peer switch %d out of range", s, p, e.Switch)
+				}
+				back := t.Conn[e.Switch][e.Port]
+				if back.Kind != ToSwitch || int(back.Switch) != s || back.Port != p {
+					return fmt.Errorf("switch %d port %d: asymmetric link", s, p)
+				}
+				if int(e.Switch) == s {
+					return fmt.Errorf("switch %d: self-link", s)
+				}
+			case ToNode:
+				n := int(e.Node)
+				if n < 0 || n >= t.NumNodes {
+					return fmt.Errorf("switch %d port %d: node %d out of range", s, p, n)
+				}
+				if seenNode[n] {
+					return fmt.Errorf("node %d attached twice", n)
+				}
+				seenNode[n] = true
+				if t.NodeSwitch[n] != SwitchID(s) || t.NodePort[n] != p {
+					return fmt.Errorf("node %d attachment table disagrees with wiring", n)
+				}
+			default:
+				return fmt.Errorf("switch %d port %d: bad endpoint kind %d", s, p, e.Kind)
+			}
+		}
+	}
+	for n, ok := range seenNode {
+		if !ok {
+			return fmt.Errorf("node %d not attached", n)
+		}
+	}
+	if !t.Connected() {
+		return fmt.Errorf("topology: switch graph is not connected")
+	}
+	return nil
+}
+
+// Connected reports whether every switch is reachable from switch 0 over
+// inter-switch links.
+func (t *Topology) Connected() bool {
+	if t.NumSwitches == 0 {
+		return false
+	}
+	seen := make([]bool, t.NumSwitches)
+	queue := []SwitchID{0}
+	seen[0] = true
+	count := 1
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		for _, e := range t.Conn[s] {
+			if e.Kind == ToSwitch && !seen[e.Switch] {
+				seen[e.Switch] = true
+				count++
+				queue = append(queue, e.Switch)
+			}
+		}
+	}
+	return count == t.NumSwitches
+}
+
+// SwitchNeighbors returns, for each switch, the multiset of adjacent
+// switches (one entry per link, so parallel links appear multiple times).
+func (t *Topology) SwitchNeighbors() [][]SwitchID {
+	adj := make([][]SwitchID, t.NumSwitches)
+	for s := 0; s < t.NumSwitches; s++ {
+		for _, e := range t.Conn[s] {
+			if e.Kind == ToSwitch {
+				adj[s] = append(adj[s], e.Switch)
+			}
+		}
+	}
+	return adj
+}
+
+// NodesAt returns the nodes attached to switch s, ascending by node ID.
+func (t *Topology) NodesAt(s SwitchID) []NodeID {
+	var out []NodeID
+	for n := 0; n < t.NumNodes; n++ {
+		if t.NodeSwitch[n] == s {
+			out = append(out, NodeID(n))
+		}
+	}
+	return out
+}
+
+// OpenPorts returns the number of unconnected ports on switch s.
+func (t *Topology) OpenPorts(s SwitchID) int {
+	c := 0
+	for _, e := range t.Conn[s] {
+		if e.Kind == Open {
+			c++
+		}
+	}
+	return c
+}
+
+// RemoveLink returns a copy of t with the i-th entry of Links removed —
+// the reconfiguration primitive behind fault experiments (the paper's §1
+// motivates irregular topologies by their amenability to reconfiguration
+// and fault resistance). It fails if the removal disconnects the switch
+// graph; the caller then knows the link was a bridge.
+func (t *Topology) RemoveLink(i int) (*Topology, error) {
+	if i < 0 || i >= len(t.Links) {
+		return nil, fmt.Errorf("topology: link index %d out of range", i)
+	}
+	var links [][4]int
+	for j, l := range t.Links {
+		if j == i {
+			continue
+		}
+		links = append(links, [4]int{int(l.A), l.APort, int(l.B), l.BPort})
+	}
+	nodes := make([][2]int, t.NumNodes)
+	for n := 0; n < t.NumNodes; n++ {
+		nodes[n] = [2]int{int(t.NodeSwitch[n]), t.NodePort[n]}
+	}
+	return Build(t.NumSwitches, t.PortsPerSwitch, links, nodes)
+}
+
+// SwitchDistances returns hop distances between switches over inter-switch
+// links (BFS from each switch). Distances[i][j] == -1 never occurs for a
+// validated topology since the graph is connected.
+func (t *Topology) SwitchDistances() [][]int {
+	adj := t.SwitchNeighbors()
+	all := make([][]int, t.NumSwitches)
+	for src := 0; src < t.NumSwitches; src++ {
+		dist := make([]int, t.NumSwitches)
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[src] = 0
+		queue := []SwitchID{SwitchID(src)}
+		for len(queue) > 0 {
+			s := queue[0]
+			queue = queue[1:]
+			for _, nb := range adj[s] {
+				if dist[nb] == -1 {
+					dist[nb] = dist[s] + 1
+					queue = append(queue, nb)
+				}
+			}
+		}
+		all[src] = dist
+	}
+	return all
+}

@@ -1,0 +1,327 @@
+// Package traffic drives the simulator with the paper's two workload
+// types: isolated single multicasts ("exactly one multicast in the system
+// at any given time", §4.1) and open-loop multicast load, where every node
+// generates degree-d multicasts with exponential interarrival times and
+// latency is measured against effective applied load (§4.3).
+package traffic
+
+import (
+	"fmt"
+
+	"mcastsim/internal/event"
+	"mcastsim/internal/mcast"
+	"mcastsim/internal/metrics"
+	"mcastsim/internal/rng"
+	"mcastsim/internal/sim"
+	"mcastsim/internal/topology"
+	"mcastsim/internal/updown"
+)
+
+// randomSet draws a source and a degree-d destination set, uniform over
+// nodes, source excluded.
+func randomSet(r *rng.Source, numNodes, degree int) (topology.NodeID, []topology.NodeID) {
+	if degree >= numNodes {
+		panic(fmt.Sprintf("traffic: degree %d with %d nodes", degree, numNodes))
+	}
+	picks := r.Sample(numNodes, degree+1)
+	src := topology.NodeID(picks[0])
+	dests := make([]topology.NodeID, degree)
+	for i, v := range picks[1:] {
+		dests[i] = topology.NodeID(v)
+	}
+	return src, dests
+}
+
+// destsFrom draws a degree-d destination set excluding src.
+func destsFrom(r *rng.Source, numNodes, degree int, src topology.NodeID) []topology.NodeID {
+	if degree >= numNodes {
+		panic(fmt.Sprintf("traffic: degree %d with %d nodes", degree, numNodes))
+	}
+	out := make([]topology.NodeID, 0, degree)
+	for _, v := range r.Sample(numNodes-1, degree) {
+		// Map [0, numNodes-1) onto node IDs skipping src.
+		if topology.NodeID(v) >= src {
+			v++
+		}
+		out = append(out, topology.NodeID(v))
+	}
+	return out
+}
+
+// SingleConfig parameterizes isolated-multicast latency probes.
+type SingleConfig struct {
+	Scheme   mcast.Scheme
+	Params   sim.Params
+	Degree   int
+	MsgFlits int
+	Probes   int // random (source, destination-set) draws
+	Seed     uint64
+}
+
+// RunSingle measures isolated multicast latencies (cycles) on one routed
+// topology: Probes independent random multicasts, each on a quiet network.
+func RunSingle(rt *updown.Routing, cfg SingleConfig) ([]float64, error) {
+	if cfg.Probes <= 0 {
+		return nil, fmt.Errorf("traffic: non-positive probe count")
+	}
+	r := rng.New(cfg.Seed)
+	out := make([]float64, 0, cfg.Probes)
+	for i := 0; i < cfg.Probes; i++ {
+		src, dests := randomSet(r, rt.Topo.NumNodes, cfg.Degree)
+		plan, err := cfg.Scheme.Plan(rt, cfg.Params, src, dests, cfg.MsgFlits)
+		if err != nil {
+			return nil, fmt.Errorf("traffic: probe %d: %w", i, err)
+		}
+		n, err := sim.New(rt, cfg.Params, cfg.Seed+uint64(i))
+		if err != nil {
+			return nil, err
+		}
+		m, err := n.RunSingle(plan, cfg.MsgFlits)
+		if err != nil {
+			return nil, fmt.Errorf("traffic: probe %d (%s): %w", i, cfg.Scheme.Name(), err)
+		}
+		if err := n.CheckConservation(); err != nil {
+			return nil, fmt.Errorf("traffic: probe %d: %w", i, err)
+		}
+		out = append(out, float64(m.Latency()))
+	}
+	return out, nil
+}
+
+// LoadConfig parameterizes an open-loop multicast load run.
+type LoadConfig struct {
+	Scheme   mcast.Scheme
+	Params   sim.Params
+	Degree   int
+	MsgFlits int
+	// EffectiveLoad is the paper's x-axis: for degree-d multicast applied
+	// at raw per-node injection rate l (flits/cycle, normalized to the
+	// 1 flit/cycle link bandwidth), the effective applied load is l*d.
+	EffectiveLoad float64
+	// Warmup is the cold-start period excluded from measurement (paper:
+	// 100k cycles); Measure is the generation window measured; after it,
+	// generation stops and in-flight messages get Drain cycles to finish.
+	Warmup  event.Time
+	Measure event.Time
+	Drain   event.Time
+	Seed    uint64
+}
+
+// LoadResult is one point of a latency-vs-load curve.
+type LoadResult struct {
+	EffectiveLoad float64
+	Latency       metrics.Summary // completed messages initiated in the window
+	Initiated     int             // messages initiated in the window
+	Completed     int             // of those, completed by the end of drain
+	// AcceptedLoad is the measured delivery rate normalized like the
+	// x-axis (payload flits delivered to hosts per node per cycle).
+	AcceptedLoad float64
+	// Saturated flags the point: completions fell behind initiations or
+	// the queue kept growing (latency values then mean little).
+	Saturated bool
+}
+
+// RunLoad simulates one load point on one routed topology.
+func RunLoad(rt *updown.Routing, cfg LoadConfig) (LoadResult, error) {
+	n, err := sim.New(rt, cfg.Params, cfg.Seed)
+	if err != nil {
+		return LoadResult{}, err
+	}
+	return RunLoadOn(n, rt, cfg)
+}
+
+// RunLoadOn runs the load point on a caller-provided network (which must be
+// fresh), so the caller can inspect the network — channel utilization,
+// conservation counters — afterwards.
+func RunLoadOn(n *sim.Network, rt *updown.Routing, cfg LoadConfig) (LoadResult, error) {
+	if cfg.EffectiveLoad <= 0 {
+		return LoadResult{}, fmt.Errorf("traffic: non-positive load")
+	}
+	if cfg.Warmup < 0 || cfg.Measure <= 0 || cfg.Drain < 0 {
+		return LoadResult{}, fmt.Errorf("traffic: bad load windows")
+	}
+	numNodes := rt.Topo.NumNodes
+	// Per-node message interarrival mean: raw flit rate l = E/d, message
+	// rate = l / MsgFlits, so mean gap = d*MsgFlits/E cycles.
+	meanGap := float64(cfg.Degree) * float64(cfg.MsgFlits) / cfg.EffectiveLoad
+
+	genEnd := cfg.Warmup + cfg.Measure
+	res := LoadResult{EffectiveLoad: cfg.EffectiveLoad}
+	var measured []float64
+	var genErr error
+	root := rng.New(cfg.Seed ^ 0x9e3779b97f4a7c15)
+
+	for node := 0; node < numNodes; node++ {
+		node := node
+		r := root.Split()
+		var arrival func()
+		arrival = func() {
+			now := n.Now()
+			if now >= genEnd || genErr != nil {
+				return
+			}
+			dests := destsFrom(r, numNodes, cfg.Degree, topology.NodeID(node))
+			plan, err := cfg.Scheme.Plan(rt, cfg.Params, topology.NodeID(node), dests, cfg.MsgFlits)
+			if err != nil {
+				genErr = err
+				return
+			}
+			inWindow := now >= cfg.Warmup
+			if inWindow {
+				res.Initiated++
+			}
+			_, err = n.Send(plan, cfg.MsgFlits, now, func(m *sim.Message) {
+				if inWindow {
+					res.Completed++
+					measured = append(measured, float64(m.Latency()))
+				}
+			})
+			if err != nil {
+				genErr = err
+				return
+			}
+			gap := event.Time(r.Exp(meanGap)) + 1
+			n.Schedule(now+gap, arrival)
+		}
+		first := event.Time(root.Exp(meanGap))
+		n.Schedule(first, arrival)
+	}
+
+	n.RunUntil(genEnd + cfg.Drain)
+	if genErr != nil {
+		return LoadResult{}, genErr
+	}
+	res.Latency = metrics.Summarize(measured)
+	// Completed messages were all initiated within the measure window, so
+	// that window is the rate denominator (the drain only lets stragglers
+	// finish).
+	res.AcceptedLoad = float64(res.Completed*cfg.Degree*cfg.MsgFlits) / (float64(numNodes) * float64(cfg.Measure))
+	// Saturation: a meaningful fraction of measured messages never
+	// finished even after the drain window.
+	res.Saturated = res.Initiated > 0 && float64(res.Completed) < 0.9*float64(res.Initiated)
+	return res, nil
+}
+
+// MixedConfig runs multicast probes over a background of uniform unicast
+// traffic — the regime a real NOW lives in, where multicast competes with
+// ordinary point-to-point messages rather than only with other multicasts.
+type MixedConfig struct {
+	Scheme   mcast.Scheme
+	Params   sim.Params
+	Degree   int
+	MsgFlits int
+	// BackgroundLoad is the unicast background intensity in flits per
+	// cycle per node (fraction of injection-link capacity).
+	BackgroundLoad float64
+	// BackgroundFlits is the unicast message length.
+	BackgroundFlits int
+	// Probes multicast measurements are taken, spaced ProbeGap cycles
+	// apart after Warmup cycles of background ramp-up.
+	Probes   int
+	ProbeGap event.Time
+	Warmup   event.Time
+	Seed     uint64
+}
+
+// RunMixed measures multicast latency under unicast background traffic.
+func RunMixed(rt *updown.Routing, cfg MixedConfig) ([]float64, error) {
+	if cfg.Probes <= 0 || cfg.ProbeGap <= 0 {
+		return nil, fmt.Errorf("traffic: bad mixed probe settings")
+	}
+	if cfg.BackgroundLoad < 0 {
+		return nil, fmt.Errorf("traffic: negative background load")
+	}
+	n, err := sim.New(rt, cfg.Params, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	numNodes := rt.Topo.NumNodes
+	end := cfg.Warmup + event.Time(cfg.Probes+1)*cfg.ProbeGap
+	root := rng.New(cfg.Seed ^ 0xABCDEF)
+	var genErr error
+
+	// Unicast background: open loop per node.
+	if cfg.BackgroundLoad > 0 {
+		meanGap := float64(cfg.BackgroundFlits) / cfg.BackgroundLoad
+		for node := 0; node < numNodes; node++ {
+			node := node
+			r := root.Split()
+			var arrival func()
+			arrival = func() {
+				now := n.Now()
+				if now >= end || genErr != nil {
+					return
+				}
+				dst := topology.NodeID(r.Intn(numNodes - 1))
+				if int(dst) >= node {
+					dst++
+				}
+				plan := &sim.Plan{
+					Source: topology.NodeID(node),
+					Dests:  []topology.NodeID{dst},
+					HostSends: map[topology.NodeID][]sim.WormSpec{
+						topology.NodeID(node): {{Kind: sim.WormUnicast, Dest: dst}},
+					},
+				}
+				if _, err := n.Send(plan, cfg.BackgroundFlits, now, nil); err != nil {
+					genErr = err
+					return
+				}
+				n.Schedule(now+event.Time(r.Exp(meanGap))+1, arrival)
+			}
+			n.Schedule(event.Time(root.Exp(meanGap)), arrival)
+		}
+	}
+
+	// Multicast probes, one at a time on top of the background.
+	probeRng := root.Split()
+	lats := make([]float64, 0, cfg.Probes)
+	for i := 0; i < cfg.Probes; i++ {
+		i := i
+		at := cfg.Warmup + event.Time(i+1)*cfg.ProbeGap
+		n.Schedule(at, func() {
+			if genErr != nil {
+				return
+			}
+			src, dests := randomSet(probeRng, numNodes, cfg.Degree)
+			plan, err := cfg.Scheme.Plan(rt, cfg.Params, src, dests, cfg.MsgFlits)
+			if err != nil {
+				genErr = err
+				return
+			}
+			if _, err := n.Send(plan, cfg.MsgFlits, n.Now(), func(m *sim.Message) {
+				lats = append(lats, float64(m.Latency()))
+			}); err != nil {
+				genErr = err
+			}
+		})
+	}
+	n.RunUntil(end + 200_000) // let probes finish after generation stops
+	if genErr != nil {
+		return nil, genErr
+	}
+	if len(lats) < cfg.Probes {
+		return nil, fmt.Errorf("traffic: only %d/%d probes completed (background saturated?)", len(lats), cfg.Probes)
+	}
+	return lats, nil
+}
+
+// LoadSweep runs RunLoad across the given effective loads, stopping early
+// once a point saturates (the curve past saturation is off the chart, as
+// in the paper's figures). It always evaluates at least one point.
+func LoadSweep(rt *updown.Routing, base LoadConfig, loads []float64) ([]LoadResult, error) {
+	var out []LoadResult
+	for _, l := range loads {
+		cfg := base
+		cfg.EffectiveLoad = l
+		res, err := RunLoad(rt, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+		if res.Saturated {
+			break
+		}
+	}
+	return out, nil
+}

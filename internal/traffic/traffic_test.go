@@ -1,0 +1,297 @@
+package traffic
+
+import (
+	"testing"
+
+	"mcastsim/internal/mcast"
+	"mcastsim/internal/mcast/binomial"
+	"mcastsim/internal/mcast/kbinomial"
+	"mcastsim/internal/mcast/pathworm"
+	"mcastsim/internal/mcast/treeworm"
+	"mcastsim/internal/rng"
+	"mcastsim/internal/sim"
+	"mcastsim/internal/topology"
+	"mcastsim/internal/updown"
+)
+
+func routed(t *testing.T, seed uint64) *updown.Routing {
+	t.Helper()
+	topo, err := topology.Generate(topology.DefaultConfig(), rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := updown.New(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+func TestDestsFromExcludesSource(t *testing.T) {
+	r := rng.New(1)
+	for trial := 0; trial < 200; trial++ {
+		src := topology.NodeID(r.Intn(32))
+		dests := destsFrom(r, 32, 8, src)
+		if len(dests) != 8 {
+			t.Fatalf("degree %d", len(dests))
+		}
+		seen := map[topology.NodeID]bool{}
+		for _, d := range dests {
+			if d == src {
+				t.Fatal("source drawn as destination")
+			}
+			if int(d) < 0 || int(d) >= 32 {
+				t.Fatalf("destination %d out of range", d)
+			}
+			if seen[d] {
+				t.Fatal("duplicate destination")
+			}
+			seen[d] = true
+		}
+	}
+}
+
+func TestRunSingleAllSchemes(t *testing.T) {
+	rt := routed(t, 3)
+	for _, sch := range []mcast.Scheme{binomial.New(), kbinomial.New(), treeworm.New(), pathworm.New()} {
+		lats, err := RunSingle(rt, SingleConfig{
+			Scheme: sch, Params: sim.DefaultParams(),
+			Degree: 16, MsgFlits: 128, Probes: 5, Seed: 9,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", sch.Name(), err)
+		}
+		if len(lats) != 5 {
+			t.Fatalf("%s: %d probes", sch.Name(), len(lats))
+		}
+		for _, l := range lats {
+			if l <= 0 {
+				t.Fatalf("%s: non-positive latency %v", sch.Name(), l)
+			}
+		}
+	}
+}
+
+func TestRunSingleDeterministic(t *testing.T) {
+	rt := routed(t, 4)
+	cfg := SingleConfig{Scheme: treeworm.New(), Params: sim.DefaultParams(),
+		Degree: 8, MsgFlits: 128, Probes: 4, Seed: 11}
+	a, err := RunSingle(rt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSingle(rt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("probe %d diverged", i)
+		}
+	}
+}
+
+func TestSingleMulticastOrdering(t *testing.T) {
+	// At default parameters the paper's central single-multicast result:
+	// tree (one phase) < {NI-based, path-based} < binomial baseline.
+	rt := routed(t, 5)
+	p := sim.DefaultParams()
+	mean := func(s mcast.Scheme) float64 {
+		lats, err := RunSingle(rt, SingleConfig{Scheme: s, Params: p, Degree: 16, MsgFlits: 128, Probes: 10, Seed: 21})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for _, l := range lats {
+			sum += l
+		}
+		return sum / float64(len(lats))
+	}
+	tree := mean(treeworm.New())
+	path := mean(pathworm.New())
+	ni := mean(kbinomial.New())
+	base := mean(binomial.New())
+	if !(tree < path && tree < ni) {
+		t.Fatalf("tree worm not fastest: tree=%v path=%v ni=%v", tree, path, ni)
+	}
+	if !(base > tree && base > path) {
+		t.Fatalf("binomial baseline not slowest of host schemes: base=%v tree=%v path=%v", base, tree, path)
+	}
+}
+
+func TestRunLoadLowLoadMatchesSingle(t *testing.T) {
+	// At very low load, mean latency must approach the isolated latency.
+	rt := routed(t, 6)
+	p := sim.DefaultParams()
+	sch := treeworm.New()
+	iso, err := RunSingle(rt, SingleConfig{Scheme: sch, Params: p, Degree: 8, MsgFlits: 128, Probes: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var isoMean float64
+	for _, l := range iso {
+		isoMean += l
+	}
+	isoMean /= float64(len(iso))
+
+	res, err := RunLoad(rt, LoadConfig{
+		Scheme: sch, Params: p, Degree: 8, MsgFlits: 128,
+		EffectiveLoad: 0.02, Warmup: 20000, Measure: 60000, Drain: 30000, Seed: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Saturated {
+		t.Fatal("saturated at 2% load")
+	}
+	if res.Latency.Count == 0 {
+		t.Fatal("no measured messages")
+	}
+	if res.Latency.Mean < 0.8*isoMean || res.Latency.Mean > 2.0*isoMean {
+		t.Fatalf("low-load latency %v vs isolated %v", res.Latency.Mean, isoMean)
+	}
+}
+
+func TestRunLoadLatencyIncreasesWithLoad(t *testing.T) {
+	rt := routed(t, 7)
+	p := sim.DefaultParams()
+	base := LoadConfig{
+		Scheme: treeworm.New(), Params: p, Degree: 8, MsgFlits: 128,
+		Warmup: 20000, Measure: 60000, Drain: 40000, Seed: 13,
+	}
+	lo := base
+	lo.EffectiveLoad = 0.05
+	hi := base
+	hi.EffectiveLoad = 0.5
+	rl, err := RunLoad(rt, lo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rh, err := RunLoad(rt, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rh.Saturated && rh.Latency.Mean <= rl.Latency.Mean {
+		t.Fatalf("latency did not increase with load: %v -> %v", rl.Latency.Mean, rh.Latency.Mean)
+	}
+}
+
+func TestLoadSweepStopsAtSaturation(t *testing.T) {
+	rt := routed(t, 8)
+	base := LoadConfig{
+		Scheme: binomial.New(), Params: sim.DefaultParams(), Degree: 16, MsgFlits: 128,
+		Warmup: 10000, Measure: 40000, Drain: 20000, Seed: 14,
+	}
+	// The software baseline saturates early; the sweep must stop there.
+	loads := []float64{0.05, 0.15, 0.3, 0.5, 0.8, 1.2, 2.0, 3.0}
+	results, err := LoadSweep(rt, base, loads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) == 0 {
+		t.Fatal("no results")
+	}
+	for i, r := range results[:len(results)-1] {
+		if r.Saturated {
+			t.Fatalf("intermediate point %d saturated but sweep continued", i)
+		}
+	}
+	if len(results) == len(loads) && !results[len(results)-1].Saturated {
+		t.Log("baseline never saturated in this sweep (acceptable but unexpected)")
+	}
+}
+
+func TestRunLoadRejectsBadConfig(t *testing.T) {
+	rt := routed(t, 9)
+	if _, err := RunLoad(rt, LoadConfig{Scheme: treeworm.New(), Params: sim.DefaultParams(),
+		Degree: 8, MsgFlits: 128, EffectiveLoad: 0, Warmup: 1, Measure: 1, Drain: 1}); err == nil {
+		t.Fatal("zero load accepted")
+	}
+	if _, err := RunLoad(rt, LoadConfig{Scheme: treeworm.New(), Params: sim.DefaultParams(),
+		Degree: 8, MsgFlits: 128, EffectiveLoad: 0.1, Warmup: 1, Measure: 0, Drain: 1}); err == nil {
+		t.Fatal("zero measure window accepted")
+	}
+}
+
+func TestRunSingleRejectsBadProbes(t *testing.T) {
+	rt := routed(t, 10)
+	if _, err := RunSingle(rt, SingleConfig{Scheme: treeworm.New(), Params: sim.DefaultParams(),
+		Degree: 8, MsgFlits: 128, Probes: 0}); err == nil {
+		t.Fatal("zero probes accepted")
+	}
+}
+
+func TestRunMixedBackgroundSlowsMulticast(t *testing.T) {
+	rt := routed(t, 11)
+	p := sim.DefaultParams()
+	base := MixedConfig{
+		Scheme: treeworm.New(), Params: p, Degree: 8, MsgFlits: 128,
+		BackgroundFlits: 128, Probes: 8, ProbeGap: 4000, Warmup: 8000, Seed: 31,
+	}
+	quiet := base
+	quiet.BackgroundLoad = 0
+	qLats, err := RunMixed(rt, quiet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	busy := base
+	busy.BackgroundLoad = 0.15
+	bLats, err := RunMixed(rt, busy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var qm, bm float64
+	for _, v := range qLats {
+		qm += v
+	}
+	for _, v := range bLats {
+		bm += v
+	}
+	qm /= float64(len(qLats))
+	bm /= float64(len(bLats))
+	if bm <= qm {
+		t.Fatalf("background traffic did not slow multicast: quiet=%v busy=%v", qm, bm)
+	}
+}
+
+func TestRunMixedQuietMatchesSingle(t *testing.T) {
+	rt := routed(t, 12)
+	p := sim.DefaultParams()
+	lats, err := RunMixed(rt, MixedConfig{
+		Scheme: treeworm.New(), Params: p, Degree: 8, MsgFlits: 128,
+		BackgroundLoad: 0, BackgroundFlits: 128,
+		Probes: 6, ProbeGap: 5000, Warmup: 1000, Seed: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	iso, err := RunSingle(rt, SingleConfig{Scheme: treeworm.New(), Params: p,
+		Degree: 8, MsgFlits: 128, Probes: 6, Seed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mm, im float64
+	for _, v := range lats {
+		mm += v
+	}
+	for _, v := range iso {
+		im += v
+	}
+	mm /= float64(len(lats))
+	im /= float64(len(iso))
+	if mm < 0.7*im || mm > 1.4*im {
+		t.Fatalf("quiet mixed (%v) far from isolated (%v)", mm, im)
+	}
+}
+
+func TestRunMixedRejectsBadConfig(t *testing.T) {
+	rt := routed(t, 13)
+	if _, err := RunMixed(rt, MixedConfig{Scheme: treeworm.New(), Params: sim.DefaultParams(),
+		Degree: 8, MsgFlits: 128, Probes: 0, ProbeGap: 100}); err == nil {
+		t.Fatal("zero probes accepted")
+	}
+	if _, err := RunMixed(rt, MixedConfig{Scheme: treeworm.New(), Params: sim.DefaultParams(),
+		Degree: 8, MsgFlits: 128, Probes: 3, ProbeGap: 100, BackgroundLoad: -1}); err == nil {
+		t.Fatal("negative background accepted")
+	}
+}

@@ -1,0 +1,581 @@
+// Package updown implements the Autonet-style up*/down* routing substrate
+// the paper assumes (§2.2).
+//
+// A breadth-first spanning tree is computed over the switch graph from a
+// deterministic root (the lowest-ID switch; the paper's distributed
+// agreement protocol is irrelevant to the comparison, only the resulting
+// unique tree matters). Every inter-switch link is then oriented: the "up"
+// end is the end closer to the root, with ties broken toward the lower
+// switch ID. Because (level, id) strictly decreases along every up
+// traversal, the directed links form no loops.
+//
+// A legal route traverses zero or more up links followed by zero or more
+// down links — never up after down. The package exposes:
+//
+//   - per-port directions and adaptive shortest legal-path next-hop tables
+//     for unicast routing (used by all schemes and by path worms between
+//     drop switches),
+//   - per-down-port reachability bit-strings (the switch state that routes
+//     tree-based multidestination worms, paper §3.2.3),
+//   - down-only distance tables (the continuation constraint for multi-drop
+//     path worms, paper §3.2.4).
+package updown
+
+import (
+	"fmt"
+	"sort"
+
+	"mcastsim/internal/bitset"
+	"mcastsim/internal/topology"
+)
+
+// Dir classifies a switch port under the up/down orientation.
+type Dir uint8
+
+const (
+	// DirNone marks open ports and ports to nodes (orientation applies
+	// only to inter-switch links).
+	DirNone Dir = iota
+	// DirUp means leaving through this port moves toward the root.
+	DirUp
+	// DirDown means leaving through this port moves away from the root.
+	DirDown
+)
+
+func (d Dir) String() string {
+	switch d {
+	case DirUp:
+		return "up"
+	case DirDown:
+		return "down"
+	default:
+		return "none"
+	}
+}
+
+// Phase is the routing phase a packet carries: a fresh packet may still
+// climb; once it has taken a down link it may only descend.
+type Phase uint8
+
+const (
+	// PhaseUp: the packet has taken no down link yet; both directions are
+	// legal.
+	PhaseUp Phase = iota
+	// PhaseDown: the packet has taken a down link; only down links remain
+	// legal.
+	PhaseDown
+)
+
+const unreachable = int(^uint(0) >> 2) // effectively infinity for hop counts
+
+// Routing is the immutable routing state derived from a topology.
+type Routing struct {
+	Topo *topology.Topology
+	// Root is the BFS root switch (lowest ID, i.e. 0).
+	Root topology.SwitchID
+	// Level[s] is the BFS tree depth of switch s.
+	Level []int
+	// Parent[s] is s's BFS tree parent (-1 for the root).
+	Parent []topology.SwitchID
+	// Dirs[s][p] orients each port of each switch.
+	Dirs [][]Dir
+
+	// distUp[d][s]: shortest legal route length (switch hops) from s,
+	// starting fresh, to switch d. distDown[d][s]: same but restricted to
+	// down links only (unreachable if no down-only route exists).
+	distUp   [][]int
+	distDown [][]int
+
+	// DownReach[s][p] is the reachability string of down port p of switch
+	// s: node n is in the set iff n is legally reachable by entering that
+	// port and continuing on down links only. Nil for non-down ports.
+	DownReach [][]*bitset.Set
+	// Cover[s] is the set of nodes deliverable from switch s without any
+	// further up movement: nodes attached to s plus the union of its down
+	// ports' reachability strings.
+	Cover []*bitset.Set
+
+	// nodePort[s][n] is the port of switch s wired to node n (only for
+	// nodes attached to s); otherwise -1.
+	nodePort [][]int
+}
+
+// TreePolicy selects the spanning-tree construction behind the up/down
+// orientation.
+type TreePolicy uint8
+
+const (
+	// TreeBFS is Autonet's breadth-first tree (the paper's §2.2 model).
+	TreeBFS TreePolicy = iota
+	// TreeDFS builds a depth-first tree instead — the classic up*/down*
+	// variant from the literature. Its levels are DFS depths; the same
+	// orientation rule stays loop-free for any level assignment, but the
+	// deeper, skinnier tree shifts which links are "up", typically moving
+	// traffic off the BFS root at the cost of longer legal paths.
+	TreeDFS
+)
+
+// Options configures routing construction.
+type Options struct {
+	// Root forces the spanning-tree root when >= 0. The default (-1 via
+	// New) is switch 0 — the deterministic lowest-ID stand-in for
+	// Autonet's UID-based agreement.
+	Root topology.SwitchID
+	// CenterRoot, when Root < 0, picks a graph center (minimum
+	// eccentricity, ties to the lower ID) instead of switch 0: a known
+	// up*/down* optimization that shortens tree depth and hence worm
+	// climbs. Exposed for the "root" experiment.
+	CenterRoot bool
+	// Tree selects BFS (default, the paper's model) or DFS construction.
+	Tree TreePolicy
+}
+
+// New computes the full routing state for t with the default root.
+func New(t *topology.Topology) (*Routing, error) {
+	return NewWithOptions(t, Options{Root: -1})
+}
+
+// NewWithOptions computes the routing state with explicit root policy.
+func NewWithOptions(t *topology.Topology, opt Options) (*Routing, error) {
+	root := opt.Root
+	if root < 0 {
+		root = 0
+		if opt.CenterRoot {
+			root = centerSwitch(t)
+		}
+	}
+	if int(root) >= t.NumSwitches {
+		return nil, fmt.Errorf("updown: root %d out of range", root)
+	}
+	r := &Routing{Topo: t, Root: root}
+	if opt.Tree == TreeDFS {
+		r.computeDFSTree()
+	} else {
+		r.computeTree()
+	}
+	r.orientPorts()
+	r.computeDistances()
+	r.computeReachability()
+	r.indexNodePorts()
+	if err := r.verify(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// centerSwitch returns a switch of minimum eccentricity (lowest ID among
+// ties).
+func centerSwitch(t *topology.Topology) topology.SwitchID {
+	dist := t.SwitchDistances()
+	best, bestEcc := 0, int(^uint(0)>>2)
+	for s := 0; s < t.NumSwitches; s++ {
+		ecc := 0
+		for _, d := range dist[s] {
+			if d > ecc {
+				ecc = d
+			}
+		}
+		if ecc < bestEcc {
+			best, bestEcc = s, ecc
+		}
+	}
+	return topology.SwitchID(best)
+}
+
+// computeTree builds BFS levels and parents from the root. Neighbor order
+// is by (switch ID, port) so the tree is unique and platform-independent —
+// the property the Autonet agreement protocol provides.
+func (r *Routing) computeTree() {
+	t := r.Topo
+	r.Level = make([]int, t.NumSwitches)
+	r.Parent = make([]topology.SwitchID, t.NumSwitches)
+	for i := range r.Level {
+		r.Level[i] = -1
+		r.Parent[i] = -1
+	}
+	r.Level[r.Root] = 0
+	queue := []topology.SwitchID{r.Root}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		// Deterministic neighbor visitation: ascending port order.
+		for p := 0; p < t.PortsPerSwitch; p++ {
+			e := t.Conn[s][p]
+			if e.Kind != topology.ToSwitch {
+				continue
+			}
+			if r.Level[e.Switch] == -1 {
+				r.Level[e.Switch] = r.Level[s] + 1
+				r.Parent[e.Switch] = s
+				queue = append(queue, e.Switch)
+			}
+		}
+	}
+}
+
+// computeDFSTree builds a depth-first spanning tree; Level[s] is the DFS
+// depth. Deterministic: neighbors visited in ascending port order,
+// iteratively to keep deep graphs off the Go stack.
+func (r *Routing) computeDFSTree() {
+	t := r.Topo
+	r.Level = make([]int, t.NumSwitches)
+	r.Parent = make([]topology.SwitchID, t.NumSwitches)
+	for i := range r.Level {
+		r.Level[i] = -1
+		r.Parent[i] = -1
+	}
+	type frame struct {
+		sw   topology.SwitchID
+		port int
+	}
+	r.Level[r.Root] = 0
+	stack := []frame{{sw: r.Root}}
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		advanced := false
+		for ; f.port < t.PortsPerSwitch; f.port++ {
+			e := t.Conn[f.sw][f.port]
+			if e.Kind != topology.ToSwitch || r.Level[e.Switch] != -1 {
+				continue
+			}
+			r.Level[e.Switch] = r.Level[f.sw] + 1
+			r.Parent[e.Switch] = f.sw
+			f.port++
+			stack = append(stack, frame{sw: e.Switch})
+			advanced = true
+			break
+		}
+		if !advanced {
+			stack = stack[:len(stack)-1]
+		}
+	}
+}
+
+// orientPorts assigns Up/Down to every inter-switch port end.
+func (r *Routing) orientPorts() {
+	t := r.Topo
+	r.Dirs = make([][]Dir, t.NumSwitches)
+	for s := 0; s < t.NumSwitches; s++ {
+		r.Dirs[s] = make([]Dir, t.PortsPerSwitch)
+		for p := 0; p < t.PortsPerSwitch; p++ {
+			e := t.Conn[s][p]
+			if e.Kind != topology.ToSwitch {
+				continue
+			}
+			q := int(e.Switch)
+			// Leaving s through p is "up" iff the peer q is the up end.
+			if r.Level[q] < r.Level[s] || (r.Level[q] == r.Level[s] && q < s) {
+				r.Dirs[s][p] = DirUp
+			} else {
+				r.Dirs[s][p] = DirDown
+			}
+		}
+	}
+}
+
+// computeDistances fills distUp and distDown by reverse BFS per
+// destination switch over the (switch, phase) state graph.
+func (r *Routing) computeDistances() {
+	t := r.Topo
+	S := t.NumSwitches
+	r.distUp = make([][]int, S)
+	r.distDown = make([][]int, S)
+	// Reverse adjacency over states. State encoding: s*2 + phase.
+	// Forward edges:
+	//   (s, up)   --up-port-->   (q, up)
+	//   (s, up)   --down-port--> (q, down)
+	//   (s, down) --down-port--> (q, down)
+	// For the reverse BFS we need, for each state, the states with a
+	// forward edge into it.
+	type st struct {
+		s     int
+		phase Phase
+	}
+	revAdj := make([][]st, 2*S)
+	for s := 0; s < S; s++ {
+		for p := 0; p < t.PortsPerSwitch; p++ {
+			e := t.Conn[s][p]
+			if e.Kind != topology.ToSwitch {
+				continue
+			}
+			q := int(e.Switch)
+			switch r.Dirs[s][p] {
+			case DirUp:
+				// (s,up) -> (q,up)
+				revAdj[q*2+int(PhaseUp)] = append(revAdj[q*2+int(PhaseUp)], st{s, PhaseUp})
+			case DirDown:
+				// (s,up) -> (q,down) and (s,down) -> (q,down)
+				revAdj[q*2+int(PhaseDown)] = append(revAdj[q*2+int(PhaseDown)], st{s, PhaseUp})
+				revAdj[q*2+int(PhaseDown)] = append(revAdj[q*2+int(PhaseDown)], st{s, PhaseDown})
+			}
+		}
+	}
+	for d := 0; d < S; d++ {
+		distState := make([]int, 2*S)
+		for i := range distState {
+			distState[i] = unreachable
+		}
+		// Arriving at switch d in either phase terminates the route.
+		distState[d*2+int(PhaseUp)] = 0
+		distState[d*2+int(PhaseDown)] = 0
+		queue := []int{d*2 + int(PhaseUp), d*2 + int(PhaseDown)}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, prev := range revAdj[cur] {
+				pi := prev.s*2 + int(prev.phase)
+				if distState[pi] == unreachable {
+					distState[pi] = distState[cur] + 1
+					queue = append(queue, pi)
+				}
+			}
+		}
+		up := make([]int, S)
+		down := make([]int, S)
+		for s := 0; s < S; s++ {
+			up[s] = distState[s*2+int(PhaseUp)]
+			down[s] = distState[s*2+int(PhaseDown)]
+		}
+		r.distUp[d] = up
+		r.distDown[d] = down
+	}
+}
+
+// computeReachability fills DownReach and Cover. Down links form a DAG
+// ordered by increasing (level, id), so a single sweep in decreasing order
+// suffices.
+func (r *Routing) computeReachability() {
+	t := r.Topo
+	S := t.NumSwitches
+	N := t.NumNodes
+
+	// downSet[s]: nodes reachable from switch s via down links only
+	// (including s's own nodes).
+	downSet := make([]*bitset.Set, S)
+	order := make([]int, S)
+	for i := range order {
+		order[i] = i
+	}
+	// Decreasing (level, id): every down edge from s points to a switch
+	// strictly later in increasing order, hence earlier in this sweep.
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if r.Level[a] != r.Level[b] {
+			return r.Level[a] > r.Level[b]
+		}
+		return a > b
+	})
+	for _, s := range order {
+		set := bitset.New(N)
+		for _, n := range t.NodesAt(topology.SwitchID(s)) {
+			set.Add(int(n))
+		}
+		for p := 0; p < t.PortsPerSwitch; p++ {
+			if r.Dirs[s][p] != DirDown {
+				continue
+			}
+			q := int(t.Conn[s][p].Switch)
+			set.UnionWith(downSet[q]) // q already computed by sweep order
+		}
+		downSet[s] = set
+	}
+
+	r.DownReach = make([][]*bitset.Set, S)
+	r.Cover = make([]*bitset.Set, S)
+	for s := 0; s < S; s++ {
+		r.DownReach[s] = make([]*bitset.Set, t.PortsPerSwitch)
+		cover := bitset.New(N)
+		for _, n := range t.NodesAt(topology.SwitchID(s)) {
+			cover.Add(int(n))
+		}
+		for p := 0; p < t.PortsPerSwitch; p++ {
+			if r.Dirs[s][p] != DirDown {
+				continue
+			}
+			q := int(t.Conn[s][p].Switch)
+			r.DownReach[s][p] = downSet[q]
+			cover.UnionWith(downSet[q])
+		}
+		r.Cover[s] = cover
+	}
+}
+
+func (r *Routing) indexNodePorts() {
+	t := r.Topo
+	r.nodePort = make([][]int, t.NumSwitches)
+	for s := 0; s < t.NumSwitches; s++ {
+		r.nodePort[s] = make([]int, t.NumNodes)
+		for n := range r.nodePort[s] {
+			r.nodePort[s][n] = -1
+		}
+	}
+	for n := 0; n < t.NumNodes; n++ {
+		r.nodePort[t.NodeSwitch[n]][n] = t.NodePort[n]
+	}
+}
+
+// verify checks the invariants the rest of the system depends on.
+func (r *Routing) verify() error {
+	t := r.Topo
+	// Every non-root switch has at least one up port (its tree parent
+	// link), and the root has none.
+	for s := 0; s < t.NumSwitches; s++ {
+		ups := 0
+		for p := 0; p < t.PortsPerSwitch; p++ {
+			if r.Dirs[s][p] == DirUp {
+				ups++
+			}
+		}
+		if s == int(r.Root) && ups != 0 {
+			return fmt.Errorf("updown: root has %d up ports", ups)
+		}
+		if s != int(r.Root) && ups == 0 {
+			return fmt.Errorf("updown: switch %d has no up port", s)
+		}
+	}
+	// Every switch pair must be mutually reachable by a legal route.
+	for d := 0; d < t.NumSwitches; d++ {
+		for s := 0; s < t.NumSwitches; s++ {
+			if r.distUp[d][s] >= unreachable {
+				return fmt.Errorf("updown: no legal route %d -> %d", s, d)
+			}
+		}
+	}
+	// The root must cover every node (tree worms terminate there at worst).
+	if r.Cover[r.Root].Count() != t.NumNodes {
+		return fmt.Errorf("updown: root covers %d of %d nodes", r.Cover[r.Root].Count(), t.NumNodes)
+	}
+	return nil
+}
+
+// DistUp returns the shortest legal route length in switch hops from s
+// (fresh) to d.
+func (r *Routing) DistUp(s, d topology.SwitchID) int { return r.distUp[d][s] }
+
+// DistDown returns the shortest down-only route length from s to d, or
+// ok=false when no down-only route exists.
+func (r *Routing) DistDown(s, d topology.SwitchID) (int, bool) {
+	v := r.distDown[d][s]
+	return v, v < unreachable
+}
+
+// NodePortAt returns the port of switch s wired to node n, or -1 if n is
+// not attached to s.
+func (r *Routing) NodePortAt(s topology.SwitchID, n topology.NodeID) int {
+	return r.nodePort[s][n]
+}
+
+// NextHops returns the adaptive candidate output ports at switch s, in
+// phase ph, for a packet headed to switch d: every port whose traversal is
+// legal and lies on a shortest remaining legal route. The resulting phase
+// for each candidate is also returned (parallel slices).
+func (r *Routing) NextHops(s topology.SwitchID, ph Phase, d topology.SwitchID) (ports []int, phases []Phase) {
+	if s == d {
+		return nil, nil
+	}
+	t := r.Topo
+	var cur int
+	if ph == PhaseUp {
+		cur = r.distUp[d][s]
+	} else {
+		cur = r.distDown[d][s]
+	}
+	for p := 0; p < t.PortsPerSwitch; p++ {
+		e := t.Conn[s][p]
+		if e.Kind != topology.ToSwitch {
+			continue
+		}
+		q := e.Switch
+		switch r.Dirs[s][p] {
+		case DirUp:
+			if ph == PhaseDown {
+				continue // illegal turn
+			}
+			if r.distUp[d][q]+1 == cur {
+				ports = append(ports, p)
+				phases = append(phases, PhaseUp)
+			}
+		case DirDown:
+			if r.distDown[d][q]+1 == cur {
+				ports = append(ports, p)
+				phases = append(phases, PhaseDown)
+			}
+		}
+	}
+	return ports, phases
+}
+
+// UpPorts returns the up-oriented ports of s, tree-parent links first (the
+// preference tree worms use while climbing).
+func (r *Routing) UpPorts(s topology.SwitchID) []int {
+	t := r.Topo
+	var parentPorts, others []int
+	for p := 0; p < t.PortsPerSwitch; p++ {
+		if r.Dirs[s][p] != DirUp {
+			continue
+		}
+		if t.Conn[s][p].Switch == r.Parent[s] {
+			parentPorts = append(parentPorts, p)
+		} else {
+			others = append(others, p)
+		}
+	}
+	return append(parentPorts, others...)
+}
+
+// DownPorts returns the down-oriented ports of s in ascending order.
+func (r *Routing) DownPorts(s topology.SwitchID) []int {
+	t := r.Topo
+	var out []int
+	for p := 0; p < t.PortsPerSwitch; p++ {
+		if r.Dirs[s][p] == DirDown {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Covers reports whether switch s can deliver every node in set without
+// further up movement.
+func (r *Routing) Covers(s topology.SwitchID, set *bitset.Set) bool {
+	return set.SubsetOf(r.Cover[s])
+}
+
+// PartitionDown splits a destination set at covering switch s into
+// (localNodes, perPort) where localNodes are destinations attached to s and
+// perPort maps down-port -> the subset of destinations that branch will
+// carry. Every destination is assigned to exactly one branch; ports with
+// larger overlaps are preferred so the branch count is small (greedy set
+// cover). Covers(s, set) must be true.
+func (r *Routing) PartitionDown(s topology.SwitchID, set *bitset.Set) (local []topology.NodeID, perPort map[int]*bitset.Set) {
+	t := r.Topo
+	remaining := set.Clone()
+	for _, n := range t.NodesAt(s) {
+		if remaining.Contains(int(n)) {
+			local = append(local, n)
+			remaining.Remove(int(n))
+		}
+	}
+	perPort = make(map[int]*bitset.Set)
+	downs := r.DownPorts(s)
+	for !remaining.Empty() {
+		best, bestCount := -1, 0
+		for _, p := range downs {
+			if _, used := perPort[p]; used {
+				continue
+			}
+			c := bitset.And(remaining, r.DownReach[s][p]).Count()
+			if c > bestCount {
+				best, bestCount = p, c
+			}
+		}
+		if best == -1 {
+			// Caller violated the Covers precondition.
+			panic(fmt.Sprintf("updown: PartitionDown at switch %d cannot cover %v", s, remaining.Indices()))
+		}
+		sub := bitset.And(remaining, r.DownReach[s][best])
+		perPort[best] = sub
+		remaining.DifferenceWith(sub)
+	}
+	return local, perPort
+}

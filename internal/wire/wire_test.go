@@ -1,0 +1,255 @@
+package wire
+
+import (
+	"testing"
+
+	"mcastsim/internal/bitset"
+	"mcastsim/internal/mcast/pathworm"
+	"mcastsim/internal/rng"
+	"mcastsim/internal/sim"
+	"mcastsim/internal/topology"
+	"mcastsim/internal/updown"
+)
+
+func defaultSizes() Sizes { return Sizes{Nodes: 32, Switches: 8, PortsPerSwitch: 8} }
+
+func routed(t *testing.T, seed uint64) (*topology.Topology, *updown.Routing) {
+	t.Helper()
+	topo, err := topology.Generate(topology.DefaultConfig(), rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := updown.New(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo, rt
+}
+
+func TestSizesValidate(t *testing.T) {
+	if err := defaultSizes().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Sizes{
+		{Nodes: 0, Switches: 1, PortsPerSwitch: 1},
+		{Nodes: 250, Switches: 10, PortsPerSwitch: 8},
+		{Nodes: 8, Switches: 2, PortsPerSwitch: 65},
+	}
+	for i, z := range bad {
+		if z.Validate() == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestUnicastRoundTrip(t *testing.T) {
+	z := defaultSizes()
+	for d := 0; d < z.Nodes; d++ {
+		b, err := EncodeUnicast(z, topology.NodeID(d))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(b) != sim.UnicastHeaderFlits {
+			t.Fatalf("unicast header %d bytes, sim says %d flits", len(b), sim.UnicastHeaderFlits)
+		}
+		got, err := DecodeUnicast(z, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != topology.NodeID(d) {
+			t.Fatalf("round trip %d -> %d", d, got)
+		}
+	}
+}
+
+func TestUnicastErrors(t *testing.T) {
+	z := defaultSizes()
+	if _, err := EncodeUnicast(z, 99); err == nil {
+		t.Fatal("out-of-range dest encoded")
+	}
+	if _, err := DecodeUnicast(z, []byte{TagTree, 0}); err == nil {
+		t.Fatal("wrong tag decoded")
+	}
+	if _, err := DecodeUnicast(z, []byte{TagUnicast}); err == nil {
+		t.Fatal("short header decoded")
+	}
+	if _, err := DecodeUnicast(z, []byte{TagUnicast, 200}); err == nil {
+		t.Fatal("out-of-range payload decoded")
+	}
+}
+
+func TestTreeRoundTripRandom(t *testing.T) {
+	z := defaultSizes()
+	r := rng.New(1)
+	for trial := 0; trial < 100; trial++ {
+		set := bitset.New(z.Nodes)
+		k := 1 + r.Intn(z.Nodes)
+		for _, v := range r.Sample(z.Nodes, k) {
+			set.Add(v)
+		}
+		b, err := EncodeTree(z, set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(b) != sim.TreeHeaderFlits(z.Nodes) {
+			t.Fatalf("tree header %d bytes, sim says %d flits", len(b), sim.TreeHeaderFlits(z.Nodes))
+		}
+		got, err := DecodeTree(z, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(set) {
+			t.Fatalf("tree round trip changed the set")
+		}
+	}
+}
+
+func TestTreeRejectsStrayBits(t *testing.T) {
+	// 33 nodes -> 5 mask bytes with 7 spare bits that must stay zero.
+	z := Sizes{Nodes: 33, Switches: 8, PortsPerSwitch: 8}
+	set := bitset.FromIndices(33, []int{0})
+	b, err := EncodeTree(z, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)-1] |= 0x80 // a bit beyond node 32
+	if _, err := DecodeTree(z, b); err == nil {
+		t.Fatal("stray bit accepted")
+	}
+}
+
+func TestTreeErrors(t *testing.T) {
+	z := defaultSizes()
+	if _, err := EncodeTree(z, bitset.New(32)); err == nil {
+		t.Fatal("empty set encoded")
+	}
+	if _, err := EncodeTree(z, bitset.FromIndices(16, []int{1})); err == nil {
+		t.Fatal("wrong universe encoded")
+	}
+	if _, err := DecodeTree(z, []byte{TagTree, 0, 0, 0, 0}); err == nil {
+		t.Fatal("empty decoded set accepted")
+	}
+}
+
+func TestPathRoundTripPlannerOutput(t *testing.T) {
+	// Round-trip every worm the real planner produces across random
+	// topologies and destination sets — codec and planner must agree.
+	for seed := uint64(1); seed <= 5; seed++ {
+		topo, rt := routed(t, seed)
+		r := rng.New(seed * 17)
+		for trial := 0; trial < 10; trial++ {
+			picks := r.Sample(topo.NumNodes, 17)
+			src := topology.NodeID(picks[0])
+			dests := make([]topology.NodeID, 16)
+			for i, v := range picks[1:] {
+				dests[i] = topology.NodeID(v)
+			}
+			res, err := pathworm.New().Cover(rt, src, dests)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, specs := range res.Sends {
+				for _, w := range specs {
+					b, err := EncodePath(topo, w.Path)
+					if err != nil {
+						t.Fatalf("encode: %v", err)
+					}
+					want := sim.PathHeaderFlits(len(w.Path), topo.PortsPerSwitch)
+					if len(b) != want {
+						t.Fatalf("path header %d bytes, sim says %d flits", len(b), want)
+					}
+					got, err := DecodePath(topo, b)
+					if err != nil {
+						t.Fatalf("decode: %v", err)
+					}
+					if len(got) != len(w.Path) {
+						t.Fatalf("segment count changed: %d vs %d", len(got), len(w.Path))
+					}
+					for i := range got {
+						if got[i].Switch != w.Path[i].Switch || got[i].NextPort != w.Path[i].NextPort {
+							t.Fatalf("segment %d changed: %+v vs %+v", i, got[i], w.Path[i])
+						}
+						if len(got[i].Drops) != len(w.Path[i].Drops) {
+							t.Fatalf("segment %d drops changed", i)
+						}
+						seen := map[topology.NodeID]bool{}
+						for _, d := range got[i].Drops {
+							seen[d] = true
+						}
+						for _, d := range w.Path[i].Drops {
+							if !seen[d] {
+								t.Fatalf("segment %d lost drop %d", i, d)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPathErrors(t *testing.T) {
+	topo, _ := routed(t, 9)
+	if _, err := EncodePath(topo, nil); err == nil {
+		t.Fatal("empty path encoded")
+	}
+	// A drop not attached to the stop switch.
+	var foreign topology.NodeID
+	for n := 0; n < topo.NumNodes; n++ {
+		if topo.NodeSwitch[n] != 0 {
+			foreign = topology.NodeID(n)
+			break
+		}
+	}
+	if _, err := EncodePath(topo, []sim.PathSeg{{Switch: 0, Drops: []topology.NodeID{foreign}, NextPort: -1}}); err == nil {
+		t.Fatal("foreign drop encoded")
+	}
+	if _, err := DecodePath(topo, []byte{TagPath, 0}); err == nil {
+		t.Fatal("truncated path decoded")
+	}
+	if _, err := DecodePath(topo, []byte{TagUnicast, 0, 0}); err == nil {
+		t.Fatal("wrong tag decoded")
+	}
+}
+
+func TestPathDecodeRejectsTwoContinuations(t *testing.T) {
+	topo, _ := routed(t, 10)
+	// Find a switch with two switch ports; set both bits.
+	for s := 0; s < topo.NumSwitches; s++ {
+		var swPorts []int
+		for p := 0; p < topo.PortsPerSwitch; p++ {
+			if topo.Conn[s][p].Kind == topology.ToSwitch {
+				swPorts = append(swPorts, p)
+			}
+		}
+		if len(swPorts) < 2 {
+			continue
+		}
+		b := []byte{TagPath, byte(topo.NumNodes + s), 0}
+		b[2] |= 1 << uint(swPorts[0])
+		b[2] |= 1 << uint(swPorts[1])
+		// Must have 1+maskBytes per segment: ports=8 -> 1 mask byte. This
+		// is a final segment with two continuations -> both error paths
+		// (double continuation or final-with-continuation) are fine.
+		if _, err := DecodePath(topo, b); err == nil {
+			t.Fatal("double continuation accepted")
+		}
+		return
+	}
+	t.Skip("no switch with two switch ports")
+}
+
+func TestPathFuzzDecode(t *testing.T) {
+	topo, _ := routed(t, 11)
+	r := rng.New(12)
+	for trial := 0; trial < 2000; trial++ {
+		n := 1 + r.Intn(12)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte(r.Intn(256))
+		}
+		b[0] = TagPath
+		// Must never panic; errors are fine.
+		_, _ = DecodePath(topo, b)
+	}
+}
