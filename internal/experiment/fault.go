@@ -23,7 +23,9 @@ func FaultReconfiguration(cfg Config) ([]*metrics.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	r := rng.New(cfg.Seed * 911)
+	// Mix rather than multiply: cfg.Seed * 911 collapses every run with
+	// Seed 0 onto the same stream (and correlates nearby seeds).
+	r := rng.New(rng.Mix(cfg.Seed, 911))
 
 	healthy := make([]*updown.Routing, 0, len(topos))
 	degraded := make([]*updown.Routing, 0, len(topos))
@@ -74,7 +76,7 @@ func FaultReconfiguration(cfg Config) ([]*metrics.Table, error) {
 				lats, err := traffic.RunSingle(rt, traffic.SingleConfig{
 					Scheme: sch, Params: cfg.Params, Degree: cfg.Degree,
 					MsgFlits: cfg.MsgFlits, Probes: cfg.Probes,
-					Seed: cfg.Seed + uint64(i)*7919,
+					Seed: rng.Mix(cfg.Seed, 7919, uint64(i)),
 				})
 				if err != nil {
 					return nil, err

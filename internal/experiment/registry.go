@@ -42,6 +42,7 @@ func Registry() []Entry {
 		{"mixed", "extension: multicast latency over unicast background traffic", MixedTraffic},
 		{"routing", "extension: BFS vs DFS up*/down* substrate", RoutingVariant},
 		{"fault", "extension: reconfiguration after one link failure", FaultReconfiguration},
+		{"faultsweep", "extension: mid-flight link failures, retransmission and recovery", FaultSweep},
 	}
 }
 

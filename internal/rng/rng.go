@@ -33,6 +33,21 @@ func New(seed uint64) *Source {
 	return &src
 }
 
+// Mix folds seed and any number of salts (topology index, probe index,
+// variant number, ...) into one well-mixed derived seed. Every experiment
+// runner derives per-run seeds through Mix rather than ad-hoc arithmetic
+// like seed*911 or seed+i*7919, which collapse for seed 0 and alias across
+// multipliers. Each input passes through a full splitmix64 finalization, so
+// Mix(0, a) != Mix(0, b) for a != b and Mix(s, a, b) != Mix(s, b, a).
+func Mix(seed uint64, salts ...uint64) uint64 {
+	_, out := splitmix64(seed)
+	for _, salt := range salts {
+		_, s := splitmix64(salt)
+		_, out = splitmix64(out ^ s)
+	}
+	return out
+}
+
 // splitmix64 advances the splitmix state and returns (newState, output).
 func splitmix64(state uint64) (uint64, uint64) {
 	state += 0x9e3779b97f4a7c15

@@ -1,0 +1,331 @@
+package sim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"mcastsim/internal/topology"
+	"mcastsim/internal/updown"
+)
+
+// unicastReplanner retransmits the failed remainder as plain unicast
+// sends from the source — the simplest legal fallback any scheme can use.
+func unicastReplanner(rt *updown.Routing, src topology.NodeID, dests []topology.NodeID, _ int) (*Plan, error) {
+	specs := make([]WormSpec, len(dests))
+	for i, d := range dests {
+		specs[i] = WormSpec{Kind: WormUnicast, Dest: d}
+	}
+	return &Plan{
+		Source:    src,
+		Dests:     append([]topology.NodeID(nil), dests...),
+		HostSends: map[topology.NodeID][]WormSpec{src: specs},
+	}, nil
+}
+
+// killFirstGrantedLink installs a tracer that fails the first inter-switch
+// link a worm is granted, a few cycles into its stream — a guaranteed
+// mid-flight severing of the worm's own path.
+func killFirstGrantedLink(n *Network) {
+	fired := false
+	n.SetTracer(func(ev TraceEvent) {
+		if fired || ev.Kind != TraceGrant {
+			return
+		}
+		li := n.Topology().LinkAt(ev.Switch, ev.Port)
+		if li < 0 {
+			return
+		}
+		fired = true
+		n.Schedule(n.Now()+20, func() { n.FailLink(li) })
+	})
+}
+
+func TestLinkFaultMidFlightUnicastRecovers(t *testing.T) {
+	n := fixtureNet(t, DefaultParams())
+	killFirstGrantedLink(n)
+	plan := unicastPlan(0, 7)
+	d, err := n.RunReliable(plan, 512, unicastReplanner, DefaultRetryPolicy())
+	if err != nil {
+		t.Fatalf("RunReliable: %v", err)
+	}
+	if !d.DeliveredAll() {
+		t.Fatalf("not fully delivered: %d/%d, failed %v", d.Delivered(), len(d.Dests), d.Failed)
+	}
+	s := n.Stats()
+	if s.WormsKilled == 0 {
+		t.Fatal("fault never tore down a worm (did the kill miss the flight?)")
+	}
+	if d.Attempts < 2 {
+		t.Fatalf("delivered in %d attempts despite a severed path", d.Attempts)
+	}
+	if s.FlitsDropped == 0 {
+		t.Fatal("severed worm dropped no flits")
+	}
+}
+
+func TestLinkFaultTreeWormRecovers(t *testing.T) {
+	n := fixtureNet(t, DefaultParams())
+	killFirstGrantedLink(n)
+	dests := []topology.NodeID{3, 5, 7}
+	plan := &Plan{
+		Source: 0,
+		Dests:  dests,
+		HostSends: map[topology.NodeID][]WormSpec{
+			0: {{Kind: WormTree, DestSet: dests}},
+		},
+	}
+	d, err := n.RunReliable(plan, 256, unicastReplanner, DefaultRetryPolicy())
+	if err != nil {
+		t.Fatalf("RunReliable: %v", err)
+	}
+	if !d.DeliveredAll() {
+		t.Fatalf("not fully delivered: %d/%d, failed %v", d.Delivered(), len(d.Dests), d.Failed)
+	}
+	if n.Stats().WormsKilled == 0 {
+		t.Fatal("fault never tore down a worm")
+	}
+}
+
+func TestLinkFaultPathWormRecovers(t *testing.T) {
+	n := fixtureNet(t, DefaultParams())
+	killFirstGrantedLink(n)
+	// Path: source 0 -> stop at switch 3 (drop node 3) -> continue out
+	// port 2 (the 3-5 link) -> stop at switch 5 (drop node 5).
+	plan := &Plan{
+		Source: 0,
+		Dests:  []topology.NodeID{3, 5},
+		HostSends: map[topology.NodeID][]WormSpec{
+			0: {{Kind: WormPath, Path: []PathSeg{
+				{Switch: 3, Drops: []topology.NodeID{3}, NextPort: 2},
+				{Switch: 5, Drops: []topology.NodeID{5}, NextPort: -1},
+			}}},
+		},
+	}
+	d, err := n.RunReliable(plan, 256, unicastReplanner, DefaultRetryPolicy())
+	if err != nil {
+		t.Fatalf("RunReliable: %v", err)
+	}
+	if !d.DeliveredAll() {
+		t.Fatalf("not fully delivered: %d/%d, failed %v", d.Delivered(), len(d.Dests), d.Failed)
+	}
+	if n.Stats().WormsKilled == 0 {
+		t.Fatal("fault never tore down a worm")
+	}
+}
+
+func TestSwitchFaultOrphansDestination(t *testing.T) {
+	n := fixtureNet(t, DefaultParams())
+	// Fail node 7's home switch while the message streams toward it.
+	n.Schedule(300, func() { n.FailSwitch(7) })
+	plan := &Plan{
+		Source: 0,
+		Dests:  []topology.NodeID{3, 7},
+		HostSends: map[topology.NodeID][]WormSpec{
+			0: {
+				{Kind: WormUnicast, Dest: 3},
+				{Kind: WormUnicast, Dest: 7},
+			},
+		},
+	}
+	d, err := n.RunReliable(plan, 512, unicastReplanner, DefaultRetryPolicy())
+	if err != nil {
+		t.Fatalf("RunReliable: %v", err)
+	}
+	if !n.NodeAlive(3) || n.NodeAlive(7) {
+		t.Fatal("aliveness wrong after switch fault")
+	}
+	if _, ok := d.DoneAt[3]; !ok {
+		t.Fatal("node 3 (on a surviving switch) was not delivered")
+	}
+	if len(d.Failed) != 1 || d.Failed[0] != 7 {
+		t.Fatalf("failed = %v, want [7]", d.Failed)
+	}
+	if d.Attempts != 1 {
+		t.Fatalf("retried toward a dead node: %d attempts", d.Attempts)
+	}
+}
+
+func TestReconfigurationReroutesAfterFault(t *testing.T) {
+	n := fixtureNet(t, DefaultParams())
+	// Fail the 5-7 link on an idle network, let the detection window pass,
+	// then verify a fresh multicast routes around it (7 only reachable via
+	// 6 now) with no retries needed.
+	n.Schedule(0, func() { n.FailLink(8) })
+	if err := n.Drain(0); err != nil {
+		t.Fatalf("drain after fault: %v", err)
+	}
+	if n.Stats().Reconfigs != 1 {
+		t.Fatalf("Reconfigs = %d, want 1", n.Stats().Reconfigs)
+	}
+	if n.Partitioned() {
+		t.Fatal("spuriously partitioned")
+	}
+	d, err := n.RunReliable(unicastPlan(0, 7), 128, unicastReplanner, DefaultRetryPolicy())
+	if err != nil {
+		t.Fatalf("RunReliable: %v", err)
+	}
+	if !d.DeliveredAll() || d.Attempts != 1 {
+		t.Fatalf("post-reconfiguration delivery: attempts=%d failed=%v", d.Attempts, d.Failed)
+	}
+	if n.Stats().WormsKilled != 0 {
+		t.Fatal("post-reconfiguration route still hit the dead link")
+	}
+}
+
+func TestRepairLinkRestoresRouting(t *testing.T) {
+	n := twoSwitch(t)
+	n.Schedule(0, func() { n.FailLink(0) })
+	n.Schedule(10_000, func() {
+		if !n.Partitioned() {
+			t.Error("single-link two-switch network should be partitioned after the failure")
+		}
+	})
+	n.Schedule(20_000, func() { n.RepairLink(0) })
+	if err := n.Drain(0); err != nil {
+		t.Fatalf("drain across fail/repair: %v", err)
+	}
+	if n.Partitioned() {
+		t.Fatal("still marked partitioned after repair + reconfiguration")
+	}
+	d, err := n.RunReliable(unicastPlan(0, 2), 128, unicastReplanner, DefaultRetryPolicy())
+	if err != nil {
+		t.Fatalf("RunReliable after repair: %v", err)
+	}
+	if !d.DeliveredAll() || d.Attempts != 1 {
+		t.Fatalf("post-repair delivery: attempts=%d failed=%v", d.Attempts, d.Failed)
+	}
+}
+
+func TestPartitionFailsUnreachableDests(t *testing.T) {
+	n := twoSwitch(t)
+	// Sever the only link mid-flight: nodes 2,3 become unreachable, and
+	// no amount of retrying can fix it — the protocol must give up.
+	killFirstGrantedLink(n)
+	plan := unicastPlan(0, 2)
+	d, err := n.RunReliable(plan, 512, unicastReplanner, DefaultRetryPolicy())
+	if err != nil {
+		t.Fatalf("RunReliable: %v", err)
+	}
+	if len(d.Failed) != 1 || d.Failed[0] != 2 {
+		t.Fatalf("failed = %v, want [2]", d.Failed)
+	}
+	if !n.Partitioned() {
+		t.Fatal("partition not detected")
+	}
+	if d.Attempts > DefaultRetryPolicy().MaxAttempts {
+		t.Fatalf("attempts %d exceeded policy cap", d.Attempts)
+	}
+}
+
+func TestStallWatchdogReportsStructure(t *testing.T) {
+	p := DefaultParams()
+	p.StallCycles = 5_000
+	topo, err := topology.Build(2, 4,
+		[][4]int{{0, 0, 1, 0}},
+		[][2]int{{0, 2}, {0, 3}, {1, 2}, {1, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := updown.New(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := New(rt, p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Induce a permanent stall without the fault layer's teardown: once
+	// the stream starts, zero the injection line's credits and turn the
+	// home buffer's credit return into a no-op, so the sender blocks on
+	// backpressure forever.
+	sabotaged := false
+	n.SetTracer(func(ev TraceEvent) {
+		if sabotaged || ev.Kind != TraceInject {
+			return
+		}
+		sabotaged = true
+		n.Schedule(n.Now()+50, func() {
+			n.nis[0].inj.credits = 0
+			n.switches[0].inBufs[2].creditFn = func() {}
+		})
+	})
+	// Keep the event queue alive so the watchdog (not queue exhaustion)
+	// fires.
+	var heartbeat func()
+	heartbeat = func() {
+		if n.Outstanding() > 0 {
+			n.Schedule(n.Now()+500, heartbeat)
+		}
+	}
+	n.Schedule(500, heartbeat)
+	_, err = n.Send(unicastPlan(0, 2), 512, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = n.Drain(0)
+	var stall *StallError
+	if !errors.As(err, &stall) {
+		t.Fatalf("Drain = %v, want *StallError", err)
+	}
+	if stall.QueueEmpty {
+		t.Fatal("watchdog should have fired before the queue emptied")
+	}
+	if stall.Outstanding != 1 {
+		t.Fatalf("Outstanding = %d, want 1", stall.Outstanding)
+	}
+	if len(stall.Stuck) == 0 {
+		t.Fatal("stall report names no stuck worms")
+	}
+	if !strings.Contains(err.Error(), "stall") || !strings.Contains(err.Error(), "stuck") {
+		t.Fatalf("unhelpful stall message: %q", err.Error())
+	}
+}
+
+func TestInvariantErrorOnFaultFreeNetwork(t *testing.T) {
+	n := twoSwitch(t)
+	// A structurally valid plan whose continuation makes an illegal up
+	// turn after descending: switch 1's port 0 points up (to the root),
+	// and the worm arrives at switch 1 in the down phase.
+	plan := &Plan{
+		Source: 0,
+		Dests:  []topology.NodeID{2, 1},
+		HostSends: map[topology.NodeID][]WormSpec{
+			0: {{Kind: WormPath, Path: []PathSeg{
+				{Switch: 1, Drops: []topology.NodeID{2}, NextPort: 0},
+				{Switch: 0, Drops: []topology.NodeID{1}, NextPort: -1},
+			}}},
+		},
+	}
+	_, err := n.RunSingle(plan, 64)
+	var inv *InvariantError
+	if !errors.As(err, &inv) {
+		t.Fatalf("RunSingle = %v, want *InvariantError", err)
+	}
+	if inv.Switch != 1 {
+		t.Fatalf("invariant blamed switch %d, want 1", inv.Switch)
+	}
+	if !strings.Contains(inv.Error(), "up turn") {
+		t.Fatalf("unhelpful invariant message: %q", inv.Error())
+	}
+}
+
+func TestFaultScheduleValidation(t *testing.T) {
+	n := twoSwitch(t)
+	if err := n.InstallFaults(&FaultSchedule{Events: []FaultEvent{
+		{At: 10, Kind: FaultLink, Link: 99},
+	}}); err == nil {
+		t.Fatal("out-of-range link accepted")
+	}
+	if err := n.InstallFaults(&FaultSchedule{Events: []FaultEvent{
+		{At: 10, Kind: FaultSwitch, Switch: 99},
+	}}); err == nil {
+		t.Fatal("out-of-range switch accepted")
+	}
+	if err := n.InstallFaults(&FaultSchedule{Events: []FaultEvent{
+		{At: 10, Kind: FaultLink, Link: 0},
+		{At: 500, Kind: RepairLink, Link: 0},
+	}}); err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+}

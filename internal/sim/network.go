@@ -20,6 +20,12 @@ type Stats struct {
 	PacketsToHost   int64 // packets DMA'd into host memory
 	MessagesSent    int64
 	MessagesDone    int64
+
+	// Fault-layer counters (all zero on fault-free runs).
+	FlitsDropped int64 // flits of torn-down worms drained on arrival
+	WormsKilled  int64 // worms torn down by the fault layer
+	DestsFailed  int64 // destination deliveries declared failed
+	Reconfigs    int64 // routing-table rebuilds that completed
 }
 
 // switchState holds one switch's per-port runtime structures; unwired
@@ -58,6 +64,21 @@ type Network struct {
 	nextMsgID   int64
 	stats       Stats
 	tracer      func(TraceEvent)
+
+	// Fault-layer state (see fault.go). deadLink/deadSwitch mirror the
+	// injected faults; faulted flips true at the first fault and gates the
+	// dead-port filtering in fileRequest; partitioned records a failed
+	// reconfiguration; invariant holds the first routing-invariant
+	// violation seen on a fault-free run; progress counts control-plane
+	// steps for the stall watchdog; reconfigEpoch coalesces detection
+	// windows.
+	deadLink      []bool
+	deadSwitch    []bool
+	faulted       bool
+	partitioned   bool
+	invariant     *InvariantError
+	progress      int64
+	reconfigEpoch int
 }
 
 // New assembles a network over a routed topology. The seed drives only
@@ -197,6 +218,9 @@ func (n *Network) Send(plan *Plan, flits int, at event.Time, onComplete func(*Me
 
 // DeadlockError reports a simulation that stopped making progress with
 // messages still in flight.
+//
+// Deprecated: Drain now diagnoses stalls with the richer StallError; this
+// type remains for message-format compatibility.
 type DeadlockError struct {
 	At          event.Time
 	Outstanding int
@@ -206,22 +230,140 @@ func (e *DeadlockError) Error() string {
 	return fmt.Sprintf("sim: no runnable events at t=%d with %d messages outstanding", e.At, e.Outstanding)
 }
 
+// StuckWorm is one worm the stall watchdog found resident in an input
+// buffer when the simulation stopped making progress.
+type StuckWorm struct {
+	Worm    int64
+	Msg     int64
+	Switch  topology.SwitchID
+	Port    int
+	Arrived int // flits that reached the buffer
+	Len     int // the worm's full stream length
+	Routed  bool
+}
+
+// HeldPort is one output port the stall watchdog found allocated, with
+// the holding worm and the number of queued waiters.
+type HeldPort struct {
+	Switch  topology.SwitchID
+	Port    int
+	Worm    int64
+	Waiters int
+}
+
+// StallError is the progress watchdog's structured report: the
+// simulation went StallCycles (or ran out of events entirely —
+// QueueEmpty) without a single flit movement or control-plane step while
+// messages were still outstanding. Stuck and Held name the wedged worms
+// and the ports they are fighting over.
+type StallError struct {
+	At          event.Time
+	Outstanding int
+	QueueEmpty  bool
+	Stuck       []StuckWorm
+	Held        []HeldPort
+}
+
+func (e *StallError) Error() string {
+	cause := "no flit progress"
+	if e.QueueEmpty {
+		cause = "no runnable events"
+	}
+	s := fmt.Sprintf("sim: stall: %s at t=%d with %d messages outstanding; %d stuck worms, %d held ports",
+		cause, e.At, e.Outstanding, len(e.Stuck), len(e.Held))
+	const cap = 8
+	for i, w := range e.Stuck {
+		if i == cap {
+			s += fmt.Sprintf("\n  ... %d more stuck worms", len(e.Stuck)-cap)
+			break
+		}
+		s += fmt.Sprintf("\n  worm %d (msg %d) at switch %d port %d: %d/%d flits, routed=%v",
+			w.Worm, w.Msg, w.Switch, w.Port, w.Arrived, w.Len, w.Routed)
+	}
+	for i, h := range e.Held {
+		if i == cap {
+			s += fmt.Sprintf("\n  ... %d more held ports", len(e.Held)-cap)
+			break
+		}
+		s += fmt.Sprintf("\n  port %d/%d held by worm %d with %d waiters", h.Switch, h.Port, h.Worm, h.Waiters)
+	}
+	return s
+}
+
+// stallReport assembles the watchdog's structured stall report from the
+// live switch state.
+func (n *Network) stallReport(queueEmpty bool) *StallError {
+	e := &StallError{At: n.queue.Now(), Outstanding: n.outstanding, QueueEmpty: queueEmpty}
+	for s, st := range n.switches {
+		for p, b := range st.inBufs {
+			if b == nil {
+				continue
+			}
+			for _, o := range b.occupants {
+				e.Stuck = append(e.Stuck, StuckWorm{
+					Worm: o.w.id, Msg: o.w.msg.ID,
+					Switch: topology.SwitchID(s), Port: p,
+					Arrived: o.arrived, Len: o.w.len, Routed: o.routed,
+				})
+			}
+		}
+		for p, op := range st.outPorts {
+			if op == nil || op.holder == nil {
+				continue
+			}
+			waiters := 0
+			for _, req := range op.queue {
+				if !req.granted {
+					waiters++
+				}
+			}
+			e.Held = append(e.Held, HeldPort{
+				Switch: topology.SwitchID(s), Port: p,
+				Worm: op.holder.w.id, Waiters: waiters,
+			})
+		}
+	}
+	return e
+}
+
 // Drain runs the simulation until all in-flight work completes. maxEvents
-// (0 = a generous default) bounds runaway simulations. It returns a
-// DeadlockError if the event queue empties with messages outstanding.
+// (0 = a generous default) bounds runaway simulations.
+//
+// Termination diagnostics: if a routing invariant was violated on a
+// fault-free network Drain returns the recorded *InvariantError; if the
+// event queue empties with messages outstanding, or the progress watchdog
+// sees no flit movement (and no control-plane step) for
+// Params.StallCycles while work is outstanding, Drain returns a
+// *StallError naming the stuck worms and held ports.
 func (n *Network) Drain(maxEvents uint64) error {
 	if maxEvents == 0 {
 		maxEvents = 1 << 34
 	}
+	watch := n.params.StallCycles
+	lastSig := int64(-1)
+	var lastAt event.Time
 	for i := uint64(0); i < maxEvents; i++ {
 		if !n.queue.Step() {
 			if n.outstanding > 0 {
-				return &DeadlockError{At: n.queue.Now(), Outstanding: n.outstanding}
+				return n.stallReport(true)
 			}
 			return nil
 		}
+		if n.invariant != nil {
+			return n.invariant
+		}
 		if n.outstanding == 0 && n.queue.Len() == 0 {
 			return nil
+		}
+		if watch > 0 && n.outstanding > 0 {
+			sig := n.stats.FlitHops + n.progress
+			now := n.queue.Now()
+			if sig != lastSig {
+				lastSig = sig
+				lastAt = now
+			} else if now-lastAt >= watch {
+				return n.stallReport(false)
+			}
 		}
 	}
 	return fmt.Errorf("sim: event budget %d exhausted at t=%d (%d outstanding)", maxEvents, n.queue.Now(), n.outstanding)

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"sort"
 
 	"mcastsim/internal/event"
 	"mcastsim/internal/topology"
@@ -16,6 +17,11 @@ type ni struct {
 	net  *Network
 	node topology.NodeID
 	inj  *channel // injection line into the home switch
+
+	// dead marks an NI orphaned by its home switch's failure: sends are
+	// failed at the source and arrivals cease (the ejection channel died
+	// with the switch).
+	dead bool
 
 	hostFree event.Time
 	niFree   event.Time
@@ -71,6 +77,11 @@ func reserve(free *event.Time, now, dur event.Time) event.Time {
 // source's children (paper §3.2.1). Callable only from within an event.
 func (x *ni) hostSend(m *Message, spec *WormSpec) {
 	n := x.net
+	if x.dead {
+		// The sender is cut off: everything this send would deliver fails.
+		x.failSendDests(m, spec)
+		return
+	}
 	softDone := reserve(&x.hostFree, n.queue.Now(), n.params.OHostSend)
 	n.queue.At(softDone, func() {
 		cur := n.queue.Now()
@@ -110,6 +121,10 @@ func (x *ni) replicaBurst(m *Message, pkt int) *burst {
 // admitBurst takes an NI buffer slot for b (deferring when the buffer is
 // bounded and full) and charges the per-packet NI send overhead.
 func (x *ni) admitBurst(b *burst) {
+	if x.dead {
+		x.dropBurst(b)
+		return
+	}
 	limit := x.net.params.NIInjectBufferPackets
 	if limit > 0 && (x.injHeld >= limit || len(x.injWait) > 0) {
 		x.injWait = append(x.injWait, b)
@@ -123,6 +138,11 @@ func (x *ni) chargeAndReady(b *burst) {
 	n := x.net
 	procDone := reserve(&x.niFree, n.queue.Now(), n.params.ONISend)
 	n.queue.At(procDone, func() {
+		if x.dead {
+			x.injHeld--
+			x.dropBurst(b)
+			return
+		}
 		x.ready = append(x.ready, b)
 		if !x.streaming {
 			x.startStream()
@@ -167,6 +187,11 @@ func (x *ni) startStream() {
 
 // flitArrive accepts one flit of w from the ejection channel.
 func (x *ni) flitArrive(w *worm) {
+	if w.dead {
+		// Straggler of a torn-down worm; the partial packet was discarded.
+		x.net.stats.FlitsDropped++
+		return
+	}
 	x.net.stats.FlitsDelivered++
 	c := x.rxFlits[w] + 1
 	if c > w.len {
@@ -188,9 +213,15 @@ func (x *ni) flitArrive(w *worm) {
 // overhead at intermediate destinations).
 func (x *ni) packetArrived(w *worm) {
 	n := x.net
+	m := w.msg
+	if m.Failed(x.node) {
+		// This destination was already declared failed (another packet of
+		// the message died); a stray complete packet does not resurrect
+		// it — the retransmission layer owns the remainder.
+		return
+	}
 	n.stats.PacketsAtNI++
 	n.trace(TraceEvent{Kind: TraceDeliver, Worm: w.id, Msg: w.msg.ID, Pkt: w.pkt, Node: x.node})
-	m := w.msg
 	procDone := reserve(&x.niFree, n.queue.Now(), n.params.ONIRecv)
 	n.queue.At(procDone, func() {
 		if m.Plan.NITree != nil && len(m.Plan.NITree[x.node]) > 0 {
@@ -220,6 +251,9 @@ func (x *ni) packetArrived(w *worm) {
 // triggers the per-message host receive overhead and completion.
 func (x *ni) hostPacketArrived(m *Message) {
 	n := x.net
+	if m.Failed(x.node) {
+		return
+	}
 	c := x.rxMsgs[m] + 1
 	n.stats.PacketsToHost++
 	if c < m.Packets {
@@ -234,6 +268,11 @@ func (x *ni) hostPacketArrived(m *Message) {
 // destDone records destination completion, fires any secondary-source
 // sends this node owes (multi-phase schemes), and completes the message.
 func (n *Network) destDone(m *Message, node topology.NodeID) {
+	if m.Failed(node) {
+		// Late delivery racing the teardown that declared this dest
+		// failed; the retransmission layer already owns it.
+		return
+	}
 	if _, dup := m.DoneAt[node]; dup {
 		panic(fmt.Sprintf("sim: node %d received message %d twice", node, m.ID))
 	}
@@ -253,5 +292,133 @@ func (n *Network) destDone(m *Message, node topology.NodeID) {
 		if m.onComplete != nil {
 			m.onComplete(m)
 		}
+	}
+}
+
+// --- fault handling ---
+
+// failSendDests fails everything a hostSend would have delivered: the
+// NI-tree children for the source replication send (spec == nil), or the
+// spec's destinations. The cascade in failDest covers deeper subtrees.
+func (x *ni) failSendDests(m *Message, spec *WormSpec) {
+	if spec == nil {
+		for _, kid := range m.Plan.NITree[x.node] {
+			x.net.failDest(m, kid)
+		}
+		return
+	}
+	for _, d := range spec.delivered() {
+		x.net.failDest(m, d)
+	}
+}
+
+// dropBurst fails the destinations of every worm in b that has not started
+// streaming.
+func (x *ni) dropBurst(b *burst) {
+	for _, w := range b.worms[b.next:] {
+		x.net.failWormDests(w)
+	}
+}
+
+// promoteWaiting admits deferred bursts while buffer slots are free
+// (mirrors the onDone promotion after aborts change injHeld).
+func (x *ni) promoteWaiting() {
+	limit := x.net.params.NIInjectBufferPackets
+	for len(x.injWait) > 0 && (limit <= 0 || x.injHeld < limit) {
+		b := x.injWait[0]
+		x.injWait = x.injWait[1:]
+		x.injHeld++
+		x.chargeAndReady(b)
+	}
+}
+
+// abortMessage tears down every injection- and reception-side trace of m at
+// this NI: queued bursts, the active injection stream, and partial packets.
+func (x *ni) abortMessage(m *Message) {
+	var keep []*burst
+	for _, b := range x.ready {
+		if len(b.worms) > 0 && b.worms[0].msg == m {
+			x.injHeld--
+			x.dropBurst(b)
+			continue
+		}
+		keep = append(keep, b)
+	}
+	x.ready = keep
+	keep = nil
+	for _, b := range x.injWait {
+		if len(b.worms) > 0 && b.worms[0].msg == m {
+			x.dropBurst(b)
+			continue
+		}
+		keep = append(keep, b)
+	}
+	x.injWait = keep
+	if br := x.inj.sender; br != nil && !br.done && br.w.msg == m {
+		x.net.killBranch(br)
+		x.net.killDownstream(br)
+		if br.onDone != nil {
+			br.onDone() // unwind streaming state and start the next burst
+		}
+	}
+	x.promoteWaiting()
+	for w := range x.rxFlits {
+		if w.msg == m {
+			delete(x.rxFlits, w)
+		}
+	}
+	delete(x.rxMsgs, m)
+	delete(x.rxHeld, m)
+}
+
+// orphan marks the NI dead (its home switch failed) and abandons all
+// injection state; every undelivered destination of every queued or
+// streaming worm is failed. Partially received messages fail at this node.
+func (x *ni) orphan() {
+	if x.dead {
+		return
+	}
+	x.dead = true
+	n := x.net
+	if br := x.inj.sender; br != nil && !br.done {
+		n.killBranch(br)
+		n.killDownstream(br)
+		n.failBranchDests(br)
+	}
+	x.streaming = false
+	for _, b := range x.ready {
+		x.dropBurst(b)
+	}
+	x.ready = nil
+	for _, b := range x.injWait {
+		x.dropBurst(b)
+	}
+	x.injWait = nil
+	x.injHeld = 0
+	// Reception side: deterministically fail partially received messages.
+	msgs := make([]*Message, 0, len(x.rxFlits)+len(x.rxMsgs)+len(x.rxHeld))
+	seen := make(map[*Message]bool)
+	for w := range x.rxFlits {
+		if !seen[w.msg] {
+			seen[w.msg] = true
+			msgs = append(msgs, w.msg)
+		}
+	}
+	for m := range x.rxMsgs {
+		if !seen[m] {
+			seen[m] = true
+			msgs = append(msgs, m)
+		}
+	}
+	for m := range x.rxHeld {
+		if !seen[m] {
+			seen[m] = true
+			msgs = append(msgs, m)
+		}
+	}
+	sort.Slice(msgs, func(i, j int) bool { return msgs[i].ID < msgs[j].ID })
+	x.rxFlits = make(map[*worm]int)
+	for _, m := range msgs {
+		n.failDest(m, x.node)
 	}
 }

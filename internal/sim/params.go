@@ -67,6 +67,22 @@ type Params struct {
 	// forwarding each packet as it arrives. Multi-packet messages then
 	// lose their pipeline across tree levels.
 	NIStoreAndForward bool
+
+	// FaultDetectCycles is the reconfiguration epoch: the delay between a
+	// fault event and the moment recomputed up*/down* tables are swapped
+	// into the switches (fault detection + Autonet-style rebuild +
+	// distribution, modeled as one lump). Worms routed in that window see
+	// stale tables and may be torn down. Negative disables reconfiguration
+	// entirely (tables stay stale); 0 swaps in the same cycle.
+	FaultDetectCycles event.Time
+
+	// StallCycles is the progress-watchdog horizon: when a Drain has
+	// messages outstanding and sees no flit movement and no control-plane
+	// progress (reconfiguration, retransmission scheduling) for this many
+	// cycles, it fails with a structured StallError naming the stuck worms
+	// and held ports instead of spinning or hanging. <= 0 disables the
+	// periodic watchdog; the empty-queue check always applies.
+	StallCycles event.Time
 }
 
 // DefaultParams returns the paper's default system parameters (§4.1,
@@ -84,6 +100,9 @@ func DefaultParams() Params {
 		RoutingDelay:  1,
 		CrossbarDelay: 1,
 		LinkDelay:     1,
+
+		FaultDetectCycles: 2_000,
+		StallCycles:       200_000,
 	}
 }
 

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"sort"
 
 	"mcastsim/internal/event"
 	"mcastsim/internal/topology"
@@ -248,6 +249,14 @@ type Message struct {
 	Initiated event.Time
 	DoneAt    map[topology.NodeID]event.Time
 
+	// FailedAt[d] is when the fault layer declared destination d
+	// undeliverable for this message (its worm was torn down at a failed
+	// channel, its forwarding parent failed, or the message was aborted).
+	// A failed destination still counts against remaining, so a message
+	// with failures completes with Done() true but DeliveredAll() false;
+	// the retransmission layer re-plans the failed remainder.
+	FailedAt map[topology.NodeID]event.Time
+
 	// OnDestDone, when set (immediately after Send returns, before the
 	// simulation advances), fires at each destination's host-completion
 	// time — the hook for building collectives like gather or ack
@@ -274,5 +283,61 @@ func (m *Message) Latency() event.Time {
 	return last - m.Initiated
 }
 
-// Done reports whether every destination's host has received the message.
+// Done reports whether every destination has been accounted for — received
+// by its host or declared failed by the fault layer.
 func (m *Message) Done() bool { return m.remaining == 0 }
+
+// DeliveredAll reports whether every destination's host actually received
+// the message (Done with no failures).
+func (m *Message) DeliveredAll() bool { return m.remaining == 0 && len(m.FailedAt) == 0 }
+
+// Failed reports whether destination d was declared undeliverable.
+func (m *Message) Failed(d topology.NodeID) bool {
+	_, ok := m.FailedAt[d]
+	return ok
+}
+
+// FailedDests returns the failed destinations in ascending node order (the
+// deterministic input for re-planning a retransmission).
+func (m *Message) FailedDests() []topology.NodeID {
+	if len(m.FailedAt) == 0 {
+		return nil
+	}
+	out := make([]topology.NodeID, 0, len(m.FailedAt))
+	for d := range m.FailedAt {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// delivered lists every destination a spec delivers.
+func (w *WormSpec) delivered() []topology.NodeID {
+	switch w.Kind {
+	case WormUnicast:
+		return []topology.NodeID{w.Dest}
+	case WormTree:
+		return w.DestSet
+	case WormPath:
+		var out []topology.NodeID
+		for _, seg := range w.Path {
+			out = append(out, seg.Drops...)
+		}
+		return out
+	}
+	return nil
+}
+
+// DeliveryChildren returns the destinations whose delivery depends on node
+// d having received the message: d's NI-tree children and everything d's
+// own HostSends specs would deliver as a secondary source. When d fails,
+// its delivery subtree fails with it (and is re-planned by the
+// retransmission layer from the true source).
+func (p *Plan) DeliveryChildren(d topology.NodeID) []topology.NodeID {
+	var out []topology.NodeID
+	out = append(out, p.NITree[d]...)
+	for i := range p.HostSends[d] {
+		out = append(out, p.HostSends[d][i].delivered()...)
+	}
+	return out
+}

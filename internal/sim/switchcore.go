@@ -22,6 +22,11 @@ type channel struct {
 	lineFree event.Time
 	sender   *branch // active sender, for credit wake-ups
 
+	// dead marks a failed channel: the active sender is torn down at the
+	// break, in-flight flits past it are drained and dropped, and no new
+	// grant streams over it until a repair resets the flag.
+	dead bool
+
 	label     string // "s3p5->s7", "inj n4", "ej n4" — for utilization reports
 	busyFlits int64  // flits carried, for utilization reports
 }
@@ -62,6 +67,7 @@ type occupant struct {
 	evicted  int // flits freed so far (forwarded by every consumer branch)
 	routed   bool
 	routing  bool // a routing event is pending
+	killed   bool // torn down by the fault layer; removed from the buffer
 	branches []*branch
 }
 
@@ -100,6 +106,14 @@ type branch struct {
 	// (used by the NI injector to start the next packet).
 	onDone func()
 
+	// req is the branch's pending arbitration entry; a kill cancels it
+	// lazily by marking it granted.
+	req *portRequest
+	// drops, when non-nil, names the exact destinations this branch
+	// delivers (path-worm drop branches: the worm still carries the whole
+	// remaining path, but the branch ejects to one node).
+	drops []topology.NodeID
+
 	// pumpFn and deliverFn are the branch's event closures, allocated
 	// once: per-flit scheduling of fresh closures dominated the profile.
 	pumpFn    func()
@@ -128,6 +142,7 @@ type outPort struct {
 	port   int
 	ch     *channel
 	holder *branch
+	dead   bool // the port's channel (or switch) has failed
 	queue  []*portRequest
 }
 
@@ -145,6 +160,16 @@ type portRequest struct {
 // --- input buffer ---
 
 func (b *inputBuf) flitArrive(w *worm) {
+	if w.dead {
+		// Straggler flit of a torn-down worm: drain it. The sender already
+		// spent a credit on it; hand the credit straight back if the
+		// feeding channel is still alive so the buffer slot never leaks.
+		b.net.stats.FlitsDropped++
+		if b.upstream != nil && !b.upstream.dead {
+			b.creditFn()
+		}
+		return
+	}
 	b.used++
 	if b.used > b.cap {
 		panic(fmt.Sprintf("sim: input buffer %d/%d overflow (credit accounting bug)", b.sw, b.port))
@@ -176,7 +201,7 @@ func (b *inputBuf) flitArrive(w *worm) {
 // advanceEviction frees buffer slots whose flits every consumer branch has
 // forwarded (or never needed), returning credits upstream.
 func (o *occupant) advanceEviction() {
-	if !o.routed {
+	if !o.routed || o.killed {
 		return
 	}
 	b := o.buf
@@ -207,7 +232,7 @@ func (o *occupant) advanceEviction() {
 // the next resident worm.
 func (o *occupant) maybeComplete() {
 	b := o.buf
-	if o.evicted != o.w.len || len(b.occupants) == 0 || b.occupants[0] != o {
+	if o.killed || o.evicted != o.w.len || len(b.occupants) == 0 || b.occupants[0] != o {
 		return
 	}
 	b.occupants = b.occupants[1:]
@@ -225,6 +250,9 @@ func (o *occupant) maybeComplete() {
 // route decodes the head occupant's header and creates its branches.
 func (o *occupant) route() {
 	o.routing = false
+	if o.killed {
+		return
+	}
 	o.routed = true
 	net := o.buf.net
 	s := o.buf.sw
@@ -261,7 +289,8 @@ func (n *Network) routeUnicast(o *occupant, s topology.SwitchID, w *worm) {
 	}
 	ports, phases := n.rt.NextHops(s, w.phase, home)
 	if len(ports) == 0 {
-		panic(fmt.Sprintf("sim: no legal route for %v at switch %d phase %v", w, s, w.phase))
+		n.routeFailure(o, s, fmt.Sprintf("no legal route for %v phase %v", w, w.phase))
+		return
 	}
 	br := n.newBranch(o, w.child(n, 0), 0)
 	n.fileAdaptive(br, s, ports, phases)
@@ -287,7 +316,12 @@ func (n *Network) routeTree(o *occupant, s topology.SwitchID, w *worm) {
 	}
 	if n.rt.Covers(s, remaining) {
 		// Replicate down: partition the remaining set across down ports.
-		for _, ps := range n.partitionDownAdaptive(s, remaining) {
+		parts, ok := n.partitionDownAdaptive(s, remaining)
+		if !ok {
+			n.routeFailure(o, s, fmt.Sprintf("down partition cannot cover %v", remaining.Indices()))
+			return
+		}
+		for _, ps := range parts {
 			c := w.child(n, 0)
 			c.destSet = ps.sub
 			c.phase = updown.PhaseDown
@@ -297,7 +331,8 @@ func (n *Network) routeTree(o *occupant, s topology.SwitchID, w *worm) {
 		return
 	}
 	if w.phase == updown.PhaseDown {
-		panic(fmt.Sprintf("sim: tree worm %v descended to switch %d that cannot cover %v", w, s, remaining.Indices()))
+		n.routeFailure(o, s, fmt.Sprintf("tree worm %v descended to a switch that cannot cover %v", w, remaining.Indices()))
+		return
 	}
 	if n.params.EarlyTreeBranch {
 		// Ablation variant: peel off down-coverable subsets while climbing.
@@ -322,7 +357,8 @@ func (n *Network) routeTree(o *occupant, s topology.SwitchID, w *worm) {
 	// common ancestor switch using links in the up direction").
 	ports := n.climbPorts(s, remaining)
 	if len(ports) == 0 {
-		panic(fmt.Sprintf("sim: tree worm %v stuck at switch %d", w, s))
+		n.routeFailure(o, s, fmt.Sprintf("tree worm %v stuck: no up port reaches a switch covering %v", w, remaining.Indices()))
+		return
 	}
 	c := w.child(n, 0)
 	c.destSet = remaining
@@ -344,7 +380,8 @@ func (n *Network) routePath(o *occupant, s topology.SwitchID, w *worm) {
 		// unicast routing, header intact.
 		ports, phases := n.rt.NextHops(s, w.phase, seg.Switch)
 		if len(ports) == 0 {
-			panic(fmt.Sprintf("sim: path worm %v has no legal route at switch %d", w, s))
+			n.routeFailure(o, s, fmt.Sprintf("path worm %v has no legal route toward switch %d", w, seg.Switch))
+			return
 		}
 		br := n.newBranch(o, w.child(n, 0), 0)
 		n.fileAdaptive(br, s, ports, phases)
@@ -369,15 +406,21 @@ func (n *Network) routePath(o *occupant, s topology.SwitchID, w *worm) {
 		// (the multi-drop mechanism's delivery buffering); only the
 		// continuation below is synchronous.
 		br.elastic = true
+		br.drops = []topology.NodeID{d}
 		n.fileRequest(br, []*outPort{n.switches[s].outPorts[p]}, []updown.Phase{w.phase})
 	}
 	if seg.NextPort >= 0 {
+		// The continuation port was legal when the plan was built; a fault
+		// plus reconfiguration can have killed the link or flipped its
+		// orientation since.
 		dir := n.rt.Dirs[s][seg.NextPort]
 		if dir == updown.DirNone {
-			panic(fmt.Sprintf("sim: path worm continues out non-switch port %d of switch %d", seg.NextPort, s))
+			n.routeFailure(o, s, fmt.Sprintf("path worm %v continues out port %d, which is no longer a legal switch port", w, seg.NextPort))
+			return
 		}
 		if dir == updown.DirUp && w.phase == updown.PhaseDown {
-			panic(fmt.Sprintf("sim: path worm makes an up turn after down at switch %d", s))
+			n.routeFailure(o, s, fmt.Sprintf("path worm %v would make an up turn after down out port %d", w, seg.NextPort))
+			return
 		}
 		next := w.phase
 		if dir == updown.DirDown {
@@ -407,10 +450,12 @@ type portSet struct {
 // deterministic tie-break would funnel every worm through the same ports,
 // while real switches are free to pick any covering port. The result is
 // an ordered slice — callers create branches in this order, and branch
-// order feeds arbitration, so it must not depend on map iteration.
-func (n *Network) partitionDownAdaptive(s topology.SwitchID, set *bitset.Set) []portSet {
+// order feeds arbitration, so it must not depend on map iteration. ok is
+// false when the down ports cannot cover the set — impossible under the
+// Covers precondition on healthy routing state, but reachable when a fault
+// invalidates the reachability strings mid-run.
+func (n *Network) partitionDownAdaptive(s topology.SwitchID, set *bitset.Set) (out []portSet, ok bool) {
 	remaining := set.Clone()
-	var out []portSet
 	used := make(map[int]bool)
 	downs := append([]int(nil), n.rt.DownPorts(s)...)
 	n.arb.Shuffle(len(downs), func(i, j int) { downs[i], downs[j] = downs[j], downs[i] })
@@ -426,14 +471,14 @@ func (n *Network) partitionDownAdaptive(s topology.SwitchID, set *bitset.Set) []
 			}
 		}
 		if best == -1 {
-			panic(fmt.Sprintf("sim: down partition at switch %d cannot cover %v", s, remaining.Indices()))
+			return nil, false
 		}
 		sub := bitset.And(remaining, n.rt.DownReach[s][best])
 		used[best] = true
 		out = append(out, portSet{port: best, sub: sub})
 		remaining.DifferenceWith(sub)
 	}
-	return out
+	return out, true
 }
 
 // climbPorts returns the up ports of s that begin a shortest all-up path to
@@ -498,7 +543,25 @@ func (n *Network) fileAdaptive(br *branch, s topology.SwitchID, ports []int, pha
 }
 
 func (n *Network) fileRequest(br *branch, ports []*outPort, phases []updown.Phase) {
+	if n.faulted {
+		// Routing state can lag a fault by up to the detection delay: drop
+		// candidate ports that have died since the tables were computed.
+		live, livePhases := ports[:0], phases[:0]
+		for i, p := range ports {
+			if p != nil && p.dead {
+				continue
+			}
+			live = append(live, p)
+			livePhases = append(livePhases, phases[i])
+		}
+		ports, phases = live, livePhases
+		if len(ports) == 0 {
+			n.deadEndBranch(br)
+			return
+		}
+	}
 	req := &portRequest{br: br, ports: ports, phases: phases}
+	br.req = req
 	for i, p := range ports {
 		if p == nil {
 			panic(fmt.Sprintf("sim: request against unwired port (switch %d)", br.occ.buf.sw))
@@ -530,11 +593,19 @@ func (o *outPort) grant(req *portRequest, i int) {
 // release frees the port after a tail passes and grants the next waiter.
 func (o *outPort) release(br *branch) {
 	if o.holder != br {
+		// A killed branch's deferred tail-release can trail the teardown
+		// that already force-released the port; that is not a bug.
+		if br.w.dead || o.dead {
+			return
+		}
 		panic("sim: releasing a port held by another branch")
 	}
 	o.holder = nil
 	if o.ch.sender == br {
 		o.ch.sender = nil
+	}
+	if o.dead {
+		return // no grants over a failed channel; the queue was failed over
 	}
 	for len(o.queue) > 0 {
 		req := o.queue[0]
@@ -575,8 +646,14 @@ func (br *branch) pump() {
 		return
 	}
 	net := br.net
-	now := net.queue.Now()
 	ch := br.ch
+	if ch.dead || br.w.dead {
+		// The channel failed under us (or the worm was torn down) between
+		// scheduling and running this pump.
+		net.deadEndBranch(br)
+		return
+	}
+	now := net.queue.Now()
 	if now < ch.lineFree {
 		br.schedulePump(ch.lineFree)
 		return

@@ -19,6 +19,10 @@ const (
 	TraceTail
 	// TraceDeliver: a packet fully assembled at a destination NI.
 	TraceDeliver
+	// TraceFault: a link or switch failed (or a link was repaired).
+	TraceFault
+	// TraceKill: a worm was torn down by the fault layer.
+	TraceKill
 )
 
 func (k TraceKind) String() string {
@@ -33,6 +37,10 @@ func (k TraceKind) String() string {
 		return "tail"
 	case TraceDeliver:
 		return "deliver"
+	case TraceFault:
+		return "fault"
+	case TraceKill:
+		return "kill"
 	default:
 		return "?"
 	}

@@ -27,6 +27,10 @@ type worm struct {
 	dest    topology.NodeID // WormUnicast
 	destSet *bitset.Set     // WormTree: remaining destinations
 	path    []PathSeg       // WormPath: remaining segments
+
+	// dead marks a worm torn down by the fault layer: in-flight flits are
+	// drained and dropped on arrival, and the worm is never delivered.
+	dead bool
 }
 
 func (w *worm) String() string {

@@ -303,3 +303,119 @@ func TestRemoveLinkBadIndex(t *testing.T) {
 		t.Fatal("out-of-range index accepted")
 	}
 }
+
+func TestLinkAt(t *testing.T) {
+	topo := paperFigure1(t)
+	for i, l := range topo.Links {
+		if got := topo.LinkAt(l.A, l.APort); got != i {
+			t.Fatalf("LinkAt(%d,%d) = %d, want %d", l.A, l.APort, got, i)
+		}
+		if got := topo.LinkAt(l.B, l.BPort); got != i {
+			t.Fatalf("LinkAt(%d,%d) = %d, want %d", l.B, l.BPort, got, i)
+		}
+	}
+	if topo.LinkAt(0, 7) != -1 { // node port
+		t.Fatal("node port reported as link")
+	}
+	if topo.LinkAt(0, 5) != -1 { // open port
+		t.Fatal("open port reported as link")
+	}
+	if topo.LinkAt(-1, 0) != -1 || topo.LinkAt(0, 99) != -1 {
+		t.Fatal("out-of-range lookup did not return -1")
+	}
+}
+
+func TestConnectedExcluding(t *testing.T) {
+	topo := paperFigure1(t)
+	if !topo.ConnectedExcluding(nil, nil) {
+		t.Fatal("healthy graph reported disconnected")
+	}
+	// Links 8 (5-7) and 9 (6-7) are switch 7's only attachments: killing
+	// one keeps the graph connected, killing both cuts 7 off.
+	dead := make([]bool, len(topo.Links))
+	dead[8] = true
+	if !topo.ConnectedExcluding(dead, nil) {
+		t.Fatal("single redundant link loss reported as partition")
+	}
+	dead[9] = true
+	if topo.ConnectedExcluding(dead, nil) {
+		t.Fatal("isolating switch 7 not reported as partition")
+	}
+	// A dead switch takes its links with it: killing switch 7 instead
+	// leaves the rest connected.
+	deadSw := make([]bool, topo.NumSwitches)
+	deadSw[7] = true
+	if !topo.ConnectedExcluding(nil, deadSw) {
+		t.Fatal("removing leaf switch 7 reported as partition")
+	}
+	// Killing a cut vertex partitions: switch 2 and links 0,2 leave
+	// {0,1,3,5,7...} split from {4,6}? Check with switches 2 and 3 dead,
+	// which isolates {0,1} from {4,5,6,7}.
+	deadSw = make([]bool, topo.NumSwitches)
+	deadSw[2] = true
+	deadSw[3] = true
+	if topo.ConnectedExcluding(nil, deadSw) {
+		t.Fatal("cutting switches 2+3 not reported as partition")
+	}
+}
+
+// nodelessFixture builds a 4-switch cycle with a chord, nodes only on
+// switches 0 and 2, so interior switches are removable.
+func nodelessFixture(t *testing.T) *Topology {
+	t.Helper()
+	links := [][4]int{
+		{0, 0, 1, 0}, {1, 1, 2, 0}, {2, 1, 3, 0}, {3, 1, 0, 1}, {1, 2, 3, 2},
+	}
+	topo, err := Build(4, 4, links, [][2]int{{0, 3}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func TestRemoveSwitch(t *testing.T) {
+	topo := nodelessFixture(t)
+	out, err := topo.RemoveSwitch(1)
+	if err != nil {
+		t.Fatalf("RemoveSwitch: %v", err)
+	}
+	if out.NumSwitches != 3 || len(out.Links) != 2 {
+		t.Fatalf("got %d switches, %d links; want 3, 2", out.NumSwitches, len(out.Links))
+	}
+	// Renumbering: old switch 2 -> 1, old switch 3 -> 2; node 1 (was on
+	// switch 2) must follow.
+	if out.NodeSwitch[1] != 1 {
+		t.Fatalf("node 1 on switch %d after renumbering, want 1", out.NodeSwitch[1])
+	}
+	for _, l := range out.Links {
+		if int(l.A) >= out.NumSwitches || int(l.B) >= out.NumSwitches {
+			t.Fatalf("dangling link %v after removal", l)
+		}
+	}
+}
+
+func TestRemoveSwitchRejections(t *testing.T) {
+	topo := nodelessFixture(t)
+	if _, err := topo.RemoveSwitch(0); err == nil {
+		t.Fatal("removed a switch with attached nodes")
+	}
+	if _, err := topo.RemoveSwitch(99); err == nil {
+		t.Fatal("out-of-range switch accepted")
+	}
+	// Removing switch 3 leaves 0-1-2 connected; then removing 1 from THAT
+	// would disconnect 0 from 2 (only path was through 1).
+	out, err := topo.RemoveSwitch(3)
+	if err != nil {
+		t.Fatalf("RemoveSwitch(3): %v", err)
+	}
+	if _, err := out.RemoveSwitch(1); err == nil {
+		t.Fatal("partitioning removal accepted")
+	}
+	one, err := Build(1, 4, nil, [][2]int{{0, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := one.RemoveSwitch(0); err == nil {
+		t.Fatal("removed the only switch")
+	}
+}

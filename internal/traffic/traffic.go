@@ -7,6 +7,7 @@ package traffic
 
 import (
 	"fmt"
+	"math"
 
 	"mcastsim/internal/event"
 	"mcastsim/internal/mcast"
@@ -304,6 +305,141 @@ func RunMixed(rt *updown.Routing, cfg MixedConfig) ([]float64, error) {
 		return nil, fmt.Errorf("traffic: only %d/%d probes completed (background saturated?)", len(lats), cfg.Probes)
 	}
 	return lats, nil
+}
+
+// AsReplanner adapts a multicast scheme to the simulator's retransmission
+// hook: the failed remainder is re-planned exactly like a fresh multicast,
+// against whatever routing tables are in force at re-plan time.
+func AsReplanner(s mcast.Scheme, p sim.Params) sim.Replanner {
+	return func(rt *updown.Routing, src topology.NodeID, dests []topology.NodeID, msgFlits int) (*sim.Plan, error) {
+		return s.Plan(rt, p, src, dests, msgFlits)
+	}
+}
+
+// FaultConfig parameterizes reliable single-multicast probes under an
+// injected fault schedule.
+type FaultConfig struct {
+	Scheme   mcast.Scheme
+	Params   sim.Params
+	Degree   int
+	MsgFlits int
+	Probes   int
+	Seed     uint64
+	// Retry is the NI-level reliable-delivery policy; the zero value means
+	// sim.DefaultRetryPolicy.
+	Retry sim.RetryPolicy
+	// Faults builds probe i's fault schedule (nil, or a nil return, means
+	// a fault-free probe). It runs before the probe's multicast is sent.
+	Faults func(probe int, rt *updown.Routing) *sim.FaultSchedule
+}
+
+// FaultProbe is one reliable multicast's outcome under faults, plus a
+// post-fault steady-state measurement taken on the same (reconfigured)
+// network once the dust settles.
+type FaultProbe struct {
+	Delivered, Total int
+	Attempts         int
+	// Recovery is the reliable operation's completion latency in cycles —
+	// under faults, the recovery latency including timeouts and retries.
+	Recovery float64
+	// Partitioned reports whether reconfiguration found the surviving
+	// switch graph disconnected.
+	Partitioned bool
+	// Post is a clean probe's latency on the post-fault network (NaN when
+	// it could not be fully delivered or no probe fit the survivors);
+	// PostDelivered/PostTotal give its delivery counts.
+	Post                     float64
+	PostDelivered, PostTotal int
+}
+
+// RunFault measures reliable multicast delivery under a fault schedule:
+// each probe gets a fresh network, its schedule installed, one reliable
+// multicast driven to completion, and then one clean follow-up multicast
+// measuring post-fault steady-state latency. Conservation is not checked
+// — torn-down worms legitimately drop flits.
+func RunFault(rt *updown.Routing, cfg FaultConfig) ([]FaultProbe, error) {
+	if cfg.Probes <= 0 {
+		return nil, fmt.Errorf("traffic: non-positive probe count")
+	}
+	pol := cfg.Retry
+	if pol == (sim.RetryPolicy{}) {
+		pol = sim.DefaultRetryPolicy()
+	}
+	replan := AsReplanner(cfg.Scheme, cfg.Params)
+	r := rng.New(cfg.Seed)
+	out := make([]FaultProbe, 0, cfg.Probes)
+	for i := 0; i < cfg.Probes; i++ {
+		src, dests := randomSet(r, rt.Topo.NumNodes, cfg.Degree)
+		plan, err := cfg.Scheme.Plan(rt, cfg.Params, src, dests, cfg.MsgFlits)
+		if err != nil {
+			return nil, fmt.Errorf("traffic: fault probe %d: %w", i, err)
+		}
+		n, err := sim.New(rt, cfg.Params, rng.Mix(cfg.Seed, 0xfa017, uint64(i)))
+		if err != nil {
+			return nil, err
+		}
+		if cfg.Faults != nil {
+			if fs := cfg.Faults(i, rt); fs != nil {
+				if err := n.InstallFaults(fs); err != nil {
+					return nil, fmt.Errorf("traffic: fault probe %d: %w", i, err)
+				}
+			}
+		}
+		d, err := n.RunReliable(plan, cfg.MsgFlits, replan, pol)
+		if err != nil {
+			return nil, fmt.Errorf("traffic: fault probe %d (%s): %w", i, cfg.Scheme.Name(), err)
+		}
+		pr := FaultProbe{
+			Delivered:   d.Delivered(),
+			Total:       len(d.Dests),
+			Attempts:    d.Attempts,
+			Recovery:    float64(d.Latency()),
+			Partitioned: n.Partitioned(),
+			Post:        nan(),
+		}
+		if post, ok := postFaultProbe(n, r, cfg, replan, pol); ok {
+			pr.Post = post.Post
+			pr.PostDelivered = post.PostDelivered
+			pr.PostTotal = post.PostTotal
+		}
+		out = append(out, pr)
+	}
+	return out, nil
+}
+
+func nan() float64 { return math.NaN() }
+
+// postFaultProbe runs one clean reliable multicast among surviving nodes
+// on the settled post-fault network, against the reconfigured tables.
+func postFaultProbe(n *sim.Network, r *rng.Source, cfg FaultConfig, replan sim.Replanner, pol sim.RetryPolicy) (FaultProbe, bool) {
+	var alive []topology.NodeID
+	for node := 0; node < n.Topology().NumNodes; node++ {
+		if n.NodeAlive(topology.NodeID(node)) {
+			alive = append(alive, topology.NodeID(node))
+		}
+	}
+	if len(alive) < cfg.Degree+1 {
+		return FaultProbe{}, false
+	}
+	picks := r.Sample(len(alive), cfg.Degree+1)
+	src := alive[picks[0]]
+	dests := make([]topology.NodeID, cfg.Degree)
+	for i, v := range picks[1:] {
+		dests[i] = alive[v]
+	}
+	plan, err := cfg.Scheme.Plan(n.Routing(), cfg.Params, src, dests, cfg.MsgFlits)
+	if err != nil {
+		return FaultProbe{}, false
+	}
+	d, err := n.RunReliable(plan, cfg.MsgFlits, replan, pol)
+	if err != nil {
+		return FaultProbe{}, false
+	}
+	pr := FaultProbe{Post: nan(), PostDelivered: d.Delivered(), PostTotal: len(d.Dests)}
+	if d.DeliveredAll() {
+		pr.Post = float64(d.Latency())
+	}
+	return pr, true
 }
 
 // LoadSweep runs RunLoad across the given effective loads, stopping early

@@ -22,12 +22,18 @@
 package updown
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"mcastsim/internal/bitset"
 	"mcastsim/internal/topology"
 )
+
+// ErrPartitioned reports that the alive switch graph is disconnected, so no
+// routing state covering every surviving switch exists. Reconfiguration
+// keeps the old tables when it sees this.
+var ErrPartitioned = errors.New("updown: alive switch graph is partitioned")
 
 // Dir classifies a switch port under the up/down orientation.
 type Dir uint8
@@ -98,6 +104,19 @@ type Routing struct {
 	// nodePort[s][n] is the port of switch s wired to node n (only for
 	// nodes attached to s); otherwise -1.
 	nodePort [][]int
+
+	// deadSwitch[s] / deadPort[s][p] mark failed switches and ports whose
+	// link, peer switch, or own switch has failed. A dead port keeps
+	// Dirs == DirNone, so every consumer of the orientation (NextHops,
+	// UpPorts, DownPorts, DownReach, tree climbs) avoids it without
+	// special-casing faults.
+	deadSwitch []bool
+	deadPort   [][]bool
+
+	// Opts records the options this state was built with, so a
+	// reconfiguration can recompute routing under the same policy with an
+	// updated fault mask.
+	Opts Options
 }
 
 // TreePolicy selects the spanning-tree construction behind the up/down
@@ -128,6 +147,15 @@ type Options struct {
 	CenterRoot bool
 	// Tree selects BFS (default, the paper's model) or DFS construction.
 	Tree TreePolicy
+	// DeadLinks lists indices into Topo.Links of failed links; DeadSwitches
+	// lists failed switches (all their ports die with them). Routing is
+	// computed over the surviving subgraph: dead ports stay DirNone, dead
+	// switches get no levels, and verification covers only alive switches
+	// and the nodes attached to them. If the alive subgraph is
+	// disconnected, construction fails with an error wrapping
+	// ErrPartitioned.
+	DeadLinks    []int
+	DeadSwitches []topology.SwitchID
 }
 
 // New computes the full routing state for t with the default root.
@@ -137,21 +165,47 @@ func New(t *topology.Topology) (*Routing, error) {
 
 // NewWithOptions computes the routing state with explicit root policy.
 func NewWithOptions(t *topology.Topology, opt Options) (*Routing, error) {
+	r := &Routing{Topo: t, Opts: opt}
+	if err := r.buildMasks(opt); err != nil {
+		return nil, err
+	}
 	root := opt.Root
-	if root < 0 {
-		root = 0
+	if root >= 0 {
+		if int(root) >= t.NumSwitches {
+			return nil, fmt.Errorf("updown: root %d out of range", root)
+		}
+		if r.deadSwitch[root] {
+			return nil, fmt.Errorf("updown: root %d is a dead switch", root)
+		}
+	} else {
+		// Default: lowest alive switch; with CenterRoot, a center of the
+		// alive subgraph (minimum eccentricity, ties to the lower ID).
+		root = -1
+		for s := 0; s < t.NumSwitches; s++ {
+			if !r.deadSwitch[s] {
+				root = topology.SwitchID(s)
+				break
+			}
+		}
+		if root < 0 {
+			return nil, fmt.Errorf("updown: every switch is dead")
+		}
 		if opt.CenterRoot {
-			root = centerSwitch(t)
+			root = r.centerAlive()
 		}
 	}
-	if int(root) >= t.NumSwitches {
-		return nil, fmt.Errorf("updown: root %d out of range", root)
-	}
-	r := &Routing{Topo: t, Root: root}
+	r.Root = root
 	if opt.Tree == TreeDFS {
 		r.computeDFSTree()
 	} else {
 		r.computeTree()
+	}
+	// A surviving switch the tree never reached means the alive subgraph is
+	// disconnected: no single up*/down* state can serve it.
+	for s := 0; s < t.NumSwitches; s++ {
+		if !r.deadSwitch[s] && r.Level[s] == -1 {
+			return nil, fmt.Errorf("updown: switch %d unreachable from root %d: %w", s, root, ErrPartitioned)
+		}
 	}
 	r.orientPorts()
 	r.computeDistances()
@@ -163,20 +217,75 @@ func NewWithOptions(t *topology.Topology, opt Options) (*Routing, error) {
 	return r, nil
 }
 
-// centerSwitch returns a switch of minimum eccentricity (lowest ID among
-// ties).
-func centerSwitch(t *topology.Topology) topology.SwitchID {
-	dist := t.SwitchDistances()
-	best, bestEcc := 0, int(^uint(0)>>2)
+// buildMasks derives deadSwitch/deadPort from the options. A port is dead
+// when its switch is dead, its link is listed dead, or its peer switch is
+// dead.
+func (r *Routing) buildMasks(opt Options) error {
+	t := r.Topo
+	r.deadSwitch = make([]bool, t.NumSwitches)
+	for _, s := range opt.DeadSwitches {
+		if int(s) < 0 || int(s) >= t.NumSwitches {
+			return fmt.Errorf("updown: dead switch %d out of range", s)
+		}
+		r.deadSwitch[s] = true
+	}
+	r.deadPort = make([][]bool, t.NumSwitches)
+	for s := range r.deadPort {
+		r.deadPort[s] = make([]bool, t.PortsPerSwitch)
+	}
+	for _, li := range opt.DeadLinks {
+		if li < 0 || li >= len(t.Links) {
+			return fmt.Errorf("updown: dead link %d out of range", li)
+		}
+		l := t.Links[li]
+		r.deadPort[l.A][l.APort] = true
+		r.deadPort[l.B][l.BPort] = true
+	}
 	for s := 0; s < t.NumSwitches; s++ {
+		for p := 0; p < t.PortsPerSwitch; p++ {
+			e := t.Conn[s][p]
+			if r.deadSwitch[s] || (e.Kind == topology.ToSwitch && r.deadSwitch[e.Switch]) {
+				r.deadPort[s][p] = true
+			}
+		}
+	}
+	return nil
+}
+
+// centerAlive returns an alive switch of minimum eccentricity over the
+// alive subgraph (lowest ID among ties). Must be called after buildMasks on
+// a connected alive subgraph; unreachable alive switches are caught later
+// by the tree check.
+func (r *Routing) centerAlive() topology.SwitchID {
+	t := r.Topo
+	best, bestEcc := -1, unreachable
+	for src := 0; src < t.NumSwitches; src++ {
+		if r.deadSwitch[src] {
+			continue
+		}
+		dist := make([]int, t.NumSwitches)
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[src] = 0
+		queue := []topology.SwitchID{topology.SwitchID(src)}
 		ecc := 0
-		for _, d := range dist[s] {
-			if d > ecc {
-				ecc = d
+		for len(queue) > 0 {
+			s := queue[0]
+			queue = queue[1:]
+			for p, e := range t.Conn[s] {
+				if e.Kind != topology.ToSwitch || r.deadPort[s][p] || dist[e.Switch] != -1 {
+					continue
+				}
+				dist[e.Switch] = dist[s] + 1
+				if dist[e.Switch] > ecc {
+					ecc = dist[e.Switch]
+				}
+				queue = append(queue, e.Switch)
 			}
 		}
 		if ecc < bestEcc {
-			best, bestEcc = s, ecc
+			best, bestEcc = src, ecc
 		}
 	}
 	return topology.SwitchID(best)
@@ -201,7 +310,7 @@ func (r *Routing) computeTree() {
 		// Deterministic neighbor visitation: ascending port order.
 		for p := 0; p < t.PortsPerSwitch; p++ {
 			e := t.Conn[s][p]
-			if e.Kind != topology.ToSwitch {
+			if e.Kind != topology.ToSwitch || r.deadPort[s][p] {
 				continue
 			}
 			if r.Level[e.Switch] == -1 {
@@ -235,7 +344,7 @@ func (r *Routing) computeDFSTree() {
 		advanced := false
 		for ; f.port < t.PortsPerSwitch; f.port++ {
 			e := t.Conn[f.sw][f.port]
-			if e.Kind != topology.ToSwitch || r.Level[e.Switch] != -1 {
+			if e.Kind != topology.ToSwitch || r.deadPort[f.sw][f.port] || r.Level[e.Switch] != -1 {
 				continue
 			}
 			r.Level[e.Switch] = r.Level[f.sw] + 1
@@ -259,7 +368,7 @@ func (r *Routing) orientPorts() {
 		r.Dirs[s] = make([]Dir, t.PortsPerSwitch)
 		for p := 0; p < t.PortsPerSwitch; p++ {
 			e := t.Conn[s][p]
-			if e.Kind != topology.ToSwitch {
+			if e.Kind != topology.ToSwitch || r.deadPort[s][p] {
 				continue
 			}
 			q := int(e.Switch)
@@ -414,12 +523,16 @@ func (r *Routing) indexNodePorts() {
 	}
 }
 
-// verify checks the invariants the rest of the system depends on.
+// verify checks the invariants the rest of the system depends on,
+// restricted to the alive subgraph when faults are masked out.
 func (r *Routing) verify() error {
 	t := r.Topo
-	// Every non-root switch has at least one up port (its tree parent
-	// link), and the root has none.
+	// Every alive non-root switch has at least one up port (its tree
+	// parent link), and the root has none.
 	for s := 0; s < t.NumSwitches; s++ {
+		if r.deadSwitch[s] {
+			continue
+		}
 		ups := 0
 		for p := 0; p < t.PortsPerSwitch; p++ {
 			if r.Dirs[s][p] == DirUp {
@@ -433,19 +546,51 @@ func (r *Routing) verify() error {
 			return fmt.Errorf("updown: switch %d has no up port", s)
 		}
 	}
-	// Every switch pair must be mutually reachable by a legal route.
+	// Every alive switch pair must be mutually reachable by a legal route.
 	for d := 0; d < t.NumSwitches; d++ {
+		if r.deadSwitch[d] {
+			continue
+		}
 		for s := 0; s < t.NumSwitches; s++ {
+			if r.deadSwitch[s] {
+				continue
+			}
 			if r.distUp[d][s] >= unreachable {
 				return fmt.Errorf("updown: no legal route %d -> %d", s, d)
 			}
 		}
 	}
-	// The root must cover every node (tree worms terminate there at worst).
-	if r.Cover[r.Root].Count() != t.NumNodes {
-		return fmt.Errorf("updown: root covers %d of %d nodes", r.Cover[r.Root].Count(), t.NumNodes)
+	// The root must cover every reachable node (tree worms terminate there
+	// at worst).
+	live := 0
+	for n := 0; n < t.NumNodes; n++ {
+		if !r.deadSwitch[t.NodeSwitch[n]] {
+			live++
+		}
+	}
+	if r.Cover[r.Root].Count() != live {
+		return fmt.Errorf("updown: root covers %d of %d reachable nodes", r.Cover[r.Root].Count(), live)
 	}
 	return nil
+}
+
+// SwitchAlive reports whether switch s survived the fault mask this routing
+// state was built with (always true for a fault-free routing).
+func (r *Routing) SwitchAlive(s topology.SwitchID) bool {
+	return !r.deadSwitch[s]
+}
+
+// NodeReachable reports whether node n's attachment switch is alive, i.e.
+// whether the routing state can deliver to n at all.
+func (r *Routing) NodeReachable(n topology.NodeID) bool {
+	return !r.deadSwitch[r.Topo.NodeSwitch[n]]
+}
+
+// PortAlive reports whether switch s, port p survived the fault mask (its
+// switch, link, and peer all alive). Node and open ports of alive switches
+// are alive.
+func (r *Routing) PortAlive(s topology.SwitchID, p int) bool {
+	return !r.deadPort[s][p]
 }
 
 // DistUp returns the shortest legal route length in switch hops from s
