@@ -9,11 +9,13 @@ package mcastsim_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"mcastsim/internal/bitset"
 	"mcastsim/internal/collective"
 	"mcastsim/internal/event"
+	"mcastsim/internal/experiment"
 	"mcastsim/internal/mcast"
 	"mcastsim/internal/mcast/binomial"
 	"mcastsim/internal/mcast/kbinomial"
@@ -301,6 +303,30 @@ func BenchmarkAblation_BufferDepth(b *testing.B) {
 		p.BufferFlits = buf
 		b.Run(fmt.Sprintf("buf=%d", buf), func(b *testing.B) {
 			loadBench(b, rts, treeworm.New(), p, 8, 128, 0.2)
+		})
+	}
+}
+
+// --- parallel harness ---
+
+// BenchmarkSweepParallel runs the full Figure 9 sweep through the
+// experiment harness at quick scale, serial vs one worker per CPU. The
+// two sub-benchmarks produce byte-identical tables (see the experiment
+// package's determinism tests); the ns/op ratio is the harness speedup.
+func BenchmarkSweepParallel(b *testing.B) {
+	cfg := experiment.Quick()
+	cfg.Warmup, cfg.Measure, cfg.Drain = 5_000, 25_000, 20_000
+	cfg.Loads = []float64{0.1, 0.3}
+	cfg.LoadDegrees = []int{8}
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		cfg := cfg
+		cfg.Workers = workers
+		b.Run(fmt.Sprintf("fig9/workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := experiment.Fig9LoadVsR(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }

@@ -4,6 +4,7 @@
 //
 //	mcastsim -exp fig6                 # one experiment, quick scale
 //	mcastsim -exp fig9 -full           # paper scale (1M-cycle load runs)
+//	mcastsim -exp fig9 -workers 4      # cap the cell work pool (same output)
 //	mcastsim -exp all -csv out/        # everything, CSV files per table
 //	mcastsim -list                     # experiment catalogue
 //	mcastsim -compare net.topo -degree 16   # scheme comparison on a
@@ -34,6 +35,7 @@ func main() {
 		list    = flag.Bool("list", false, "list experiments and exit")
 		full    = flag.Bool("full", false, "paper-scale runs (slow) instead of quick")
 		seed    = flag.Uint64("seed", 0, "override the experiment seed (0 = default)")
+		workers = flag.Int("workers", 0, "parallel simulation-cell workers (0 = one per CPU); output is identical for any value")
 		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory")
 		compare = flag.String("compare", "", "run a scheme comparison on this topology file instead of an experiment")
 		degree  = flag.Int("degree", 16, "multicast degree for -compare")
@@ -67,6 +69,7 @@ func main() {
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}
+	cfg.Workers = *workers
 
 	var entries []experiment.Entry
 	if *expID == "all" {

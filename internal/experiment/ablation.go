@@ -39,7 +39,7 @@ func AblationTreeEarlyBranch(cfg Config) ([]*metrics.Table, error) {
 		p.EarlyTreeBranch = v.early
 		s := metrics.Series{Label: v.label}
 		for _, degree := range []float64{4, 8, 16, 31} {
-			mean, err := singleMean(rts, treeworm.New(), p, int(degree), cfg.MsgFlits, cfg.Probes, cfg.Seed)
+			mean, err := singleMean(cfg, rts, treeworm.New(), p, int(degree), cfg.MsgFlits)
 			if err != nil {
 				return nil, err
 			}
@@ -82,7 +82,7 @@ func AblationPathSchedule(cfg Config) ([]*metrics.Table, error) {
 	for _, v := range variants {
 		s := metrics.Series{Label: v.label}
 		for _, degree := range []float64{4, 8, 16, 31} {
-			mean, err := singleMean(rts, v.scheme, cfg.Params, int(degree), cfg.MsgFlits, cfg.Probes, cfg.Seed)
+			mean, err := singleMean(cfg, rts, v.scheme, cfg.Params, int(degree), cfg.MsgFlits)
 			if err != nil {
 				return nil, err
 			}
@@ -101,15 +101,18 @@ func AblationPathSchedule(cfg Config) ([]*metrics.Table, error) {
 		XLabel: "effective applied load",
 		YLabel: "mean multicast latency (cycles)",
 	}
-	for _, v := range variants {
-		sch := v.scheme
-		series, err := loadCurve(loadRts, sch, cfg, cfg.Params, 16, cfg.MsgFlits)
-		if err != nil {
-			return nil, err
+	specs := make([]loadCurveSpec, len(variants))
+	for i, v := range variants {
+		specs[i] = loadCurveSpec{
+			Label: v.label, ErrCtx: " (path dispatch ablation)",
+			Scheme: v.scheme, Rts: loadRts, Params: cfg.Params, Degree: 16, Flits: cfg.MsgFlits,
 		}
-		series.Label = v.label
-		load.Series = append(load.Series, series)
 	}
+	series, err := runLoadCurves(cfg, specs)
+	if err != nil {
+		return nil, err
+	}
+	load.Series = append(load.Series, series...)
 	return []*metrics.Table{iso, load}, nil
 }
 
@@ -140,7 +143,7 @@ func AblationFPFS(cfg Config) ([]*metrics.Table, error) {
 		p.NIStoreAndForward = v.sf
 		s := metrics.Series{Label: v.label}
 		for _, flits := range []float64{128, 256, 512, 1024} {
-			mean, err := singleMean(rts, kbinomial.New(), p, cfg.Degree, int(flits), cfg.Probes, cfg.Seed)
+			mean, err := singleMean(cfg, rts, kbinomial.New(), p, cfg.Degree, int(flits))
 			if err != nil {
 				return nil, err
 			}
@@ -172,7 +175,7 @@ func AblationOptimalK(cfg Config) ([]*metrics.Table, error) {
 		}
 		s := metrics.Series{Label: "ni-kbinomial fixed k"}
 		for k := 1; k <= 8; k++ {
-			mean, err := singleMean(rts, kbinomial.Scheme{FixedK: k}, cfg.Params, cfg.Degree, flits, cfg.Probes, cfg.Seed)
+			mean, err := singleMean(cfg, rts, kbinomial.Scheme{FixedK: k}, cfg.Params, cfg.Degree, flits)
 			if err != nil {
 				return nil, err
 			}

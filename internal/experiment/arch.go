@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"fmt"
+	"math"
 
 	"mcastsim/internal/mcast/pathworm"
 	"mcastsim/internal/metrics"
@@ -24,8 +25,10 @@ func ArchComparison(cfg Config) ([]*metrics.Table, error) {
 	N := cfg.TopoCfg.Nodes
 	P := cfg.TopoCfg.PortsPerSwitch
 
-	// Mean path-worm count and phases for degree-d random sets.
-	r := rng.New(cfg.Seed * 31)
+	// Mean path-worm count and phases for degree-d random sets. (Mix, not
+	// multiply: cfg.Seed*31 collapses every run with Seed 0 onto one
+	// stream and aliases across multipliers.)
+	r := rng.New(rng.Mix(cfg.Seed, saltArch))
 	var wormSum, phaseSum, segSum float64
 	samples := 0
 	for _, rt := range rts {
@@ -136,22 +139,25 @@ func UnicastSaturation(cfg Config) ([]*metrics.Table, error) {
 	latency := metrics.Series{Label: "mean latency (cycles)"}
 	sch := unicastScheme{}
 	for _, l := range cfg.Loads {
-		var acc, lat []float64
-		sat := false
-		for i, rt := range rts {
-			res, err := traffic.RunLoad(rt, traffic.LoadConfig{
+		l := l
+		res, err := runCells(cfg.workerCount(), len(rts), func(i int) (traffic.LoadResult, error) {
+			return traffic.RunLoad(rts[i], traffic.LoadConfig{
 				Scheme: sch, Params: cfg.Params, Degree: 1, MsgFlits: cfg.MsgFlits,
 				EffectiveLoad: l, Warmup: cfg.Warmup, Measure: cfg.Measure,
-				Drain: cfg.Drain, Seed: cfg.Seed + uint64(i)*2711,
+				Drain: cfg.Drain, Seed: rng.Mix(cfg.Seed, saltLoad, uint64(i)),
 			})
-			if err != nil {
-				return nil, err
+		})
+		if err != nil {
+			return nil, err
+		}
+		var acc, lat []float64
+		sat := false
+		for _, r := range res {
+			acc = append(acc, r.AcceptedLoad)
+			if r.Latency.Count > 0 {
+				lat = append(lat, r.Latency.Mean)
 			}
-			acc = append(acc, res.AcceptedLoad)
-			if res.Latency.Count > 0 {
-				lat = append(lat, res.Latency.Mean)
-			}
-			if res.Saturated {
+			if r.Saturated {
 				sat = true
 			}
 		}
@@ -163,7 +169,13 @@ func UnicastSaturation(cfg Config) ([]*metrics.Table, error) {
 		accepted.Y = append(accepted.Y, metrics.Mean(acc))
 		accepted.Note = append(accepted.Note, note)
 		latency.X = append(latency.X, l)
-		latency.Y = append(latency.Y, metrics.Mean(lat))
+		// A fully saturated point can complete zero messages; NaN keeps the
+		// "SAT" note without plotting a bogus zero latency.
+		if len(lat) > 0 {
+			latency.Y = append(latency.Y, metrics.Mean(lat))
+		} else {
+			latency.Y = append(latency.Y, math.NaN())
+		}
 		latency.Note = append(latency.Note, note)
 		if sat {
 			break

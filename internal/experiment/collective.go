@@ -3,6 +3,7 @@ package experiment
 import (
 	"mcastsim/internal/collective"
 	"mcastsim/internal/metrics"
+	"mcastsim/internal/rng"
 	"mcastsim/internal/updown"
 )
 
@@ -33,19 +34,39 @@ func Collectives(cfg Config) ([]*metrics.Table, error) {
 		XLabel: "operation (1=broadcast 2=barrier 3=allreduce)",
 		YLabel: "mean completion latency (cycles)",
 	}
-	for _, sch := range compared() {
+	// One cell per (scheme, operation, topology). The seed is salted by
+	// topology index alone — the old stride-1 additive derivation made
+	// adjacent topologies' arbitration streams overlap outright.
+	schemes := compared()
+	type key struct{ si, oi, ti int }
+	var keys []key
+	for si := range schemes {
+		for oi := range ops {
+			for ti := range rts {
+				keys = append(keys, key{si, oi, ti})
+			}
+		}
+	}
+	res, err := runCells(cfg.workerCount(), len(keys), func(i int) (float64, error) {
+		k := keys[i]
+		r, err := ops[k.oi].run(rts[k.ti], collective.Config{
+			Scheme: schemes[k.si], Params: cfg.Params, Root: 0,
+			Flits: cfg.MsgFlits, Seed: rng.Mix(cfg.Seed, saltColl, uint64(k.ti)),
+		})
+		if err != nil {
+			return 0, err
+		}
+		return float64(r.Latency), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for si, sch := range schemes {
 		s := metrics.Series{Label: sch.Name()}
 		for oi, op := range ops {
 			var sum float64
-			for i, rt := range rts {
-				res, err := op.run(rt, collective.Config{
-					Scheme: sch, Params: cfg.Params, Root: 0,
-					Flits: cfg.MsgFlits, Seed: cfg.Seed + uint64(i),
-				})
-				if err != nil {
-					return nil, err
-				}
-				sum += float64(res.Latency)
+			for ti := range rts {
+				sum += res[(si*len(ops)+oi)*len(rts)+ti]
 			}
 			s.X = append(s.X, float64(oi+1))
 			s.Y = append(s.Y, sum/float64(len(rts)))

@@ -16,6 +16,7 @@ import (
 	"mcastsim/internal/mcast/pathworm"
 	"mcastsim/internal/mcast/treeworm"
 	"mcastsim/internal/metrics"
+	"mcastsim/internal/rng"
 	"mcastsim/internal/sim"
 	"mcastsim/internal/topology"
 	"mcastsim/internal/traffic"
@@ -26,6 +27,12 @@ import (
 // Quick() is sized for tests and benchmarks.
 type Config struct {
 	Seed uint64
+	// Workers bounds the parallel fan-out of independent simulation cells
+	// (one RunSingle/RunLoad/RunFault invocation each); 0 means one
+	// worker per CPU (runtime.GOMAXPROCS). Cell seeds are pure functions
+	// of the cell's indices, so tables are byte-identical for every
+	// worker count.
+	Workers int
 	// Topologies is the family size for single-multicast experiments;
 	// LoadTopologies for the (far costlier) load experiments.
 	Topologies     int
@@ -106,17 +113,22 @@ func family(cfg topology.Config, count int, seed uint64) ([]*updown.Routing, err
 }
 
 // singleMean measures the mean isolated-multicast latency of sch over a
-// routed family.
-func singleMean(rts []*updown.Routing, sch mcast.Scheme, p sim.Params, degree, flits, probes int, seed uint64) (float64, error) {
-	var all []float64
-	for i, rt := range rts {
-		lats, err := traffic.RunSingle(rt, traffic.SingleConfig{
+// routed family, one parallel cell per topology. The cell seed depends
+// only on the topology index: every scheme (and every sweep point that
+// shares the family) measures the same multicast draws, the paired
+// design that keeps scheme comparisons low-variance.
+func singleMean(cfg Config, rts []*updown.Routing, sch mcast.Scheme, p sim.Params, degree, flits int) (float64, error) {
+	res, err := runCells(cfg.workerCount(), len(rts), func(i int) ([]float64, error) {
+		return traffic.RunSingle(rts[i], traffic.SingleConfig{
 			Scheme: sch, Params: p, Degree: degree, MsgFlits: flits,
-			Probes: probes, Seed: seed + uint64(i)*7919,
+			Probes: cfg.Probes, Seed: rng.Mix(cfg.Seed, saltSingle, uint64(i)),
 		})
-		if err != nil {
-			return 0, err
-		}
+	})
+	if err != nil {
+		return 0, err
+	}
+	var all []float64
+	for _, lats := range res {
 		all = append(all, lats...)
 	}
 	return metrics.Mean(all), nil
@@ -124,34 +136,69 @@ func singleMean(rts []*updown.Routing, sch mcast.Scheme, p sim.Params, degree, f
 
 // sweepSingle runs a single-multicast sweep: for each x value, build builds
 // the per-point (family, params, degree, flits) and the mean latency per
-// scheme becomes one curve point.
+// scheme becomes one curve point. The sweep flattens into one cell per
+// (x, scheme, topology) triple so the pool stays busy across the whole
+// grid, then aggregates in grid order.
 func sweepSingle(cfg Config, title, xLabel string, xs []float64,
 	build func(x float64) ([]*updown.Routing, sim.Params, int, int, error)) (*metrics.Table, error) {
 	tab := &metrics.Table{Title: title, XLabel: xLabel, YLabel: "mean single multicast latency (cycles)"}
-	series := make(map[string]*metrics.Series)
-	order := []string{}
-	for _, sch := range compared() {
-		s := &metrics.Series{Label: sch.Name()}
-		series[sch.Name()] = s
-		order = append(order, sch.Name())
+	schemes := compared()
+
+	type point struct {
+		rts    []*updown.Routing
+		p      sim.Params
+		degree int
+		flits  int
 	}
-	for _, x := range xs {
+	pts := make([]point, len(xs))
+	for xi, x := range xs {
 		rts, p, degree, flits, err := build(x)
 		if err != nil {
 			return nil, err
 		}
-		for _, sch := range compared() {
-			mean, err := singleMean(rts, sch, p, degree, flits, cfg.Probes, cfg.Seed)
-			if err != nil {
-				return nil, fmt.Errorf("%s at %s=%v: %w", sch.Name(), xLabel, x, err)
+		pts[xi] = point{rts, p, degree, flits}
+	}
+
+	type key struct{ xi, si, ti int }
+	var keys []key
+	for xi := range xs {
+		for si := range schemes {
+			for ti := range pts[xi].rts {
+				keys = append(keys, key{xi, si, ti})
 			}
-			s := series[sch.Name()]
-			s.X = append(s.X, x)
-			s.Y = append(s.Y, mean)
 		}
 	}
-	for _, name := range order {
-		tab.Series = append(tab.Series, *series[name])
+	res, err := runCells(cfg.workerCount(), len(keys), func(i int) ([]float64, error) {
+		k := keys[i]
+		pt := pts[k.xi]
+		lats, err := traffic.RunSingle(pt.rts[k.ti], traffic.SingleConfig{
+			Scheme: schemes[k.si], Params: pt.p, Degree: pt.degree, MsgFlits: pt.flits,
+			Probes: cfg.Probes, Seed: rng.Mix(cfg.Seed, saltSingle, uint64(k.ti)),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s at %s=%v: %w", schemes[k.si].Name(), xLabel, xs[k.xi], err)
+		}
+		return lats, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	cells := make(map[key][]float64, len(keys))
+	for i, k := range keys {
+		cells[k] = res[i]
+	}
+	for si, sch := range schemes {
+		s := metrics.Series{Label: sch.Name()}
+		for xi, x := range xs {
+			var all []float64
+			for ti := range pts[xi].rts {
+				all = append(all, cells[key{xi, si, ti}]...)
+			}
+			s.X = append(s.X, x)
+			s.Y = append(s.Y, metrics.Mean(all))
+		}
+		tab.Series = append(tab.Series, s)
 	}
 	return tab, nil
 }
@@ -182,7 +229,7 @@ func Fig7EffectOfSwitches(cfg Config) ([]*metrics.Table, error) {
 		func(x float64) ([]*updown.Routing, sim.Params, int, int, error) {
 			tc := cfg.TopoCfg
 			tc.Switches = int(x)
-			rts, err := family(tc, cfg.Topologies, cfg.Seed+uint64(x))
+			rts, err := family(tc, cfg.Topologies, rng.Mix(cfg.Seed, saltFamily, uint64(x)))
 			return rts, cfg.Params, cfg.Degree, cfg.MsgFlits, err
 		})
 	if err != nil {
@@ -209,69 +256,43 @@ func Fig8EffectOfMessageLength(cfg Config) ([]*metrics.Table, error) {
 	return []*metrics.Table{tab}, nil
 }
 
-// loadCurve sweeps effective load for one scheme, averaging the mean
-// latency across the family; the sweep stops at the first saturated point
-// (annotated "SAT").
-func loadCurve(rts []*updown.Routing, sch mcast.Scheme, cfg Config, p sim.Params, degree, flits int) (metrics.Series, error) {
-	s := metrics.Series{Label: sch.Name()}
-	for _, l := range cfg.Loads {
-		var means []float64
-		saturated := false
-		for i, rt := range rts {
-			res, err := traffic.RunLoad(rt, traffic.LoadConfig{
-				Scheme: sch, Params: p, Degree: degree, MsgFlits: flits,
-				EffectiveLoad: l, Warmup: cfg.Warmup, Measure: cfg.Measure,
-				Drain: cfg.Drain, Seed: cfg.Seed + uint64(i)*104729,
-			})
-			if err != nil {
-				return s, err
-			}
-			if res.Saturated {
-				saturated = true
-			}
-			if res.Latency.Count > 0 {
-				means = append(means, res.Latency.Mean)
-			}
-		}
-		note := ""
-		if saturated {
-			note = "SAT"
-		}
-		s.X = append(s.X, l)
-		s.Y = append(s.Y, metrics.Mean(means))
-		s.Note = append(s.Note, note)
-		if saturated {
-			break
-		}
-	}
-	return s, nil
-}
-
 // loadPanels builds one table per (variant, degree), each with one curve
 // per scheme. build maps a variant value to (family, params, flits).
+// Every (variant, degree, scheme) curve joins one lockstep sweep, so each
+// load point fans out across curves x topology family on the worker pool
+// while every curve keeps its own sequential saturation early-exit.
 func loadPanels(cfg Config, title string, variants []float64, variantName string,
 	build func(v float64) ([]*updown.Routing, sim.Params, int, error)) ([]*metrics.Table, error) {
 	var out []*metrics.Table
+	var specs []loadCurveSpec
 	for _, v := range variants {
 		rts, p, flits, err := build(v)
 		if err != nil {
 			return nil, err
 		}
 		for _, degree := range cfg.LoadDegrees {
-			tab := &metrics.Table{
+			out = append(out, &metrics.Table{
 				Title:  fmt.Sprintf("%s [%s=%v, %d-way]", title, variantName, v, degree),
 				XLabel: "effective applied load",
 				YLabel: "mean multicast latency (cycles)",
-			}
+			})
 			for _, sch := range compared() {
-				series, err := loadCurve(rts, sch, cfg, p, degree, flits)
-				if err != nil {
-					return nil, fmt.Errorf("%s %s=%v %d-way: %w", sch.Name(), variantName, v, degree, err)
-				}
-				tab.Series = append(tab.Series, series)
+				specs = append(specs, loadCurveSpec{
+					Label:  sch.Name(),
+					ErrCtx: fmt.Sprintf(" %s=%v %d-way", variantName, v, degree),
+					Scheme: sch, Rts: rts, Params: p, Degree: degree, Flits: flits,
+				})
 			}
-			out = append(out, tab)
 		}
+	}
+	series, err := runLoadCurves(cfg, specs)
+	if err != nil {
+		return nil, err
+	}
+	perPanel := len(compared())
+	for i, s := range series {
+		tab := out[i/perPanel]
+		tab.Series = append(tab.Series, s)
 	}
 	return out, nil
 }
@@ -296,7 +317,7 @@ func Fig10LoadVsSwitches(cfg Config) ([]*metrics.Table, error) {
 		func(v float64) ([]*updown.Routing, sim.Params, int, error) {
 			tc := cfg.TopoCfg
 			tc.Switches = int(v)
-			rts, err := family(tc, cfg.LoadTopologies, cfg.Seed+uint64(v))
+			rts, err := family(tc, cfg.LoadTopologies, rng.Mix(cfg.Seed, saltFamily, uint64(v)))
 			return rts, cfg.Params, cfg.MsgFlits, err
 		})
 }
@@ -348,7 +369,7 @@ func ExtSystemSize(cfg Config) ([]*metrics.Table, error) {
 			if degree >= tc.Nodes {
 				degree = tc.Nodes / 2
 			}
-			rts, err := family(tc, cfg.Topologies, cfg.Seed+uint64(x))
+			rts, err := family(tc, cfg.Topologies, rng.Mix(cfg.Seed, saltFamily, uint64(x)))
 			return rts, cfg.Params, degree, cfg.MsgFlits, err
 		})
 	if err != nil {
@@ -393,7 +414,7 @@ func BaselineComparison(cfg Config) ([]*metrics.Table, error) {
 	for _, sch := range schemes {
 		s := metrics.Series{Label: sch.Name()}
 		for _, degree := range []float64{4, 8, 16, 31} {
-			mean, err := singleMean(rts, sch, cfg.Params, int(degree), cfg.MsgFlits, cfg.Probes, cfg.Seed)
+			mean, err := singleMean(cfg, rts, sch, cfg.Params, int(degree), cfg.MsgFlits)
 			if err != nil {
 				return nil, err
 			}

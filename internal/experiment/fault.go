@@ -68,20 +68,38 @@ func FaultReconfiguration(cfg Config) ([]*metrics.Table, error) {
 		{"healthy", healthy},
 		{"one link failed", degraded},
 	}
+	// One cell per (variant, scheme, topology); both variants and all
+	// schemes share per-topology seeds so before/after compares the same
+	// multicasts.
+	schemes := compared()
+	type key struct{ vi, si, ti int }
+	var keys []key
+	for vi := range variants {
+		for si := range schemes {
+			for ti := range variants[vi].rts {
+				keys = append(keys, key{vi, si, ti})
+			}
+		}
+	}
+	res, err := runCells(cfg.workerCount(), len(keys), func(i int) ([]float64, error) {
+		k := keys[i]
+		return traffic.RunSingle(variants[k.vi].rts[k.ti], traffic.SingleConfig{
+			Scheme: schemes[k.si], Params: cfg.Params, Degree: cfg.Degree,
+			MsgFlits: cfg.MsgFlits, Probes: cfg.Probes,
+			Seed: rng.Mix(cfg.Seed, 7919, uint64(k.ti)),
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	ci := 0
 	for _, v := range variants {
 		s := metrics.Series{Label: v.label}
-		for si, sch := range compared() {
+		for si, sch := range schemes {
 			var all []float64
-			for i, rt := range v.rts {
-				lats, err := traffic.RunSingle(rt, traffic.SingleConfig{
-					Scheme: sch, Params: cfg.Params, Degree: cfg.Degree,
-					MsgFlits: cfg.MsgFlits, Probes: cfg.Probes,
-					Seed: rng.Mix(cfg.Seed, 7919, uint64(i)),
-				})
-				if err != nil {
-					return nil, err
-				}
-				all = append(all, lats...)
+			for range v.rts {
+				all = append(all, res[ci]...)
+				ci++
 			}
 			s.X = append(s.X, float64(si+1))
 			s.Y = append(s.Y, metrics.Mean(all))

@@ -45,31 +45,51 @@ func FaultSweep(cfg Config) ([]*metrics.Table, error) {
 		YLabel: "mean clean multicast latency after reconfiguration (cycles)",
 	}
 
-	for _, sch := range compared() {
+	// One cell per (scheme, failure count, topology): a full RunFault
+	// probe batch on its own network, seeded by the same rng.Mix grid the
+	// serial sweep used.
+	schemes := compared()
+	type key struct{ si, fi, ti int }
+	var keys []key
+	for si := range schemes {
+		for fi := range failures {
+			for ti := range rts {
+				keys = append(keys, key{si, fi, ti})
+			}
+		}
+	}
+	cells, err := runCells(cfg.workerCount(), len(keys), func(i int) ([]traffic.FaultProbe, error) {
+		k := keys[i]
+		f := failures[k.fi]
+		res, err := traffic.RunFault(rts[k.ti], traffic.FaultConfig{
+			Scheme: schemes[k.si], Params: cfg.Params, Degree: cfg.Degree,
+			MsgFlits: cfg.MsgFlits, Probes: cfg.Probes,
+			Seed: rng.Mix(cfg.Seed, 0xfa11, uint64(k.ti), uint64(f)),
+			Faults: func(probe int, rt *updown.Routing) *sim.FaultSchedule {
+				return nonPartitioningLinkFaults(rt, f,
+					rng.Mix(cfg.Seed, 0x5eed, uint64(k.ti), uint64(probe), uint64(f)))
+			},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiment: faultsweep %s f=%d: %w", schemes[k.si].Name(), f, err)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for si, sch := range schemes {
 		dSer := metrics.Series{Label: sch.Name()}
 		rSer := metrics.Series{Label: sch.Name()}
 		sSer := metrics.Series{Label: sch.Name()}
-		for _, f := range failures {
-			f := f
+		for fi, f := range failures {
 			var delivered, total, attempts, probes int
 			var recSum float64
 			var postSum float64
 			var postCount int
-			for ti, rt := range rts {
-				ti := ti
-				res, err := traffic.RunFault(rt, traffic.FaultConfig{
-					Scheme: sch, Params: cfg.Params, Degree: cfg.Degree,
-					MsgFlits: cfg.MsgFlits, Probes: cfg.Probes,
-					Seed: rng.Mix(cfg.Seed, 0xfa11, uint64(ti), uint64(f)),
-					Faults: func(probe int, rt *updown.Routing) *sim.FaultSchedule {
-						return nonPartitioningLinkFaults(rt, f,
-							rng.Mix(cfg.Seed, 0x5eed, uint64(ti), uint64(probe), uint64(f)))
-					},
-				})
-				if err != nil {
-					return nil, fmt.Errorf("experiment: faultsweep %s f=%d: %w", sch.Name(), f, err)
-				}
-				for _, pr := range res {
+			for ti := range rts {
+				for _, pr := range cells[(si*len(failures)+fi)*len(rts)+ti] {
 					delivered += pr.Delivered
 					total += pr.Total
 					attempts += pr.Attempts

@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"mcastsim/internal/metrics"
+	"mcastsim/internal/rng"
 	"mcastsim/internal/traffic"
 )
 
@@ -20,21 +21,38 @@ func MixedTraffic(cfg Config) ([]*metrics.Table, error) {
 		XLabel: "background unicast load (flits/cycle/node)",
 		YLabel: "mean multicast latency (cycles)",
 	}
-	for _, sch := range compared() {
+	// One cell per (scheme, background level, topology); the seed is
+	// salted by topology index only, pairing every scheme and background
+	// level on the same probe draws.
+	schemes := compared()
+	bgs := []float64{0, 0.05, 0.1, 0.15}
+	type key struct{ si, bi, ti int }
+	var keys []key
+	for si := range schemes {
+		for bi := range bgs {
+			for ti := range rts {
+				keys = append(keys, key{si, bi, ti})
+			}
+		}
+	}
+	res, err := runCells(cfg.workerCount(), len(keys), func(i int) ([]float64, error) {
+		k := keys[i]
+		return traffic.RunMixed(rts[k.ti], traffic.MixedConfig{
+			Scheme: schemes[k.si], Params: cfg.Params, Degree: 16, MsgFlits: cfg.MsgFlits,
+			BackgroundLoad: bgs[k.bi], BackgroundFlits: cfg.MsgFlits,
+			Probes: cfg.Probes, ProbeGap: 5_000, Warmup: cfg.Warmup,
+			Seed: rng.Mix(cfg.Seed, saltMixed, uint64(k.ti)),
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	for si, sch := range schemes {
 		s := metrics.Series{Label: sch.Name()}
-		for _, bg := range []float64{0, 0.05, 0.1, 0.15} {
+		for bi, bg := range bgs {
 			var all []float64
-			for i, rt := range rts {
-				lats, err := traffic.RunMixed(rt, traffic.MixedConfig{
-					Scheme: sch, Params: cfg.Params, Degree: 16, MsgFlits: cfg.MsgFlits,
-					BackgroundLoad: bg, BackgroundFlits: cfg.MsgFlits,
-					Probes: cfg.Probes, ProbeGap: 5_000, Warmup: cfg.Warmup,
-					Seed: cfg.Seed + uint64(i)*53,
-				})
-				if err != nil {
-					return nil, err
-				}
-				all = append(all, lats...)
+			for ti := range rts {
+				all = append(all, res[(si*len(bgs)+bi)*len(rts)+ti]...)
 			}
 			s.X = append(s.X, bg)
 			s.Y = append(s.Y, metrics.Mean(all))

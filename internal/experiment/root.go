@@ -6,7 +6,6 @@ import (
 	"mcastsim/internal/mcast/treeworm"
 	"mcastsim/internal/metrics"
 	"mcastsim/internal/topology"
-	"mcastsim/internal/traffic"
 	"mcastsim/internal/updown"
 )
 
@@ -24,8 +23,8 @@ func RootSelection(cfg Config) ([]*metrics.Table, error) {
 		{"default root (lowest ID)", false},
 		{"center root", true},
 	}
-	build := func(center bool, count int, seedOff uint64) ([]*updown.Routing, error) {
-		topos, err := topology.GenerateFamily(cfg.TopoCfg, count, cfg.Seed+seedOff)
+	build := func(center bool, count int) ([]*updown.Routing, error) {
+		topos, err := topology.GenerateFamily(cfg.TopoCfg, count, cfg.Seed)
 		if err != nil {
 			return nil, err
 		}
@@ -46,13 +45,13 @@ func RootSelection(cfg Config) ([]*metrics.Table, error) {
 		YLabel: "mean single multicast latency (cycles)",
 	}
 	for _, v := range variants {
-		rts, err := build(v.center, cfg.Topologies, 0)
+		rts, err := build(v.center, cfg.Topologies)
 		if err != nil {
 			return nil, err
 		}
 		s := metrics.Series{Label: v.label}
 		for _, degree := range []float64{8, 16, 31} {
-			mean, err := singleMean(rts, treeworm.New(), cfg.Params, int(degree), cfg.MsgFlits, cfg.Probes, cfg.Seed)
+			mean, err := singleMean(cfg, rts, treeworm.New(), cfg.Params, int(degree), cfg.MsgFlits)
 			if err != nil {
 				return nil, err
 			}
@@ -67,44 +66,22 @@ func RootSelection(cfg Config) ([]*metrics.Table, error) {
 		XLabel: "effective applied load",
 		YLabel: "mean multicast latency (cycles)",
 	}
-	for _, v := range variants {
-		rts, err := build(v.center, cfg.LoadTopologies, 0)
+	specs := make([]loadCurveSpec, len(variants))
+	for i, v := range variants {
+		rts, err := build(v.center, cfg.LoadTopologies)
 		if err != nil {
 			return nil, err
 		}
-		s := metrics.Series{Label: v.label}
-		for _, l := range cfg.Loads {
-			var means []float64
-			sat := false
-			for i, rt := range rts {
-				res, err := traffic.RunLoad(rt, traffic.LoadConfig{
-					Scheme: treeworm.New(), Params: cfg.Params,
-					Degree: cfg.LoadDegrees[0], MsgFlits: cfg.MsgFlits,
-					EffectiveLoad: l, Warmup: cfg.Warmup, Measure: cfg.Measure,
-					Drain: cfg.Drain, Seed: cfg.Seed + uint64(i)*37,
-				})
-				if err != nil {
-					return nil, err
-				}
-				if res.Saturated {
-					sat = true
-				}
-				if res.Latency.Count > 0 {
-					means = append(means, res.Latency.Mean)
-				}
-			}
-			note := ""
-			if sat {
-				note = "SAT"
-			}
-			s.X = append(s.X, l)
-			s.Y = append(s.Y, metrics.Mean(means))
-			s.Note = append(s.Note, note)
-			if sat {
-				break
-			}
+		specs[i] = loadCurveSpec{
+			Label: v.label, ErrCtx: " (root selection)",
+			Scheme: treeworm.New(), Rts: rts, Params: cfg.Params,
+			Degree: cfg.LoadDegrees[0], Flits: cfg.MsgFlits,
 		}
-		load.Series = append(load.Series, s)
 	}
+	series, err := runLoadCurves(cfg, specs)
+	if err != nil {
+		return nil, err
+	}
+	load.Series = append(load.Series, series...)
 	return []*metrics.Table{iso, load}, nil
 }

@@ -5,7 +5,6 @@ import (
 
 	"mcastsim/internal/metrics"
 	"mcastsim/internal/topology"
-	"mcastsim/internal/traffic"
 	"mcastsim/internal/updown"
 )
 
@@ -50,7 +49,7 @@ func RoutingVariant(cfg Config) ([]*metrics.Table, error) {
 		}
 		s := metrics.Series{Label: v.label}
 		for si, sch := range compared() {
-			mean, err := singleMean(rts, sch, cfg.Params, cfg.Degree, cfg.MsgFlits, cfg.Probes, cfg.Seed)
+			mean, err := singleMean(cfg, rts, sch, cfg.Params, cfg.Degree, cfg.MsgFlits)
 			if err != nil {
 				return nil, err
 			}
@@ -66,44 +65,22 @@ func RoutingVariant(cfg Config) ([]*metrics.Table, error) {
 		XLabel: "effective applied load",
 		YLabel: "mean multicast latency (cycles)",
 	}
-	for _, v := range variants {
+	specs := make([]loadCurveSpec, len(variants))
+	for i, v := range variants {
 		rts, err := build(v.tree, cfg.LoadTopologies)
 		if err != nil {
 			return nil, err
 		}
-		s := metrics.Series{Label: v.label}
-		for _, l := range cfg.Loads {
-			var means []float64
-			sat := false
-			for i, rt := range rts {
-				res, err := traffic.RunLoad(rt, traffic.LoadConfig{
-					Scheme: compared()[1], Params: cfg.Params,
-					Degree: cfg.LoadDegrees[0], MsgFlits: cfg.MsgFlits,
-					EffectiveLoad: l, Warmup: cfg.Warmup, Measure: cfg.Measure,
-					Drain: cfg.Drain, Seed: cfg.Seed + uint64(i)*41,
-				})
-				if err != nil {
-					return nil, err
-				}
-				if res.Saturated {
-					sat = true
-				}
-				if res.Latency.Count > 0 {
-					means = append(means, res.Latency.Mean)
-				}
-			}
-			note := ""
-			if sat {
-				note = "SAT"
-			}
-			s.X = append(s.X, l)
-			s.Y = append(s.Y, metrics.Mean(means))
-			s.Note = append(s.Note, note)
-			if sat {
-				break
-			}
+		specs[i] = loadCurveSpec{
+			Label: v.label, ErrCtx: " (routing substrate)",
+			Scheme: compared()[1], Rts: rts, Params: cfg.Params,
+			Degree: cfg.LoadDegrees[0], Flits: cfg.MsgFlits,
 		}
-		load.Series = append(load.Series, s)
 	}
+	series, err := runLoadCurves(cfg, specs)
+	if err != nil {
+		return nil, err
+	}
+	load.Series = append(load.Series, series...)
 	return []*metrics.Table{iso, load}, nil
 }

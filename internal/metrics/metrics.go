@@ -146,8 +146,12 @@ func (t *Table) WriteCSV(w io.Writer) error {
 			if i < len(s.Note) {
 				note = s.Note[i]
 			}
-			if _, err := fmt.Fprintf(w, "%s,%s,%v,%v,%s\n",
-				csvEscape(t.Title), csvEscape(s.Label), s.X[i], s.Y[i], csvEscape(note)); err != nil {
+			y := fmt.Sprintf("%v", s.Y[i])
+			if math.IsNaN(s.Y[i]) {
+				y = "" // no measurable value at this point
+			}
+			if _, err := fmt.Fprintf(w, "%s,%s,%v,%s,%s\n",
+				csvEscape(t.Title), csvEscape(s.Label), s.X[i], y, csvEscape(note)); err != nil {
 				return err
 			}
 		}
@@ -180,7 +184,12 @@ func unionX(series []Series) []float64 {
 func lookup(s Series, x float64) string {
 	for i, sx := range s.X {
 		if sx == x {
-			cell := trimFloat(s.Y[i])
+			// NaN marks a point with no measurable Y (e.g. a saturated load
+			// point where nothing completed); render the annotation alone.
+			cell := "-"
+			if !math.IsNaN(s.Y[i]) {
+				cell = trimFloat(s.Y[i])
+			}
 			if i < len(s.Note) && s.Note[i] != "" {
 				cell += " " + s.Note[i]
 			}

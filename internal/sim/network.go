@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"mcastsim/internal/event"
 	"mcastsim/internal/rng"
@@ -50,6 +51,11 @@ type Network struct {
 	params Params
 	queue  event.Queue
 	arb    *rng.Source
+
+	// running guards the event loop against concurrent entry (see
+	// enterRun): a cheap assertion of the one-goroutine-per-Network
+	// contract, not a synchronization mechanism.
+	running atomic.Bool
 
 	switches []*switchState
 	nis      []*ni
@@ -336,6 +342,8 @@ func (n *Network) stallReport(queueEmpty bool) *StallError {
 // Params.StallCycles while work is outstanding, Drain returns a
 // *StallError naming the stuck worms and held ports.
 func (n *Network) Drain(maxEvents uint64) error {
+	n.enterRun()
+	defer n.exitRun()
 	if maxEvents == 0 {
 		maxEvents = 1 << 34
 	}
@@ -369,9 +377,30 @@ func (n *Network) Drain(maxEvents uint64) error {
 	return fmt.Errorf("sim: event budget %d exhausted at t=%d (%d outstanding)", maxEvents, n.queue.Now(), n.outstanding)
 }
 
+// enterRun asserts the single-goroutine contract on event-loop entry: a
+// Network, its event loop, and every callback the loop fires (message
+// completion hooks, scheduled arrival closures) all run on the one
+// goroutine that entered Drain or RunUntil. Captured variables in those
+// callbacks (e.g. traffic.RunLoadOn's latency slice and error slot) are
+// therefore safe without locks. A parallel harness may only parallelize
+// across Networks, never within one; concurrent entry is a programming
+// error and panics rather than silently corrupting simulator state.
+func (n *Network) enterRun() {
+	if !n.running.CompareAndSwap(false, true) {
+		panic("sim: concurrent use of Network: the event loop and its callbacks are single-goroutine; parallelize across networks, never within one")
+	}
+}
+
+// exitRun releases the event-loop entry guard.
+func (n *Network) exitRun() { n.running.Store(false) }
+
 // RunUntil advances the simulation clock to limit, executing all events due
 // by then (open-loop load experiments use this).
-func (n *Network) RunUntil(limit event.Time) { n.queue.RunUntil(limit) }
+func (n *Network) RunUntil(limit event.Time) {
+	n.enterRun()
+	defer n.exitRun()
+	n.queue.RunUntil(limit)
+}
 
 // RunSingle sends one multicast at the current time, drains the network,
 // and returns the completed message. It is the primitive behind all

@@ -73,7 +73,10 @@ func RunSingle(rt *updown.Routing, cfg SingleConfig) ([]float64, error) {
 		if err != nil {
 			return nil, fmt.Errorf("traffic: probe %d: %w", i, err)
 		}
-		n, err := sim.New(rt, cfg.Params, cfg.Seed+uint64(i))
+		// Mix, not add: cfg.Seed+uint64(i) makes probe i's arbitration
+		// stream collide with the traffic stream of a cell seeded one
+		// apart.
+		n, err := sim.New(rt, cfg.Params, rng.Mix(cfg.Seed, 0xa2b17, uint64(i)))
 		if err != nil {
 			return nil, err
 		}
@@ -134,6 +137,13 @@ func RunLoad(rt *updown.Routing, cfg LoadConfig) (LoadResult, error) {
 // RunLoadOn runs the load point on a caller-provided network (which must be
 // fresh), so the caller can inspect the network — channel utilization,
 // conservation counters — afterwards.
+//
+// Concurrency contract: the arrival closures below capture res, measured
+// and genErr with no synchronization. That is safe because a sim.Network
+// and every callback it fires are single-goroutine — the closures only run
+// inside n.RunUntil on this goroutine (the Network's event-loop guard
+// panics on concurrent entry). A parallel harness may therefore only
+// parallelize across networks (one cell = one Network), never within one.
 func RunLoadOn(n *sim.Network, rt *updown.Routing, cfg LoadConfig) (LoadResult, error) {
 	if cfg.EffectiveLoad <= 0 {
 		return LoadResult{}, fmt.Errorf("traffic: non-positive load")
