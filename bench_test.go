@@ -12,6 +12,7 @@ import (
 	"runtime"
 	"testing"
 
+	"mcastsim/internal/benchcase"
 	"mcastsim/internal/bitset"
 	"mcastsim/internal/collective"
 	"mcastsim/internal/event"
@@ -313,6 +314,7 @@ func BenchmarkAblation_BufferDepth(b *testing.B) {
 // experiment harness at quick scale, serial vs one worker per CPU. The
 // two sub-benchmarks produce byte-identical tables (see the experiment
 // package's determinism tests); the ns/op ratio is the harness speedup.
+// The per-CPU body is shared with `mcastsim -emit-bench` via benchcase.
 func BenchmarkSweepParallel(b *testing.B) {
 	cfg := experiment.Quick()
 	cfg.Warmup, cfg.Measure, cfg.Drain = 5_000, 25_000, 20_000
@@ -329,6 +331,14 @@ func BenchmarkSweepParallel(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkDrainLarge is the large-topology drain: 64 switches, 512
+// hosts, mixed unicast/tree/path traffic driven to completion. It reports
+// events/sec, the scheduler-core throughput metric tracked in
+// BENCH_PR3.json (see internal/benchcase).
+func BenchmarkDrainLarge(b *testing.B) {
+	benchcase.DrainLarge(b)
 }
 
 // --- simulator micro-benchmarks ---

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"mcastsim/internal/benchcase"
+)
+
+// benchMetrics is one benchmark measurement in BENCH_PR3.json.
+type benchMetrics struct {
+	NsPerOp      float64 `json:"ns_per_op"`
+	AllocsPerOp  float64 `json:"allocs_per_op"`
+	BytesPerOp   float64 `json:"bytes_per_op"`
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+	EventsPerOp  float64 `json:"events_per_op,omitempty"`
+	Iterations   int     `json:"iterations"`
+}
+
+// benchRecord pairs a current measurement with the frozen pre-refactor
+// baseline for one benchmark.
+type benchRecord struct {
+	Baseline benchMetrics `json:"baseline"`
+	Current  benchMetrics `json:"current"`
+	// SpeedupEventsPerSec is current/baseline scheduler throughput (the
+	// PR 3 acceptance metric, target >= 1.5); SpeedupWallClock is the
+	// plain ns/op ratio.
+	SpeedupEventsPerSec float64 `json:"speedup_events_per_sec,omitempty"`
+	SpeedupWallClock    float64 `json:"speedup_wall_clock"`
+}
+
+// benchFile is the whole BENCH_PR3.json document.
+type benchFile struct {
+	Note       string                 `json:"note"`
+	Benchmarks map[string]benchRecord `json:"benchmarks"`
+}
+
+// drainLargeBaseline and sweepParallelBaseline freeze the numbers measured
+// on the pre-refactor engine (closure entries in a binary min-heap) on the
+// reference box, immediately before the typed-event calendar queue landed.
+var (
+	drainLargeBaseline = benchMetrics{
+		NsPerOp:      283.8e6,
+		AllocsPerOp:  115_500,
+		BytesPerOp:   5.24e6,
+		EventsPerSec: 9.0e6,
+		EventsPerOp:  2_555_004,
+		Iterations:   5,
+	}
+	sweepParallelBaseline = benchMetrics{
+		NsPerOp:    4.51e9,
+		Iterations: 1,
+	}
+)
+
+func measure(f func(b *testing.B)) benchMetrics {
+	r := testing.Benchmark(f)
+	m := benchMetrics{
+		NsPerOp:      float64(r.NsPerOp()),
+		AllocsPerOp:  float64(r.AllocsPerOp()),
+		BytesPerOp:   float64(r.AllocedBytesPerOp()),
+		EventsPerSec: r.Extra["events/sec"],
+		EventsPerOp:  r.Extra["events/op"],
+		Iterations:   r.N,
+	}
+	return m
+}
+
+// runEmitBench measures the benchcase workloads with testing.Benchmark and
+// writes BENCH_PR3.json-format results to path.
+func runEmitBench(path string) error {
+	fmt.Fprintln(os.Stderr, "mcastsim: measuring DrainLarge...")
+	drain := measure(benchcase.DrainLarge)
+	fmt.Fprintln(os.Stderr, "mcastsim: measuring SweepParallel...")
+	sweep := measure(benchcase.SweepParallel)
+
+	out := benchFile{
+		Note: "PR 3 scheduler-core benchmarks; baselines frozen on the pre-refactor closure/heap engine",
+		Benchmarks: map[string]benchRecord{
+			"DrainLarge": {
+				Baseline:            drainLargeBaseline,
+				Current:             drain,
+				SpeedupEventsPerSec: drain.EventsPerSec / drainLargeBaseline.EventsPerSec,
+				SpeedupWallClock:    drainLargeBaseline.NsPerOp / drain.NsPerOp,
+			},
+			"SweepParallel": {
+				Baseline:         sweepParallelBaseline,
+				Current:          sweep,
+				SpeedupWallClock: sweepParallelBaseline.NsPerOp / sweep.NsPerOp,
+			},
+		},
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: DrainLarge %.1f ms/op, %.2gM events/sec (%.2fx baseline)\n",
+		path, drain.NsPerOp/1e6, drain.EventsPerSec/1e6,
+		drain.EventsPerSec/drainLargeBaseline.EventsPerSec)
+	return nil
+}

@@ -40,8 +40,17 @@ func main() {
 		compare = flag.String("compare", "", "run a scheme comparison on this topology file instead of an experiment")
 		degree  = flag.Int("degree", 16, "multicast degree for -compare")
 		flits   = flag.Int("flits", 128, "message flits for -compare")
+		bench   = flag.String("emit-bench", "", "measure the scheduler-core benchmarks and write JSON results to this file (e.g. BENCH_PR3.json)")
 	)
 	flag.Parse()
+
+	if *bench != "" {
+		if err := runEmitBench(*bench); err != nil {
+			fmt.Fprintln(os.Stderr, "mcastsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		fmt.Println("available experiments:")

@@ -19,71 +19,78 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "netviz:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("netviz", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		in      = flag.String("in", "-", "topology file in topogen text format ('-' = stdin)")
-		dot     = flag.Bool("dot", false, "emit Graphviz DOT")
-		routing = flag.Bool("routing", false, "emit the up*/down* routing report")
+		in      = fs.String("in", "-", "topology file in topogen text format ('-' = stdin)")
+		dot     = fs.Bool("dot", false, "emit Graphviz DOT")
+		routing = fs.Bool("routing", false, "emit the up*/down* routing report")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if !*dot && !*routing {
 		*dot = true
 	}
 
-	var r io.Reader = os.Stdin
+	r := stdin
 	if *in != "-" {
 		f, err := os.Open(*in)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer f.Close()
 		r = f
 	}
 	topo, err := topology.ReadText(r)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if *dot {
-		if err := topology.WriteDOT(os.Stdout, topo); err != nil {
-			fatal(err)
+		if err := topology.WriteDOT(stdout, topo); err != nil {
+			return err
 		}
 	}
 	if *routing {
 		rt, err := updown.New(topo)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		report(topo, rt)
+		report(stdout, topo, rt)
 	}
+	return nil
 }
 
-func report(topo *topology.Topology, rt *updown.Routing) {
-	fmt.Printf("up*/down* routing report: %d switches, %d nodes, root = switch %d\n",
+func report(w io.Writer, topo *topology.Topology, rt *updown.Routing) {
+	fmt.Fprintf(w, "up*/down* routing report: %d switches, %d nodes, root = switch %d\n",
 		topo.NumSwitches, topo.NumNodes, rt.Root)
 	for s := 0; s < topo.NumSwitches; s++ {
 		sw := topology.SwitchID(s)
-		fmt.Printf("switch %d (level %d", s, rt.Level[s])
+		fmt.Fprintf(w, "switch %d (level %d", s, rt.Level[s])
 		if rt.Parent[s] >= 0 {
-			fmt.Printf(", parent %d", rt.Parent[s])
+			fmt.Fprintf(w, ", parent %d", rt.Parent[s])
 		}
-		fmt.Println(")")
+		fmt.Fprintln(w, ")")
 		for p := 0; p < topo.PortsPerSwitch; p++ {
 			e := topo.Conn[s][p]
 			switch e.Kind {
 			case topology.ToSwitch:
-				fmt.Printf("  port %d -> switch %d [%s]", p, e.Switch, rt.Dirs[s][p])
+				fmt.Fprintf(w, "  port %d -> switch %d [%s]", p, e.Switch, rt.Dirs[s][p])
 				if rt.Dirs[s][p] == updown.DirDown {
-					fmt.Printf(" reach=%s", rt.DownReach[s][p])
+					fmt.Fprintf(w, " reach=%s", rt.DownReach[s][p])
 				}
-				fmt.Println()
+				fmt.Fprintln(w)
 			case topology.ToNode:
-				fmt.Printf("  port %d -> node %d\n", p, e.Node)
+				fmt.Fprintf(w, "  port %d -> node %d\n", p, e.Node)
 			}
 		}
-		fmt.Printf("  covers %d/%d nodes without climbing\n", rt.Cover[sw].Count(), topo.NumNodes)
+		fmt.Fprintf(w, "  covers %d/%d nodes without climbing\n", rt.Cover[sw].Count(), topo.NumNodes)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "netviz:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mcastsim/internal/rng"
+	"mcastsim/internal/topology"
+)
+
+// fixtureText renders an 8-switch generated topology in interchange format.
+func fixtureText(t *testing.T) string {
+	t.Helper()
+	cfg := topology.Config{Switches: 8, PortsPerSwitch: 8, Nodes: 32, ExtraLinksPerSwitch: -1}
+	topo, err := topology.Generate(cfg, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := topology.WriteText(&buf, topo); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestDOTExport smokes the default DOT path on stdin input.
+func TestDOTExport(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run(nil, strings.NewReader(fixtureText(t)), &out, &errb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	dot := out.String()
+	if len(dot) == 0 {
+		t.Fatal("empty DOT output")
+	}
+	if !strings.Contains(dot, "graph") || !strings.Contains(dot, "--") {
+		t.Fatalf("output does not look like Graphviz DOT:\n%s", dot)
+	}
+}
+
+// TestRoutingReport smokes the -routing report: it must mention every
+// switch and carry the up*/down* header.
+func TestRoutingReport(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-routing"}, strings.NewReader(fixtureText(t)), &out, &errb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	rep := out.String()
+	if !strings.Contains(rep, "up*/down* routing report: 8 switches, 32 nodes") {
+		t.Fatalf("unexpected report header:\n%s", rep)
+	}
+	for i := 0; i < 8; i++ {
+		if !strings.Contains(rep, "switch "+string(rune('0'+i))+" (level ") {
+			t.Fatalf("report missing switch %d:\n%s", i, rep)
+		}
+	}
+}
+
+// TestBadInput checks parse failures surface as errors.
+func TestBadInput(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run(nil, strings.NewReader("not a topology\n"), &out, &errb); err == nil {
+		t.Fatal("expected an error for malformed input")
+	}
+}

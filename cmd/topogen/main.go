@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -18,16 +19,27 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "topogen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("topogen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		switches = flag.Int("switches", 8, "number of switches")
-		ports    = flag.Int("ports", 8, "ports per switch")
-		nodes    = flag.Int("nodes", 32, "number of processing nodes")
-		extra    = flag.Float64("extra", -1, "extra links per switch beyond the spanning tree (-1 = default 0.75)")
-		seed     = flag.Uint64("seed", 1, "generation seed")
-		family   = flag.Int("family", 0, "generate a family of this many topologies into -dir")
-		dir      = flag.String("dir", ".", "output directory for -family")
+		switches = fs.Int("switches", 8, "number of switches")
+		ports    = fs.Int("ports", 8, "ports per switch")
+		nodes    = fs.Int("nodes", 32, "number of processing nodes")
+		extra    = fs.Float64("extra", -1, "extra links per switch beyond the spanning tree (-1 = default 0.75)")
+		seed     = fs.Uint64("seed", 1, "generation seed")
+		family   = fs.Int("family", 0, "generate a family of this many topologies into -dir")
+		dir      = fs.String("dir", ".", "output directory for -family")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	cfg := topology.Config{
 		Switches:            *switches,
@@ -38,37 +50,31 @@ func main() {
 	if *family > 0 {
 		fam, err := topology.GenerateFamily(cfg, *family, *seed)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if err := os.MkdirAll(*dir, 0o755); err != nil {
-			fatal(err)
+			return err
 		}
 		for i, t := range fam {
 			name := filepath.Join(*dir, fmt.Sprintf("topo_%03d.topo", i))
 			f, err := os.Create(name)
 			if err != nil {
-				fatal(err)
+				return err
 			}
 			if err := topology.WriteText(f, t); err != nil {
-				fatal(err)
+				f.Close()
+				return err
 			}
 			if err := f.Close(); err != nil {
-				fatal(err)
+				return err
 			}
-			fmt.Fprintf(os.Stderr, "wrote %s (%d links)\n", name, len(t.Links))
+			fmt.Fprintf(stderr, "wrote %s (%d links)\n", name, len(t.Links))
 		}
-		return
+		return nil
 	}
 	t, err := topology.Generate(cfg, rng.New(*seed))
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	if err := topology.WriteText(os.Stdout, t); err != nil {
-		fatal(err)
-	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "topogen:", err)
-	os.Exit(1)
+	return topology.WriteText(stdout, t)
 }

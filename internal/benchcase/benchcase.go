@@ -1,0 +1,161 @@
+// Package benchcase holds the perf-trajectory benchmark bodies shared
+// between the `go test -bench` harness (bench_test.go wraps them) and the
+// JSON emitter (`cmd/mcastsim -emit-bench` runs them via testing.Benchmark
+// and writes BENCH_PR3.json). Keeping one body per benchmark guarantees
+// the CI artifact and the interactive numbers measure the same workload.
+package benchcase
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"mcastsim/internal/event"
+	"mcastsim/internal/experiment"
+	"mcastsim/internal/mcast"
+	"mcastsim/internal/mcast/pathworm"
+	"mcastsim/internal/mcast/treeworm"
+	"mcastsim/internal/rng"
+	"mcastsim/internal/sim"
+	"mcastsim/internal/topology"
+	"mcastsim/internal/updown"
+)
+
+// drainLargeSpec pins the DrainLarge workload: a 64-switch, 512-host
+// irregular network draining a mixed unicast/multicast burst. The message
+// mix (half unicast, a quarter tree worms, a quarter path worms) exercises
+// all three worm-advancement paths plus the NI/DMA pipeline.
+const (
+	drainSwitches = 64
+	drainPorts    = 16
+	drainNodes    = 512
+	drainSeed     = 0xd2a1_4a26e
+	drainMsgs     = 96
+	drainDegree   = 16
+	drainFlits    = 256
+)
+
+// drainLargeWorkload is the precomputed part of DrainLarge: one routed
+// topology and a deterministic message schedule.
+type drainLargeWorkload struct {
+	rt    *updown.Routing
+	plans []*sim.Plan
+}
+
+func buildDrainLarge() (*drainLargeWorkload, error) {
+	cfg := topology.Config{
+		Switches:            drainSwitches,
+		PortsPerSwitch:      drainPorts,
+		Nodes:               drainNodes,
+		ExtraLinksPerSwitch: -1,
+	}
+	topo, err := topology.Generate(cfg, rng.New(drainSeed))
+	if err != nil {
+		return nil, err
+	}
+	rt, err := updown.New(topo)
+	if err != nil {
+		return nil, err
+	}
+	w := &drainLargeWorkload{rt: rt}
+	r := rng.New(rng.Mix(drainSeed, 0xbe7c))
+	tree := treeworm.New()
+	path := pathworm.New()
+	p := sim.DefaultParams()
+	for i := 0; i < drainMsgs; i++ {
+		var sch mcast.Scheme
+		degree := drainDegree
+		switch {
+		case i%2 == 0:
+			degree = 1 // unicast half of the mix
+			sch = nil
+		case i%4 == 1:
+			sch = tree
+		default:
+			sch = path
+		}
+		picks := r.Sample(drainNodes, degree+1)
+		src := topology.NodeID(picks[0])
+		dests := make([]topology.NodeID, degree)
+		for j, v := range picks[1:] {
+			dests[j] = topology.NodeID(v)
+		}
+		var plan *sim.Plan
+		if sch == nil {
+			specs := make([]sim.WormSpec, len(dests))
+			for j, d := range dests {
+				specs[j] = sim.WormSpec{Kind: sim.WormUnicast, Dest: d}
+			}
+			plan = &sim.Plan{Source: src, Dests: dests,
+				HostSends: map[topology.NodeID][]sim.WormSpec{src: specs}}
+		} else {
+			plan, err = sch.Plan(rt, p, src, dests, drainFlits)
+			if err != nil {
+				return nil, fmt.Errorf("benchcase: plan %d (%s): %w", i, sch.Name(), err)
+			}
+		}
+		w.plans = append(w.plans, plan)
+	}
+	return w, nil
+}
+
+// runDrainLarge injects the burst (messages staggered 50 cycles apart)
+// and drains the network, returning the event count.
+func (w *drainLargeWorkload) run(seed uint64) (uint64, error) {
+	n, err := sim.New(w.rt, sim.DefaultParams(), seed)
+	if err != nil {
+		return 0, err
+	}
+	for i, plan := range w.plans {
+		at := n.Now() + event.Time(50*i)
+		if _, err := n.Send(plan, drainFlits, at, nil); err != nil {
+			return 0, fmt.Errorf("benchcase: send %d: %w", i, err)
+		}
+	}
+	if err := n.Drain(0); err != nil {
+		return 0, err
+	}
+	return n.EventsProcessed(), nil
+}
+
+// DrainLarge is the large-topology drain benchmark: 64 switches, 512
+// hosts, a mixed unicast/tree/path burst driven to completion. It reports
+// events/sec (the scheduler-core throughput the PR 3 refactor targets)
+// alongside the standard ns/op and allocs/op.
+func DrainLarge(b *testing.B) {
+	w, err := buildDrainLarge()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		ev, err := w.run(uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += ev
+	}
+	b.StopTimer()
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(events)/s, "events/sec")
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+}
+
+// SweepParallel is the experiment-harness benchmark from PR 2: the full
+// Figure 9 sweep at quick scale with one worker per CPU.
+func SweepParallel(b *testing.B) {
+	cfg := experiment.Quick()
+	cfg.Warmup, cfg.Measure, cfg.Drain = 5_000, 25_000, 20_000
+	cfg.Loads = []float64{0.1, 0.3}
+	cfg.LoadDegrees = []int{8}
+	cfg.Workers = runtime.GOMAXPROCS(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.Fig9LoadVsR(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

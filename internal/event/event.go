@@ -1,10 +1,40 @@
 // Package event provides the discrete-event core of the simulator: a
-// monotonic clock and a stable min-heap of scheduled callbacks.
+// monotonic clock and a deterministic schedule of typed event records.
 //
 // Time is measured in integer cycles (the paper's 10 ns switch cycle).
 // Events scheduled for the same cycle run in scheduling order (FIFO), which
 // keeps the simulator deterministic without imposing artificial sub-cycle
 // ordering on unrelated components.
+//
+// # Typed events
+//
+// An event is a small fixed-size record {at, seq, kind, actor, arg}
+// dispatched through a per-queue jump table (Register/Post/PostAfter).
+// Storing a pointer-shaped actor in the record instead of capturing it in
+// a closure removes the per-event heap allocation that dominated the old
+// engine's profile; the steady-state flit pipeline posts and dispatches
+// with zero allocations.
+//
+// Deprecated shim: At and After still accept func() callbacks — each one
+// is carried as KindClosure with the func value as the actor, which is
+// allocation-free for pre-bound funcs but allocates whenever the literal
+// captures variables. They remain for cold paths (experiment drivers,
+// tests, one-shot timers) and for incremental migration; hot-path code
+// should define a Kind and use Post/PostAfter instead.
+//
+// # Scheduling structure
+//
+// The default backend is a hierarchical calendar queue: a power-of-two
+// ring of per-cycle FIFO buckets covering the near-future window
+// [cursor, cursor+ringSize), plus a binary-heap overflow for events
+// beyond the window. Posting within the window — which covers every
+// link/routing/crossbar delay in the simulator — is O(1) append; far
+// events (timeouts, fault injections, stall watchdogs) take the heap
+// path and migrate into the ring, in (at, seq) order, exactly when their
+// cycle enters the window, so FIFO-within-cycle is preserved end to end.
+// SetBackend(BackendHeap) selects the legacy single binary heap ordered
+// by (at, seq); both backends realize the same total order, which the
+// equivalence tests in internal/sim exploit.
 package event
 
 import "fmt"
@@ -12,58 +42,232 @@ import "fmt"
 // Time is a simulation timestamp in cycles.
 type Time int64
 
-// Queue is a future-event list. The zero value is ready to use.
-type Queue struct {
-	now    Time
-	seq    uint64
-	events []entry
-	ran    uint64
+// maxTime is an unreachable timestamp used as "no limit".
+const maxTime = Time(1) << 62
+
+// Kind identifies an event type registered in the queue's jump table.
+type Kind uint8
+
+// KindClosure carries a legacy func() callback (the At/After shim).
+const KindClosure Kind = 0
+
+// MaxKinds bounds the jump table; kinds are small dense integers.
+const MaxKinds = 32
+
+// Handler executes one typed event. The actor is the pointer-shaped value
+// given at post time (a buffer, a branch, a network); arg is a free
+// integer payload (port index, epoch, message ID).
+type Handler func(actor any, arg int64)
+
+// Backend selects the queue's priority structure (see SetBackend).
+type Backend uint8
+
+const (
+	// BackendCalendar is the calendar-queue scheduler (the default).
+	BackendCalendar Backend = iota
+	// BackendHeap is the legacy binary-heap scheduler.
+	BackendHeap
+)
+
+// ringSize is the calendar window in cycles. Every pipeline delay in the
+// simulator (link, routing, crossbar, DMA setup) is far below this, so
+// steady-state posts are O(1) ring appends; only long timers overflow.
+// Must be a power of two.
+const ringSize = 1024
+
+// shrinkCap is the capacity below which backing slices are never shrunk.
+const shrinkCap = 64
+
+// entry is one scheduled event. 48 bytes; actor holds only
+// pointer-shaped values (pointers, func values), so posting never boxes.
+type entry struct {
+	at    Time
+	seq   uint64
+	arg   int64
+	actor any
+	kind  Kind
 }
 
-type entry struct {
-	at  Time
-	seq uint64
-	fn  func()
+// bucket is one cycle's FIFO within the calendar ring. head avoids
+// shifting on pop; the slice resets (and may shrink) once emptied.
+type bucket struct {
+	head  int
+	items []entry
+}
+
+// Queue is a future-event list. The zero value is ready to use and runs
+// the calendar backend.
+type Queue struct {
+	now     Time
+	seq     uint64
+	ran     uint64
+	backend Backend
+	table   [MaxKinds]Handler
+
+	// Calendar backend: buckets[t&(ringSize-1)] holds events at cycle t
+	// for t in [cursor, cursor+ringSize); pending counts ring entries.
+	buckets []bucket
+	cursor  Time
+	pending int
+	far     []entry // overflow min-heap ordered by (at, seq)
+	// pool recycles large bucket slices between cycles. Only a handful of
+	// buckets are occupied at any instant, but over a run every ring slot
+	// hosts a busy cycle eventually; without the pool each of the 1024
+	// buckets grows its own peak-sized slice (at one point ~90% of the
+	// drain benchmark's allocations). Drained buckets above shrinkCap
+	// retire their slice here and the next one to fill reuses it.
+	pool [][]entry
+
+	heap []entry // BackendHeap: single min-heap ordered by (at, seq)
 }
 
 // Now returns the current simulation time.
 func (q *Queue) Now() Time { return q.now }
 
 // Len returns the number of pending events.
-func (q *Queue) Len() int { return len(q.events) }
+func (q *Queue) Len() int {
+	if q.backend == BackendHeap {
+		return len(q.heap)
+	}
+	return q.pending + len(q.far)
+}
 
 // Processed returns the total number of events executed, a cheap progress
 // measure used by deadlock watchdogs.
 func (q *Queue) Processed() uint64 { return q.ran }
 
-// At schedules fn to run at absolute time t. Scheduling in the past panics:
-// it always indicates a model bug, and silently clamping would hide it.
-func (q *Queue) At(t Time, fn func()) {
+// Cap reports the total backing capacity, in entries, across the queue's
+// internal structures. Exposed for shrink-policy regression tests.
+func (q *Queue) Cap() int {
+	c := cap(q.far) + cap(q.heap)
+	for i := range q.buckets {
+		c += cap(q.buckets[i].items)
+	}
+	for _, s := range q.pool {
+		c += cap(s)
+	}
+	return c
+}
+
+// Register installs the handler for a typed kind. Registering KindClosure
+// or an out-of-range kind panics; re-registering replaces the handler.
+func (q *Queue) Register(k Kind, h Handler) {
+	if k == KindClosure || k >= MaxKinds {
+		panic(fmt.Sprintf("event: cannot register kind %d", k))
+	}
+	q.table[k] = h
+}
+
+// Post schedules a typed event at absolute time t. Scheduling in the past
+// panics: it always indicates a model bug, and silently clamping would
+// hide it.
+func (q *Queue) Post(t Time, k Kind, actor any, arg int64) {
 	if t < q.now {
 		panic(fmt.Sprintf("event: scheduling at %d before now %d", t, q.now))
 	}
-	q.push(entry{at: t, seq: q.seq, fn: fn})
+	e := entry{at: t, seq: q.seq, kind: k, actor: actor, arg: arg}
 	q.seq++
+	if q.backend == BackendHeap {
+		heapPush(&q.heap, e)
+		return
+	}
+	if q.buckets == nil {
+		q.buckets = make([]bucket, ringSize)
+		q.cursor = q.now
+	}
+	if t < q.cursor+ringSize {
+		q.bucketAppend(&q.buckets[t&(ringSize-1)], e)
+		return
+	}
+	heapPush(&q.far, e)
+}
+
+// bucketAppend adds an entry to a ring bucket, reusing a pooled slice
+// when the bucket has none. Pool order is irrelevant to correctness —
+// it only decides which backing array a cycle borrows.
+func (q *Queue) bucketAppend(b *bucket, e entry) {
+	if b.items == nil && len(q.pool) > 0 {
+		b.items = q.pool[len(q.pool)-1]
+		q.pool = q.pool[:len(q.pool)-1]
+	}
+	b.items = append(b.items, e)
+	q.pending++
+}
+
+// PostAfter schedules a typed event delay cycles from now.
+func (q *Queue) PostAfter(delay Time, k Kind, actor any, arg int64) {
+	if delay < 0 {
+		panic("event: negative delay")
+	}
+	q.Post(q.now+delay, k, actor, arg)
+}
+
+// At schedules fn to run at absolute time t.
+//
+// Deprecated: closure shim retained for cold paths and tests; hot paths
+// should Register a Kind and use Post (see the package comment).
+func (q *Queue) At(t Time, fn func()) {
+	q.Post(t, KindClosure, fn, 0)
 }
 
 // After schedules fn to run delay cycles from now.
+//
+// Deprecated: closure shim retained for cold paths and tests; hot paths
+// should Register a Kind and use PostAfter (see the package comment).
 func (q *Queue) After(delay Time, fn func()) {
 	if delay < 0 {
 		panic("event: negative delay")
 	}
-	q.At(q.now+delay, fn)
+	q.Post(q.now+delay, KindClosure, fn, 0)
+}
+
+// SetBackend switches the priority structure, transferring any pending
+// events. The transfer preserves (at, seq) order exactly, so switching
+// backends never perturbs the schedule.
+func (q *Queue) SetBackend(b Backend) {
+	if b == q.backend {
+		return
+	}
+	var moved []entry
+	for {
+		e, ok := q.popNext(maxTime)
+		if !ok {
+			break
+		}
+		moved = append(moved, e)
+	}
+	q.backend = b
+	if b == BackendCalendar {
+		// Draining walked the cursor forward; rewind the window to now
+		// (the ring is empty, so this cannot strand an entry) before
+		// re-inserting. moved is (at, seq)-sorted with at >= now and
+		// seq values preserved, so bucket FIFO order is kept.
+		if q.buckets == nil {
+			q.buckets = make([]bucket, ringSize)
+		}
+		q.cursor = q.now
+	}
+	for _, e := range moved {
+		if q.backend == BackendHeap {
+			heapPush(&q.heap, e)
+			continue
+		}
+		if e.at < q.cursor+ringSize {
+			q.bucketAppend(&q.buckets[e.at&(ringSize-1)], e)
+		} else {
+			heapPush(&q.far, e)
+		}
+	}
 }
 
 // Step runs the earliest pending event, advancing the clock to its
 // timestamp. It returns false when no events remain.
 func (q *Queue) Step() bool {
-	if len(q.events) == 0 {
+	e, ok := q.popNext(maxTime)
+	if !ok {
 		return false
 	}
-	e := q.pop()
-	q.now = e.at
-	q.ran++
-	e.fn()
+	q.dispatch(e)
 	return true
 }
 
@@ -71,13 +275,15 @@ func (q *Queue) Step() bool {
 // min(limit, last event time). It returns the number of events run.
 func (q *Queue) RunUntil(limit Time) uint64 {
 	var n uint64
-	for len(q.events) > 0 && q.events[0].at <= limit {
-		q.Step()
+	for {
+		e, ok := q.popNext(limit)
+		if !ok {
+			break
+		}
+		q.dispatch(e)
 		n++
 	}
-	if q.now < limit && len(q.events) == 0 {
-		q.now = limit
-	} else if q.now < limit && q.events[0].at > limit {
+	if q.now < limit {
 		q.now = limit
 	}
 	return n
@@ -95,50 +301,146 @@ func (q *Queue) Drain(maxEvents uint64) bool {
 	return q.Len() == 0
 }
 
-// --- binary heap, ordered by (at, seq) ---
+// dispatch advances the clock and executes one popped entry.
+func (q *Queue) dispatch(e entry) {
+	q.now = e.at
+	q.ran++
+	if e.kind == KindClosure {
+		e.actor.(func())()
+		return
+	}
+	q.table[e.kind](e.actor, e.arg)
+}
 
-func (q *Queue) less(i, j int) bool {
-	a, b := &q.events[i], &q.events[j]
+// popNext removes and returns the earliest event with at <= limit, in
+// strict (at, seq) order. The calendar cursor never advances past limit,
+// preserving the invariant cursor <= now needed for in-window posting.
+func (q *Queue) popNext(limit Time) (entry, bool) {
+	if q.backend == BackendHeap {
+		if len(q.heap) == 0 || q.heap[0].at > limit {
+			return entry{}, false
+		}
+		return heapPop(&q.heap), true
+	}
+	for {
+		if q.pending == 0 {
+			if len(q.far) == 0 || q.far[0].at > limit {
+				return entry{}, false
+			}
+			// Ring empty: jump the window straight to the next far
+			// event (its cycle is >= cursor+ringSize, so no in-window
+			// entry is skipped) and pull everything now in range.
+			q.cursor = q.far[0].at
+			q.migrateFar()
+			continue
+		}
+		b := &q.buckets[q.cursor&(ringSize-1)]
+		if b.head < len(b.items) {
+			if q.cursor > limit {
+				return entry{}, false
+			}
+			e := b.items[b.head]
+			b.items[b.head] = entry{} // release the actor
+			b.head++
+			q.pending--
+			if b.head == len(b.items) {
+				q.resetBucket(b)
+			}
+			return e, true
+		}
+		if q.cursor >= limit {
+			return entry{}, false
+		}
+		q.cursor++
+		q.migrateFar()
+	}
+}
+
+// migrateFar moves far-heap events whose cycle has entered the window
+// into their ring buckets. Heap pops come out in (at, seq) order and any
+// direct post to those cycles can only happen afterwards (with a larger
+// seq), so bucket FIFO order equals global (at, seq) order.
+func (q *Queue) migrateFar() {
+	for len(q.far) > 0 && q.far[0].at < q.cursor+ringSize {
+		e := heapPop(&q.far)
+		q.bucketAppend(&q.buckets[e.at&(ringSize-1)], e)
+	}
+}
+
+// resetBucket empties a drained bucket for reuse. Small slices (at most
+// shrinkCap) stay attached to the bucket; larger ones retire to the
+// queue's pool so the next busy cycle reuses them instead of growing its
+// own. The shrink policy lives on the retire path: a large slice drained
+// while under a quarter full marks the burst that needed it as over, so
+// it is dropped for the collector rather than pooled — that is how the
+// queue's footprint decays back down after a transient hotspot.
+func (q *Queue) resetBucket(b *bucket) {
+	switch c := cap(b.items); {
+	case c <= shrinkCap:
+		b.items = b.items[:0]
+	case len(b.items) < c/4:
+		b.items = nil
+	default:
+		q.pool = append(q.pool, b.items[:0])
+		b.items = nil
+	}
+	b.head = 0
+}
+
+// --- binary min-heap ordered by (at, seq), shared by the overflow and
+// the legacy backend ---
+
+func entryLess(a, b *entry) bool {
 	if a.at != b.at {
 		return a.at < b.at
 	}
 	return a.seq < b.seq
 }
 
-func (q *Queue) push(e entry) {
-	q.events = append(q.events, e)
-	i := len(q.events) - 1
+func heapPush(h *[]entry, e entry) {
+	s := append(*h, e)
+	i := len(s) - 1
 	for i > 0 {
 		parent := (i - 1) / 2
-		if !q.less(i, parent) {
+		if !entryLess(&s[i], &s[parent]) {
 			break
 		}
-		q.events[i], q.events[parent] = q.events[parent], q.events[i]
+		s[i], s[parent] = s[parent], s[i]
 		i = parent
 	}
+	*h = s
 }
 
-func (q *Queue) pop() entry {
-	top := q.events[0]
-	last := len(q.events) - 1
-	q.events[0] = q.events[last]
-	q.events[last] = entry{} // release the closure
-	q.events = q.events[:last]
+func heapPop(h *[]entry) entry {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s[last] = entry{} // release the actor
+	s = s[:last]
 	i := 0
 	for {
 		l, r := 2*i+1, 2*i+2
 		smallest := i
-		if l < len(q.events) && q.less(l, smallest) {
+		if l < len(s) && entryLess(&s[l], &s[smallest]) {
 			smallest = l
 		}
-		if r < len(q.events) && q.less(r, smallest) {
+		if r < len(s) && entryLess(&s[r], &s[smallest]) {
 			smallest = r
 		}
 		if smallest == i {
 			break
 		}
-		q.events[i], q.events[smallest] = q.events[smallest], q.events[i]
+		s[i], s[smallest] = s[smallest], s[i]
 		i = smallest
 	}
+	// Shrink after a burst: a drained backlog should not pin its peak
+	// capacity for the rest of the run.
+	if cap(s) > shrinkCap && len(s) < cap(s)/4 {
+		ns := make([]entry, len(s), len(s)*2)
+		copy(ns, s)
+		s = ns
+	}
+	*h = s
 	return top
 }

@@ -1,0 +1,93 @@
+package experiment
+
+// Golden-table determinism for the PR 3 scheduler refactor, at the
+// harness level: the rendered fig6/fig9 tables must be byte-identical to
+// the tables the pre-refactor closure/heap engine produced, for a serial
+// run and for -workers 8. Together with the trace-level suite in
+// internal/traffic (full TraceEvent streams) this proves the typed-event
+// calendar queue changed no observable simulation behavior.
+//
+// Regenerate (only on intended semantics changes):
+//
+//	go test ./internal/experiment -run TestGoldenTables -update
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mcastsim/internal/metrics"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden table files")
+
+// goldenConfig is a reduced fig6/fig9 configuration: small enough for CI,
+// large enough to exercise every scheme, several load points, and the
+// cross-worker cell assembly.
+func goldenConfig(workers int) Config {
+	cfg := Quick()
+	cfg.Topologies = 2
+	cfg.LoadTopologies = 2
+	cfg.Probes = 3
+	cfg.Warmup, cfg.Measure, cfg.Drain = 2_000, 10_000, 8_000
+	cfg.Loads = []float64{0.1, 0.3}
+	cfg.LoadDegrees = []int{8}
+	cfg.Workers = workers
+	return cfg
+}
+
+func renderGoldenTables(t *testing.T, run func(Config) ([]*metrics.Table, error), cfg Config) []byte {
+	t.Helper()
+	tables, err := run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	for _, tab := range tables {
+		if err := tab.Render(&buf); err != nil {
+			t.Fatal(err)
+		}
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+func TestGoldenTables(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func(Config) ([]*metrics.Table, error)
+	}{
+		{"fig6", Fig6EffectOfR},
+		{"fig9", Fig9LoadVsR},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			serial := renderGoldenTables(t, tc.run, goldenConfig(1))
+			parallel := renderGoldenTables(t, tc.run, goldenConfig(8))
+			if !bytes.Equal(serial, parallel) {
+				t.Fatalf("%s: workers=8 output differs from serial", tc.name)
+			}
+			path := filepath.Join("testdata", "golden_"+tc.name+".txt")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, serial, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("recorded %s (%d bytes)", path, len(serial))
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("golden file missing (run with -update): %v", err)
+			}
+			if !bytes.Equal(serial, want) {
+				t.Errorf("%s table diverged from pre-refactor engine:\n--- got ---\n%s\n--- want ---\n%s",
+					tc.name, serial, want)
+			}
+		})
+	}
+}

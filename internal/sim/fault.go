@@ -163,7 +163,7 @@ func (n *Network) removeFromBuffer(o *occupant) {
 	b.used -= held
 	if b.upstream != nil && !b.upstream.dead {
 		for i := 0; i < held; i++ {
-			n.queue.After(n.params.LinkDelay, b.creditFn)
+			n.queue.PostAfter(n.params.LinkDelay, evCredit, b, 0)
 		}
 	}
 	wasHead := len(b.occupants) > 0 && b.occupants[0] == o
@@ -177,7 +177,7 @@ func (n *Network) removeFromBuffer(o *occupant) {
 		next := b.occupants[0]
 		if next.arrived > 0 && !next.routed && !next.routing {
 			next.routing = true
-			n.queue.After(n.params.RoutingDelay, next.route)
+			n.queue.PostAfter(n.params.RoutingDelay, evRoute, next, 0)
 		}
 	}
 }
@@ -375,8 +375,11 @@ type FaultSchedule struct {
 func (n *Network) InstallFaults(fs *FaultSchedule) error {
 	n.ensureFaultState()
 	now := n.queue.Now()
-	for i := range fs.Events {
-		ev := fs.Events[i]
+	// The schedule is copied so callers may reuse fs; each typed
+	// evFaultApply event carries a pointer into the copy.
+	events := append([]FaultEvent(nil), fs.Events...)
+	for i := range events {
+		ev := events[i]
 		if ev.At < now {
 			return fmt.Errorf("sim: fault event %d scheduled in the past (t=%d, now %d)", i, ev.At, now)
 		}
@@ -392,7 +395,7 @@ func (n *Network) InstallFaults(fs *FaultSchedule) error {
 		default:
 			return fmt.Errorf("sim: fault event %d: unknown kind %d", i, ev.Kind)
 		}
-		n.queue.At(ev.At, func() { n.applyFault(ev) })
+		n.queue.Post(ev.At, evFaultApply, &events[i], 0)
 	}
 	return nil
 }
@@ -526,12 +529,7 @@ func (n *Network) scheduleReconfig() {
 		return
 	}
 	n.reconfigEpoch++
-	epoch := n.reconfigEpoch
-	n.queue.After(n.params.FaultDetectCycles, func() {
-		if epoch == n.reconfigEpoch {
-			n.reconfigure()
-		}
-	})
+	n.queue.PostAfter(n.params.FaultDetectCycles, evReconfig, nil, int64(n.reconfigEpoch))
 }
 
 // reconfigure recomputes up*/down* state over the surviving subgraph

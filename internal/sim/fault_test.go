@@ -247,7 +247,9 @@ func TestStallWatchdogReportsStructure(t *testing.T) {
 		sabotaged = true
 		n.Schedule(n.Now()+50, func() {
 			n.nis[0].inj.credits = 0
-			n.switches[0].inBufs[2].creditFn = func() {}
+			// Point credit returns at a detached channel: the injection
+			// line never regains credits and its sender never wakes.
+			n.switches[0].inBufs[2].upstream = &channel{}
 		})
 	})
 	// Keep the event queue alive so the watchdog (not queue exhaustion)

@@ -87,6 +87,31 @@ type Network struct {
 	reconfigEpoch int
 }
 
+// Engine selects the scheduler backend a Network runs on. The calendar
+// queue is the production engine; the legacy binary heap is kept for the
+// determinism suite, which proves both dispatch identical event streams.
+type Engine = event.Backend
+
+const (
+	// EngineCalendar is the typed-event calendar-queue scheduler.
+	EngineCalendar = event.BackendCalendar
+	// EngineHeap is the legacy binary-heap scheduler (same typed
+	// entries, (time, seq)-ordered heap instead of bucket ring).
+	EngineHeap = event.BackendHeap
+)
+
+// NewWithEngine assembles a network like New but pins the scheduler
+// backend. The golden-trace determinism tests run both engines over the
+// same cells and diff the full TraceEvent streams byte-for-byte.
+func NewWithEngine(rt *updown.Routing, params Params, seed uint64, eng Engine) (*Network, error) {
+	n, err := New(rt, params, seed)
+	if err != nil {
+		return nil, err
+	}
+	n.queue.SetBackend(eng)
+	return n, nil
+}
+
 // New assembles a network over a routed topology. The seed drives only
 // adaptive-routing tie-breaks; identical seeds give identical runs.
 func New(rt *updown.Routing, params Params, seed uint64) (*Network, error) {
@@ -100,6 +125,7 @@ func New(rt *updown.Routing, params Params, seed uint64) (*Network, error) {
 		params: params,
 		arb:    rng.New(seed),
 	}
+	n.registerKinds()
 
 	// Instantiate per-port structures.
 	n.switches = make([]*switchState, t.NumSwitches)
@@ -180,6 +206,11 @@ func (n *Network) Stats() Stats { return n.stats }
 // Outstanding returns the number of in-flight messages.
 func (n *Network) Outstanding() int { return n.outstanding }
 
+// EventsProcessed returns the total number of discrete events the
+// network's scheduler has executed — the denominator of the events/sec
+// throughput metric the perf benchmarks report.
+func (n *Network) EventsProcessed() uint64 { return n.queue.Processed() }
+
 // Schedule runs fn at absolute simulation time t (for traffic generators).
 func (n *Network) Schedule(t event.Time, fn func()) { n.queue.At(t, fn) }
 
@@ -209,17 +240,21 @@ func (n *Network) Send(plan *Plan, flits int, at event.Time, onComplete func(*Me
 	n.nextMsgID++
 	n.outstanding++
 	n.stats.MessagesSent++
-	n.queue.At(at, func() {
-		src := n.nis[plan.Source]
-		if plan.NITree != nil {
-			src.hostSend(m, nil)
-			return
-		}
-		for i := range plan.HostSends[plan.Source] {
-			src.hostSend(m, &plan.HostSends[plan.Source][i])
-		}
-	})
+	n.queue.Post(at, evMsgStart, m, 0)
 	return m, nil
+}
+
+// msgStart fires at a message's initiation time (the evMsgStart handler):
+// the source host begins its sends.
+func (n *Network) msgStart(m *Message) {
+	src := n.nis[m.Plan.Source]
+	if m.Plan.NITree != nil {
+		src.hostSend(m, nil)
+		return
+	}
+	for i := range m.Plan.HostSends[m.Plan.Source] {
+		src.hostSend(m, &m.Plan.HostSends[m.Plan.Source][i])
+	}
 }
 
 // DeadlockError reports a simulation that stopped making progress with

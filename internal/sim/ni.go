@@ -71,6 +71,15 @@ func reserve(free *event.Time, now, dur event.Time) event.Time {
 
 // --- send side ---
 
+// sendOp is one in-flight hostSend: a single record carried by the
+// evSendSoft and evSendDMA events covering every packet of the send (the
+// closure engine allocated one callback per packet on this path).
+type sendOp struct {
+	x    *ni
+	m    *Message
+	spec *WormSpec // nil for the NI-based scheme's source send
+}
+
 // hostSend initiates one message-send operation: o_s on the host CPU, then
 // per-packet DMA to the NI. spec == nil means this is the NI-based scheme's
 // source send: each packet, once in NI memory, is replicated to the
@@ -83,26 +92,37 @@ func (x *ni) hostSend(m *Message, spec *WormSpec) {
 		return
 	}
 	softDone := reserve(&x.hostFree, n.queue.Now(), n.params.OHostSend)
-	n.queue.At(softDone, func() {
-		cur := n.queue.Now()
-		for pkt := 0; pkt < m.Packets; pkt++ {
-			pkt := pkt
-			bytes := n.payloadFlits(m, pkt)
-			dmaDone := reserve(&x.busFree, cur, n.params.BusCycles(bytes))
-			n.queue.At(dmaDone, func() {
-				if spec == nil {
-					x.admitBurst(x.replicaBurst(m, pkt))
-				} else {
-					x.admitBurst(&burst{worms: []*worm{n.newWorm(m, spec, pkt)}})
-				}
-			})
-		}
-	})
+	n.queue.Post(softDone, evSendSoft, &sendOp{x: x, m: m, spec: spec}, 0)
+}
+
+// softwareDone runs when the host send software overhead finishes (the
+// evSendSoft handler): book the bus for every packet's DMA into NI memory.
+func (op *sendOp) softwareDone() {
+	x, m := op.x, op.m
+	n := x.net
+	cur := n.queue.Now()
+	for pkt := 0; pkt < m.Packets; pkt++ {
+		bytes := n.payloadFlits(m, pkt)
+		dmaDone := reserve(&x.busFree, cur, n.params.BusCycles(bytes))
+		n.queue.Post(dmaDone, evSendDMA, op, int64(pkt))
+	}
+}
+
+// dmaDone runs when packet pkt lands in NI memory (the evSendDMA
+// handler): hand the packet's worm burst to the injection side.
+func (op *sendOp) dmaDone(pkt int) {
+	x := op.x
+	if op.spec == nil {
+		x.admitBurst(x.replicaBurst(op.m, pkt))
+		return
+	}
+	x.admitBurst(&burst{worms: []*worm{x.net.newWorm(op.m, op.spec, pkt)}})
 }
 
 // burst is one packet's outgoing worm set sharing an NI buffer slot and a
 // single NI processing charge.
 type burst struct {
+	owner *ni // set when the burst is charged; the evNICharged handler's NI
 	worms []*worm
 	next  int
 }
@@ -136,18 +156,24 @@ func (x *ni) admitBurst(b *burst) {
 
 func (x *ni) chargeAndReady(b *burst) {
 	n := x.net
+	b.owner = x
 	procDone := reserve(&x.niFree, n.queue.Now(), n.params.ONISend)
-	n.queue.At(procDone, func() {
-		if x.dead {
-			x.injHeld--
-			x.dropBurst(b)
-			return
-		}
-		x.ready = append(x.ready, b)
-		if !x.streaming {
-			x.startStream()
-		}
-	})
+	n.queue.Post(procDone, evNICharged, b, 0)
+}
+
+// charged runs when a burst's NI send processing finishes (the
+// evNICharged handler): queue it for injection and kick the stream.
+func (b *burst) charged() {
+	x := b.owner
+	if x.dead {
+		x.injHeld--
+		x.dropBurst(b)
+		return
+	}
+	x.ready = append(x.ready, b)
+	if !x.streaming {
+		x.startStream()
+	}
 }
 
 // startStream begins injecting the next ready worm on the injection line.
@@ -161,7 +187,6 @@ func (x *ni) startStream() {
 	}
 	x.streaming = true
 	br := &branch{net: x.net, w: w, ch: x.inj}
-	br.bindChannel()
 	x.inj.sender = br
 	br.onDone = func() {
 		x.streaming = false
@@ -223,28 +248,34 @@ func (x *ni) packetArrived(w *worm) {
 	n.stats.PacketsAtNI++
 	n.trace(TraceEvent{Kind: TraceDeliver, Worm: w.id, Msg: w.msg.ID, Pkt: w.pkt, Node: x.node})
 	procDone := reserve(&x.niFree, n.queue.Now(), n.params.ONIRecv)
-	n.queue.At(procDone, func() {
-		if m.Plan.NITree != nil && len(m.Plan.NITree[x.node]) > 0 {
-			if n.params.NIStoreAndForward {
-				// Ablation: hold replicas until the whole message is here.
-				held := x.rxHeld[m] + 1
-				if held < m.Packets {
-					x.rxHeld[m] = held
-				} else {
-					delete(x.rxHeld, m)
-					for pkt := 0; pkt < m.Packets; pkt++ {
-						x.admitBurst(x.replicaBurst(m, pkt))
-					}
-				}
+	n.queue.Post(procDone, evNIRecvProc, w, int64(x.node))
+}
+
+// recvProcessed runs when a packet's NI receive processing finishes (the
+// evNIRecvProc handler): replicate to NI-tree children and DMA to host.
+func (x *ni) recvProcessed(w *worm) {
+	n := x.net
+	m := w.msg
+	if m.Plan.NITree != nil && len(m.Plan.NITree[x.node]) > 0 {
+		if n.params.NIStoreAndForward {
+			// Ablation: hold replicas until the whole message is here.
+			held := x.rxHeld[m] + 1
+			if held < m.Packets {
+				x.rxHeld[m] = held
 			} else {
-				// FPFS: forward this packet immediately (paper §3.2.1).
-				x.admitBurst(x.replicaBurst(m, w.pkt))
+				delete(x.rxHeld, m)
+				for pkt := 0; pkt < m.Packets; pkt++ {
+					x.admitBurst(x.replicaBurst(m, pkt))
+				}
 			}
+		} else {
+			// FPFS: forward this packet immediately (paper §3.2.1).
+			x.admitBurst(x.replicaBurst(m, w.pkt))
 		}
-		bytes := n.payloadFlits(m, w.pkt)
-		dmaDone := reserve(&x.busFree, n.queue.Now(), n.params.BusCycles(bytes))
-		n.queue.At(dmaDone, func() { x.hostPacketArrived(m) })
-	})
+	}
+	bytes := n.payloadFlits(m, w.pkt)
+	dmaDone := reserve(&x.busFree, n.queue.Now(), n.params.BusCycles(bytes))
+	n.queue.Post(dmaDone, evNIRecvDMA, m, int64(x.node))
 }
 
 // hostPacketArrived counts packets landed in host memory; the last one
@@ -262,7 +293,7 @@ func (x *ni) hostPacketArrived(m *Message) {
 	}
 	delete(x.rxMsgs, m)
 	done := reserve(&x.hostFree, n.queue.Now(), n.params.OHostRecv)
-	n.queue.At(done, func() { n.destDone(m, x.node) })
+	n.queue.Post(done, evDestDone, m, int64(x.node))
 }
 
 // destDone records destination completion, fires any secondary-source

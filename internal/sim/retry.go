@@ -158,11 +158,7 @@ func (n *Network) SendReliable(plan *Plan, flits int, at event.Time, replan Repl
 		if err != nil {
 			return err
 		}
-		n.queue.At(sendAt+pol.Timeout, func() {
-			if !m.Done() {
-				n.AbortMessage(m)
-			}
-		})
+		n.queue.Post(sendAt+pol.Timeout, evMsgTimeout, m, 0)
 		return nil
 	}
 	if err := attempt(plan, at, pol.Backoff); err != nil {

@@ -42,20 +42,20 @@ type inputBuf struct {
 	used int
 
 	upstream  *channel // the channel feeding this buffer (for credit return)
-	creditFn  func()   // one-allocation credit-return event (see branch)
 	occupants []*occupant
 }
 
-// bindUpstream finalizes the buffer's credit-return closure once the
-// feeding channel is known.
-func (b *inputBuf) bindUpstream(up *channel) {
-	b.upstream = up
-	net := b.net
-	b.creditFn = func() {
-		up.credits++
-		if up.sender != nil {
-			up.sender.schedulePump(net.queue.Now())
-		}
+// bindUpstream records the channel feeding this buffer once it is known.
+func (b *inputBuf) bindUpstream(up *channel) { b.upstream = up }
+
+// creditReturn hands one buffer slot back to the feeding channel and
+// wakes its sender. Scheduled as evCredit after the link delay; called
+// directly when a drained straggler flit returns its slot immediately.
+func (b *inputBuf) creditReturn() {
+	up := b.upstream
+	up.credits++
+	if up.sender != nil {
+		up.sender.schedulePump(b.net.queue.Now())
 	}
 }
 
@@ -113,24 +113,31 @@ type branch struct {
 	// delivers (path-worm drop branches: the worm still carries the whole
 	// remaining path, but the branch ejects to one node).
 	drops []topology.NodeID
-
-	// pumpFn and deliverFn are the branch's event closures, allocated
-	// once: per-flit scheduling of fresh closures dominated the profile.
-	pumpFn    func()
-	deliverFn func()
 }
 
-// bindChannel prepares the branch's per-flit closures for its channel.
-func (br *branch) bindChannel() {
-	br.pumpFn = br.pump
+// deliver lands one flit at the branch's destination after the link
+// delay (the evDeliver handler). ch and w are fixed for the branch's
+// lifetime, so reading them at dispatch time matches the old engine's
+// capture-at-grant closures exactly.
+func (br *branch) deliver() {
 	ch := br.ch
-	w := br.w
 	if ch.toSwitch {
-		dst := ch.dstBuf
-		br.deliverFn = func() { dst.flitArrive(w) }
-	} else {
-		x := br.net.nis[ch.dstNode]
-		br.deliverFn = func() { x.flitArrive(w) }
+		ch.dstBuf.flitArrive(br.w)
+		return
+	}
+	br.net.nis[ch.dstNode].flitArrive(br.w)
+}
+
+// tailRelease frees the branch's port (or injection line) one cycle
+// after its tail flit, then runs the onDone hook (the evTail handler).
+func (br *branch) tailRelease() {
+	if br.port != nil {
+		br.port.release(br)
+	} else if br.ch.sender == br {
+		br.ch.sender = nil
+	}
+	if br.onDone != nil {
+		br.onDone()
 	}
 }
 
@@ -166,7 +173,7 @@ func (b *inputBuf) flitArrive(w *worm) {
 		// feeding channel is still alive so the buffer slot never leaks.
 		b.net.stats.FlitsDropped++
 		if b.upstream != nil && !b.upstream.dead {
-			b.creditFn()
+			b.creditReturn()
 		}
 		return
 	}
@@ -187,7 +194,7 @@ func (b *inputBuf) flitArrive(w *worm) {
 	}
 	if o == b.occupants[0] && !o.routed && !o.routing {
 		o.routing = true
-		b.net.queue.After(b.net.params.RoutingDelay, o.route)
+		b.net.queue.PostAfter(b.net.params.RoutingDelay, evRoute, o, 0)
 	}
 	if o.routed {
 		// New flit may unblock consumer branches.
@@ -223,7 +230,7 @@ func (o *occupant) advanceEviction() {
 		}
 		o.evicted++
 		b.used--
-		net.queue.After(net.params.LinkDelay, b.creditFn)
+		net.queue.PostAfter(net.params.LinkDelay, evCredit, b, 0)
 	}
 	o.maybeComplete()
 }
@@ -240,51 +247,93 @@ func (o *occupant) maybeComplete() {
 		next := b.occupants[0]
 		if next.arrived > 0 && !next.routed && !next.routing {
 			next.routing = true
-			b.net.queue.After(b.net.params.RoutingDelay, next.route)
+			b.net.queue.PostAfter(b.net.params.RoutingDelay, evRoute, next, 0)
 		}
 	}
 }
 
 // --- routing ---
 
-// route decodes the head occupant's header and creates its branches.
+// route flips the occupant's routing flags and hands the header to the
+// worm-advancement dispatcher (the evRoute handler).
 func (o *occupant) route() {
 	o.routing = false
 	if o.killed {
 		return
 	}
 	o.routed = true
-	net := o.buf.net
+	o.buf.net.advanceWorm(o)
+}
+
+// wormPlanner emits the branches advancing one worm kind past a switch.
+type wormPlanner func(*Network, *occupant, topology.SwitchID, *worm)
+
+// wormPlanners is advanceWorm's dispatch table, indexed by WormKind.
+var wormPlanners = [...]wormPlanner{
+	WormUnicast: (*Network).planUnicast,
+	WormTree:    (*Network).planTree,
+	WormPath:    (*Network).planPath,
+}
+
+// branchSpec describes one replication output a planner wants: the child
+// worm it forwards, the flit window it starts at, its delivery flavor,
+// and the candidate output ports. emitBranch turns specs into filed
+// arbitration requests identically for all three worm kinds.
+type branchSpec struct {
+	child    *worm
+	offset   int
+	elastic  bool
+	drops    []topology.NodeID
+	ports    []int
+	phases   []updown.Phase
+	adaptive bool // shuffle candidates (the simulator's adaptivity tie-break)
+}
+
+// emitBranch realizes one branchSpec: the shared create-and-file step
+// behind every worm kind's advancement.
+func (n *Network) emitBranch(o *occupant, s topology.SwitchID, spec branchSpec) {
+	br := n.newBranch(o, spec.child, spec.offset)
+	br.elastic = spec.elastic
+	br.drops = spec.drops
+	if spec.adaptive {
+		n.fileAdaptive(br, s, spec.ports, spec.phases)
+		return
+	}
+	outs := make([]*outPort, len(spec.ports))
+	for i, p := range spec.ports {
+		outs[i] = n.switches[s].outPorts[p]
+	}
+	n.fileRequest(br, outs, spec.phases)
+}
+
+// advanceWorm is the single worm-advancement dispatcher: it traces the
+// routing decision, runs the worm kind's planner, applies the tree
+// scheme's central-buffer elasticity, and lets absorbed header flits
+// evict. Unicast, tree replication and path stops all flow through here.
+func (n *Network) advanceWorm(o *occupant) {
 	s := o.buf.sw
 	w := o.w
-	net.trace(TraceEvent{Kind: TraceRoute, Worm: w.id, Msg: w.msg.ID, Pkt: w.pkt, Switch: s, Port: o.buf.port})
-	switch w.kind {
-	case WormUnicast:
-		net.routeUnicast(o, s, w)
-	case WormTree:
-		net.routeTree(o, s, w)
-		// Tree-worm replication passes through the switch's central
-		// buffer (ISCA'97): wherever the worm split, every branch drains
-		// from that buffer.
-		if len(o.branches) > 1 {
-			for _, b := range o.branches {
-				b.elastic = true
-			}
+	n.trace(TraceEvent{Kind: TraceRoute, Worm: w.id, Msg: w.msg.ID, Pkt: w.pkt, Switch: s, Port: o.buf.port})
+	wormPlanners[w.kind](n, o, s, w)
+	// Tree-worm replication passes through the switch's central buffer
+	// (ISCA'97): wherever the worm split, every branch drains from that
+	// buffer.
+	if w.kind == WormTree && len(o.branches) > 1 {
+		for _, b := range o.branches {
+			b.elastic = true
 		}
-	case WormPath:
-		net.routePath(o, s, w)
 	}
 	// Flits that no branch consumes (absorbed headers, or a worm with no
 	// outputs) can free up immediately.
 	o.advanceEviction()
 }
 
-func (n *Network) routeUnicast(o *occupant, s topology.SwitchID, w *worm) {
+func (n *Network) planUnicast(o *occupant, s topology.SwitchID, w *worm) {
 	home := n.topo.NodeSwitch[w.dest]
 	if home == s {
 		p := n.rt.NodePortAt(s, w.dest)
-		br := n.newBranch(o, w.child(n, 0), 0)
-		n.fileRequest(br, []*outPort{n.switches[s].outPorts[p]}, []updown.Phase{w.phase})
+		n.emitBranch(o, s, branchSpec{child: w.child(n, 0),
+			ports: []int{p}, phases: []updown.Phase{w.phase}})
 		return
 	}
 	ports, phases := n.rt.NextHops(s, w.phase, home)
@@ -292,11 +341,11 @@ func (n *Network) routeUnicast(o *occupant, s topology.SwitchID, w *worm) {
 		n.routeFailure(o, s, fmt.Sprintf("no legal route for %v phase %v", w, w.phase))
 		return
 	}
-	br := n.newBranch(o, w.child(n, 0), 0)
-	n.fileAdaptive(br, s, ports, phases)
+	n.emitBranch(o, s, branchSpec{child: w.child(n, 0),
+		ports: ports, phases: phases, adaptive: true})
 }
 
-func (n *Network) routeTree(o *occupant, s topology.SwitchID, w *worm) {
+func (n *Network) planTree(o *occupant, s topology.SwitchID, w *worm) {
 	remaining := w.destSet.Clone()
 	// Local deliveries: destinations attached to this switch drop here
 	// regardless of the climb state.
@@ -307,9 +356,9 @@ func (n *Network) routeTree(o *occupant, s topology.SwitchID, w *worm) {
 		remaining.Remove(int(node))
 		c := w.child(n, 0)
 		c.destSet = bitset.FromIndices(n.topo.NumNodes, []int{int(node)})
-		br := n.newBranch(o, c, 0)
 		p := n.rt.NodePortAt(s, node)
-		n.fileRequest(br, []*outPort{n.switches[s].outPorts[p]}, []updown.Phase{w.phase})
+		n.emitBranch(o, s, branchSpec{child: c,
+			ports: []int{p}, phases: []updown.Phase{w.phase}})
 	}
 	if remaining.Empty() {
 		return
@@ -325,8 +374,8 @@ func (n *Network) routeTree(o *occupant, s topology.SwitchID, w *worm) {
 			c := w.child(n, 0)
 			c.destSet = ps.sub
 			c.phase = updown.PhaseDown
-			br := n.newBranch(o, c, 0)
-			n.fileRequest(br, []*outPort{n.switches[s].outPorts[ps.port]}, []updown.Phase{updown.PhaseDown})
+			n.emitBranch(o, s, branchSpec{child: c,
+				ports: []int{ps.port}, phases: []updown.Phase{updown.PhaseDown}})
 		}
 		return
 	}
@@ -345,8 +394,8 @@ func (n *Network) routeTree(o *occupant, s topology.SwitchID, w *worm) {
 			c := w.child(n, 0)
 			c.destSet = sub
 			c.phase = updown.PhaseDown
-			br := n.newBranch(o, c, 0)
-			n.fileRequest(br, []*outPort{n.switches[s].outPorts[p]}, []updown.Phase{updown.PhaseDown})
+			n.emitBranch(o, s, branchSpec{child: c,
+				ports: []int{p}, phases: []updown.Phase{updown.PhaseDown}})
 		}
 		if remaining.Empty() {
 			return
@@ -362,15 +411,15 @@ func (n *Network) routeTree(o *occupant, s topology.SwitchID, w *worm) {
 	}
 	c := w.child(n, 0)
 	c.destSet = remaining
-	br := n.newBranch(o, c, 0)
 	phases := make([]updown.Phase, len(ports))
 	for i := range phases {
 		phases[i] = updown.PhaseUp
 	}
-	n.fileAdaptive(br, s, ports, phases)
+	n.emitBranch(o, s, branchSpec{child: c,
+		ports: ports, phases: phases, adaptive: true})
 }
 
-func (n *Network) routePath(o *occupant, s topology.SwitchID, w *worm) {
+func (n *Network) planPath(o *occupant, s topology.SwitchID, w *worm) {
 	if len(w.path) == 0 {
 		panic("sim: path worm with no remaining segments")
 	}
@@ -383,8 +432,8 @@ func (n *Network) routePath(o *occupant, s topology.SwitchID, w *worm) {
 			n.routeFailure(o, s, fmt.Sprintf("path worm %v has no legal route toward switch %d", w, seg.Switch))
 			return
 		}
-		br := n.newBranch(o, w.child(n, 0), 0)
-		n.fileAdaptive(br, s, ports, phases)
+		n.emitBranch(o, s, branchSpec{child: w.child(n, 0),
+			ports: ports, phases: phases, adaptive: true})
 		return
 	}
 	// Stop switch: the segment's node-ID and port-mask fields are stripped
@@ -401,13 +450,12 @@ func (n *Network) routePath(o *occupant, s topology.SwitchID, w *worm) {
 		}
 		c := w.child(n, skip)
 		c.path = rest
-		br := n.newBranch(o, c, skip)
 		// Drops are buffered deliveries: the worm never stalls on them
 		// (the multi-drop mechanism's delivery buffering); only the
 		// continuation below is synchronous.
-		br.elastic = true
-		br.drops = []topology.NodeID{d}
-		n.fileRequest(br, []*outPort{n.switches[s].outPorts[p]}, []updown.Phase{w.phase})
+		n.emitBranch(o, s, branchSpec{child: c, offset: skip,
+			elastic: true, drops: []topology.NodeID{d},
+			ports: []int{p}, phases: []updown.Phase{w.phase}})
 	}
 	if seg.NextPort >= 0 {
 		// The continuation port was legal when the plan was built; a fault
@@ -432,8 +480,8 @@ func (n *Network) routePath(o *occupant, s topology.SwitchID, w *worm) {
 		c := w.child(n, skip)
 		c.path = rest
 		c.phase = next
-		br := n.newBranch(o, c, skip)
-		n.fileRequest(br, []*outPort{n.switches[s].outPorts[seg.NextPort]}, []updown.Phase{next})
+		n.emitBranch(o, s, branchSpec{child: c, offset: skip,
+			ports: []int{seg.NextPort}, phases: []updown.Phase{next}})
 	}
 }
 
@@ -582,7 +630,6 @@ func (o *outPort) grant(req *portRequest, i int) {
 	br := req.br
 	br.port = o
 	br.ch = o.ch
-	br.bindChannel()
 	br.w.phase = req.phases[i]
 	o.holder = br
 	o.ch.sender = br
@@ -635,7 +682,7 @@ func (br *branch) schedulePump(t event.Time) {
 	if t < now {
 		t = now
 	}
-	br.net.queue.At(t, br.pumpFn)
+	br.net.queue.Post(t, evPump, br, 0)
 }
 
 // pump attempts to send one flit; it self-schedules while streaming and
@@ -672,7 +719,7 @@ func (br *branch) pump() {
 	ch.busyFlits++
 	net.stats.FlitHops++
 	w := br.w
-	net.queue.After(net.params.LinkDelay, br.deliverFn)
+	net.queue.PostAfter(net.params.LinkDelay, evDeliver, br, 0)
 	if br.occ != nil {
 		br.occ.advanceEviction()
 	}
@@ -681,17 +728,7 @@ func (br *branch) pump() {
 		if br.port != nil {
 			net.trace(TraceEvent{Kind: TraceTail, Worm: w.id, Msg: w.msg.ID, Pkt: w.pkt, Switch: br.port.sw, Port: br.port.port})
 		}
-		port, onDone := br.port, br.onDone
-		net.queue.After(1, func() {
-			if port != nil {
-				port.release(br)
-			} else if ch.sender == br {
-				ch.sender = nil
-			}
-			if onDone != nil {
-				onDone()
-			}
-		})
+		net.queue.PostAfter(1, evTail, br, 0)
 		if br.occ != nil {
 			br.occ.maybeComplete()
 		}

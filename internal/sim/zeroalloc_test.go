@@ -1,0 +1,43 @@
+package sim
+
+import "testing"
+
+// TestSteadyFlitPathZeroAlloc pins the PR 3 performance contract at the
+// model level: once a worm is streaming, advancing flits (pump, deliver,
+// credit return) posts and dispatches typed events with zero heap
+// allocations per event. The event package has its own synthetic version
+// of this test; this one drives the real switch pipeline.
+func TestSteadyFlitPathZeroAlloc(t *testing.T) {
+	p := DefaultParams()
+	// One giant packet: no packet boundaries (worm creation, NI bursts)
+	// inside the measured window — only the pure flit-advance path.
+	const flits = 4096
+	p.PacketFlits = flits
+	n := fixtureNet(t, p)
+	if _, err := n.Send(unicastPlan(0, 7), flits, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Run into the steady stream: past message setup (host overhead, DMA,
+	// NI processing, routing) and past the calendar ring's first wrap, so
+	// every bucket slot has a warm backing slice.
+	const ringWarm = 1100 // > event ring size (1024)
+	for n.queue.Len() > 0 && (n.stats.FlitHops < 512 || n.queue.Now() < ringWarm) {
+		n.queue.Step()
+	}
+	if n.queue.Len() == 0 {
+		t.Fatal("message finished before reaching steady state")
+	}
+	avg := testing.AllocsPerRun(1000, func() { n.queue.Step() })
+	if avg != 0 {
+		t.Fatalf("steady flit-advance path allocates %v per event, want 0", avg)
+	}
+	if n.queue.Len() == 0 {
+		t.Fatal("queue drained inside the measured window; window is not steady-state")
+	}
+	if err := n.Drain(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
