@@ -341,6 +341,14 @@ func BenchmarkDrainLarge(b *testing.B) {
 	benchcase.DrainLarge(b)
 }
 
+// BenchmarkTreeStorm is the PR 4 tree-routing benchmark: 48 two-packet
+// tree worms over 6 shared destination groups on a 768-switch network, so
+// per-packet routing decisions dominate. Tracked in BENCH_PR4.json (see
+// internal/benchcase).
+func BenchmarkTreeStorm(b *testing.B) {
+	benchcase.TreeStorm(b)
+}
+
 // --- simulator micro-benchmarks ---
 
 // BenchmarkSimCore measures raw simulator throughput: one isolated 16-way

@@ -29,27 +29,50 @@ import (
 	"mcastsim/internal/topology"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run is main's body with exit codes returned instead of called, so the
+// deferred profile writers fire on every path, including failures.
+func run() int {
 	var (
-		expID   = flag.String("exp", "", "experiment id (or 'all')")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		full    = flag.Bool("full", false, "paper-scale runs (slow) instead of quick")
-		seed    = flag.Uint64("seed", 0, "override the experiment seed (0 = default)")
-		workers = flag.Int("workers", 0, "parallel simulation-cell workers (0 = one per CPU); output is identical for any value")
-		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory")
-		compare = flag.String("compare", "", "run a scheme comparison on this topology file instead of an experiment")
-		degree  = flag.Int("degree", 16, "multicast degree for -compare")
-		flits   = flag.Int("flits", 128, "message flits for -compare")
-		bench   = flag.String("emit-bench", "", "measure the scheduler-core benchmarks and write JSON results to this file (e.g. BENCH_PR3.json)")
+		expID      = flag.String("exp", "", "experiment id (or 'all')")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		full       = flag.Bool("full", false, "paper-scale runs (slow) instead of quick")
+		seed       = flag.Uint64("seed", 0, "override the experiment seed (0 = default)")
+		workers    = flag.Int("workers", 0, "parallel simulation-cell workers (0 = one per CPU); output is identical for any value")
+		csvDir     = flag.String("csv", "", "also write each table as CSV into this directory")
+		compare    = flag.String("compare", "", "run a scheme comparison on this topology file instead of an experiment")
+		degree     = flag.Int("degree", 16, "multicast degree for -compare")
+		flits      = flag.Int("flits", 128, "message flits for -compare")
+		bench      = flag.String("emit-bench", "", "measure the scheduler-core benchmarks and write JSON results to this file (e.g. BENCH_PR4.json)")
+		benchGate  = flag.String("bench-gate", "", "with -emit-bench: fail if events/sec or allocs/op regress more than 2x against this reference JSON (e.g. BENCH_PR3.json)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with go tool pprof)")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file when the run finishes")
 	)
 	flag.Parse()
 
-	if *bench != "" {
-		if err := runEmitBench(*bench); err != nil {
+	if *cpuProfile != "" {
+		stop, err := startCPUProfile(*cpuProfile)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "mcastsim:", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		defer stop()
+	}
+	if *memProfile != "" {
+		defer func() {
+			if err := writeMemProfile(*memProfile); err != nil {
+				fmt.Fprintln(os.Stderr, "mcastsim:", err)
+			}
+		}()
+	}
+
+	if *bench != "" {
+		if err := runEmitBench(*bench, *benchGate); err != nil {
+			fmt.Fprintln(os.Stderr, "mcastsim:", err)
+			return 1
+		}
+		return 0
 	}
 
 	if *list {
@@ -57,18 +80,18 @@ func main() {
 		for _, e := range experiment.Registry() {
 			fmt.Printf("  %-9s %s\n", e.ID, e.Paper)
 		}
-		return
+		return 0
 	}
 	if *compare != "" {
 		if err := runCompare(*compare, *degree, *flits, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, "mcastsim:", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 	if *expID == "" {
 		fmt.Fprintln(os.Stderr, "mcastsim: -exp required (try -list)")
-		os.Exit(2)
+		return 2
 	}
 
 	cfg := experiment.Quick()
@@ -88,7 +111,7 @@ func main() {
 			e, err := experiment.Lookup(strings.TrimSpace(id))
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(2)
+				return 2
 			}
 			entries = append(entries, e)
 		}
@@ -99,23 +122,24 @@ func main() {
 		tables, err := e.Run(cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mcastsim: %s: %v\n", e.ID, err)
-			os.Exit(1)
+			return 1
 		}
 		for ti, tab := range tables {
 			if err := tab.Render(os.Stdout); err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				return 1
 			}
 			fmt.Println()
 			if *csvDir != "" {
 				if err := writeCSV(*csvDir, e.ID, ti, tab); err != nil {
 					fmt.Fprintln(os.Stderr, err)
-					os.Exit(1)
+					return 1
 				}
 			}
 		}
 		fmt.Printf("[%s done in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
+	return 0
 }
 
 // runCompare loads a topogen-format topology and compares every scheme on

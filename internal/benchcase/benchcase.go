@@ -144,6 +144,124 @@ func DrainLarge(b *testing.B) {
 	b.ReportMetric(float64(events)/float64(b.N), "events/op")
 }
 
+// treeStormSpec pins the TreeStorm workload: a switch-rich network (768
+// switches, only 256 nodes) where every message is a high-degree tree
+// worm aimed at one of a handful of shared destination groups. The shape
+// is deliberately routing-bound: climbPorts runs a reverse BFS over all
+// 768 switches for every up-phase decision, short messages (16 payload
+// flits split into two 8-flit packets) keep flit streaming cheap, and the
+// second packet of each message plus the shared groups re-present
+// identical (switch, phase, set) decisions — the regime the PR 4 route
+// cache targets.
+const (
+	treeSwitches = 768
+	treePorts    = 8
+	treeNodes    = 256
+	treeSeed     = 0x7ee5_70a3
+	treeGroups   = 6
+	treeDegree   = 64
+	treeMsgs     = 48
+	treeFlits    = 16
+	treePktFlits = 8
+)
+
+// treeStormWorkload is the precomputed part of TreeStorm: one routed
+// topology, tuned params, and a deterministic tree-worm schedule.
+type treeStormWorkload struct {
+	rt     *updown.Routing
+	params sim.Params
+	plans  []*sim.Plan
+}
+
+func buildTreeStorm() (*treeStormWorkload, error) {
+	cfg := topology.Config{
+		Switches:            treeSwitches,
+		PortsPerSwitch:      treePorts,
+		Nodes:               treeNodes,
+		ExtraLinksPerSwitch: -1,
+	}
+	topo, err := topology.Generate(cfg, rng.New(treeSeed))
+	if err != nil {
+		return nil, err
+	}
+	rt, err := updown.New(topo)
+	if err != nil {
+		return nil, err
+	}
+	p := sim.DefaultParams()
+	p.PacketFlits = treePktFlits
+	w := &treeStormWorkload{rt: rt, params: p}
+	// Groups draw from nodes [treeMsgs, treeNodes) and message i sources
+	// from node i, so a source never appears in its own destination set
+	// (Plan.Validate rejects that).
+	r := rng.New(rng.Mix(treeSeed, 0x7ee))
+	groups := make([][]topology.NodeID, treeGroups)
+	for g := range groups {
+		picks := r.Sample(treeNodes-treeMsgs, treeDegree)
+		dests := make([]topology.NodeID, treeDegree)
+		for j, v := range picks {
+			dests[j] = topology.NodeID(v + treeMsgs)
+		}
+		groups[g] = dests
+	}
+	tree := treeworm.New()
+	for i := 0; i < treeMsgs; i++ {
+		src := topology.NodeID(i)
+		plan, err := tree.Plan(rt, p, src, groups[i%treeGroups], treeFlits)
+		if err != nil {
+			return nil, fmt.Errorf("benchcase: tree plan %d: %w", i, err)
+		}
+		w.plans = append(w.plans, plan)
+	}
+	return w, nil
+}
+
+// run injects the tree-worm burst (staggered 20 cycles apart) and drains
+// the network, returning the event count.
+func (w *treeStormWorkload) run(seed uint64) (uint64, error) {
+	n, err := sim.New(w.rt, w.params, seed)
+	if err != nil {
+		return 0, err
+	}
+	for i, plan := range w.plans {
+		at := n.Now() + event.Time(20*i)
+		if _, err := n.Send(plan, treeFlits, at, nil); err != nil {
+			return 0, fmt.Errorf("benchcase: tree send %d: %w", i, err)
+		}
+	}
+	if err := n.Drain(0); err != nil {
+		return 0, err
+	}
+	return n.EventsProcessed(), nil
+}
+
+// TreeStorm is the tree-routing benchmark added for PR 4: 48 two-packet
+// tree worms over 6 shared 64-destination groups on a 768-switch network.
+// It reports events/sec like DrainLarge; the PR 4 acceptance target is a
+// >= 1.5x events/sec improvement from the epoch-tagged route cache and
+// the allocation-free worm lifecycle.
+func TreeStorm(b *testing.B) {
+	w, err := buildTreeStorm()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		ev, err := w.run(uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += ev
+	}
+	b.StopTimer()
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(events)/s, "events/sec")
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+}
+
 // SweepParallel is the experiment-harness benchmark from PR 2: the full
 // Figure 9 sweep at quick scale with one worker per CPU.
 func SweepParallel(b *testing.B) {

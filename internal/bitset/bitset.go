@@ -155,6 +155,55 @@ func And(s, o *Set) *Set {
 	return c
 }
 
+// AndCount returns Count(s & o) without materializing the intersection.
+// This is the greedy down-partition's inner loop ("how many remaining
+// destinations does this port's reachability string cover?"), so it must
+// not allocate.
+func AndCount(s, o *Set) int {
+	s.sameLen(o)
+	c := 0
+	for i, w := range s.words {
+		c += bits.OnesCount64(w & o.words[i])
+	}
+	return c
+}
+
+// AndInto sets dst = s & o in place, allocating nothing. dst may alias s
+// or o.
+func AndInto(dst, s, o *Set) {
+	dst.sameLen(s)
+	s.sameLen(o)
+	for i, w := range s.words {
+		dst.words[i] = w & o.words[i]
+	}
+}
+
+// CopyFrom sets s to an exact copy of o in place (same universe required).
+// It is the recycling counterpart of Clone for pooled sets.
+func (s *Set) CopyFrom(o *Set) {
+	s.sameLen(o)
+	copy(s.words, o.words)
+}
+
+// Hash returns a 64-bit FNV-1a digest of the set's contents, mixing in the
+// universe size. Equal sets hash equal; the route cache uses this as a
+// fingerprint key and re-checks Equal on hit, so collisions cost a cache
+// miss, never a wrong route.
+func (s *Set) Hash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	h ^= uint64(s.n)
+	h *= prime64
+	for _, w := range s.words {
+		h ^= w
+		h *= prime64
+	}
+	return h
+}
+
 // SubsetOf reports whether every bit of s is also in o.
 func (s *Set) SubsetOf(o *Set) bool {
 	s.sameLen(o)

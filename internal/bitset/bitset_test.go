@@ -233,6 +233,126 @@ func TestDeMorgan(t *testing.T) {
 	}
 }
 
+// randomPair builds two random same-universe sets for the AndCount /
+// AndInto property tests.
+func randomPair(r *rng.Source) (*Set, *Set) {
+	n := 1 + r.Intn(300)
+	a, b := New(n), New(n)
+	for i := 0; i < n; i++ {
+		if r.Intn(3) == 0 {
+			a.Add(i)
+		}
+		if r.Intn(3) == 0 {
+			b.Add(i)
+		}
+	}
+	return a, b
+}
+
+func TestAndCountMatchesAnd(t *testing.T) {
+	r := rng.New(2)
+	for trial := 0; trial < 300; trial++ {
+		a, b := randomPair(r)
+		if got, want := AndCount(a, b), And(a, b).Count(); got != want {
+			t.Fatalf("AndCount = %d, And().Count() = %d (n=%d)", got, want, a.Len())
+		}
+	}
+}
+
+func TestAndIntoMatchesAnd(t *testing.T) {
+	r := rng.New(3)
+	for trial := 0; trial < 300; trial++ {
+		a, b := randomPair(r)
+		dst := New(a.Len())
+		AndInto(dst, a, b)
+		if want := And(a, b); !dst.Equal(want) {
+			t.Fatalf("AndInto = %v, want %v", dst, want)
+		}
+	}
+}
+
+func TestAndIntoAliasing(t *testing.T) {
+	a := FromIndices(130, []int{0, 5, 64, 129})
+	b := FromIndices(130, []int{5, 64, 100})
+	want := And(a, b)
+	// dst aliases the first operand.
+	x := a.Clone()
+	AndInto(x, x, b)
+	if !x.Equal(want) {
+		t.Fatalf("AndInto(x, x, b) = %v, want %v", x, want)
+	}
+	// dst aliases the second operand.
+	y := b.Clone()
+	AndInto(y, a, y)
+	if !y.Equal(want) {
+		t.Fatalf("AndInto(y, a, y) = %v, want %v", y, want)
+	}
+}
+
+func TestAndPrimitivesMismatchPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"AndCount":    func() { AndCount(New(10), New(11)) },
+		"AndInto-src": func() { AndInto(New(10), New(10), New(11)) },
+		"AndInto-dst": func() { AndInto(New(11), New(10), New(10)) },
+		"CopyFrom":    func() { New(10).CopyFrom(New(11)) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s with mismatched universes did not panic", name)
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+func TestAndPrimitivesZeroAlloc(t *testing.T) {
+	a := FromIndices(512, []int{1, 100, 511})
+	b := FromIndices(512, []int{100, 200})
+	dst := New(512)
+	if avg := testing.AllocsPerRun(100, func() {
+		_ = AndCount(a, b)
+		AndInto(dst, a, b)
+	}); avg != 0 {
+		t.Fatalf("AndCount/AndInto allocate %v per run, want 0", avg)
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	a := FromIndices(100, []int{1, 64, 99})
+	s := FromIndices(100, []int{2, 3})
+	s.CopyFrom(a)
+	if !s.Equal(a) {
+		t.Fatalf("CopyFrom = %v, want %v", s, a)
+	}
+	s.Add(50)
+	if a.Contains(50) {
+		t.Fatal("CopyFrom shares storage")
+	}
+}
+
+func TestHash(t *testing.T) {
+	r := rng.New(4)
+	for trial := 0; trial < 200; trial++ {
+		a, _ := randomPair(r)
+		if a.Hash() != a.Clone().Hash() {
+			t.Fatal("equal sets hash differently")
+		}
+	}
+	// Same bits, different universe size must not collide by construction.
+	if FromIndices(64, []int{3}).Hash() == FromIndices(65, []int{3}).Hash() {
+		t.Fatal("Hash ignores the universe size")
+	}
+	// A one-bit flip changes the digest (FNV is not cryptographic, but the
+	// route cache relies on cheap flips not colliding in practice).
+	a := FromIndices(128, []int{0, 64})
+	b := FromIndices(128, []int{0, 65})
+	if a.Hash() == b.Hash() {
+		t.Fatal("adjacent one-bit sets collide")
+	}
+}
+
 func BenchmarkIntersects(b *testing.B) {
 	x := FromIndices(1024, []int{1000})
 	y := FromIndices(1024, []int{3})

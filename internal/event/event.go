@@ -78,8 +78,18 @@ const ringSize = 1024
 // shrinkCap is the capacity below which backing slices are never shrunk.
 const shrinkCap = 64
 
-// entry is one scheduled event. 48 bytes; actor holds only
-// pointer-shaped values (pointers, func values), so posting never boxes.
+// smallsMax bounds the displaced-small-slice pool (see Queue.smalls);
+// 32 slices of at most shrinkCap entries is ~100 KB worst case.
+const smallsMax = 32
+
+// occEpoch is the occupancy high-water window, in drained cycles (see
+// Queue.occCur). Shorter windows shrink faster after a burst; longer ones
+// tolerate longer gaps between bursts without eviction churn.
+const occEpoch = 256
+
+// entry is one scheduled event in a heap (the far overflow or the legacy
+// backend). 48 bytes; actor holds only pointer-shaped values (pointers,
+// func values), so posting never boxes.
 type entry struct {
 	at    Time
 	seq   uint64
@@ -88,11 +98,21 @@ type entry struct {
 	kind  Kind
 }
 
+// slot is one scheduled event within a calendar ring bucket. The bucket
+// fixes the cycle and the position fixes the FIFO rank, so neither the
+// timestamp nor a sequence number is stored: 32 bytes instead of the
+// heap entry's 48, on the path that carries virtually every event.
+type slot struct {
+	actor any
+	arg   int64
+	kind  Kind
+}
+
 // bucket is one cycle's FIFO within the calendar ring. head avoids
 // shifting on pop; the slice resets (and may shrink) once emptied.
 type bucket struct {
 	head  int
-	items []entry
+	items []slot
 }
 
 // Queue is a future-event list. The zero value is ready to use and runs
@@ -115,8 +135,25 @@ type Queue struct {
 	// hosts a busy cycle eventually; without the pool each of the 1024
 	// buckets grows its own peak-sized slice (at one point ~90% of the
 	// drain benchmark's allocations). Drained buckets above shrinkCap
-	// retire their slice here and the next one to fill reuses it.
-	pool [][]entry
+	// retire their slice here and buckets that outgrow their own slice
+	// borrow from it (see bucketAppend).
+	pool [][]slot
+	// occCur/occPrev track the per-cycle occupancy high-water over the
+	// current and previous occEpoch-reset windows; occHi() (their max) is
+	// the retention yardstick. Two-epoch max is deliberately a step
+	// function rather than a smooth decay: occupancy dips shorter than an
+	// epoch cannot evict slices that the next burst will need, while a
+	// genuinely quiet stretch rotates both windows down within two epochs
+	// and lets resetBucket shed the relics of the last burst.
+	occCur, occPrev, occCount int
+	// smalls holds bucket slices (cap <= shrinkCap) displaced when their
+	// bucket borrowed a larger pooled slice. resetBucket re-attaches one
+	// whenever it retires a large slice, so a slot that hosted a burst is
+	// never left empty-handed — without this, every busy cycle re-ran the
+	// 1->2->...->shrinkCap append ramp from nil, which dominated the
+	// queue's allocation profile. Bounded at smallsMax; extras go to the
+	// collector.
+	smalls [][]slot
 
 	heap []entry // BackendHeap: single min-heap ordered by (at, seq)
 }
@@ -146,6 +183,9 @@ func (q *Queue) Cap() int {
 	for _, s := range q.pool {
 		c += cap(s)
 	}
+	for _, s := range q.smalls {
+		c += cap(s)
+	}
 	return c
 }
 
@@ -161,14 +201,18 @@ func (q *Queue) Register(k Kind, h Handler) {
 // Post schedules a typed event at absolute time t. Scheduling in the past
 // panics: it always indicates a model bug, and silently clamping would
 // hide it.
+//
+// A sequence number is drawn only on the heap paths: ring slots order by
+// position, and any event migrating from the far heap enters its bucket
+// before any direct post to that cycle can happen, so FIFO-within-cycle
+// holds without per-post numbering.
 func (q *Queue) Post(t Time, k Kind, actor any, arg int64) {
 	if t < q.now {
 		panic(fmt.Sprintf("event: scheduling at %d before now %d", t, q.now))
 	}
-	e := entry{at: t, seq: q.seq, kind: k, actor: actor, arg: arg}
-	q.seq++
 	if q.backend == BackendHeap {
-		heapPush(&q.heap, e)
+		heapPush(&q.heap, entry{at: t, seq: q.seq, kind: k, actor: actor, arg: arg})
+		q.seq++
 		return
 	}
 	if q.buckets == nil {
@@ -176,21 +220,44 @@ func (q *Queue) Post(t Time, k Kind, actor any, arg int64) {
 		q.cursor = q.now
 	}
 	if t < q.cursor+ringSize {
-		q.bucketAppend(&q.buckets[t&(ringSize-1)], e)
+		b := &q.buckets[t&(ringSize-1)]
+		if len(b.items) < cap(b.items) {
+			// Hot path: an in-window post into a bucket with headroom is
+			// a plain append.
+			b.items = append(b.items, slot{actor: actor, arg: arg, kind: k})
+			q.pending++
+			return
+		}
+		q.bucketAppend(b, slot{actor: actor, arg: arg, kind: k})
 		return
 	}
-	heapPush(&q.far, e)
+	heapPush(&q.far, entry{at: t, seq: q.seq, kind: k, actor: actor, arg: arg})
+	q.seq++
 }
 
-// bucketAppend adds an entry to a ring bucket, reusing a pooled slice
-// when the bucket has none. Pool order is irrelevant to correctness —
-// it only decides which backing array a cycle borrows.
-func (q *Queue) bucketAppend(b *bucket, e entry) {
-	if b.items == nil && len(q.pool) > 0 {
-		b.items = q.pool[len(q.pool)-1]
-		q.pool = q.pool[:len(q.pool)-1]
+// bucketAppend adds an entry to a ring bucket, reusing pooled slices.
+// Pool order is irrelevant to correctness — it only decides which backing
+// array a cycle borrows.
+//
+// The borrow happens at the moment of growth, not only when the bucket is
+// empty-handed: resetBucket leaves small (<= shrinkCap) slices attached to
+// their bucket, so before this check every busy cycle re-grew its small
+// slice up to the burst size through fresh allocations and the pooled
+// peak-sized arrays went almost unused — the source of the PR 3 bytes/op
+// regression on DrainLarge (see DESIGN.md §12).
+func (q *Queue) bucketAppend(b *bucket, s slot) {
+	if len(b.items) == cap(b.items) && len(q.pool) > 0 {
+		if p := q.pool[len(q.pool)-1]; cap(p) > cap(b.items) {
+			q.pool = q.pool[:len(q.pool)-1]
+			p = p[:len(b.items)]
+			copy(p, b.items)
+			if c := cap(b.items); c > 0 && c <= shrinkCap && len(q.smalls) < smallsMax {
+				q.smalls = append(q.smalls, b.items[:0])
+			}
+			b.items = p
+		}
 	}
-	b.items = append(b.items, e)
+	b.items = append(b.items, s)
 	q.pending++
 }
 
@@ -236,12 +303,19 @@ func (q *Queue) SetBackend(b Backend) {
 		}
 		moved = append(moved, e)
 	}
+	// Ring pops carry no sequence number; re-number the drained events in
+	// pop order — the realized total order — so heap re-insertion keeps
+	// exactly that order and later posts sort after them.
+	for i := range moved {
+		moved[i].seq = q.seq
+		q.seq++
+	}
 	q.backend = b
 	if b == BackendCalendar {
 		// Draining walked the cursor forward; rewind the window to now
 		// (the ring is empty, so this cannot strand an entry) before
-		// re-inserting. moved is (at, seq)-sorted with at >= now and
-		// seq values preserved, so bucket FIFO order is kept.
+		// re-inserting. moved is sorted in realized order with at >= now,
+		// so bucket FIFO order is kept.
 		if q.buckets == nil {
 			q.buckets = make([]bucket, ringSize)
 		}
@@ -253,16 +327,49 @@ func (q *Queue) SetBackend(b Backend) {
 			continue
 		}
 		if e.at < q.cursor+ringSize {
-			q.bucketAppend(&q.buckets[e.at&(ringSize-1)], e)
+			q.bucketAppend(&q.buckets[e.at&(ringSize-1)], slot{actor: e.actor, arg: e.arg, kind: e.kind})
 		} else {
 			heapPush(&q.far, e)
 		}
 	}
 }
 
+// fastStep pops and dispatches the head of the current calendar bucket
+// when one is immediately available at a cycle <= limit. This is the hot
+// path of Step/RunUntil: no cursor walk and no 48-byte entry round-trip
+// through popNext. Returns false (leaving the queue untouched) whenever
+// the slow path must decide.
+func (q *Queue) fastStep(limit Time) bool {
+	if q.pending == 0 || q.cursor > limit {
+		return false
+	}
+	b := &q.buckets[q.cursor&(ringSize-1)]
+	if b.head >= len(b.items) {
+		return false
+	}
+	s := b.items[b.head]
+	b.items[b.head].actor = nil // release the actor
+	b.head++
+	q.pending--
+	if b.head == len(b.items) {
+		q.resetBucket(b)
+	}
+	q.now = q.cursor
+	q.ran++
+	if s.kind == KindClosure {
+		s.actor.(func())()
+		return true
+	}
+	q.table[s.kind](s.actor, s.arg)
+	return true
+}
+
 // Step runs the earliest pending event, advancing the clock to its
 // timestamp. It returns false when no events remain.
 func (q *Queue) Step() bool {
+	if q.backend == BackendCalendar && q.fastStep(maxTime) {
+		return true
+	}
 	e, ok := q.popNext(maxTime)
 	if !ok {
 		return false
@@ -276,6 +383,10 @@ func (q *Queue) Step() bool {
 func (q *Queue) RunUntil(limit Time) uint64 {
 	var n uint64
 	for {
+		if q.backend == BackendCalendar && q.fastStep(limit) {
+			n++
+			continue
+		}
 		e, ok := q.popNext(limit)
 		if !ok {
 			break
@@ -339,14 +450,16 @@ func (q *Queue) popNext(limit Time) (entry, bool) {
 			if q.cursor > limit {
 				return entry{}, false
 			}
-			e := b.items[b.head]
-			b.items[b.head] = entry{} // release the actor
+			s := b.items[b.head]
+			b.items[b.head].actor = nil // release the actor
 			b.head++
 			q.pending--
 			if b.head == len(b.items) {
 				q.resetBucket(b)
 			}
-			return e, true
+			// Ring slots carry no seq; callers (dispatch, SetBackend)
+			// only need the realized order and the timestamp.
+			return entry{at: q.cursor, kind: s.kind, actor: s.actor, arg: s.arg}, true
 		}
 		if q.cursor >= limit {
 			return entry{}, false
@@ -363,26 +476,52 @@ func (q *Queue) popNext(limit Time) (entry, bool) {
 func (q *Queue) migrateFar() {
 	for len(q.far) > 0 && q.far[0].at < q.cursor+ringSize {
 		e := heapPop(&q.far)
-		q.bucketAppend(&q.buckets[e.at&(ringSize-1)], e)
+		q.bucketAppend(&q.buckets[e.at&(ringSize-1)], slot{actor: e.actor, arg: e.arg, kind: e.kind})
 	}
 }
 
 // resetBucket empties a drained bucket for reuse. Small slices (at most
-// shrinkCap) stay attached to the bucket; larger ones retire to the
-// queue's pool so the next busy cycle reuses them instead of growing its
-// own. The shrink policy lives on the retire path: a large slice drained
-// while under a quarter full marks the burst that needed it as over, so
-// it is dropped for the collector rather than pooled — that is how the
-// queue's footprint decays back down after a transient hotspot.
+// shrinkCap) stay attached to the bucket; larger ones always retire to the
+// queue's pool so the next cycle to outgrow its own slice reuses them.
+// The shrink policy lives at the borrow site (bucketAppend): dropping a
+// big slice here whenever one cycle happened to underuse it — the previous
+// policy — discarded arrays that the very next busy cycle had to reallocate,
+// because per-cycle occupancy swings well past 4x within a single run.
+// resetBucket's job in the decay scheme is only to maintain the occupancy
+// high-water that bucketAppend's staleness test consults.
 func (q *Queue) resetBucket(b *bucket) {
-	switch c := cap(b.items); {
-	case c <= shrinkCap:
+	if len(b.items) > q.occCur {
+		q.occCur = len(b.items)
+	}
+	q.occCount++
+	if q.occCount >= occEpoch {
+		q.occPrev, q.occCur, q.occCount = q.occCur, 0, 0
+	}
+	hi := q.occCur
+	if q.occPrev > hi {
+		hi = q.occPrev
+	}
+	// Shed stale pool slices — relics of a burst no recent cycle has come
+	// close to filling. One check per drained cycle keeps this amortized
+	// O(1); the loop empties the whole backlog only when the high-water
+	// has already collapsed.
+	for len(q.pool) > 0 {
+		if c := cap(q.pool[len(q.pool)-1]); c > shrinkCap && c > 4*hi {
+			q.pool = q.pool[:len(q.pool)-1]
+			continue
+		}
+		break
+	}
+	if cap(b.items) <= shrinkCap {
 		b.items = b.items[:0]
-	case len(b.items) < c/4:
-		b.items = nil
-	default:
+	} else {
 		q.pool = append(q.pool, b.items[:0])
-		b.items = nil
+		if n := len(q.smalls); n > 0 {
+			b.items = q.smalls[n-1]
+			q.smalls = q.smalls[:n-1]
+		} else {
+			b.items = nil
+		}
 	}
 	b.head = 0
 }

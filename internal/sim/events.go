@@ -26,8 +26,8 @@ const (
 	// (actor *occupant).
 	evRoute
 	// evTail releases the output port (or injection line) one cycle
-	// after a branch's tail flit, then runs its onDone hook
-	// (actor *branch).
+	// after a branch's tail flit, then unwinds the NI injection stream
+	// when the branch carries one (actor *branch).
 	evTail
 	// evMsgStart begins a message's source sends at its initiation time
 	// (actor *Message).
@@ -58,6 +58,10 @@ const (
 	// evDestDone completes a destination after the host receive overhead
 	// (actor *Message, arg destination node).
 	evDestDone
+	// evReclaim recycles a done branch after its quarantine horizon,
+	// once no pending pump/deliver/tail event can still name it
+	// (actor *branch).
+	evReclaim
 )
 
 // registerKinds installs the network's jump table. Handlers close over n
@@ -93,4 +97,5 @@ func (n *Network) registerKinds() {
 	q.Register(evDestDone, func(a any, arg int64) {
 		n.destDone(a.(*Message), topology.NodeID(arg))
 	})
+	q.Register(evReclaim, func(a any, _ int64) { n.reclaimBranch(a.(*branch)) })
 }

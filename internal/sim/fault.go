@@ -103,8 +103,12 @@ func (n *Network) killBranch(br *branch) {
 	} else if br.ch != nil && br.ch.sender == br {
 		br.ch.sender = nil
 	}
+	n.queue.PostAfter(n.reclaimAfter, evReclaim, br, 0)
 	if br.occ != nil {
+		// Advance eviction before detaching: detaching can recycle the
+		// occupant this branch was reading.
 		br.occ.advanceEviction()
+		n.detachBranch(br)
 	}
 }
 
@@ -126,7 +130,10 @@ func (n *Network) killDownstream(br *branch) {
 		return
 	}
 	x := n.nis[br.ch.dstNode]
-	delete(x.rxFlits, br.w)
+	if _, ok := x.rxFlits[br.w]; ok {
+		delete(x.rxFlits, br.w)
+		n.wormDecref(br.w) // the NI assembly leg
+	}
 }
 
 // killOccupant tears down a worm resident in an input buffer: every live
@@ -141,7 +148,9 @@ func (n *Network) killOccupant(o *occupant) {
 	o.w.dead = true
 	n.stats.WormsKilled++
 	n.trace(TraceEvent{Kind: TraceKill, Worm: o.w.id, Msg: o.w.msg.ID, Pkt: o.w.pkt, Switch: o.buf.sw, Port: o.buf.port})
-	for _, br := range o.branches {
+	// Backward: killBranch splices killed branches out of o.branches.
+	for i := len(o.branches) - 1; i >= 0; i-- {
+		br := o.branches[i]
 		if br.done {
 			continue
 		}
@@ -173,6 +182,8 @@ func (n *Network) removeFromBuffer(o *occupant) {
 			break
 		}
 	}
+	o.detached = true
+	n.tryRecycleOccupant(o)
 	if wasHead && len(b.occupants) > 0 {
 		next := b.occupants[0]
 		if next.arrived > 0 && !next.routed && !next.routing {
@@ -315,6 +326,7 @@ func (n *Network) severChannel(ch *channel, op *outPort) {
 		delete(x.rxFlits, w)
 		w.dead = true
 		n.failDest(w.msg, ch.dstNode)
+		n.wormDecref(w) // the NI assembly leg; last, failDest reads w.msg
 	}
 }
 
@@ -402,6 +414,11 @@ func (n *Network) InstallFaults(fs *FaultSchedule) error {
 
 func (n *Network) applyFault(ev FaultEvent) {
 	n.ensureFaultState()
+	// Conservative route-cache invalidation: dead ports are filtered after
+	// every cached decision, so stale-but-consistent entries would still
+	// match the uncached code, but flushing keeps the epoch invariant
+	// trivial to audit.
+	n.routingEpoch++
 	switch ev.Kind {
 	case FaultLink:
 		n.failLink(ev.Link)
@@ -580,6 +597,7 @@ func (n *Network) reconfigure() {
 // up-link adjacency used by tree-worm climbs.
 func (n *Network) swapRouting(rt *updown.Routing) {
 	n.rt = rt
+	n.routingEpoch++ // every cached route was computed under the old tables
 	t := n.topo
 	n.upAdj = make([][]portPeer, t.NumSwitches)
 	n.revUp = make([][]portPeer, t.NumSwitches)
@@ -593,6 +611,7 @@ func (n *Network) swapRouting(rt *updown.Routing) {
 			n.revUp[q] = append(n.revUp[q], portPeer{sw: s, port: p})
 		}
 	}
+	n.rebuildDownPorts()
 }
 
 // AbortMessage tears down every remaining trace of m across the network

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync/atomic"
 
+	"mcastsim/internal/bitset"
 	"mcastsim/internal/event"
 	"mcastsim/internal/rng"
 	"mcastsim/internal/topology"
@@ -85,6 +86,41 @@ type Network struct {
 	invariant     *InvariantError
 	progress      int64
 	reconfigEpoch int
+
+	// routingEpoch versions the routing-derived state (tables, port
+	// orientations, reachability); every applied fault/repair and every
+	// table swap bumps it, and the route cache flushes when it lags.
+	routingEpoch int
+	cache        routeCache
+
+	// Topology/routing precomputes rebuilt alongside the tables.
+	nodesAt    [][]topology.NodeID // nodes attached to each switch
+	localNodes []*bitset.Set       // nodesAt as bit strings (planTree's local gate)
+	downPorts  [][]int             // rt.DownPorts per switch
+
+	// reclaimAfter is the branch quarantine horizon (see pool.go).
+	reclaimAfter event.Time
+
+	// Free lists (see pool.go).
+	setPool    []*bitset.Set
+	wormPool   []*worm
+	branchPool []*branch
+	occPool    []*occupant
+	burstPool  []*burst
+
+	// Per-decision scratch: reused by the planners and arbitration so the
+	// steady-state routing path allocates nothing. Valid only within one
+	// routing decision; never retained.
+	onePort     [1]int
+	onePhase    [1]updown.Phase
+	portScratch []int
+	phaseScratch []updown.Phase
+	downScratch []int
+	partScratch []portSet
+	usedPorts   []bool
+	distScratch []int32
+	bfsQueue    []int32
+	specScratch WormSpec
 }
 
 // Engine selects the scheduler backend a Network runs on. The calendar
@@ -185,7 +221,35 @@ func New(rt *updown.Routing, params Params, seed uint64) (*Network, error) {
 			n.revUp[q] = append(n.revUp[q], portPeer{sw: s, port: p})
 		}
 	}
+
+	// Hot-path precomputes and scratch (see routecache.go / pool.go).
+	n.nodesAt = make([][]topology.NodeID, t.NumSwitches)
+	n.localNodes = make([]*bitset.Set, t.NumSwitches)
+	for s := 0; s < t.NumSwitches; s++ {
+		n.nodesAt[s] = t.NodesAt(topology.SwitchID(s))
+		n.localNodes[s] = bitset.New(t.NumNodes)
+		for _, node := range n.nodesAt[s] {
+			n.localNodes[s].Add(int(node))
+		}
+	}
+	n.rebuildDownPorts()
+	n.reclaimAfter = n.reclaimQuarantine()
+	n.usedPorts = make([]bool, t.PortsPerSwitch)
+	n.distScratch = make([]int32, t.NumSwitches)
+	n.bfsQueue = make([]int32, 0, t.NumSwitches)
+	n.cache.init()
 	return n, nil
+}
+
+// rebuildDownPorts refreshes the per-switch down-port lists from the
+// current routing tables (New and every table swap).
+func (n *Network) rebuildDownPorts() {
+	if n.downPorts == nil {
+		n.downPorts = make([][]int, n.topo.NumSwitches)
+	}
+	for s := 0; s < n.topo.NumSwitches; s++ {
+		n.downPorts[s] = n.rt.DownPorts(topology.SwitchID(s))
+	}
 }
 
 // Topology returns the simulated topology.

@@ -116,7 +116,9 @@ func (op *sendOp) dmaDone(pkt int) {
 		x.admitBurst(x.replicaBurst(op.m, pkt))
 		return
 	}
-	x.admitBurst(&burst{worms: []*worm{x.net.newWorm(op.m, op.spec, pkt)}})
+	b := x.net.getBurst()
+	b.worms = append(b.worms, x.net.newWorm(op.m, op.spec, pkt))
+	x.admitBurst(b)
 }
 
 // burst is one packet's outgoing worm set sharing an NI buffer slot and a
@@ -131,9 +133,12 @@ type burst struct {
 // children.
 func (x *ni) replicaBurst(m *Message, pkt int) *burst {
 	kids := m.Plan.NITree[x.node]
-	b := &burst{worms: make([]*worm, len(kids))}
-	for i, kid := range kids {
-		b.worms[i] = x.net.newWorm(m, &WormSpec{Kind: WormUnicast, Dest: kid}, pkt)
+	b := x.net.getBurst()
+	for _, kid := range kids {
+		// Unicast specs are consumed by newWorm, never retained, so the
+		// Network scratch spec avoids one allocation per replica.
+		x.net.specScratch = WormSpec{Kind: WormUnicast, Dest: kid}
+		b.worms = append(b.worms, x.net.newWorm(m, &x.net.specScratch, pkt))
 	}
 	return b
 }
@@ -184,28 +189,36 @@ func (x *ni) startStream() {
 	lastOfBurst := b.next == len(b.worms)
 	if lastOfBurst {
 		x.ready = x.ready[1:]
+		x.net.putBurst(b) // every worm is streamed; no list names b anymore
 	}
 	x.streaming = true
-	br := &branch{net: x.net, w: w, ch: x.inj}
+	br := x.net.newBranch(nil, w, 0)
+	br.ch = x.inj
+	br.injNI = x
+	br.injLast = lastOfBurst
 	x.inj.sender = br
-	br.onDone = func() {
-		x.streaming = false
-		if lastOfBurst {
-			x.injHeld--
-			if len(x.injWait) > 0 {
-				next := x.injWait[0]
-				x.injWait = x.injWait[1:]
-				x.injHeld++
-				x.chargeAndReady(next)
-			}
-		}
-		if len(x.ready) > 0 {
-			x.startStream()
-		}
-	}
 	x.net.stats.PacketsInjected++
 	x.net.trace(TraceEvent{Kind: TraceInject, Worm: w.id, Msg: w.msg.ID, Pkt: w.pkt, Node: x.node})
 	br.schedulePump(x.net.queue.Now())
+}
+
+// streamDone unwinds the injection line after a stream's tail (or its
+// kill): frees the buffer slot on the burst's last worm, promotes one
+// deferred burst, and starts the next ready stream.
+func (x *ni) streamDone(last bool) {
+	x.streaming = false
+	if last {
+		x.injHeld--
+		if len(x.injWait) > 0 {
+			next := x.injWait[0]
+			x.injWait = x.injWait[1:]
+			x.injHeld++
+			x.chargeAndReady(next)
+		}
+	}
+	if len(x.ready) > 0 {
+		x.startStream()
+	}
 }
 
 // --- receive side ---
@@ -219,6 +232,9 @@ func (x *ni) flitArrive(w *worm) {
 	}
 	x.net.stats.FlitsDelivered++
 	c := x.rxFlits[w] + 1
+	if c == 1 {
+		w.refs++ // the NI assembly leg; released after receive processing
+	}
 	if c > w.len {
 		panic("sim: NI received more flits than worm length")
 	}
@@ -243,6 +259,7 @@ func (x *ni) packetArrived(w *worm) {
 		// This destination was already declared failed (another packet of
 		// the message died); a stray complete packet does not resurrect
 		// it — the retransmission layer owns the remainder.
+		n.wormDecref(w) // no receive processing will release the NI leg
 		return
 	}
 	n.stats.PacketsAtNI++
@@ -276,6 +293,7 @@ func (x *ni) recvProcessed(w *worm) {
 	bytes := n.payloadFlits(m, w.pkt)
 	dmaDone := reserve(&x.busFree, n.queue.Now(), n.params.BusCycles(bytes))
 	n.queue.Post(dmaDone, evNIRecvDMA, m, int64(x.node))
+	n.wormDecref(w) // the NI assembly leg; host-side events carry m, not w
 }
 
 // hostPacketArrived counts packets landed in host memory; the last one
@@ -344,15 +362,18 @@ func (x *ni) failSendDests(m *Message, spec *WormSpec) {
 }
 
 // dropBurst fails the destinations of every worm in b that has not started
-// streaming.
+// streaming and recycles them (un-streamed worms hold no reference legs),
+// then recycles the burst itself.
 func (x *ni) dropBurst(b *burst) {
 	for _, w := range b.worms[b.next:] {
 		x.net.failWormDests(w)
+		x.net.recycleWorm(w)
 	}
+	x.net.putBurst(b)
 }
 
 // promoteWaiting admits deferred bursts while buffer slots are free
-// (mirrors the onDone promotion after aborts change injHeld).
+// (mirrors the streamDone promotion after aborts change injHeld).
 func (x *ni) promoteWaiting() {
 	limit := x.net.params.NIInjectBufferPackets
 	for len(x.injWait) > 0 && (limit <= 0 || x.injHeld < limit) {
@@ -388,14 +409,13 @@ func (x *ni) abortMessage(m *Message) {
 	if br := x.inj.sender; br != nil && !br.done && br.w.msg == m {
 		x.net.killBranch(br)
 		x.net.killDownstream(br)
-		if br.onDone != nil {
-			br.onDone() // unwind streaming state and start the next burst
-		}
+		x.streamDone(br.injLast) // unwind streaming state and start the next burst
 	}
 	x.promoteWaiting()
 	for w := range x.rxFlits {
 		if w.msg == m {
 			delete(x.rxFlits, w)
+			x.net.wormDecref(w) // the NI assembly leg
 		}
 	}
 	delete(x.rxMsgs, m)
@@ -434,6 +454,9 @@ func (x *ni) orphan() {
 			seen[w.msg] = true
 			msgs = append(msgs, w.msg)
 		}
+		// Release the NI assembly leg after reading w.msg: the decref can
+		// recycle the worm.
+		n.wormDecref(w)
 	}
 	for m := range x.rxMsgs {
 		if !seen[m] {

@@ -1,0 +1,209 @@
+package sim
+
+import (
+	"mcastsim/internal/bitset"
+	"mcastsim/internal/event"
+)
+
+// This file implements the simulator's per-network free lists. A Network
+// is single-goroutine (see enterRun), so the pools are plain slices with
+// LIFO reuse — no locking, no sync.Pool clearing at GC.
+//
+// Ownership and lifetime rules:
+//
+//   - Destination sets (*bitset.Set, universe NumNodes): owned by exactly
+//     one worm (w.destSet) or held transiently by a planner. getSet
+//     returns a cleared set; putSet recycles it. The route cache keeps
+//     its own clones and never lends storage out (see routecache.go).
+//
+//   - Worms are reference-counted. The legs are: the producing branch
+//     (released when the branch is reclaimed after its quarantine), the
+//     downstream occupant assembling the worm in an input buffer
+//     (released when the occupant is recycled), and the destination NI
+//     assembling the packet (taken at the first received flit, released
+//     after NI receive processing or at any rxFlits teardown). A worm in
+//     an un-streamed burst has zero refs and is recycled directly when
+//     the burst is dropped.
+//
+//   - Branches are time-quarantined: a branch goes done exactly once (the
+//     pump tail or a fault kill), is spliced out of its occupant's branch
+//     list immediately, and an evReclaim fires reclaimAfter cycles later —
+//     strictly after every pending evPump/evDeliver/evTail that still
+//     names it — to release its worm ref and recycle it. Splicing at
+//     done-time is safe: a done branch never gates eviction (its window
+//     ends at the parent stream's length) and schedulePump no-ops on it.
+//
+//   - Occupants are recycled when they are detached from their buffer
+//     (head retirement or fault removal), have no pending evRoute, and no
+//     live (undone) branch remains.
+
+// reclaimQuarantine returns the branch quarantine horizon: an upper bound,
+// in cycles, on how far past a branch's done-transition a pending event
+// naming it can still fire (evPump <= max(CrossbarDelay,1), evDeliver <=
+// LinkDelay, evTail = +1), plus slack.
+func (n *Network) reclaimQuarantine() event.Time {
+	h := n.params.LinkDelay
+	if n.params.CrossbarDelay > h {
+		h = n.params.CrossbarDelay
+	}
+	if n.params.RoutingDelay > h {
+		h = n.params.RoutingDelay
+	}
+	if h < 1 {
+		h = 1
+	}
+	return h + 2
+}
+
+// --- destination sets ---
+
+func (n *Network) getSet() *bitset.Set {
+	if len(n.setPool) == 0 {
+		return bitset.New(n.topo.NumNodes)
+	}
+	s := n.setPool[len(n.setPool)-1]
+	n.setPool = n.setPool[:len(n.setPool)-1]
+	s.Clear()
+	return s
+}
+
+func (n *Network) putSet(s *bitset.Set) {
+	n.setPool = append(n.setPool, s)
+}
+
+// --- worms ---
+
+func (n *Network) getWorm() *worm {
+	if len(n.wormPool) == 0 {
+		return &worm{}
+	}
+	w := n.wormPool[len(n.wormPool)-1]
+	n.wormPool = n.wormPool[:len(n.wormPool)-1]
+	return w
+}
+
+// recycleWorm returns an unreferenced worm (and its destination set) to
+// the pools.
+func (n *Network) recycleWorm(w *worm) {
+	if w.refs != 0 {
+		panic("sim: recycling a referenced worm")
+	}
+	if w.destSet != nil {
+		n.putSet(w.destSet)
+	}
+	*w = worm{}
+	n.wormPool = append(n.wormPool, w)
+}
+
+// wormDecref releases one reference leg; the last leg recycles the worm.
+func (n *Network) wormDecref(w *worm) {
+	w.refs--
+	if w.refs > 0 {
+		return
+	}
+	if w.refs < 0 {
+		panic("sim: worm refcount underflow")
+	}
+	n.recycleWorm(w)
+}
+
+// --- branches ---
+
+func (n *Network) getBranch() *branch {
+	if len(n.branchPool) == 0 {
+		return &branch{net: n}
+	}
+	br := n.branchPool[len(n.branchPool)-1]
+	n.branchPool = n.branchPool[:len(n.branchPool)-1]
+	return br
+}
+
+// detachBranch splices a just-done branch out of its occupant's consumer
+// list (callers guarantee br.occ != nil and br.done). The occupant may
+// recycle here when this was its last live branch.
+func (n *Network) detachBranch(br *branch) {
+	o := br.occ
+	for i, cand := range o.branches {
+		if cand == br {
+			o.branches = append(o.branches[:i], o.branches[i+1:]...)
+			break
+		}
+	}
+	o.live--
+	n.tryRecycleOccupant(o)
+}
+
+// reclaimBranch is the evReclaim handler: the quarantine has elapsed, no
+// pending event names this branch anymore, so its worm ref is released
+// and the branch recycles.
+func (n *Network) reclaimBranch(br *branch) {
+	if br.pumping {
+		// Unreachable by construction (a pending pump fires well inside
+		// the quarantine and no-ops on done); leak to GC rather than
+		// recycle under a live event.
+		return
+	}
+	n.wormDecref(br.w)
+	br.occ = nil
+	br.w = nil
+	br.elastic = false
+	br.offset = 0
+	br.sent = 0
+	br.ch = nil
+	br.port = nil
+	br.done = false
+	br.req = nil
+	br.drops = nil
+	br.injNI = nil
+	br.injLast = false
+	n.branchPool = append(n.branchPool, br)
+}
+
+// --- occupants ---
+
+func (n *Network) getOccupant() *occupant {
+	if len(n.occPool) == 0 {
+		return &occupant{}
+	}
+	o := n.occPool[len(n.occPool)-1]
+	n.occPool = n.occPool[:len(n.occPool)-1]
+	return o
+}
+
+// tryRecycleOccupant recycles an occupant once it is out of its buffer,
+// has no routing event in flight, and no live branch still reads it.
+func (n *Network) tryRecycleOccupant(o *occupant) {
+	if !o.detached || o.routing || o.live != 0 {
+		return
+	}
+	n.wormDecref(o.w)
+	o.buf = nil
+	o.w = nil
+	o.arrived = 0
+	o.evicted = 0
+	o.routed = false
+	o.routing = false
+	o.killed = false
+	o.detached = false
+	o.live = 0
+	o.branches = o.branches[:0]
+	n.occPool = append(n.occPool, o)
+}
+
+// --- bursts ---
+
+func (n *Network) getBurst() *burst {
+	if len(n.burstPool) == 0 {
+		return &burst{}
+	}
+	b := n.burstPool[len(n.burstPool)-1]
+	n.burstPool = n.burstPool[:len(n.burstPool)-1]
+	return b
+}
+
+func (n *Network) putBurst(b *burst) {
+	b.owner = nil
+	b.worms = b.worms[:0]
+	b.next = 0
+	n.burstPool = append(n.burstPool, b)
+}

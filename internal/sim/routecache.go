@@ -1,0 +1,193 @@
+package sim
+
+import (
+	"mcastsim/internal/bitset"
+	"mcastsim/internal/topology"
+	"mcastsim/internal/updown"
+)
+
+// routeCache memoizes the three pure routing computations on the worm
+// hot path — the climb BFS distance field, the greedy down-partition,
+// and the adaptive next-hop candidate list — keyed by the destination
+// set's fingerprint (and the switch/phase where the result is local).
+//
+// Correctness contract:
+//
+//   - Epoch tagging. Every cached result is a pure function of the
+//     routing tables (rt.Cover, rt.DownReach, the distance fields, the
+//     port orientations) and the up-link adjacency derived from them.
+//     Network.routingEpoch is bumped whenever any of those can change —
+//     a reconfiguration table swap (swapRouting) and every applied fault
+//     or repair (applyFault, conservatively: stale-but-consistent
+//     results would still match the uncached code, but flushing keeps
+//     the invariant trivial to audit). The cache lazily compares its
+//     epoch on every lookup and flushes all three maps atomically when
+//     it lags, so no post-reconfiguration decision can see a pre-fault
+//     entry.
+//
+//   - Fingerprint verification. Set-keyed entries store a clone of the
+//     keying set and re-check Equal on every hit, so an FNV collision
+//     (or a map-bucket collision between two sets with equal hashes)
+//     costs a cache miss, never a wrong route.
+//
+//   - RNG transparency. The adaptive partition draws one Shuffle of the
+//     switch's down-port list per call; a cache hit burns the identical
+//     draw sequence with a no-op swap so the arbitration RNG stream —
+//     and therefore every downstream tie-break — is byte-identical to
+//     the uncached run. Partitions whose greedy choice ever depended on
+//     the shuffle (a tied round) are cached as "tied" and always fall
+//     through to the full recomputation, which consumes the shuffle
+//     naturally. Climb and next-hop lookups are RNG-free; their callers
+//     shuffle scratch copies, never cached storage.
+//
+//   - Ownership. Cached slices and sets are cache-owned and read-only.
+//     Hits copy ports/phases into Network scratch slices and partition
+//     subsets into pooled sets, so recycling a worm's destination set
+//     can never corrupt an entry.
+//
+// Overflow policy: each map has a hard cap; inserting past it clears the
+// whole map. Deterministic (no eviction order dependence) and effectively
+// unreachable in the paper's experiment sizes.
+const (
+	climbCacheCap = 1024
+	partCacheCap  = 4096
+	hopsCacheCap  = 8192
+)
+
+type climbEntry struct {
+	set  *bitset.Set // keying set (verified on hit)
+	dist []int32     // per-switch up-hop distance to a covering switch, -1 unreachable
+}
+
+type partKey struct {
+	sw int32
+	fp uint64
+}
+
+type partEntry struct {
+	set  *bitset.Set // keying set (verified on hit)
+	tied bool        // a greedy round's max was multiply-achieved: result is shuffle-dependent
+	// Untied entries only: the partition in pick order.
+	ports []int32
+	subs  []*bitset.Set
+}
+
+type hopKey struct {
+	sw    int32
+	phase updown.Phase
+	dest  int32
+}
+
+type hopEntry struct {
+	ports  []int
+	phases []updown.Phase
+}
+
+type routeCache struct {
+	epoch    int // routingEpoch the entries were computed under
+	disabled bool
+	flushes  int // epoch-lag flushes performed (test observability)
+
+	climb map[uint64]*climbEntry
+	part  map[partKey]*partEntry
+	hops  map[hopKey]*hopEntry
+}
+
+func (c *routeCache) init() {
+	c.climb = make(map[uint64]*climbEntry)
+	c.part = make(map[partKey]*partEntry)
+	c.hops = make(map[hopKey]*hopEntry)
+}
+
+// sync flushes every map when the routing epoch has moved since the
+// entries were computed.
+func (c *routeCache) sync(n *Network) {
+	if c.epoch == n.routingEpoch {
+		return
+	}
+	c.epoch = n.routingEpoch
+	c.flushes++
+	clear(c.climb)
+	clear(c.part)
+	clear(c.hops)
+}
+
+// climbDist returns the per-switch shortest all-up-hop distance field to
+// any switch covering set (the reverse BFS of climbPorts), cached by the
+// set's fingerprint. The returned slice is cache-owned (or Network
+// scratch when the cache is disabled or cold-storing): read-only.
+func (n *Network) climbDist(set *bitset.Set) []int32 {
+	c := &n.cache
+	c.sync(n)
+	if !c.disabled {
+		fp := set.Hash()
+		if e := c.climb[fp]; e != nil && e.set.Equal(set) {
+			return e.dist
+		}
+		dist := n.computeClimbDist(set)
+		if len(c.climb) >= climbCacheCap {
+			clear(c.climb)
+		}
+		owned := make([]int32, len(dist))
+		copy(owned, dist)
+		c.climb[fp] = &climbEntry{set: set.Clone(), dist: owned}
+		return owned
+	}
+	return n.computeClimbDist(set)
+}
+
+// computeClimbDist runs the reverse BFS over up links from every switch
+// covering set, into Network scratch.
+func (n *Network) computeClimbDist(set *bitset.Set) []int32 {
+	S := n.topo.NumSwitches
+	dist := n.distScratch
+	for i := range dist {
+		dist[i] = -1
+	}
+	q := n.bfsQueue[:0]
+	for x := 0; x < S; x++ {
+		if n.rt.Covers(topology.SwitchID(x), set) {
+			dist[x] = 0
+			q = append(q, int32(x))
+		}
+	}
+	for head := 0; head < len(q); head++ {
+		x := q[head]
+		// Predecessors of x along up links: switches with an up port to x.
+		for _, pp := range n.revUp[x] {
+			if dist[pp.sw] == -1 {
+				dist[pp.sw] = dist[x] + 1
+				q = append(q, int32(pp.sw))
+			}
+		}
+	}
+	n.bfsQueue = q[:0]
+	return dist
+}
+
+// nextHops returns the adaptive candidate ports and phases for a packet
+// at switch s headed to switch d, through the route cache. The returned
+// slices are Network scratch: callers may permute or compact them but
+// must not retain them past the current decision.
+func (n *Network) nextHops(s topology.SwitchID, ph updown.Phase, d topology.SwitchID) ([]int, []updown.Phase) {
+	c := &n.cache
+	c.sync(n)
+	if c.disabled {
+		return n.rt.NextHops(s, ph, d)
+	}
+	k := hopKey{sw: int32(s), phase: ph, dest: int32(d)}
+	e := c.hops[k]
+	if e == nil {
+		ports, phases := n.rt.NextHops(s, ph, d)
+		if len(c.hops) >= hopsCacheCap {
+			clear(c.hops)
+		}
+		e = &hopEntry{ports: ports, phases: phases}
+		c.hops[k] = e
+	}
+	ports := append(n.portScratch[:0], e.ports...)
+	phases := append(n.phaseScratch[:0], e.phases...)
+	n.portScratch = ports
+	n.phaseScratch = phases
+	return ports, phases
+}

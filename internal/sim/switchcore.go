@@ -68,6 +68,8 @@ type occupant struct {
 	routed   bool
 	routing  bool // a routing event is pending
 	killed   bool // torn down by the fault layer; removed from the buffer
+	detached bool // no longer in its buffer's occupant list (recyclable)
+	live     int  // undone branches still attached (gates recycling)
 	branches []*branch
 }
 
@@ -102,9 +104,12 @@ type branch struct {
 	pumping bool
 	done    bool
 
-	// onDone, when non-nil, runs one cycle after the tail flit is sent
-	// (used by the NI injector to start the next packet).
-	onDone func()
+	// injNI, when non-nil, is the NI whose injection stream this branch
+	// carries: one cycle after the tail flit the NI's streamDone runs
+	// (with injLast reporting whether this was the burst's final worm)
+	// to start the next packet. Replaces a per-stream closure.
+	injNI   *ni
+	injLast bool
 
 	// req is the branch's pending arbitration entry; a kill cancels it
 	// lazily by marking it granted.
@@ -129,15 +134,16 @@ func (br *branch) deliver() {
 }
 
 // tailRelease frees the branch's port (or injection line) one cycle
-// after its tail flit, then runs the onDone hook (the evTail handler).
+// after its tail flit, then advances the owning NI's injection stream
+// (the evTail handler).
 func (br *branch) tailRelease() {
 	if br.port != nil {
 		br.port.release(br)
 	} else if br.ch.sender == br {
 		br.ch.sender = nil
 	}
-	if br.onDone != nil {
-		br.onDone()
+	if br.injNI != nil {
+		br.injNI.streamDone(br.injLast)
 	}
 }
 
@@ -185,7 +191,10 @@ func (b *inputBuf) flitArrive(w *worm) {
 	if n := len(b.occupants); n > 0 && b.occupants[n-1].w == w {
 		o = b.occupants[n-1]
 	} else {
-		o = &occupant{buf: b, w: w}
+		o = b.net.getOccupant()
+		o.buf = b
+		o.w = w
+		w.refs++ // the occupant's assembly leg; released at recycle
 		b.occupants = append(b.occupants, o)
 	}
 	o.arrived++
@@ -239,10 +248,12 @@ func (o *occupant) advanceEviction() {
 // the next resident worm.
 func (o *occupant) maybeComplete() {
 	b := o.buf
-	if o.killed || o.evicted != o.w.len || len(b.occupants) == 0 || b.occupants[0] != o {
+	if o.killed || o.detached || o.evicted != o.w.len || len(b.occupants) == 0 || b.occupants[0] != o {
 		return
 	}
 	b.occupants = b.occupants[1:]
+	o.detached = true
+	b.net.tryRecycleOccupant(o)
 	if len(b.occupants) > 0 {
 		next := b.occupants[0]
 		if next.arrived > 0 && !next.routed && !next.routing {
@@ -257,12 +268,16 @@ func (o *occupant) maybeComplete() {
 // route flips the occupant's routing flags and hands the header to the
 // worm-advancement dispatcher (the evRoute handler).
 func (o *occupant) route() {
+	net := o.buf.net
 	o.routing = false
 	if o.killed {
+		// The pending routing event was the last thing pinning a
+		// torn-down occupant.
+		net.tryRecycleOccupant(o)
 		return
 	}
 	o.routed = true
-	o.buf.net.advanceWorm(o)
+	net.advanceWorm(o)
 }
 
 // wormPlanner emits the branches advancing one worm kind past a switch.
@@ -290,7 +305,8 @@ type branchSpec struct {
 }
 
 // emitBranch realizes one branchSpec: the shared create-and-file step
-// behind every worm kind's advancement.
+// behind every worm kind's advancement. spec.ports/phases may live in
+// Network scratch; fileRequest copies before retaining.
 func (n *Network) emitBranch(o *occupant, s topology.SwitchID, spec branchSpec) {
 	br := n.newBranch(o, spec.child, spec.offset)
 	br.elastic = spec.elastic
@@ -299,11 +315,7 @@ func (n *Network) emitBranch(o *occupant, s topology.SwitchID, spec branchSpec) 
 		n.fileAdaptive(br, s, spec.ports, spec.phases)
 		return
 	}
-	outs := make([]*outPort, len(spec.ports))
-	for i, p := range spec.ports {
-		outs[i] = n.switches[s].outPorts[p]
-	}
-	n.fileRequest(br, outs, spec.phases)
+	n.fileRequest(br, s, spec.ports, spec.phases)
 }
 
 // advanceWorm is the single worm-advancement dispatcher: it traces the
@@ -328,15 +340,23 @@ func (n *Network) advanceWorm(o *occupant) {
 	o.advanceEviction()
 }
 
+// singleSpec loads the one-port scratch pair for single-candidate specs,
+// avoiding a slice-literal escape per branch.
+func (n *Network) singleSpec(p int, ph updown.Phase) ([]int, []updown.Phase) {
+	n.onePort[0] = p
+	n.onePhase[0] = ph
+	return n.onePort[:], n.onePhase[:]
+}
+
 func (n *Network) planUnicast(o *occupant, s topology.SwitchID, w *worm) {
 	home := n.topo.NodeSwitch[w.dest]
 	if home == s {
-		p := n.rt.NodePortAt(s, w.dest)
+		ports, phases := n.singleSpec(n.rt.NodePortAt(s, w.dest), w.phase)
 		n.emitBranch(o, s, branchSpec{child: w.child(n, 0),
-			ports: []int{p}, phases: []updown.Phase{w.phase}})
+			ports: ports, phases: phases})
 		return
 	}
-	ports, phases := n.rt.NextHops(s, w.phase, home)
+	ports, phases := n.nextHops(s, w.phase, home)
 	if len(ports) == 0 {
 		n.routeFailure(o, s, fmt.Sprintf("no legal route for %v phase %v", w, w.phase))
 		return
@@ -346,21 +366,25 @@ func (n *Network) planUnicast(o *occupant, s topology.SwitchID, w *worm) {
 }
 
 func (n *Network) planTree(o *occupant, s topology.SwitchID, w *worm) {
-	remaining := w.destSet.Clone()
+	remaining := n.getSet()
+	remaining.CopyFrom(w.destSet)
 	// Local deliveries: destinations attached to this switch drop here
 	// regardless of the climb state.
-	for _, node := range n.topo.NodesAt(s) {
-		if !remaining.Contains(int(node)) {
-			continue
+	if remaining.Intersects(n.localNodes[s]) {
+		for _, node := range n.nodesAt[s] {
+			if !remaining.Contains(int(node)) {
+				continue
+			}
+			remaining.Remove(int(node))
+			ds := n.getSet()
+			ds.Add(int(node))
+			ports, phases := n.singleSpec(n.rt.NodePortAt(s, node), w.phase)
+			n.emitBranch(o, s, branchSpec{child: w.childSet(n, 0, ds),
+				ports: ports, phases: phases})
 		}
-		remaining.Remove(int(node))
-		c := w.child(n, 0)
-		c.destSet = bitset.FromIndices(n.topo.NumNodes, []int{int(node)})
-		p := n.rt.NodePortAt(s, node)
-		n.emitBranch(o, s, branchSpec{child: c,
-			ports: []int{p}, phases: []updown.Phase{w.phase}})
 	}
 	if remaining.Empty() {
+		n.putSet(remaining)
 		return
 	}
 	if n.rt.Covers(s, remaining) {
@@ -368,36 +392,43 @@ func (n *Network) planTree(o *occupant, s topology.SwitchID, w *worm) {
 		parts, ok := n.partitionDownAdaptive(s, remaining)
 		if !ok {
 			n.routeFailure(o, s, fmt.Sprintf("down partition cannot cover %v", remaining.Indices()))
+			n.putSet(remaining)
 			return
 		}
+		n.putSet(remaining)
 		for _, ps := range parts {
-			c := w.child(n, 0)
-			c.destSet = ps.sub
+			// The partition subset becomes the child's destination set
+			// (pooled; ownership transfers to the child worm).
+			c := w.childSet(n, 0, ps.sub)
 			c.phase = updown.PhaseDown
+			ports, phases := n.singleSpec(ps.port, updown.PhaseDown)
 			n.emitBranch(o, s, branchSpec{child: c,
-				ports: []int{ps.port}, phases: []updown.Phase{updown.PhaseDown}})
+				ports: ports, phases: phases})
 		}
 		return
 	}
 	if w.phase == updown.PhaseDown {
 		n.routeFailure(o, s, fmt.Sprintf("tree worm %v descended to a switch that cannot cover %v", w, remaining.Indices()))
+		n.putSet(remaining)
 		return
 	}
 	if n.params.EarlyTreeBranch {
 		// Ablation variant: peel off down-coverable subsets while climbing.
-		for _, p := range n.rt.DownPorts(s) {
-			sub := bitset.And(remaining, n.rt.DownReach[s][p])
-			if sub.Empty() {
+		for _, p := range n.downPorts[s] {
+			if !remaining.Intersects(n.rt.DownReach[s][p]) {
 				continue
 			}
+			sub := n.getSet()
+			bitset.AndInto(sub, remaining, n.rt.DownReach[s][p])
 			remaining.DifferenceWith(sub)
-			c := w.child(n, 0)
-			c.destSet = sub
+			c := w.childSet(n, 0, sub)
 			c.phase = updown.PhaseDown
+			ports, phases := n.singleSpec(p, updown.PhaseDown)
 			n.emitBranch(o, s, branchSpec{child: c,
-				ports: []int{p}, phases: []updown.Phase{updown.PhaseDown}})
+				ports: ports, phases: phases})
 		}
 		if remaining.Empty() {
+			n.putSet(remaining)
 			return
 		}
 	}
@@ -407,14 +438,15 @@ func (n *Network) planTree(o *occupant, s topology.SwitchID, w *worm) {
 	ports := n.climbPorts(s, remaining)
 	if len(ports) == 0 {
 		n.routeFailure(o, s, fmt.Sprintf("tree worm %v stuck: no up port reaches a switch covering %v", w, remaining.Indices()))
+		n.putSet(remaining)
 		return
 	}
-	c := w.child(n, 0)
-	c.destSet = remaining
-	phases := make([]updown.Phase, len(ports))
-	for i := range phases {
-		phases[i] = updown.PhaseUp
+	c := w.childSet(n, 0, remaining) // remaining's ownership moves to the child
+	phases := n.phaseScratch[:0]
+	for range ports {
+		phases = append(phases, updown.PhaseUp)
 	}
+	n.phaseScratch = phases
 	n.emitBranch(o, s, branchSpec{child: c,
 		ports: ports, phases: phases, adaptive: true})
 }
@@ -502,101 +534,158 @@ type portSet struct {
 // false when the down ports cannot cover the set — impossible under the
 // Covers precondition on healthy routing state, but reachable when a fault
 // invalidates the reachability strings mid-run.
-func (n *Network) partitionDownAdaptive(s topology.SwitchID, set *bitset.Set) (out []portSet, ok bool) {
-	remaining := set.Clone()
-	used := make(map[int]bool)
-	downs := append([]int(nil), n.rt.DownPorts(s)...)
+func (n *Network) partitionDownAdaptive(s topology.SwitchID, set *bitset.Set) ([]portSet, bool) {
+	c := &n.cache
+	c.sync(n)
+	var key partKey
+	var cached *partEntry
+	if !c.disabled {
+		key = partKey{sw: int32(s), fp: set.Hash()}
+		if e := c.part[key]; e != nil && e.set.Equal(set) {
+			cached = e
+			if !e.tied {
+				// Hit: burn the identical shuffle the miss path draws so
+				// the arbitration RNG stream stays byte-for-byte equal,
+				// then hand out pooled copies of the cached partition.
+				n.arb.Shuffle(len(n.downPorts[s]), func(i, j int) {})
+				out := n.partScratch[:0]
+				for i, p := range e.ports {
+					sub := n.getSet()
+					sub.CopyFrom(e.subs[i])
+					out = append(out, portSet{port: int(p), sub: sub})
+				}
+				n.partScratch = out
+				return out, true
+			}
+			// Tied entry: the greedy choice depends on the shuffle, so
+			// recompute in full (which consumes the shuffle naturally).
+		}
+	}
+	remaining := n.getSet()
+	remaining.CopyFrom(set)
+	downs := append(n.downScratch[:0], n.downPorts[s]...)
+	n.downScratch = downs
 	n.arb.Shuffle(len(downs), func(i, j int) { downs[i], downs[j] = downs[j], downs[i] })
+	out := n.partScratch[:0]
+	tied := false
 	for !remaining.Empty() {
-		best, bestCount := -1, 0
+		best, bestCount, dup := -1, 0, false
 		for _, p := range downs {
-			if used[p] {
+			if n.usedPorts[p] {
 				continue
 			}
-			c := bitset.And(remaining, n.rt.DownReach[s][p]).Count()
+			c := bitset.AndCount(remaining, n.rt.DownReach[s][p])
 			if c > bestCount {
-				best, bestCount = p, c
+				best, bestCount, dup = p, c, false
+			} else if c == bestCount && c > 0 {
+				dup = true
 			}
 		}
 		if best == -1 {
+			for _, ps := range out {
+				n.usedPorts[ps.port] = false
+				n.putSet(ps.sub)
+			}
+			n.putSet(remaining)
+			n.partScratch = out[:0]
 			return nil, false
 		}
-		sub := bitset.And(remaining, n.rt.DownReach[s][best])
-		used[best] = true
+		if dup {
+			tied = true
+		}
+		sub := n.getSet()
+		bitset.AndInto(sub, remaining, n.rt.DownReach[s][best])
+		n.usedPorts[best] = true
 		out = append(out, portSet{port: best, sub: sub})
 		remaining.DifferenceWith(sub)
+	}
+	for _, ps := range out {
+		n.usedPorts[ps.port] = false
+	}
+	n.putSet(remaining)
+	n.partScratch = out
+	if !c.disabled && cached == nil {
+		// First sighting of this (switch, set): record it. Untied
+		// partitions store cache-owned clones; tied ones store only the
+		// flag so future calls go straight to the recomputation.
+		if len(c.part) >= partCacheCap {
+			clear(c.part)
+		}
+		e := &partEntry{set: set.Clone(), tied: tied}
+		if !tied {
+			e.ports = make([]int32, len(out))
+			e.subs = make([]*bitset.Set, len(out))
+			for i, ps := range out {
+				e.ports[i] = int32(ps.port)
+				e.subs[i] = ps.sub.Clone()
+			}
+		}
+		c.part[key] = e
 	}
 	return out, true
 }
 
 // climbPorts returns the up ports of s that begin a shortest all-up path to
 // a switch covering set (reverse BFS from all covering switches over up
-// links).
+// links, memoized per destination set by the route cache). The result
+// lives in Network scratch.
 func (n *Network) climbPorts(s topology.SwitchID, set *bitset.Set) []int {
-	S := n.topo.NumSwitches
-	dist := make([]int, S)
-	for i := range dist {
-		dist[i] = -1
-	}
-	var queue []int
-	for x := 0; x < S; x++ {
-		if n.rt.Covers(topology.SwitchID(x), set) {
-			dist[x] = 0
-			queue = append(queue, x)
-		}
-	}
-	for len(queue) > 0 {
-		x := queue[0]
-		queue = queue[1:]
-		// Predecessors of x along up links: switches with an up port to x.
-		for _, pp := range n.revUp[x] {
-			if dist[pp.sw] == -1 {
-				dist[pp.sw] = dist[x] + 1
-				queue = append(queue, pp.sw)
-			}
-		}
-	}
+	dist := n.climbDist(set)
 	if dist[s] <= 0 {
 		return nil // s covers already (caller bug) or nothing reachable
 	}
-	var out []int
+	out := n.portScratch[:0]
 	for _, pp := range n.upAdj[s] {
 		if dist[pp.sw] == dist[s]-1 {
 			out = append(out, pp.port)
 		}
 	}
+	n.portScratch = out
 	return out
 }
 
 // --- branches and arbitration ---
 
+// newBranch pulls a pooled branch for child's stream. A nil occupant
+// means NI injection (all flits already in NI memory). The branch holds
+// a reference on its worm until the post-done quarantine reclaims it.
 func (n *Network) newBranch(o *occupant, child *worm, offset int) *branch {
-	br := &branch{net: n, occ: o, w: child, offset: offset}
-	o.branches = append(o.branches, br)
+	br := n.getBranch()
+	br.occ = o
+	br.w = child
+	br.offset = offset
+	child.refs++
+	if o != nil {
+		o.branches = append(o.branches, br)
+		o.live++
+	}
 	return br
 }
 
 // fileAdaptive shuffles candidate ports (the simulator's adaptivity
-// tie-break) and files the request.
+// tie-break) and files the request. ports/phases must be mutable
+// (scratch or freshly built), never cached storage.
 func (n *Network) fileAdaptive(br *branch, s topology.SwitchID, ports []int, phases []updown.Phase) {
 	n.arb.Shuffle(len(ports), func(i, j int) {
 		ports[i], ports[j] = ports[j], ports[i]
 		phases[i], phases[j] = phases[j], phases[i]
 	})
-	outs := make([]*outPort, len(ports))
-	for i, p := range ports {
-		outs[i] = n.switches[s].outPorts[p]
-	}
-	n.fileRequest(br, outs, phases)
+	n.fileRequest(br, s, ports, phases)
 }
 
-func (n *Network) fileRequest(br *branch, ports []*outPort, phases []updown.Phase) {
+// fileRequest arbitrates br onto one of the candidate ports of switch s.
+// The common case — some candidate is free — grants directly without
+// materializing a portRequest; only genuine contention allocates one
+// (with owned copies of the candidate list, since ports/phases may be
+// Network scratch).
+func (n *Network) fileRequest(br *branch, s topology.SwitchID, ports []int, phases []updown.Phase) {
+	sw := n.switches[s]
 	if n.faulted {
 		// Routing state can lag a fault by up to the detection delay: drop
 		// candidate ports that have died since the tables were computed.
 		live, livePhases := ports[:0], phases[:0]
 		for i, p := range ports {
-			if p != nil && p.dead {
+			if op := sw.outPorts[p]; op != nil && op.dead {
 				continue
 			}
 			live = append(live, p)
@@ -608,29 +697,41 @@ func (n *Network) fileRequest(br *branch, ports []*outPort, phases []updown.Phas
 			return
 		}
 	}
-	req := &portRequest{br: br, ports: ports, phases: phases}
-	br.req = req
 	for i, p := range ports {
-		if p == nil {
+		op := sw.outPorts[p]
+		if op == nil {
 			panic(fmt.Sprintf("sim: request against unwired port (switch %d)", br.occ.buf.sw))
 		}
-		if p.holder == nil {
-			p.grant(req, i)
+		if op.holder == nil {
+			op.grantTo(br, phases[i])
 			return
 		}
 	}
-	for _, p := range ports {
-		p.queue = append(p.queue, req)
+	outs := make([]*outPort, len(ports))
+	owned := make([]updown.Phase, len(phases))
+	for i, p := range ports {
+		outs[i] = sw.outPorts[p]
+		owned[i] = phases[i]
+	}
+	req := &portRequest{br: br, ports: outs, phases: owned}
+	br.req = req
+	for _, op := range outs {
+		op.queue = append(op.queue, req)
 	}
 }
 
 // grant hands the port to request index i and starts the branch's stream.
 func (o *outPort) grant(req *portRequest, i int) {
 	req.granted = true
-	br := req.br
+	o.grantTo(req.br, req.phases[i])
+}
+
+// grantTo gives br the port with the worm assuming phase ph — the shared
+// tail of queued grants and the allocation-free direct grant.
+func (o *outPort) grantTo(br *branch, ph updown.Phase) {
 	br.port = o
 	br.ch = o.ch
-	br.w.phase = req.phases[i]
+	br.w.phase = ph
 	o.holder = br
 	o.ch.sender = br
 	o.net.trace(TraceEvent{Kind: TraceGrant, Worm: br.w.id, Msg: br.w.msg.ID, Pkt: br.w.pkt, Switch: o.sw, Port: o.port})
@@ -729,8 +830,12 @@ func (br *branch) pump() {
 			net.trace(TraceEvent{Kind: TraceTail, Worm: w.id, Msg: w.msg.ID, Pkt: w.pkt, Switch: br.port.sw, Port: br.port.port})
 		}
 		net.queue.PostAfter(1, evTail, br, 0)
+		net.queue.PostAfter(net.reclaimAfter, evReclaim, br, 0)
 		if br.occ != nil {
+			// Complete the occupant before detaching: detaching can
+			// recycle it, and maybeComplete must read its live state.
 			br.occ.maybeComplete()
+			net.detachBranch(br)
 		}
 		return
 	}

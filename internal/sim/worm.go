@@ -31,6 +31,11 @@ type worm struct {
 	// dead marks a worm torn down by the fault layer: in-flight flits are
 	// drained and dropped on arrival, and the worm is never delivered.
 	dead bool
+
+	// refs counts the lifecycle legs still naming this worm (producing
+	// branch, assembling occupant, assembling NI); the last release
+	// recycles the worm and its destination set (see pool.go).
+	refs int32
 }
 
 func (w *worm) String() string {
@@ -97,20 +102,19 @@ func (n *Network) payloadFlits(m *Message, pkt int) int {
 // newWorm instantiates packet pkt of spec for message m, as injected at the
 // source (full header present, phase fresh).
 func (n *Network) newWorm(m *Message, spec *WormSpec, pkt int) *worm {
-	w := &worm{
-		id:    n.nextWormID,
-		kind:  spec.Kind,
-		msg:   m,
-		pkt:   pkt,
-		len:   n.headerFlits(spec) + n.payloadFlits(m, pkt),
-		phase: updown.PhaseUp,
-	}
+	w := n.getWorm()
+	w.id = n.nextWormID
+	w.kind = spec.Kind
+	w.msg = m
+	w.pkt = pkt
+	w.len = n.headerFlits(spec) + n.payloadFlits(m, pkt)
+	w.phase = updown.PhaseUp
 	n.nextWormID++
 	switch spec.Kind {
 	case WormUnicast:
 		w.dest = spec.Dest
 	case WormTree:
-		w.destSet = bitset.New(n.topo.NumNodes)
+		w.destSet = n.getSet()
 		for _, d := range spec.DestSet {
 			w.destSet.Add(int(d))
 		}
@@ -125,13 +129,25 @@ func (n *Network) newWorm(m *Message, spec *WormSpec, pkt int) *worm {
 // that leaves the branch (length len minus the flits absorbed at this
 // switch) and its own header state.
 func (w *worm) child(n *Network, skipped int) *worm {
-	c := *w
+	c := w.childSet(n, skipped, nil)
+	if w.destSet != nil {
+		c.destSet = n.getSet()
+		c.destSet.CopyFrom(w.destSet)
+	}
+	return c
+}
+
+// childSet clones w like child but installs ds — a pooled set whose
+// ownership transfers to the child — as the destination set directly,
+// skipping the copy-then-overwrite the tree planner would otherwise pay.
+func (w *worm) childSet(n *Network, skipped int, ds *bitset.Set) *worm {
+	c := n.getWorm()
+	*c = *w
+	c.refs = 0
+	c.destSet = ds
 	c.id = n.nextWormID
 	n.nextWormID++
 	c.len = w.len - skipped
-	if w.destSet != nil {
-		c.destSet = w.destSet.Clone()
-	}
 	n.stats.WormsCreated++
-	return &c
+	return c
 }

@@ -1,6 +1,10 @@
 package sim
 
-import "testing"
+import (
+	"testing"
+
+	"mcastsim/internal/topology"
+)
 
 // TestSteadyFlitPathZeroAlloc pins the PR 3 performance contract at the
 // model level: once a worm is streaming, advancing flits (pump, deliver,
@@ -30,6 +34,61 @@ func TestSteadyFlitPathZeroAlloc(t *testing.T) {
 	avg := testing.AllocsPerRun(1000, func() { n.queue.Step() })
 	if avg != 0 {
 		t.Fatalf("steady flit-advance path allocates %v per event, want 0", avg)
+	}
+	if n.queue.Len() == 0 {
+		t.Fatal("queue drained inside the measured window; window is not steady-state")
+	}
+	if err := n.Drain(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSteadyTreeWormZeroAlloc extends the contract to replicating tree
+// traffic: with the route cache warm (the first packets of each stream
+// populate it) and the entity pools primed, streaming a tree worm through
+// its replication switches allocates nothing per event. This is the PR 4
+// hot path — partition lookups serve pooled subsets, replica worms and
+// branches come from free lists, and teardown recycles them back.
+func TestSteadyTreeWormZeroAlloc(t *testing.T) {
+	p := DefaultParams()
+	const flits = 8192
+	p.PacketFlits = flits
+	n := fixtureNet(t, p)
+	dests := []topology.NodeID{1, 2, 3, 4, 5, 6, 7}
+	plan := &Plan{
+		Source: 0,
+		Dests:  dests,
+		HostSends: map[topology.NodeID][]WormSpec{
+			0: {{Kind: WormTree, DestSet: dests}},
+		},
+	}
+	// Prime run: the first full multicast warms the route cache and stocks
+	// every free list (worms, branches, occupants, sets, bursts) at the
+	// high-water mark the steady stream needs.
+	if _, err := n.RunSingle(plan, flits); err != nil {
+		t.Fatal(err)
+	}
+	if len(n.cache.part) == 0 {
+		t.Fatal("prime run never cached a down partition")
+	}
+	if _, err := n.Send(plan, flits, n.Now(), nil); err != nil {
+		t.Fatal(err)
+	}
+	const ringWarm = 1100 // > event ring size (1024)
+	steady := n.Now() + ringWarm
+	start := n.stats.FlitHops
+	for n.queue.Len() > 0 && (n.stats.FlitHops-start < 512 || n.queue.Now() < steady) {
+		n.queue.Step()
+	}
+	if n.queue.Len() == 0 {
+		t.Fatal("multicast finished before reaching steady state")
+	}
+	avg := testing.AllocsPerRun(1000, func() { n.queue.Step() })
+	if avg != 0 {
+		t.Fatalf("steady tree-worm path allocates %v per event, want 0", avg)
 	}
 	if n.queue.Len() == 0 {
 		t.Fatal("queue drained inside the measured window; window is not steady-state")
