@@ -62,8 +62,9 @@ func singleBench(b *testing.B, rts []*updown.Routing, sch mcast.Scheme, p sim.Pa
 	for i := 0; i < b.N; i++ {
 		rt := rts[i%len(rts)]
 		got, err := traffic.RunSingle(rt, traffic.SingleConfig{
-			Scheme: sch, Params: p, Degree: degree, MsgFlits: flits,
-			Probes: 4, Seed: uint64(i),
+			Workload: traffic.Workload{Scheme: sch, Params: p, Degree: degree,
+				MsgFlits: flits, Seed: uint64(i)},
+			Probes: 4,
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -82,9 +83,10 @@ func loadBench(b *testing.B, rts []*updown.Routing, sch mcast.Scheme, p sim.Para
 	for i := 0; i < b.N; i++ {
 		rt := rts[i%len(rts)]
 		res, err := traffic.RunLoad(rt, traffic.LoadConfig{
-			Scheme: sch, Params: p, Degree: degree, MsgFlits: flits,
-			EffectiveLoad: load, Warmup: 5_000, Measure: 30_000, Drain: 25_000,
-			Seed: uint64(i) * 13,
+			Workload: traffic.Workload{Scheme: sch, Params: p, Degree: degree,
+				MsgFlits: flits, Seed: uint64(i) * 13},
+			LoadSpec: traffic.LoadSpec{EffectiveLoad: load,
+				Warmup: 5_000, Measure: 30_000, Drain: 25_000},
 		})
 		if err != nil {
 			b.Fatal(err)

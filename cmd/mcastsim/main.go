@@ -23,8 +23,10 @@ import (
 	"time"
 
 	"mcastsim/internal/core"
+	"mcastsim/internal/event"
 	"mcastsim/internal/experiment"
 	"mcastsim/internal/metrics"
+	"mcastsim/internal/obs"
 	"mcastsim/internal/rng"
 	"mcastsim/internal/topology"
 )
@@ -48,6 +50,9 @@ func run() int {
 		benchGate  = flag.String("bench-gate", "", "with -emit-bench: fail if events/sec or allocs/op regress more than 2x against this reference JSON (e.g. BENCH_PR3.json)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with go tool pprof)")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file when the run finishes")
+		obsOn      = flag.Bool("obs", false, "sample per-cell telemetry (link utilization, buffer occupancy, queue depths) during -exp runs")
+		obsEvery   = flag.Uint64("obs-every", uint64(obs.DefaultEvery), "telemetry sampling cadence in cycles (with -obs)")
+		obsOut     = flag.String("obs-out", "", "write sampled telemetry bundles to this file; .csv extension selects CSV, anything else JSONL (with -obs)")
 	)
 	flag.Parse()
 
@@ -102,6 +107,11 @@ func run() int {
 		cfg.Seed = *seed
 	}
 	cfg.Workers = *workers
+	var sink *experiment.ObsSink
+	if *obsOn {
+		sink = &experiment.ObsSink{Config: obs.Config{Every: event.Time(*obsEvery)}}
+		cfg.Obs = sink
+	}
 
 	var entries []experiment.Entry
 	if *expID == "all" {
@@ -117,6 +127,7 @@ func run() int {
 		}
 	}
 
+	seen := map[string]bool{}
 	for _, e := range entries {
 		start := time.Now()
 		tables, err := e.Run(cfg)
@@ -137,9 +148,60 @@ func run() int {
 				}
 			}
 		}
+		if sink != nil {
+			printBusiestHeatmap(sink, seen)
+		}
 		fmt.Printf("[%s done in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
+	if sink != nil && *obsOut != "" {
+		if err := writeObs(*obsOut, sink.Bundles()); err != nil {
+			fmt.Fprintln(os.Stderr, "mcastsim:", err)
+			return 1
+		}
+	}
 	return 0
+}
+
+// printBusiestHeatmap renders a link-utilization heatmap for the busiest
+// telemetry cell that arrived since the previous call (so each experiment
+// in a multi-experiment run shows its own hottest cell exactly once).
+func printBusiestHeatmap(sink *experiment.ObsSink, seen map[string]bool) {
+	var best *obs.Bundle
+	bundles := sink.Bundles()
+	for i := range bundles {
+		b := &bundles[i]
+		if seen[b.Cell] {
+			continue
+		}
+		if best == nil || b.TotalFlits() > best.TotalFlits() {
+			best = b
+		}
+	}
+	for i := range bundles {
+		seen[bundles[i].Cell] = true
+	}
+	if best == nil || len(best.Snapshots) == 0 {
+		return
+	}
+	if err := obs.WriteHeatmap(os.Stdout, *best, 0, 0); err != nil {
+		fmt.Fprintln(os.Stderr, "mcastsim: heatmap:", err)
+		return
+	}
+	fmt.Println()
+}
+
+// writeObs dumps every telemetry bundle to path; the extension picks the
+// codec (.csv for long-form CSV, anything else JSONL).
+func writeObs(path string, bundles []obs.Bundle) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.EqualFold(filepath.Ext(path), ".csv") {
+		return obs.WriteCSV(f, bundles)
+	}
+	return obs.WriteJSONL(f, bundles)
 }
 
 // runCompare loads a topogen-format topology and compares every scheme on

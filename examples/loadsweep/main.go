@@ -32,20 +32,22 @@ func main() {
 		sch, _ := core.LookupScheme(name)
 		fmt.Printf("%-14s", name)
 		for _, l := range loads {
-			res, err := traffic.RunLoad(sys.Routing, traffic.LoadConfig{
-				Scheme:        sch,
-				Params:        sys.Params,
-				Degree:        8,
-				MsgFlits:      128,
+			out, err := traffic.Run(sys.Routing, traffic.Workload{
+				Scheme:   sch,
+				Params:   sys.Params,
+				Degree:   8,
+				MsgFlits: 128,
+				Seed:     99,
+			}, traffic.WithLoad(traffic.LoadSpec{
 				EffectiveLoad: l,
 				Warmup:        10_000,
 				Measure:       50_000,
 				Drain:         40_000,
-				Seed:          99,
-			})
+			}))
 			if err != nil {
 				log.Fatal(err)
 			}
+			res := out.Load
 			if res.Saturated {
 				fmt.Printf(" %8s", "SAT")
 				break

@@ -156,6 +156,44 @@ type Queue struct {
 	smalls [][]slot
 
 	heap []entry // BackendHeap: single min-heap ordered by (at, seq)
+
+	// obs, when non-nil, receives cold-path scheduling counters. The
+	// in-window Post fast path and fastStep are deliberately untouched:
+	// the only instrumented sites are the far-heap overflow, far→ring
+	// migration, and the deprecated closure shim, all of which are off
+	// the steady flit path, so the disabled AND enabled cases both stay
+	// allocation-free and branch-free where it matters.
+	obs *EngineObs
+}
+
+// EngineObs accumulates scheduler counters for an attached observer. All
+// fields are cumulative; samplers take deltas. The struct is plain data
+// (no methods, no locks): the queue's single-goroutine contract covers it.
+type EngineObs struct {
+	FarPosts     uint64 // posts landing beyond the calendar window
+	Migrations   uint64 // far-heap entries migrated into ring buckets
+	ClosurePosts uint64 // posts through the deprecated At/After shim
+}
+
+// SetObs attaches (or, with nil, detaches) a counter sink. The sink may
+// be shared across successive queues; counters keep accumulating.
+func (q *Queue) SetObs(o *EngineObs) { q.obs = o }
+
+// EngineStats is a point-in-time snapshot of queue state for samplers.
+type EngineStats struct {
+	Len       int    // pending events (ring + overflow)
+	FarLen    int    // overflow-heap entries (0 under BackendHeap)
+	Processed uint64 // cumulative events dispatched
+}
+
+// EngineStats reports the queue's current occupancy and progress. Unlike
+// EngineObs it is polled, not pushed, so it costs nothing when unused.
+func (q *Queue) EngineStats() EngineStats {
+	s := EngineStats{Len: q.Len(), Processed: q.ran}
+	if q.backend != BackendHeap {
+		s.FarLen = len(q.far)
+	}
+	return s
 }
 
 // Now returns the current simulation time.
@@ -233,6 +271,9 @@ func (q *Queue) Post(t Time, k Kind, actor any, arg int64) {
 	}
 	heapPush(&q.far, entry{at: t, seq: q.seq, kind: k, actor: actor, arg: arg})
 	q.seq++
+	if q.obs != nil {
+		q.obs.FarPosts++
+	}
 }
 
 // bucketAppend adds an entry to a ring bucket, reusing pooled slices.
@@ -274,6 +315,9 @@ func (q *Queue) PostAfter(delay Time, k Kind, actor any, arg int64) {
 // Deprecated: closure shim retained for cold paths and tests; hot paths
 // should Register a Kind and use Post (see the package comment).
 func (q *Queue) At(t Time, fn func()) {
+	if q.obs != nil {
+		q.obs.ClosurePosts++
+	}
 	q.Post(t, KindClosure, fn, 0)
 }
 
@@ -284,6 +328,9 @@ func (q *Queue) At(t Time, fn func()) {
 func (q *Queue) After(delay Time, fn func()) {
 	if delay < 0 {
 		panic("event: negative delay")
+	}
+	if q.obs != nil {
+		q.obs.ClosurePosts++
 	}
 	q.Post(q.now+delay, KindClosure, fn, 0)
 }
@@ -477,6 +524,9 @@ func (q *Queue) migrateFar() {
 	for len(q.far) > 0 && q.far[0].at < q.cursor+ringSize {
 		e := heapPop(&q.far)
 		q.bucketAppend(&q.buckets[e.at&(ringSize-1)], slot{actor: e.actor, arg: e.arg, kind: e.kind})
+		if q.obs != nil {
+			q.obs.Migrations++
+		}
 	}
 }
 

@@ -39,7 +39,7 @@ func AblationTreeEarlyBranch(cfg Config) ([]*metrics.Table, error) {
 		p.EarlyTreeBranch = v.early
 		s := metrics.Series{Label: v.label}
 		for _, degree := range []float64{4, 8, 16, 31} {
-			mean, err := singleMean(cfg, rts, treeworm.New(), p, int(degree), cfg.MsgFlits)
+			mean, err := singleMean(cfg, fmt.Sprintf("ab-tree/%s/d=%d", v.label, int(degree)), rts, treeworm.New(), p, int(degree), cfg.MsgFlits)
 			if err != nil {
 				return nil, err
 			}
@@ -82,7 +82,7 @@ func AblationPathSchedule(cfg Config) ([]*metrics.Table, error) {
 	for _, v := range variants {
 		s := metrics.Series{Label: v.label}
 		for _, degree := range []float64{4, 8, 16, 31} {
-			mean, err := singleMean(cfg, rts, v.scheme, cfg.Params, int(degree), cfg.MsgFlits)
+			mean, err := singleMean(cfg, fmt.Sprintf("ab-path/%s/d=%d", v.label, int(degree)), rts, v.scheme, cfg.Params, int(degree), cfg.MsgFlits)
 			if err != nil {
 				return nil, err
 			}
@@ -143,7 +143,7 @@ func AblationFPFS(cfg Config) ([]*metrics.Table, error) {
 		p.NIStoreAndForward = v.sf
 		s := metrics.Series{Label: v.label}
 		for _, flits := range []float64{128, 256, 512, 1024} {
-			mean, err := singleMean(cfg, rts, kbinomial.New(), p, cfg.Degree, int(flits))
+			mean, err := singleMean(cfg, fmt.Sprintf("ab-fpfs/%s/f=%d", v.label, int(flits)), rts, kbinomial.New(), p, cfg.Degree, int(flits))
 			if err != nil {
 				return nil, err
 			}
@@ -175,7 +175,7 @@ func AblationOptimalK(cfg Config) ([]*metrics.Table, error) {
 		}
 		s := metrics.Series{Label: "ni-kbinomial fixed k"}
 		for k := 1; k <= 8; k++ {
-			mean, err := singleMean(cfg, rts, kbinomial.Scheme{FixedK: k}, cfg.Params, cfg.Degree, flits)
+			mean, err := singleMean(cfg, fmt.Sprintf("ab-k/f=%d/k=%d", flits, k), rts, kbinomial.Scheme{FixedK: k}, cfg.Params, cfg.Degree, flits)
 			if err != nil {
 				return nil, err
 			}

@@ -141,11 +141,19 @@ func UnicastSaturation(cfg Config) ([]*metrics.Table, error) {
 	for _, l := range cfg.Loads {
 		l := l
 		res, err := runCells(cfg.workerCount(), len(rts), func(i int) (traffic.LoadResult, error) {
-			return traffic.RunLoad(rts[i], traffic.LoadConfig{
+			rec, commit := cfg.cellObs(fmt.Sprintf("unisat/l=%v/topo%03d", l, i))
+			r, err := traffic.Run(rts[i], traffic.Workload{
 				Scheme: sch, Params: cfg.Params, Degree: 1, MsgFlits: cfg.MsgFlits,
+				Seed: rng.Mix(cfg.Seed, saltLoad, uint64(i)),
+			}, traffic.WithLoad(traffic.LoadSpec{
 				EffectiveLoad: l, Warmup: cfg.Warmup, Measure: cfg.Measure,
-				Drain: cfg.Drain, Seed: rng.Mix(cfg.Seed, saltLoad, uint64(i)),
-			})
+				Drain: cfg.Drain,
+			}), traffic.WithObs(rec))
+			if err != nil {
+				return traffic.LoadResult{}, err
+			}
+			commit()
+			return *r.Load, nil
 		})
 		if err != nil {
 			return nil, err

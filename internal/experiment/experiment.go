@@ -53,6 +53,12 @@ type Config struct {
 
 	TopoCfg topology.Config
 	Params  sim.Params
+
+	// Obs, when non-nil, collects per-cell telemetry bundles (see
+	// internal/obs): every simulation cell records link/NI/engine time
+	// series at the sink's cadence. Nil (the default) disables
+	// observability entirely — no probe fires anywhere in the simulator.
+	Obs *ObsSink
 }
 
 // Full returns the paper-scale configuration (10 topologies, >=1M-cycle
@@ -116,13 +122,20 @@ func family(cfg topology.Config, count int, seed uint64) ([]*updown.Routing, err
 // routed family, one parallel cell per topology. The cell seed depends
 // only on the topology index: every scheme (and every sweep point that
 // shares the family) measures the same multicast draws, the paired
-// design that keeps scheme comparisons low-variance.
-func singleMean(cfg Config, rts []*updown.Routing, sch mcast.Scheme, p sim.Params, degree, flits int) (float64, error) {
+// design that keeps scheme comparisons low-variance. label names the
+// sweep point for obs bundles; it must be unique within the experiment.
+func singleMean(cfg Config, label string, rts []*updown.Routing, sch mcast.Scheme, p sim.Params, degree, flits int) (float64, error) {
 	res, err := runCells(cfg.workerCount(), len(rts), func(i int) ([]float64, error) {
-		return traffic.RunSingle(rts[i], traffic.SingleConfig{
+		rec, commit := cfg.cellObs(fmt.Sprintf("%s/%s/topo%03d", label, sch.Name(), i))
+		r, err := traffic.Run(rts[i], traffic.Workload{
 			Scheme: sch, Params: p, Degree: degree, MsgFlits: flits,
-			Probes: cfg.Probes, Seed: rng.Mix(cfg.Seed, saltSingle, uint64(i)),
-		})
+			Seed: rng.Mix(cfg.Seed, saltSingle, uint64(i)),
+		}, traffic.WithProbes(cfg.Probes), traffic.WithObs(rec))
+		if err != nil {
+			return nil, err
+		}
+		commit()
+		return r.Latencies, nil
 	})
 	if err != nil {
 		return 0, err
@@ -171,14 +184,17 @@ func sweepSingle(cfg Config, title, xLabel string, xs []float64,
 	res, err := runCells(cfg.workerCount(), len(keys), func(i int) ([]float64, error) {
 		k := keys[i]
 		pt := pts[k.xi]
-		lats, err := traffic.RunSingle(pt.rts[k.ti], traffic.SingleConfig{
+		rec, commit := cfg.cellObs(fmt.Sprintf("%s/%s=%v/%s/topo%03d",
+			title, xLabel, xs[k.xi], schemes[k.si].Name(), k.ti))
+		r, err := traffic.Run(pt.rts[k.ti], traffic.Workload{
 			Scheme: schemes[k.si], Params: pt.p, Degree: pt.degree, MsgFlits: pt.flits,
-			Probes: cfg.Probes, Seed: rng.Mix(cfg.Seed, saltSingle, uint64(k.ti)),
-		})
+			Seed: rng.Mix(cfg.Seed, saltSingle, uint64(k.ti)),
+		}, traffic.WithProbes(cfg.Probes), traffic.WithObs(rec))
 		if err != nil {
 			return nil, fmt.Errorf("%s at %s=%v: %w", schemes[k.si].Name(), xLabel, xs[k.xi], err)
 		}
-		return lats, nil
+		commit()
+		return r.Latencies, nil
 	})
 	if err != nil {
 		return nil, err
@@ -414,7 +430,7 @@ func BaselineComparison(cfg Config) ([]*metrics.Table, error) {
 	for _, sch := range schemes {
 		s := metrics.Series{Label: sch.Name()}
 		for _, degree := range []float64{4, 8, 16, 31} {
-			mean, err := singleMean(cfg, rts, sch, cfg.Params, int(degree), cfg.MsgFlits)
+			mean, err := singleMean(cfg, fmt.Sprintf("baseline/d=%d", int(degree)), rts, sch, cfg.Params, int(degree), cfg.MsgFlits)
 			if err != nil {
 				return nil, err
 			}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"fmt"
 	"mcastsim/internal/metrics"
 	"mcastsim/internal/rng"
 	"mcastsim/internal/topology"
@@ -83,11 +84,18 @@ func FaultReconfiguration(cfg Config) ([]*metrics.Table, error) {
 	}
 	res, err := runCells(cfg.workerCount(), len(keys), func(i int) ([]float64, error) {
 		k := keys[i]
-		return traffic.RunSingle(variants[k.vi].rts[k.ti], traffic.SingleConfig{
+		rec, commit := cfg.cellObs(fmt.Sprintf("fault/%s/%s/topo%03d",
+			variants[k.vi].label, schemes[k.si].Name(), k.ti))
+		r, err := traffic.Run(variants[k.vi].rts[k.ti], traffic.Workload{
 			Scheme: schemes[k.si], Params: cfg.Params, Degree: cfg.Degree,
-			MsgFlits: cfg.MsgFlits, Probes: cfg.Probes,
-			Seed: rng.Mix(cfg.Seed, 7919, uint64(k.ti)),
-		})
+			MsgFlits: cfg.MsgFlits,
+			Seed:     rng.Mix(cfg.Seed, 7919, uint64(k.ti)),
+		}, traffic.WithProbes(cfg.Probes), traffic.WithObs(rec))
+		if err != nil {
+			return nil, err
+		}
+		commit()
+		return r.Latencies, nil
 	})
 	if err != nil {
 		return nil, err

@@ -61,19 +61,24 @@ func FaultSweep(cfg Config) ([]*metrics.Table, error) {
 	cells, err := runCells(cfg.workerCount(), len(keys), func(i int) ([]traffic.FaultProbe, error) {
 		k := keys[i]
 		f := failures[k.fi]
-		res, err := traffic.RunFault(rts[k.ti], traffic.FaultConfig{
+		rec, commit := cfg.cellObs(fmt.Sprintf("faultsweep/%s/f=%d/topo%03d",
+			schemes[k.si].Name(), f, k.ti))
+		r, err := traffic.Run(rts[k.ti], traffic.Workload{
 			Scheme: schemes[k.si], Params: cfg.Params, Degree: cfg.Degree,
-			MsgFlits: cfg.MsgFlits, Probes: cfg.Probes,
-			Seed: rng.Mix(cfg.Seed, 0xfa11, uint64(k.ti), uint64(f)),
+			MsgFlits: cfg.MsgFlits,
+			Seed:     rng.Mix(cfg.Seed, 0xfa11, uint64(k.ti), uint64(f)),
+		}, traffic.WithFaults(traffic.FaultSpec{
+			Probes: cfg.Probes,
 			Faults: func(probe int, rt *updown.Routing) *sim.FaultSchedule {
 				return nonPartitioningLinkFaults(rt, f,
 					rng.Mix(cfg.Seed, 0x5eed, uint64(k.ti), uint64(probe), uint64(f)))
 			},
-		})
+		}), traffic.WithObs(rec))
 		if err != nil {
 			return nil, fmt.Errorf("experiment: faultsweep %s f=%d: %w", schemes[k.si].Name(), f, err)
 		}
-		return res, nil
+		commit()
+		return r.Faults, nil
 	})
 	if err != nil {
 		return nil, err

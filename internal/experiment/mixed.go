@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"fmt"
 	"mcastsim/internal/metrics"
 	"mcastsim/internal/rng"
 	"mcastsim/internal/traffic"
@@ -37,12 +38,20 @@ func MixedTraffic(cfg Config) ([]*metrics.Table, error) {
 	}
 	res, err := runCells(cfg.workerCount(), len(keys), func(i int) ([]float64, error) {
 		k := keys[i]
-		return traffic.RunMixed(rts[k.ti], traffic.MixedConfig{
+		rec, commit := cfg.cellObs(fmt.Sprintf("mixed/%s/bg=%v/topo%03d",
+			schemes[k.si].Name(), bgs[k.bi], k.ti))
+		r, err := traffic.Run(rts[k.ti], traffic.Workload{
 			Scheme: schemes[k.si], Params: cfg.Params, Degree: 16, MsgFlits: cfg.MsgFlits,
+			Seed: rng.Mix(cfg.Seed, saltMixed, uint64(k.ti)),
+		}, traffic.WithMixed(traffic.MixedSpec{
 			BackgroundLoad: bgs[k.bi], BackgroundFlits: cfg.MsgFlits,
 			Probes: cfg.Probes, ProbeGap: 5_000, Warmup: cfg.Warmup,
-			Seed: rng.Mix(cfg.Seed, saltMixed, uint64(k.ti)),
-		})
+		}), traffic.WithObs(rec))
+		if err != nil {
+			return nil, err
+		}
+		commit()
+		return r.Latencies, nil
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,51 @@
+package experiment
+
+import (
+	"sort"
+	"sync"
+
+	"mcastsim/internal/obs"
+)
+
+// ObsSink collects one obs.Bundle per simulation cell across an
+// experiment run. Cells commit from worker goroutines in completion
+// order; Bundles sorts by the deterministic cell label, so the exported
+// series are byte-identical for every -workers value, the same
+// order-stability contract the result assembly in runCells keeps.
+type ObsSink struct {
+	// Config parameterizes every cell recorder the sink hands out.
+	Config obs.Config
+
+	mu      sync.Mutex
+	bundles []obs.Bundle
+}
+
+// add commits one cell's bundle. Safe for concurrent use.
+func (s *ObsSink) add(b obs.Bundle) {
+	s.mu.Lock()
+	s.bundles = append(s.bundles, b)
+	s.mu.Unlock()
+}
+
+// Bundles returns every committed bundle sorted by cell label.
+func (s *ObsSink) Bundles() []obs.Bundle {
+	s.mu.Lock()
+	out := append([]obs.Bundle(nil), s.bundles...)
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Cell < out[j].Cell })
+	return out
+}
+
+// cellObs hands a cell its recorder and commit hook. With observability
+// off (no sink configured) the recorder is nil — traffic.WithObs(nil)
+// and sim.WithObs(nil) both treat that as disabled, so call sites thread
+// it through unconditionally. label must be unique across the whole run:
+// it is the bundle's identity and the sort key that makes export order
+// worker-count independent.
+func (c Config) cellObs(label string) (*obs.Recorder, func()) {
+	if c.Obs == nil {
+		return nil, func() {}
+	}
+	r := obs.NewRecorder(c.Obs.Config)
+	return r, func() { c.Obs.add(r.Bundle(label)) }
+}

@@ -51,7 +51,7 @@ func RootSelection(cfg Config) ([]*metrics.Table, error) {
 		}
 		s := metrics.Series{Label: v.label}
 		for _, degree := range []float64{8, 16, 31} {
-			mean, err := singleMean(cfg, rts, treeworm.New(), cfg.Params, int(degree), cfg.MsgFlits)
+			mean, err := singleMean(cfg, fmt.Sprintf("root/%s/d=%d", v.label, int(degree)), rts, treeworm.New(), cfg.Params, int(degree), cfg.MsgFlits)
 			if err != nil {
 				return nil, err
 			}

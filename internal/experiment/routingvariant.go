@@ -49,7 +49,7 @@ func RoutingVariant(cfg Config) ([]*metrics.Table, error) {
 		}
 		s := metrics.Series{Label: v.label}
 		for si, sch := range compared() {
-			mean, err := singleMean(cfg, rts, sch, cfg.Params, cfg.Degree, cfg.MsgFlits)
+			mean, err := singleMean(cfg, fmt.Sprintf("routing/%s", v.label), rts, sch, cfg.Params, cfg.Degree, cfg.MsgFlits)
 			if err != nil {
 				return nil, err
 			}

@@ -165,16 +165,21 @@ func runLoadCurves(cfg Config, specs []loadCurveSpec) ([]metrics.Series, error) 
 		res, err := runCells(cfg.workerCount(), len(keys), func(i int) (traffic.LoadResult, error) {
 			k := keys[i]
 			sp := specs[k.ci]
-			r, err := traffic.RunLoad(sp.Rts[k.ti], traffic.LoadConfig{
+			rec, commit := cfg.cellObs(fmt.Sprintf("load/%s%s/l=%v/topo%03d",
+				sp.Label, sp.ErrCtx, l, k.ti))
+			r, err := traffic.Run(sp.Rts[k.ti], traffic.Workload{
 				Scheme: sp.Scheme, Params: sp.Params, Degree: sp.Degree,
-				MsgFlits: sp.Flits, EffectiveLoad: l,
-				Warmup: cfg.Warmup, Measure: cfg.Measure, Drain: cfg.Drain,
-				Seed: rng.Mix(cfg.Seed, saltLoad, uint64(k.ti)),
-			})
+				MsgFlits: sp.Flits,
+				Seed:     rng.Mix(cfg.Seed, saltLoad, uint64(k.ti)),
+			}, traffic.WithLoad(traffic.LoadSpec{
+				EffectiveLoad: l,
+				Warmup:        cfg.Warmup, Measure: cfg.Measure, Drain: cfg.Drain,
+			}), traffic.WithObs(rec))
 			if err != nil {
-				return r, fmt.Errorf("%s%s at load %v (topology %d): %w", sp.Label, sp.ErrCtx, l, k.ti, err)
+				return traffic.LoadResult{}, fmt.Errorf("%s%s at load %v (topology %d): %w", sp.Label, sp.ErrCtx, l, k.ti, err)
 			}
-			return r, nil
+			commit()
+			return *r.Load, nil
 		})
 		if err != nil {
 			return nil, err

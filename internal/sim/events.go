@@ -62,6 +62,10 @@ const (
 	// once no pending pump/deliver/tail event can still name it
 	// (actor *branch).
 	evReclaim
+	// evObsFlush samples the attached obs recorder and re-arms itself
+	// while traffic is in flight (actor nil). Never posted when obs is
+	// disabled, so the kind costs nothing on ordinary runs.
+	evObsFlush
 )
 
 // registerKinds installs the network's jump table. Handlers close over n
@@ -98,4 +102,5 @@ func (n *Network) registerKinds() {
 		n.destDone(a.(*Message), topology.NodeID(arg))
 	})
 	q.Register(evReclaim, func(a any, _ int64) { n.reclaimBranch(a.(*branch)) })
+	q.Register(evObsFlush, func(_ any, _ int64) { n.obsTick() })
 }

@@ -7,6 +7,7 @@ import (
 
 	"mcastsim/internal/bitset"
 	"mcastsim/internal/event"
+	"mcastsim/internal/obs"
 	"mcastsim/internal/rng"
 	"mcastsim/internal/topology"
 	"mcastsim/internal/updown"
@@ -72,6 +73,14 @@ type Network struct {
 	stats       Stats
 	tracer      func(TraceEvent)
 
+	// Observability (see obs.go): obsRec nil means disabled — the only
+	// state the rest of the pipeline ever checks. obsChans indexes every
+	// channel in registration order for delta sampling; obsTickArmed
+	// dedups the self-rescheduling evObsFlush tick.
+	obsRec       *obs.Recorder
+	obsChans     []*channel
+	obsTickArmed bool
+
 	// Fault-layer state (see fault.go). deadLink/deadSwitch mirror the
 	// injected faults; faulted flips true at the first fault and gates the
 	// dead-port filtering in fileRequest; partitioned records a failed
@@ -111,16 +120,16 @@ type Network struct {
 	// Per-decision scratch: reused by the planners and arbitration so the
 	// steady-state routing path allocates nothing. Valid only within one
 	// routing decision; never retained.
-	onePort     [1]int
-	onePhase    [1]updown.Phase
-	portScratch []int
+	onePort      [1]int
+	onePhase     [1]updown.Phase
+	portScratch  []int
 	phaseScratch []updown.Phase
-	downScratch []int
-	partScratch []portSet
-	usedPorts   []bool
-	distScratch []int32
-	bfsQueue    []int32
-	specScratch WormSpec
+	downScratch  []int
+	partScratch  []portSet
+	usedPorts    []bool
+	distScratch  []int32
+	bfsQueue     []int32
+	specScratch  WormSpec
 }
 
 // Engine selects the scheduler backend a Network runs on. The calendar
@@ -137,20 +146,19 @@ const (
 )
 
 // NewWithEngine assembles a network like New but pins the scheduler
-// backend. The golden-trace determinism tests run both engines over the
-// same cells and diff the full TraceEvent streams byte-for-byte.
+// backend.
+//
+// Deprecated: use New(rt, params, seed, WithEngine(eng)).
 func NewWithEngine(rt *updown.Routing, params Params, seed uint64, eng Engine) (*Network, error) {
-	n, err := New(rt, params, seed)
-	if err != nil {
-		return nil, err
-	}
-	n.queue.SetBackend(eng)
-	return n, nil
+	return New(rt, params, seed, WithEngine(eng))
 }
 
 // New assembles a network over a routed topology. The seed drives only
 // adaptive-routing tie-breaks; identical seeds give identical runs.
-func New(rt *updown.Routing, params Params, seed uint64) (*Network, error) {
+// Options (WithEngine, WithTrace, WithObs) are applied after assembly,
+// before any event exists; their application order is fixed, so the
+// order they are passed in never matters.
+func New(rt *updown.Routing, params Params, seed uint64, opts ...Option) (*Network, error) {
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
@@ -238,6 +246,12 @@ func New(rt *updown.Routing, params Params, seed uint64) (*Network, error) {
 	n.distScratch = make([]int32, t.NumSwitches)
 	n.bfsQueue = make([]int32, 0, t.NumSwitches)
 	n.cache.init()
+
+	var o netOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	n.applyOptions(&o)
 	return n, nil
 }
 
@@ -305,6 +319,9 @@ func (n *Network) Send(plan *Plan, flits int, at event.Time, onComplete func(*Me
 	n.outstanding++
 	n.stats.MessagesSent++
 	n.queue.Post(at, evMsgStart, m, 0)
+	if n.obsRec != nil {
+		n.obsArm()
+	}
 	return m, nil
 }
 

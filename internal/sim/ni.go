@@ -152,6 +152,9 @@ func (x *ni) admitBurst(b *burst) {
 	}
 	limit := x.net.params.NIInjectBufferPackets
 	if limit > 0 && (x.injHeld >= limit || len(x.injWait) > 0) {
+		if r := x.net.obsRec; r != nil {
+			r.NIDeferred(int32(x.node))
+		}
 		x.injWait = append(x.injWait, b)
 		return
 	}

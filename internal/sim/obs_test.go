@@ -1,0 +1,188 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"mcastsim/internal/event"
+	"mcastsim/internal/obs"
+	"mcastsim/internal/topology"
+)
+
+// TestSteadyFlitPathZeroAllocObsEnabled extends the zero-alloc contract to
+// the *enabled* telemetry path: with a recorder attached, the per-event
+// probe sites (credit stalls, arbitration conflicts, NI deferrals) write
+// into preallocated accumulators and must not allocate either. The flush
+// cadence is pushed past the measured window so only probe writes — not
+// Sample, which may allocate by design — land inside it.
+func TestSteadyFlitPathZeroAllocObsEnabled(t *testing.T) {
+	p := DefaultParams()
+	const flits = 4096
+	p.PacketFlits = flits
+	n := fixtureNet(t, p)
+	rec := obs.NewRecorder(obs.Config{Every: 1 << 40})
+	n.attachObs(rec)
+	if _, err := n.Send(unicastPlan(0, 7), flits, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	const ringWarm = 1100 // > event ring size (1024)
+	for n.queue.Len() > 0 && (n.stats.FlitHops < 512 || n.queue.Now() < ringWarm) {
+		n.queue.Step()
+	}
+	if n.queue.Len() == 0 {
+		t.Fatal("message finished before reaching steady state")
+	}
+	avg := testing.AllocsPerRun(1000, func() { n.queue.Step() })
+	if avg != 0 {
+		t.Fatalf("steady flit path with obs enabled allocates %v per event, want 0", avg)
+	}
+	if err := n.Drain(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// obsTestPlan is a small tree multicast from src to every other node; a
+// few of these overlapped from different sources exercise replication,
+// arbitration contention and credit backpressure on the fixture topology.
+func obsTestPlan(src topology.NodeID) *Plan {
+	var dests []topology.NodeID
+	for n := topology.NodeID(0); n < 8; n++ {
+		if n != src {
+			dests = append(dests, n)
+		}
+	}
+	return &Plan{
+		Source: src,
+		Dests:  dests,
+		HostSends: map[topology.NodeID][]WormSpec{
+			src: {{Kind: WormTree, DestSet: dests}},
+		},
+	}
+}
+
+// TestTraceByteIdentityWithObs pins the tentpole's non-interference
+// guarantee: attaching a recorder must not move a single TraceEvent. The
+// flush event reads state and never touches the arbitration RNG, so the
+// traced streams with and without obs are identical element for element.
+func TestTraceByteIdentityWithObs(t *testing.T) {
+	run := func(rec *obs.Recorder) []TraceEvent {
+		var evs []TraceEvent
+		p := DefaultParams()
+		n := fixtureNet(t, p)
+		n.applyOptions(&netOptions{
+			tracer: func(ev TraceEvent) { evs = append(evs, ev) },
+			rec:    rec,
+		})
+		for i := 0; i < 3; i++ {
+			if _, err := n.Send(obsTestPlan(topology.NodeID(i)), 256, n.Now()+event.Time(i*100), nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := n.Drain(0); err != nil {
+			t.Fatal(err)
+		}
+		if err := n.CheckConservation(); err != nil {
+			t.Fatal(err)
+		}
+		n.FlushObs()
+		return evs
+	}
+	plain := run(nil)
+	traced := run(obs.NewRecorder(obs.Config{Every: 64}))
+	if len(plain) == 0 {
+		t.Fatal("no trace events recorded")
+	}
+	if !reflect.DeepEqual(plain, traced) {
+		t.Fatalf("trace streams diverged: %d events without obs, %d with", len(plain), len(traced))
+	}
+}
+
+// TestObsReconciliation checks the telemetry's accounting invariant on a
+// contended multi-message run: the summed per-channel flit series equals
+// the simulator's own Stats.FlitHops, and the engine event series equals
+// EventsProcessed — both exactly, given the final flush.
+func TestObsReconciliation(t *testing.T) {
+	p := DefaultParams()
+	p.BufferFlits = 4 // shallow buffers so the storm exercises credit stalls
+	n := fixtureNet(t, p)
+	rec := obs.NewRecorder(obs.Config{Every: 128})
+	n.attachObs(rec)
+	for i := 0; i < 4; i++ {
+		if _, err := n.Send(obsTestPlan(topology.NodeID(2*i)), 512, n.Now()+event.Time(i*50), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.Drain(0); err != nil {
+		t.Fatal(err)
+	}
+	n.FlushObs()
+	b := rec.Bundle("test")
+	if len(b.Snapshots) < 2 {
+		t.Fatalf("expected a multi-snapshot series, got %d", len(b.Snapshots))
+	}
+	if got, want := b.TotalFlits(), int64(n.Stats().FlitHops); got != want {
+		t.Fatalf("summed ChanFlits %d != Stats.FlitHops %d", got, want)
+	}
+	var hops int64
+	var events uint64
+	for _, s := range b.Snapshots {
+		hops += s.FlitHops
+		events += s.Events
+	}
+	if hops != int64(n.Stats().FlitHops) {
+		t.Fatalf("summed FlitHops series %d != Stats.FlitHops %d", hops, n.Stats().FlitHops)
+	}
+	if events != n.EventsProcessed() {
+		t.Fatalf("summed Events series %d != EventsProcessed %d", events, n.EventsProcessed())
+	}
+	// The contended tree storm must actually exercise the probe sites.
+	var stalls int64
+	for _, s := range b.Snapshots {
+		for _, v := range s.ChanStalls {
+			stalls += v
+		}
+	}
+	if stalls == 0 {
+		t.Log("no credit stalls observed (acceptable, but the cell is meant to contend)")
+	}
+}
+
+// TestObsTickTerminates guards the scheduling rule that keeps telemetry
+// from wedging a run: the flush tick re-arms only while model events are
+// outstanding, so a drained network ends with an empty queue and a fresh
+// Send re-arms sampling for the next run segment.
+func TestObsTickTerminates(t *testing.T) {
+	p := DefaultParams()
+	n := fixtureNet(t, p)
+	rec := obs.NewRecorder(obs.Config{Every: 64})
+	n.attachObs(rec)
+	if _, err := n.Send(unicastPlan(0, 7), 256, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Drain(0); err != nil {
+		t.Fatal(err)
+	}
+	if n.queue.Len() != 0 {
+		t.Fatalf("queue holds %d events after drain (obs tick still armed?)", n.queue.Len())
+	}
+	if n.obsTickArmed {
+		t.Fatal("obsTickArmed still set after drain")
+	}
+	first := len(rec.Samples())
+	if first == 0 {
+		t.Fatal("no samples recorded during the run")
+	}
+	// Second message on the same network: sampling must resume.
+	if _, err := n.Send(unicastPlan(1, 6), 256, n.Now(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Drain(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Samples()) <= first {
+		t.Fatal("sampling did not resume for the second message")
+	}
+}

@@ -1,0 +1,53 @@
+package sim
+
+import "mcastsim/internal/obs"
+
+// Option configures a Network at assembly time. Options replace the
+// ad-hoc post-construction setters (SetTracer, NewWithEngine's extra
+// constructor): New applies them after the topology is wired but before
+// any event is posted, so an option can never observe a half-run network
+// and the engine can be swapped while the queue is still empty.
+type Option func(*netOptions)
+
+// netOptions is the collected option state New applies. Application
+// order is fixed (engine, tracer, obs) regardless of the order options
+// are passed, so permuting a call's options cannot change behaviour.
+type netOptions struct {
+	engine    Engine
+	engineSet bool
+	tracer    func(TraceEvent)
+	rec       *obs.Recorder
+}
+
+// WithEngine pins the scheduler backend. The calendar queue is the
+// default production engine; the determinism suite pins EngineHeap to
+// diff the two event streams.
+func WithEngine(e Engine) Option {
+	return func(o *netOptions) { o.engine = e; o.engineSet = true }
+}
+
+// WithTrace installs a sink receiving every TraceEvent. Passing nil
+// disables tracing (the default).
+func WithTrace(fn func(TraceEvent)) Option {
+	return func(o *netOptions) { o.tracer = fn }
+}
+
+// WithObs attaches a telemetry recorder (see internal/obs). Passing nil
+// leaves observability disabled, so call sites can thread an optional
+// recorder straight through. The recorder samples at its configured
+// cadence while messages are in flight; callers flush the tail interval
+// with Network.FlushObs when the run ends.
+func WithObs(r *obs.Recorder) Option {
+	return func(o *netOptions) { o.rec = r }
+}
+
+// apply installs the collected options on the assembled network.
+func (n *Network) applyOptions(o *netOptions) {
+	if o.engineSet {
+		n.queue.SetBackend(o.engine)
+	}
+	n.tracer = o.tracer
+	if o.rec != nil {
+		n.attachObs(o.rec)
+	}
+}

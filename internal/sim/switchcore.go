@@ -28,6 +28,7 @@ type channel struct {
 	dead bool
 
 	label     string // "s3p5->s7", "inj n4", "ej n4" — for utilization reports
+	obsID     int32  // index in Network.obsChans; meaningful only while obs is attached
 	busyFlits int64  // flits carried, for utilization reports
 }
 
@@ -707,6 +708,9 @@ func (n *Network) fileRequest(br *branch, s topology.SwitchID, ports []int, phas
 			return
 		}
 	}
+	if r := n.obsRec; r != nil {
+		r.ArbConflict(int32(s))
+	}
 	outs := make([]*outPort, len(ports))
 	owned := make([]updown.Phase, len(phases))
 	for i, p := range ports {
@@ -811,6 +815,9 @@ func (br *branch) pump() {
 	}
 	if ch.toSwitch {
 		if ch.credits == 0 {
+			if r := net.obsRec; r != nil {
+				r.CreditStall(ch.obsID)
+			}
 			return // no buffer space; credit return will wake us
 		}
 		ch.credits--

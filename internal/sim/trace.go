@@ -63,6 +63,10 @@ type TraceEvent struct {
 
 // SetTracer installs fn as the trace sink (nil disables tracing). Install
 // before the first Send.
+//
+// Deprecated: pass sim.WithTrace(fn) to New instead; the option applies
+// before any event exists, which this setter can only promise by
+// convention.
 func (n *Network) SetTracer(fn func(TraceEvent)) { n.tracer = fn }
 
 func (n *Network) trace(ev TraceEvent) {

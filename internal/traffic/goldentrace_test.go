@@ -120,11 +120,11 @@ func runFig6Cell(t testing.TB, rt *updown.Routing, sch mcast.Scheme, r float64, 
 		if err != nil {
 			t.Fatal(err)
 		}
-		n, err := sim.NewWithEngine(rt, p, rng.Mix(seed, 0xa2b17, uint64(i)), eng)
+		n, err := sim.New(rt, p, rng.Mix(seed, 0xa2b17, uint64(i)),
+			sim.WithEngine(eng), sim.WithTrace(th.observe))
 		if err != nil {
 			t.Fatal(err)
 		}
-		n.SetTracer(th.observe)
 		if _, err := n.RunSingle(plan, flits); err != nil {
 			t.Fatalf("%s probe %d: %v", sch.Name(), i, err)
 		}
@@ -146,17 +146,16 @@ func runFig9Cell(t testing.TB, rt *updown.Routing, sch mcast.Scheme, eng sim.Eng
 	t.Helper()
 	p := sim.DefaultParams()
 	cfg := traffic.LoadConfig{
-		Scheme: sch, Params: p, Degree: 8, MsgFlits: 128,
-		EffectiveLoad: 0.3,
-		Warmup:        2_000, Measure: 10_000, Drain: 10_000,
-		Seed: rng.Mix(1998, 0x10adce11, 0),
+		Workload: traffic.Workload{Scheme: sch, Params: p, Degree: 8, MsgFlits: 128,
+			Seed: rng.Mix(1998, 0x10adce11, 0)},
+		LoadSpec: traffic.LoadSpec{EffectiveLoad: 0.3,
+			Warmup: 2_000, Measure: 10_000, Drain: 10_000},
 	}
-	n, err := sim.NewWithEngine(rt, p, cfg.Seed, eng)
+	th, sum := newTraceHasher()
+	n, err := sim.New(rt, p, cfg.Seed, sim.WithEngine(eng), sim.WithTrace(th.observe))
 	if err != nil {
 		t.Fatal(err)
 	}
-	th, sum := newTraceHasher()
-	n.SetTracer(th.observe)
 	if _, err := traffic.RunLoadOn(n, rt, cfg); err != nil {
 		t.Fatalf("%s load cell: %v", sch.Name(), err)
 	}

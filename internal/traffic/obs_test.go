@@ -1,0 +1,107 @@
+package traffic_test
+
+// Tentpole non-interference checks at the workload-API level: a fig9-style
+// load cell driven through traffic.Run must emit the exact same TraceEvent
+// stream with and without a telemetry recorder attached, and the recorder
+// must come back with a non-empty per-link utilization series whose flit
+// total reconciles exactly with the network's own Stats.FlitHops.
+
+import (
+	"testing"
+
+	"mcastsim/internal/mcast/treeworm"
+	"mcastsim/internal/obs"
+	"mcastsim/internal/rng"
+	"mcastsim/internal/sim"
+	"mcastsim/internal/traffic"
+)
+
+func fig9Workload() traffic.Workload {
+	return traffic.Workload{
+		Scheme: treeworm.New(), Params: sim.DefaultParams(),
+		Degree: 8, MsgFlits: 128,
+		Seed: rng.Mix(1998, 0x10adce11, 0),
+	}
+}
+
+func fig9Spec() traffic.LoadSpec {
+	return traffic.LoadSpec{EffectiveLoad: 0.3, Warmup: 2_000, Measure: 10_000, Drain: 10_000}
+}
+
+func TestRunLoadTraceIdenticalWithObs(t *testing.T) {
+	rt := goldenTopology(t)
+	run := func(rec *obs.Recorder) (string, uint64) {
+		th, sum := newTraceHasher()
+		opts := []traffic.Option{traffic.WithLoad(fig9Spec()), traffic.WithTrace(th.observe)}
+		if rec != nil {
+			opts = append(opts, traffic.WithObs(rec))
+		}
+		if _, err := traffic.Run(rt, fig9Workload(), opts...); err != nil {
+			t.Fatal(err)
+		}
+		return sum(), th.events
+	}
+	plainHash, plainEvents := run(nil)
+	rec := obs.NewRecorder(obs.Config{})
+	obsHash, obsEvents := run(rec)
+	if plainEvents == 0 {
+		t.Fatal("load cell emitted no trace events")
+	}
+	if obsEvents != plainEvents || obsHash != plainHash {
+		t.Fatalf("trace stream moved under obs: %d events hash %s, plain %d events hash %s",
+			obsEvents, obsHash, plainEvents, plainHash)
+	}
+	if len(rec.Samples()) == 0 {
+		t.Fatal("recorder sampled nothing over a 22k-cycle load run")
+	}
+}
+
+func TestRunLoadObsSeriesReconcilesWithStats(t *testing.T) {
+	rt := goldenTopology(t)
+	rec := obs.NewRecorder(obs.Config{Every: 512})
+	w := fig9Workload()
+	n, err := sim.New(rt, w.Params, w.Seed, sim.WithObs(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := traffic.RunLoadOn(n, rt, traffic.LoadConfig{
+		Workload: w, LoadSpec: fig9Spec(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	b := rec.Bundle("fig9/load=0.3/sw-tree")
+	if len(b.Snapshots) < 10 {
+		t.Fatalf("expected a dense sample series at cadence 512, got %d snapshots", len(b.Snapshots))
+	}
+	hops := int64(n.Stats().FlitHops)
+	if hops == 0 {
+		t.Fatal("load run moved no flits")
+	}
+	if got := b.TotalFlits(); got != hops {
+		t.Fatalf("summed per-link series %d != Stats.FlitHops %d", got, hops)
+	}
+	// The series must be spread over time, not piled on the final flush:
+	// at 30% load most sampling intervals see traffic.
+	busy := 0
+	for _, s := range b.Snapshots {
+		var f int64
+		for _, v := range s.ChanFlits {
+			f += v
+		}
+		if f > 0 {
+			busy++
+		}
+	}
+	if busy < len(b.Snapshots)/2 {
+		t.Fatalf("only %d of %d intervals saw traffic", busy, len(b.Snapshots))
+	}
+	for i := 1; i < len(b.Snapshots); i++ {
+		if b.Snapshots[i].At < b.Snapshots[i-1].At {
+			t.Fatalf("sample times not monotone: %d then %d",
+				b.Snapshots[i-1].At, b.Snapshots[i].At)
+		}
+	}
+	if b.Every != 512 {
+		t.Fatalf("bundle cadence %d, want 512", b.Every)
+	}
+}

@@ -3,6 +3,11 @@
 // at any given time", §4.1) and open-loop multicast load, where every node
 // generates degree-d multicasts with exponential interarrival times and
 // latency is measured against effective applied load (§4.3).
+//
+// Run is the unified entrypoint: a Workload plus functional options
+// selecting the mode and cross-cutting concerns (telemetry, tracing).
+// The RunSingle/RunLoad/RunMixed/RunFault entrypoints predate it and
+// remain as thin deprecated wrappers.
 package traffic
 
 import (
@@ -51,42 +56,50 @@ func destsFrom(r *rng.Source, numNodes, degree int, src topology.NodeID) []topol
 
 // SingleConfig parameterizes isolated-multicast latency probes.
 type SingleConfig struct {
-	Scheme   mcast.Scheme
-	Params   sim.Params
-	Degree   int
-	MsgFlits int
-	Probes   int // random (source, destination-set) draws
-	Seed     uint64
+	Workload
+	Probes int // random (source, destination-set) draws
 }
 
 // RunSingle measures isolated multicast latencies (cycles) on one routed
 // topology: Probes independent random multicasts, each on a quiet network.
+//
+// Deprecated: use Run(rt, cfg.Workload, WithProbes(cfg.Probes)).
 func RunSingle(rt *updown.Routing, cfg SingleConfig) ([]float64, error) {
-	if cfg.Probes <= 0 {
+	res, err := Run(rt, cfg.Workload, WithProbes(cfg.Probes))
+	if err != nil {
+		return nil, err
+	}
+	return res.Latencies, nil
+}
+
+// runSingle is single mode's implementation (Run's default mode).
+func runSingle(rt *updown.Routing, w Workload, probes int, o *runOpts) ([]float64, error) {
+	if probes <= 0 {
 		return nil, fmt.Errorf("traffic: non-positive probe count")
 	}
-	r := rng.New(cfg.Seed)
-	out := make([]float64, 0, cfg.Probes)
-	for i := 0; i < cfg.Probes; i++ {
-		src, dests := randomSet(r, rt.Topo.NumNodes, cfg.Degree)
-		plan, err := cfg.Scheme.Plan(rt, cfg.Params, src, dests, cfg.MsgFlits)
+	r := rng.New(w.Seed)
+	out := make([]float64, 0, probes)
+	for i := 0; i < probes; i++ {
+		src, dests := randomSet(r, rt.Topo.NumNodes, w.Degree)
+		plan, err := w.Scheme.Plan(rt, w.Params, src, dests, w.MsgFlits)
 		if err != nil {
 			return nil, fmt.Errorf("traffic: probe %d: %w", i, err)
 		}
-		// Mix, not add: cfg.Seed+uint64(i) makes probe i's arbitration
+		// Mix, not add: w.Seed+uint64(i) makes probe i's arbitration
 		// stream collide with the traffic stream of a cell seeded one
 		// apart.
-		n, err := sim.New(rt, cfg.Params, rng.Mix(cfg.Seed, 0xa2b17, uint64(i)))
+		n, err := sim.New(rt, w.Params, rng.Mix(w.Seed, 0xa2b17, uint64(i)), o.simOpts()...)
 		if err != nil {
 			return nil, err
 		}
-		m, err := n.RunSingle(plan, cfg.MsgFlits)
+		m, err := n.RunSingle(plan, w.MsgFlits)
 		if err != nil {
-			return nil, fmt.Errorf("traffic: probe %d (%s): %w", i, cfg.Scheme.Name(), err)
+			return nil, fmt.Errorf("traffic: probe %d (%s): %w", i, w.Scheme.Name(), err)
 		}
 		if err := n.CheckConservation(); err != nil {
 			return nil, fmt.Errorf("traffic: probe %d: %w", i, err)
 		}
+		n.FlushObs()
 		out = append(out, float64(m.Latency()))
 	}
 	return out, nil
@@ -94,21 +107,8 @@ func RunSingle(rt *updown.Routing, cfg SingleConfig) ([]float64, error) {
 
 // LoadConfig parameterizes an open-loop multicast load run.
 type LoadConfig struct {
-	Scheme   mcast.Scheme
-	Params   sim.Params
-	Degree   int
-	MsgFlits int
-	// EffectiveLoad is the paper's x-axis: for degree-d multicast applied
-	// at raw per-node injection rate l (flits/cycle, normalized to the
-	// 1 flit/cycle link bandwidth), the effective applied load is l*d.
-	EffectiveLoad float64
-	// Warmup is the cold-start period excluded from measurement (paper:
-	// 100k cycles); Measure is the generation window measured; after it,
-	// generation stops and in-flight messages get Drain cycles to finish.
-	Warmup  event.Time
-	Measure event.Time
-	Drain   event.Time
-	Seed    uint64
+	Workload
+	LoadSpec
 }
 
 // LoadResult is one point of a latency-vs-load curve.
@@ -126,12 +126,24 @@ type LoadResult struct {
 }
 
 // RunLoad simulates one load point on one routed topology.
+//
+// Deprecated: use Run(rt, cfg.Workload, WithLoad(cfg.LoadSpec)).
 func RunLoad(rt *updown.Routing, cfg LoadConfig) (LoadResult, error) {
-	n, err := sim.New(rt, cfg.Params, cfg.Seed)
+	res, err := Run(rt, cfg.Workload, WithLoad(cfg.LoadSpec))
 	if err != nil {
 		return LoadResult{}, err
 	}
-	return RunLoadOn(n, rt, cfg)
+	return *res.Load, nil
+}
+
+// runLoad is load mode's implementation: a fresh network assembled with
+// the run's cross-cutting options, then the shared load loop.
+func runLoad(rt *updown.Routing, w Workload, spec LoadSpec, o *runOpts) (LoadResult, error) {
+	n, err := sim.New(rt, w.Params, w.Seed, o.simOpts()...)
+	if err != nil {
+		return LoadResult{}, err
+	}
+	return RunLoadOn(n, rt, LoadConfig{Workload: w, LoadSpec: spec})
 }
 
 // RunLoadOn runs the load point on a caller-provided network (which must be
@@ -199,6 +211,7 @@ func RunLoadOn(n *sim.Network, rt *updown.Routing, cfg LoadConfig) (LoadResult, 
 	}
 
 	n.RunUntil(genEnd + cfg.Drain)
+	n.FlushObs()
 	if genErr != nil {
 		return LoadResult{}, genErr
 	}
@@ -217,43 +230,41 @@ func RunLoadOn(n *sim.Network, rt *updown.Routing, cfg LoadConfig) (LoadResult, 
 // traffic — the regime a real NOW lives in, where multicast competes with
 // ordinary point-to-point messages rather than only with other multicasts.
 type MixedConfig struct {
-	Scheme   mcast.Scheme
-	Params   sim.Params
-	Degree   int
-	MsgFlits int
-	// BackgroundLoad is the unicast background intensity in flits per
-	// cycle per node (fraction of injection-link capacity).
-	BackgroundLoad float64
-	// BackgroundFlits is the unicast message length.
-	BackgroundFlits int
-	// Probes multicast measurements are taken, spaced ProbeGap cycles
-	// apart after Warmup cycles of background ramp-up.
-	Probes   int
-	ProbeGap event.Time
-	Warmup   event.Time
-	Seed     uint64
+	Workload
+	MixedSpec
 }
 
 // RunMixed measures multicast latency under unicast background traffic.
+//
+// Deprecated: use Run(rt, cfg.Workload, WithMixed(cfg.MixedSpec)).
 func RunMixed(rt *updown.Routing, cfg MixedConfig) ([]float64, error) {
-	if cfg.Probes <= 0 || cfg.ProbeGap <= 0 {
+	res, err := Run(rt, cfg.Workload, WithMixed(cfg.MixedSpec))
+	if err != nil {
+		return nil, err
+	}
+	return res.Latencies, nil
+}
+
+// runMixed is mixed mode's implementation.
+func runMixed(rt *updown.Routing, w Workload, spec MixedSpec, o *runOpts) ([]float64, error) {
+	if spec.Probes <= 0 || spec.ProbeGap <= 0 {
 		return nil, fmt.Errorf("traffic: bad mixed probe settings")
 	}
-	if cfg.BackgroundLoad < 0 {
+	if spec.BackgroundLoad < 0 {
 		return nil, fmt.Errorf("traffic: negative background load")
 	}
-	n, err := sim.New(rt, cfg.Params, cfg.Seed)
+	n, err := sim.New(rt, w.Params, w.Seed, o.simOpts()...)
 	if err != nil {
 		return nil, err
 	}
 	numNodes := rt.Topo.NumNodes
-	end := cfg.Warmup + event.Time(cfg.Probes+1)*cfg.ProbeGap
-	root := rng.New(cfg.Seed ^ 0xABCDEF)
+	end := spec.Warmup + event.Time(spec.Probes+1)*spec.ProbeGap
+	root := rng.New(w.Seed ^ 0xABCDEF)
 	var genErr error
 
 	// Unicast background: open loop per node.
-	if cfg.BackgroundLoad > 0 {
-		meanGap := float64(cfg.BackgroundFlits) / cfg.BackgroundLoad
+	if spec.BackgroundLoad > 0 {
+		meanGap := float64(spec.BackgroundFlits) / spec.BackgroundLoad
 		for node := 0; node < numNodes; node++ {
 			node := node
 			r := root.Split()
@@ -274,7 +285,7 @@ func RunMixed(rt *updown.Routing, cfg MixedConfig) ([]float64, error) {
 						topology.NodeID(node): {{Kind: sim.WormUnicast, Dest: dst}},
 					},
 				}
-				if _, err := n.Send(plan, cfg.BackgroundFlits, now, nil); err != nil {
+				if _, err := n.Send(plan, spec.BackgroundFlits, now, nil); err != nil {
 					genErr = err
 					return
 				}
@@ -286,21 +297,21 @@ func RunMixed(rt *updown.Routing, cfg MixedConfig) ([]float64, error) {
 
 	// Multicast probes, one at a time on top of the background.
 	probeRng := root.Split()
-	lats := make([]float64, 0, cfg.Probes)
-	for i := 0; i < cfg.Probes; i++ {
+	lats := make([]float64, 0, spec.Probes)
+	for i := 0; i < spec.Probes; i++ {
 		i := i
-		at := cfg.Warmup + event.Time(i+1)*cfg.ProbeGap
+		at := spec.Warmup + event.Time(i+1)*spec.ProbeGap
 		n.Schedule(at, func() {
 			if genErr != nil {
 				return
 			}
-			src, dests := randomSet(probeRng, numNodes, cfg.Degree)
-			plan, err := cfg.Scheme.Plan(rt, cfg.Params, src, dests, cfg.MsgFlits)
+			src, dests := randomSet(probeRng, numNodes, w.Degree)
+			plan, err := w.Scheme.Plan(rt, w.Params, src, dests, w.MsgFlits)
 			if err != nil {
 				genErr = err
 				return
 			}
-			if _, err := n.Send(plan, cfg.MsgFlits, n.Now(), func(m *sim.Message) {
+			if _, err := n.Send(plan, w.MsgFlits, n.Now(), func(m *sim.Message) {
 				lats = append(lats, float64(m.Latency()))
 			}); err != nil {
 				genErr = err
@@ -308,11 +319,12 @@ func RunMixed(rt *updown.Routing, cfg MixedConfig) ([]float64, error) {
 		})
 	}
 	n.RunUntil(end + 200_000) // let probes finish after generation stops
+	n.FlushObs()
 	if genErr != nil {
 		return nil, genErr
 	}
-	if len(lats) < cfg.Probes {
-		return nil, fmt.Errorf("traffic: only %d/%d probes completed (background saturated?)", len(lats), cfg.Probes)
+	if len(lats) < spec.Probes {
+		return nil, fmt.Errorf("traffic: only %d/%d probes completed (background saturated?)", len(lats), spec.Probes)
 	}
 	return lats, nil
 }
@@ -329,18 +341,8 @@ func AsReplanner(s mcast.Scheme, p sim.Params) sim.Replanner {
 // FaultConfig parameterizes reliable single-multicast probes under an
 // injected fault schedule.
 type FaultConfig struct {
-	Scheme   mcast.Scheme
-	Params   sim.Params
-	Degree   int
-	MsgFlits int
-	Probes   int
-	Seed     uint64
-	// Retry is the NI-level reliable-delivery policy; the zero value means
-	// sim.DefaultRetryPolicy.
-	Retry sim.RetryPolicy
-	// Faults builds probe i's fault schedule (nil, or a nil return, means
-	// a fault-free probe). It runs before the probe's multicast is sent.
-	Faults func(probe int, rt *updown.Routing) *sim.FaultSchedule
+	Workload
+	FaultSpec
 }
 
 // FaultProbe is one reliable multicast's outcome under faults, plus a
@@ -367,37 +369,48 @@ type FaultProbe struct {
 // multicast driven to completion, and then one clean follow-up multicast
 // measuring post-fault steady-state latency. Conservation is not checked
 // — torn-down worms legitimately drop flits.
+//
+// Deprecated: use Run(rt, cfg.Workload, WithFaults(cfg.FaultSpec)).
 func RunFault(rt *updown.Routing, cfg FaultConfig) ([]FaultProbe, error) {
-	if cfg.Probes <= 0 {
+	res, err := Run(rt, cfg.Workload, WithFaults(cfg.FaultSpec))
+	if err != nil {
+		return nil, err
+	}
+	return res.Faults, nil
+}
+
+// runFault is fault mode's implementation.
+func runFault(rt *updown.Routing, w Workload, spec FaultSpec, o *runOpts) ([]FaultProbe, error) {
+	if spec.Probes <= 0 {
 		return nil, fmt.Errorf("traffic: non-positive probe count")
 	}
-	pol := cfg.Retry
+	pol := spec.Retry
 	if pol == (sim.RetryPolicy{}) {
 		pol = sim.DefaultRetryPolicy()
 	}
-	replan := AsReplanner(cfg.Scheme, cfg.Params)
-	r := rng.New(cfg.Seed)
-	out := make([]FaultProbe, 0, cfg.Probes)
-	for i := 0; i < cfg.Probes; i++ {
-		src, dests := randomSet(r, rt.Topo.NumNodes, cfg.Degree)
-		plan, err := cfg.Scheme.Plan(rt, cfg.Params, src, dests, cfg.MsgFlits)
+	replan := AsReplanner(w.Scheme, w.Params)
+	r := rng.New(w.Seed)
+	out := make([]FaultProbe, 0, spec.Probes)
+	for i := 0; i < spec.Probes; i++ {
+		src, dests := randomSet(r, rt.Topo.NumNodes, w.Degree)
+		plan, err := w.Scheme.Plan(rt, w.Params, src, dests, w.MsgFlits)
 		if err != nil {
 			return nil, fmt.Errorf("traffic: fault probe %d: %w", i, err)
 		}
-		n, err := sim.New(rt, cfg.Params, rng.Mix(cfg.Seed, 0xfa017, uint64(i)))
+		n, err := sim.New(rt, w.Params, rng.Mix(w.Seed, 0xfa017, uint64(i)), o.simOpts()...)
 		if err != nil {
 			return nil, err
 		}
-		if cfg.Faults != nil {
-			if fs := cfg.Faults(i, rt); fs != nil {
+		if spec.Faults != nil {
+			if fs := spec.Faults(i, rt); fs != nil {
 				if err := n.InstallFaults(fs); err != nil {
 					return nil, fmt.Errorf("traffic: fault probe %d: %w", i, err)
 				}
 			}
 		}
-		d, err := n.RunReliable(plan, cfg.MsgFlits, replan, pol)
+		d, err := n.RunReliable(plan, w.MsgFlits, replan, pol)
 		if err != nil {
-			return nil, fmt.Errorf("traffic: fault probe %d (%s): %w", i, cfg.Scheme.Name(), err)
+			return nil, fmt.Errorf("traffic: fault probe %d (%s): %w", i, w.Scheme.Name(), err)
 		}
 		pr := FaultProbe{
 			Delivered:   d.Delivered(),
@@ -407,11 +420,12 @@ func RunFault(rt *updown.Routing, cfg FaultConfig) ([]FaultProbe, error) {
 			Partitioned: n.Partitioned(),
 			Post:        nan(),
 		}
-		if post, ok := postFaultProbe(n, r, cfg, replan, pol); ok {
+		if post, ok := postFaultProbe(n, r, w, replan, pol); ok {
 			pr.Post = post.Post
 			pr.PostDelivered = post.PostDelivered
 			pr.PostTotal = post.PostTotal
 		}
+		n.FlushObs()
 		out = append(out, pr)
 	}
 	return out, nil
@@ -421,27 +435,27 @@ func nan() float64 { return math.NaN() }
 
 // postFaultProbe runs one clean reliable multicast among surviving nodes
 // on the settled post-fault network, against the reconfigured tables.
-func postFaultProbe(n *sim.Network, r *rng.Source, cfg FaultConfig, replan sim.Replanner, pol sim.RetryPolicy) (FaultProbe, bool) {
+func postFaultProbe(n *sim.Network, r *rng.Source, w Workload, replan sim.Replanner, pol sim.RetryPolicy) (FaultProbe, bool) {
 	var alive []topology.NodeID
 	for node := 0; node < n.Topology().NumNodes; node++ {
 		if n.NodeAlive(topology.NodeID(node)) {
 			alive = append(alive, topology.NodeID(node))
 		}
 	}
-	if len(alive) < cfg.Degree+1 {
+	if len(alive) < w.Degree+1 {
 		return FaultProbe{}, false
 	}
-	picks := r.Sample(len(alive), cfg.Degree+1)
+	picks := r.Sample(len(alive), w.Degree+1)
 	src := alive[picks[0]]
-	dests := make([]topology.NodeID, cfg.Degree)
+	dests := make([]topology.NodeID, w.Degree)
 	for i, v := range picks[1:] {
 		dests[i] = alive[v]
 	}
-	plan, err := cfg.Scheme.Plan(n.Routing(), cfg.Params, src, dests, cfg.MsgFlits)
+	plan, err := w.Scheme.Plan(n.Routing(), w.Params, src, dests, w.MsgFlits)
 	if err != nil {
 		return FaultProbe{}, false
 	}
-	d, err := n.RunReliable(plan, cfg.MsgFlits, replan, pol)
+	d, err := n.RunReliable(plan, w.MsgFlits, replan, pol)
 	if err != nil {
 		return FaultProbe{}, false
 	}

@@ -55,8 +55,9 @@ func TestRunSingleAllSchemes(t *testing.T) {
 	rt := routed(t, 3)
 	for _, sch := range []mcast.Scheme{binomial.New(), kbinomial.New(), treeworm.New(), pathworm.New()} {
 		lats, err := RunSingle(rt, SingleConfig{
-			Scheme: sch, Params: sim.DefaultParams(),
-			Degree: 16, MsgFlits: 128, Probes: 5, Seed: 9,
+			Workload: Workload{Scheme: sch, Params: sim.DefaultParams(),
+				Degree: 16, MsgFlits: 128, Seed: 9},
+			Probes: 5,
 		})
 		if err != nil {
 			t.Fatalf("%s: %v", sch.Name(), err)
@@ -74,8 +75,8 @@ func TestRunSingleAllSchemes(t *testing.T) {
 
 func TestRunSingleDeterministic(t *testing.T) {
 	rt := routed(t, 4)
-	cfg := SingleConfig{Scheme: treeworm.New(), Params: sim.DefaultParams(),
-		Degree: 8, MsgFlits: 128, Probes: 4, Seed: 11}
+	cfg := SingleConfig{Workload: Workload{Scheme: treeworm.New(),
+		Params: sim.DefaultParams(), Degree: 8, MsgFlits: 128, Seed: 11}, Probes: 4}
 	a, err := RunSingle(rt, cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -97,7 +98,7 @@ func TestSingleMulticastOrdering(t *testing.T) {
 	rt := routed(t, 5)
 	p := sim.DefaultParams()
 	mean := func(s mcast.Scheme) float64 {
-		lats, err := RunSingle(rt, SingleConfig{Scheme: s, Params: p, Degree: 16, MsgFlits: 128, Probes: 10, Seed: 21})
+		lats, err := RunSingle(rt, SingleConfig{Workload: Workload{Scheme: s, Params: p, Degree: 16, MsgFlits: 128, Seed: 21}, Probes: 10})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -124,7 +125,7 @@ func TestRunLoadLowLoadMatchesSingle(t *testing.T) {
 	rt := routed(t, 6)
 	p := sim.DefaultParams()
 	sch := treeworm.New()
-	iso, err := RunSingle(rt, SingleConfig{Scheme: sch, Params: p, Degree: 8, MsgFlits: 128, Probes: 10, Seed: 3})
+	iso, err := RunSingle(rt, SingleConfig{Workload: Workload{Scheme: sch, Params: p, Degree: 8, MsgFlits: 128, Seed: 3}, Probes: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,8 +136,8 @@ func TestRunLoadLowLoadMatchesSingle(t *testing.T) {
 	isoMean /= float64(len(iso))
 
 	res, err := RunLoad(rt, LoadConfig{
-		Scheme: sch, Params: p, Degree: 8, MsgFlits: 128,
-		EffectiveLoad: 0.02, Warmup: 20000, Measure: 60000, Drain: 30000, Seed: 12,
+		Workload: Workload{Scheme: sch, Params: p, Degree: 8, MsgFlits: 128, Seed: 12},
+		LoadSpec: LoadSpec{EffectiveLoad: 0.02, Warmup: 20000, Measure: 60000, Drain: 30000},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -156,8 +157,8 @@ func TestRunLoadLatencyIncreasesWithLoad(t *testing.T) {
 	rt := routed(t, 7)
 	p := sim.DefaultParams()
 	base := LoadConfig{
-		Scheme: treeworm.New(), Params: p, Degree: 8, MsgFlits: 128,
-		Warmup: 20000, Measure: 60000, Drain: 40000, Seed: 13,
+		Workload: Workload{Scheme: treeworm.New(), Params: p, Degree: 8, MsgFlits: 128, Seed: 13},
+		LoadSpec: LoadSpec{Warmup: 20000, Measure: 60000, Drain: 40000},
 	}
 	lo := base
 	lo.EffectiveLoad = 0.05
@@ -179,8 +180,9 @@ func TestRunLoadLatencyIncreasesWithLoad(t *testing.T) {
 func TestLoadSweepStopsAtSaturation(t *testing.T) {
 	rt := routed(t, 8)
 	base := LoadConfig{
-		Scheme: binomial.New(), Params: sim.DefaultParams(), Degree: 16, MsgFlits: 128,
-		Warmup: 10000, Measure: 40000, Drain: 20000, Seed: 14,
+		Workload: Workload{Scheme: binomial.New(), Params: sim.DefaultParams(),
+			Degree: 16, MsgFlits: 128, Seed: 14},
+		LoadSpec: LoadSpec{Warmup: 10000, Measure: 40000, Drain: 20000},
 	}
 	// The software baseline saturates early; the sweep must stop there.
 	loads := []float64{0.05, 0.15, 0.3, 0.5, 0.8, 1.2, 2.0, 3.0}
@@ -203,20 +205,23 @@ func TestLoadSweepStopsAtSaturation(t *testing.T) {
 
 func TestRunLoadRejectsBadConfig(t *testing.T) {
 	rt := routed(t, 9)
-	if _, err := RunLoad(rt, LoadConfig{Scheme: treeworm.New(), Params: sim.DefaultParams(),
-		Degree: 8, MsgFlits: 128, EffectiveLoad: 0, Warmup: 1, Measure: 1, Drain: 1}); err == nil {
+	if _, err := RunLoad(rt, LoadConfig{
+		Workload: Workload{Scheme: treeworm.New(), Params: sim.DefaultParams(), Degree: 8, MsgFlits: 128},
+		LoadSpec: LoadSpec{EffectiveLoad: 0, Warmup: 1, Measure: 1, Drain: 1}}); err == nil {
 		t.Fatal("zero load accepted")
 	}
-	if _, err := RunLoad(rt, LoadConfig{Scheme: treeworm.New(), Params: sim.DefaultParams(),
-		Degree: 8, MsgFlits: 128, EffectiveLoad: 0.1, Warmup: 1, Measure: 0, Drain: 1}); err == nil {
+	if _, err := RunLoad(rt, LoadConfig{
+		Workload: Workload{Scheme: treeworm.New(), Params: sim.DefaultParams(), Degree: 8, MsgFlits: 128},
+		LoadSpec: LoadSpec{EffectiveLoad: 0.1, Warmup: 1, Measure: 0, Drain: 1}}); err == nil {
 		t.Fatal("zero measure window accepted")
 	}
 }
 
 func TestRunSingleRejectsBadProbes(t *testing.T) {
 	rt := routed(t, 10)
-	if _, err := RunSingle(rt, SingleConfig{Scheme: treeworm.New(), Params: sim.DefaultParams(),
-		Degree: 8, MsgFlits: 128, Probes: 0}); err == nil {
+	if _, err := RunSingle(rt, SingleConfig{
+		Workload: Workload{Scheme: treeworm.New(), Params: sim.DefaultParams(), Degree: 8, MsgFlits: 128},
+		Probes:   0}); err == nil {
 		t.Fatal("zero probes accepted")
 	}
 }
@@ -225,8 +230,8 @@ func TestRunMixedBackgroundSlowsMulticast(t *testing.T) {
 	rt := routed(t, 11)
 	p := sim.DefaultParams()
 	base := MixedConfig{
-		Scheme: treeworm.New(), Params: p, Degree: 8, MsgFlits: 128,
-		BackgroundFlits: 128, Probes: 8, ProbeGap: 4000, Warmup: 8000, Seed: 31,
+		Workload:  Workload{Scheme: treeworm.New(), Params: p, Degree: 8, MsgFlits: 128, Seed: 31},
+		MixedSpec: MixedSpec{BackgroundFlits: 128, Probes: 8, ProbeGap: 4000, Warmup: 8000},
 	}
 	quiet := base
 	quiet.BackgroundLoad = 0
@@ -258,15 +263,15 @@ func TestRunMixedQuietMatchesSingle(t *testing.T) {
 	rt := routed(t, 12)
 	p := sim.DefaultParams()
 	lats, err := RunMixed(rt, MixedConfig{
-		Scheme: treeworm.New(), Params: p, Degree: 8, MsgFlits: 128,
-		BackgroundLoad: 0, BackgroundFlits: 128,
-		Probes: 6, ProbeGap: 5000, Warmup: 1000, Seed: 32,
+		Workload: Workload{Scheme: treeworm.New(), Params: p, Degree: 8, MsgFlits: 128, Seed: 32},
+		MixedSpec: MixedSpec{BackgroundLoad: 0, BackgroundFlits: 128,
+			Probes: 6, ProbeGap: 5000, Warmup: 1000},
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	iso, err := RunSingle(rt, SingleConfig{Scheme: treeworm.New(), Params: p,
-		Degree: 8, MsgFlits: 128, Probes: 6, Seed: 33})
+	iso, err := RunSingle(rt, SingleConfig{Workload: Workload{Scheme: treeworm.New(),
+		Params: p, Degree: 8, MsgFlits: 128, Seed: 33}, Probes: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -286,12 +291,14 @@ func TestRunMixedQuietMatchesSingle(t *testing.T) {
 
 func TestRunMixedRejectsBadConfig(t *testing.T) {
 	rt := routed(t, 13)
-	if _, err := RunMixed(rt, MixedConfig{Scheme: treeworm.New(), Params: sim.DefaultParams(),
-		Degree: 8, MsgFlits: 128, Probes: 0, ProbeGap: 100}); err == nil {
+	if _, err := RunMixed(rt, MixedConfig{
+		Workload:  Workload{Scheme: treeworm.New(), Params: sim.DefaultParams(), Degree: 8, MsgFlits: 128},
+		MixedSpec: MixedSpec{Probes: 0, ProbeGap: 100}}); err == nil {
 		t.Fatal("zero probes accepted")
 	}
-	if _, err := RunMixed(rt, MixedConfig{Scheme: treeworm.New(), Params: sim.DefaultParams(),
-		Degree: 8, MsgFlits: 128, Probes: 3, ProbeGap: 100, BackgroundLoad: -1}); err == nil {
+	if _, err := RunMixed(rt, MixedConfig{
+		Workload:  Workload{Scheme: treeworm.New(), Params: sim.DefaultParams(), Degree: 8, MsgFlits: 128},
+		MixedSpec: MixedSpec{Probes: 3, ProbeGap: 100, BackgroundLoad: -1}}); err == nil {
 		t.Fatal("negative background accepted")
 	}
 }
