@@ -178,6 +178,26 @@ func AndInto(dst, s, o *Set) {
 	}
 }
 
+// AndNot returns a new set s &^ o (the elements of s not in o) — the
+// membership delta "who left" / "who is not yet covered" computation of
+// the dynamic-group layer.
+func AndNot(s, o *Set) *Set {
+	c := s.Clone()
+	c.DifferenceWith(o)
+	return c
+}
+
+// DiffInto sets dst = s &^ o in place, allocating nothing. dst may alias
+// s or o. It is the pooled-set counterpart of AndNot, used by membership
+// delta application on the churn path.
+func DiffInto(dst, s, o *Set) {
+	dst.sameLen(s)
+	s.sameLen(o)
+	for i, w := range s.words {
+		dst.words[i] = w &^ o.words[i]
+	}
+}
+
 // CopyFrom sets s to an exact copy of o in place (same universe required).
 // It is the recycling counterpart of Clone for pooled sets.
 func (s *Set) CopyFrom(o *Set) {

@@ -361,3 +361,115 @@ func BenchmarkIntersects(b *testing.B) {
 		_ = x.Intersects(y)
 	}
 }
+
+func TestAndNotMatchesDifferenceWith(t *testing.T) {
+	r := rng.New(5)
+	for trial := 0; trial < 300; trial++ {
+		a, b := randomPair(r)
+		want := a.Clone()
+		want.DifferenceWith(b)
+		if got := AndNot(a, b); !got.Equal(want) {
+			t.Fatalf("AndNot = %v, want %v (n=%d)", got, want, a.Len())
+		}
+	}
+}
+
+func TestDiffIntoMatchesAndNot(t *testing.T) {
+	r := rng.New(6)
+	for trial := 0; trial < 300; trial++ {
+		a, b := randomPair(r)
+		dst := New(a.Len())
+		DiffInto(dst, a, b)
+		if want := AndNot(a, b); !dst.Equal(want) {
+			t.Fatalf("DiffInto = %v, want %v", dst, want)
+		}
+	}
+}
+
+func TestDiffPrimitivesWordBoundaries(t *testing.T) {
+	// Universes straddling word boundaries: exactly one word, one word
+	// plus one bit, and two full words, with members on both sides of
+	// the 64-bit seam.
+	for _, n := range []int{64, 65, 128} {
+		a := New(n)
+		b := New(n)
+		for _, v := range []int{0, 63, n - 1} {
+			a.Add(v)
+		}
+		b.Add(0)
+		got := AndNot(a, b)
+		if got.Contains(0) || !got.Contains(63) || !got.Contains(n-1) {
+			t.Fatalf("n=%d: AndNot = %v", n, got)
+		}
+		dst := New(n)
+		DiffInto(dst, a, b)
+		if !dst.Equal(got) {
+			t.Fatalf("n=%d: DiffInto = %v, want %v", n, dst, got)
+		}
+	}
+}
+
+func TestDiffPrimitivesEmptySets(t *testing.T) {
+	a := FromIndices(100, []int{1, 64, 99})
+	empty := New(100)
+	if got := AndNot(a, empty); !got.Equal(a) {
+		t.Fatalf("AndNot(a, empty) = %v, want %v", got, a)
+	}
+	if got := AndNot(empty, a); !got.Empty() {
+		t.Fatalf("AndNot(empty, a) = %v, want empty", got)
+	}
+	if got := AndNot(empty, empty); !got.Empty() {
+		t.Fatalf("AndNot(empty, empty) = %v, want empty", got)
+	}
+	dst := FromIndices(100, []int{7}) // stale contents must be overwritten
+	DiffInto(dst, empty, a)
+	if !dst.Empty() {
+		t.Fatalf("DiffInto(dst, empty, a) = %v, want empty", dst)
+	}
+}
+
+func TestDiffIntoAliasing(t *testing.T) {
+	a := FromIndices(130, []int{0, 5, 64, 129})
+	b := FromIndices(130, []int{5, 64, 100})
+	want := AndNot(a, b)
+	// dst aliases the first operand.
+	x := a.Clone()
+	DiffInto(x, x, b)
+	if !x.Equal(want) {
+		t.Fatalf("DiffInto(x, x, b) = %v, want %v", x, want)
+	}
+	// dst aliases the second operand.
+	y := b.Clone()
+	DiffInto(y, a, y)
+	if !y.Equal(want) {
+		t.Fatalf("DiffInto(y, a, y) = %v, want %v", y, want)
+	}
+}
+
+func TestDiffPrimitivesMismatchPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"AndNot":       func() { AndNot(New(10), New(11)) },
+		"DiffInto-src": func() { DiffInto(New(10), New(10), New(11)) },
+		"DiffInto-dst": func() { DiffInto(New(11), New(10), New(10)) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s with mismatched universes did not panic", name)
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+func TestDiffIntoZeroAlloc(t *testing.T) {
+	a := FromIndices(512, []int{1, 100, 511})
+	b := FromIndices(512, []int{100, 200})
+	dst := New(512)
+	if avg := testing.AllocsPerRun(100, func() {
+		DiffInto(dst, a, b)
+	}); avg != 0 {
+		t.Fatalf("DiffInto allocates %v per run, want 0", avg)
+	}
+}

@@ -43,6 +43,7 @@ func Registry() []Entry {
 		{"routing", "extension: BFS vs DFS up*/down* substrate", RoutingVariant},
 		{"fault", "extension: reconfiguration after one link failure", FaultReconfiguration},
 		{"faultsweep", "extension: mid-flight link failures, retransmission and recovery", FaultSweep},
+		{"churnsweep", "extension: dynamic-group churn, incremental tree repair, churn x fault", ChurnSweep},
 	}
 }
 

@@ -103,6 +103,7 @@ func TestParallelWorkersMatchSerial(t *testing.T) {
 		{"fig6", Fig6EffectOfR},
 		{"fig9", Fig9LoadVsR},
 		{"faultsweep", FaultSweep},
+		{"churnsweep", ChurnSweep},
 	}
 	for _, c := range cases {
 		c := c
@@ -165,6 +166,18 @@ func TestCellSeedsPairwiseDistinct(t *testing.T) {
 				add("faultsweep", rng.Mix(seed, 0xfa11, uint64(ti), uint64(f)))
 				for probe := 0; probe < cfg.Probes; probe++ {
 					add("faultsweep", rng.Mix(seed, 0x5eed, uint64(ti), uint64(probe), uint64(f)))
+				}
+			}
+		}
+		// Churn sweep: per-topology workload seeds plus the
+		// per-(topology, probe, failures) fault-schedule seeds; the
+		// workload's own derived streams (arbitration, membership
+		// schedules) are covered by traffic's pairwise test.
+		for ti := 0; ti < cfg.Topologies; ti++ {
+			add("churnsweep", rng.Mix(seed, saltChurn, uint64(ti)))
+			for f := 1; f <= 1; f++ {
+				for probe := 0; probe < churnProbes(cfg); probe++ {
+					add("churnsweep", rng.Mix(seed, saltChurnFault, uint64(ti), uint64(probe), uint64(f)))
 				}
 			}
 		}

@@ -1,0 +1,329 @@
+package groupplan
+
+import (
+	"reflect"
+	"testing"
+
+	"mcastsim/internal/event"
+	"mcastsim/internal/mcast"
+	"mcastsim/internal/mcast/kbinomial"
+	"mcastsim/internal/mcast/pathworm"
+	"mcastsim/internal/mcast/treeworm"
+	"mcastsim/internal/rng"
+	"mcastsim/internal/sim"
+	"mcastsim/internal/topology"
+	"mcastsim/internal/updown"
+)
+
+func routed(t *testing.T, seed uint64) *updown.Routing {
+	t.Helper()
+	topo, err := topology.Generate(topology.DefaultConfig(), rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := updown.New(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+func schemes() []mcast.Scheme {
+	return []mcast.Scheme{kbinomial.New(), treeworm.New(), pathworm.New()}
+}
+
+// drawGroup picks a source and an initial ascending member set.
+func drawGroup(r *rng.Source, numNodes, size int) (topology.NodeID, []topology.NodeID) {
+	picks := r.Sample(numNodes, size+1)
+	src := topology.NodeID(picks[0])
+	members := make([]topology.NodeID, size)
+	for i, v := range picks[1:] {
+		members[i] = topology.NodeID(v)
+	}
+	sortNodes(members)
+	return src, members
+}
+
+func sortNodes(list []topology.NodeID) {
+	for i := 1; i < len(list); i++ {
+		for j := i; j > 0 && list[j] < list[j-1]; j-- {
+			list[j], list[j-1] = list[j-1], list[j]
+		}
+	}
+}
+
+// TestInitMatchesSchemePlan pins the zero-churn identity: Init is the
+// scheme's own Plan, bit for bit, for every compared scheme.
+func TestInitMatchesSchemePlan(t *testing.T) {
+	rt := routed(t, 1)
+	p := sim.DefaultParams()
+	r := rng.New(7)
+	src, members := drawGroup(r, rt.Topo.NumNodes, 12)
+	for _, s := range schemes() {
+		pl := New(s)
+		got, err := pl.Init(rt, p, src, members, 128)
+		if err != nil {
+			t.Fatalf("%s: Init: %v", s.Name(), err)
+		}
+		want, err := s.Plan(rt, p, src, members, 128)
+		if err != nil {
+			t.Fatalf("%s: Plan: %v", s.Name(), err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: Init diverged from Scheme.Plan:\n got  %+v\n want %+v", s.Name(), got, want)
+		}
+	}
+}
+
+// reachable walks an NI forwarding tree from src and returns every node
+// it forwards to, failing on duplicates (a vertex with two parents is not
+// a tree).
+func reachable(t *testing.T, tree map[topology.NodeID][]topology.NodeID, src topology.NodeID) map[topology.NodeID]bool {
+	t.Helper()
+	seen := map[topology.NodeID]bool{}
+	stack := []topology.NodeID{src}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, c := range tree[v] {
+			if seen[c] {
+				t.Fatalf("node %d has two parents", c)
+			}
+			seen[c] = true
+			stack = append(stack, c)
+		}
+	}
+	return seen
+}
+
+// TestIncrementalEqualsScratchRebuild is the core property: any seeded
+// join/leave interleaving applied incrementally through Apply leaves the
+// planner holding exactly the membership a from-scratch replay computes,
+// with a structurally valid plan addressed to exactly that membership —
+// for the splicing NI planner and the regenerating planners alike.
+func TestIncrementalEqualsScratchRebuild(t *testing.T) {
+	rt := routed(t, 2)
+	p := sim.DefaultParams()
+	numNodes := rt.Topo.NumNodes
+	for _, s := range schemes() {
+		s := s
+		t.Run(s.Name(), func(t *testing.T) {
+			for trial := 0; trial < 15; trial++ {
+				r := rng.New(uint64(trial)*31 + 5)
+				src, members := drawGroup(r, numNodes, 2+r.Intn(10))
+				pl := New(s)
+				plan, err := pl.Init(rt, p, src, members, 128)
+				if err != nil {
+					t.Fatalf("trial %d: Init: %v", trial, err)
+				}
+				scratch := map[topology.NodeID]bool{}
+				for _, m := range members {
+					scratch[m] = true
+				}
+				for step := 0; step < 30; step++ {
+					ev := sim.MembershipEvent{
+						At:   event.Time(step + 1),
+						Node: topology.NodeID(r.Intn(numNodes)),
+						Kind: sim.MembershipKind(r.Intn(2)),
+					}
+					if ev.Kind == sim.MemberLeave && scratch[ev.Node] && len(scratch) == 1 {
+						continue // never empty the group
+					}
+					plan, _, err = pl.Apply(rt, p, ev, 128)
+					if err != nil {
+						t.Fatalf("trial %d step %d: Apply(%+v): %v", trial, step, ev, err)
+					}
+					if ev.Node != src {
+						if ev.Kind == sim.MemberJoin {
+							scratch[ev.Node] = true
+						} else {
+							delete(scratch, ev.Node)
+						}
+					}
+
+					got := pl.Members()
+					if len(got) != len(scratch) {
+						t.Fatalf("trial %d step %d: %d members, scratch %d", trial, step, len(got), len(scratch))
+					}
+					for i, m := range got {
+						if !scratch[m] {
+							t.Fatalf("trial %d step %d: member %d not in scratch", trial, step, m)
+						}
+						if i > 0 && got[i-1] >= m {
+							t.Fatalf("trial %d step %d: members not ascending: %v", trial, step, got)
+						}
+					}
+					if err := plan.Validate(numNodes, rt.Topo.NumSwitches); err != nil {
+						t.Fatalf("trial %d step %d: invalid plan: %v", trial, step, err)
+					}
+					if len(plan.Dests) != len(scratch) {
+						t.Fatalf("trial %d step %d: plan addresses %d dests, membership is %d",
+							trial, step, len(plan.Dests), len(scratch))
+					}
+					for _, d := range plan.Dests {
+						if !scratch[d] {
+							t.Fatalf("trial %d step %d: plan addresses non-member %d", trial, step, d)
+						}
+					}
+					if plan.NITree != nil {
+						seen := reachable(t, plan.NITree, src)
+						for m := range scratch {
+							if !seen[m] {
+								t.Fatalf("trial %d step %d: spliced tree does not reach member %d", trial, step, m)
+							}
+						}
+						if len(seen) != len(scratch) {
+							t.Fatalf("trial %d step %d: tree reaches %d nodes, membership is %d",
+								trial, step, len(seen), len(scratch))
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestApplyCopyOnWrite pins the in-flight contract: a plan returned
+// earlier is never mutated by later repairs.
+func TestApplyCopyOnWrite(t *testing.T) {
+	rt := routed(t, 3)
+	p := sim.DefaultParams()
+	r := rng.New(11)
+	for _, s := range schemes() {
+		src, members := drawGroup(r, rt.Topo.NumNodes, 8)
+		pl := New(s)
+		plan0, err := pl.Init(rt, p, src, members, 128)
+		if err != nil {
+			t.Fatalf("%s: Init: %v", s.Name(), err)
+		}
+		frozenDests := append([]topology.NodeID(nil), plan0.Dests...)
+		frozenTree := map[topology.NodeID][]topology.NodeID{}
+		for v, kids := range plan0.NITree {
+			frozenTree[v] = append([]topology.NodeID(nil), kids...)
+		}
+		// A join and a leave, both real deltas.
+		joiner := topology.NodeID(-1)
+		for v := 0; v < rt.Topo.NumNodes; v++ {
+			n := topology.NodeID(v)
+			if n != src && memberIndex(pl.Members(), n) < 0 {
+				joiner = n
+				break
+			}
+		}
+		for _, ev := range []sim.MembershipEvent{
+			{At: 1, Node: joiner, Kind: sim.MemberJoin},
+			{At: 2, Node: members[0], Kind: sim.MemberLeave},
+		} {
+			if _, _, err := pl.Apply(rt, p, ev, 128); err != nil {
+				t.Fatalf("%s: Apply: %v", s.Name(), err)
+			}
+		}
+		if !reflect.DeepEqual(plan0.Dests, frozenDests) {
+			t.Fatalf("%s: repair mutated an already-published plan's Dests", s.Name())
+		}
+		if plan0.NITree != nil && !reflect.DeepEqual(plan0.NITree, frozenTree) {
+			t.Fatalf("%s: repair mutated an already-published plan's NITree", s.Name())
+		}
+	}
+}
+
+// TestRepairCostsPerScheme pins the architectural asymmetry the paper's
+// split predicts: NI-table splices cost one table write per edge and are
+// never rebuilds; header-encoded schemes always regenerate and pay the
+// host-software re-encode.
+func TestRepairCostsPerScheme(t *testing.T) {
+	rt := routed(t, 4)
+	p := sim.DefaultParams()
+	r := rng.New(13)
+	src, members := drawGroup(r, rt.Topo.NumNodes, 8)
+	joiner := topology.NodeID(-1)
+	for v := 0; v < rt.Topo.NumNodes; v++ {
+		n := topology.NodeID(v)
+		if n != src && memberIndex(members, n) < 0 {
+			joiner = n
+			break
+		}
+	}
+	join := sim.MembershipEvent{At: 1, Node: joiner, Kind: sim.MemberJoin}
+
+	ni := New(kbinomial.New())
+	if _, err := ni.Init(rt, p, src, members, 128); err != nil {
+		t.Fatalf("Init: %v", err)
+	}
+	if _, cost, err := ni.Apply(rt, p, join, 128); err != nil {
+		t.Fatalf("Apply: %v", err)
+	} else if cost.Rebuilt || cost.Edges != 1 || cost.Cycles != p.ONISend {
+		t.Fatalf("NI join cost = %+v, want one table write at ONISend", cost)
+	}
+	leave := sim.MembershipEvent{At: 2, Node: joiner, Kind: sim.MemberLeave}
+	if _, cost, err := ni.Apply(rt, p, leave, 128); err != nil {
+		t.Fatalf("Apply: %v", err)
+	} else if cost.Rebuilt || cost.Edges < 1 || cost.Cycles < p.ONISend {
+		t.Fatalf("NI leave cost = %+v, want >= one table write", cost)
+	}
+
+	for _, s := range []mcast.Scheme{treeworm.New(), pathworm.New()} {
+		pl := New(s)
+		if _, err := pl.Init(rt, p, src, members, 128); err != nil {
+			t.Fatalf("%s: Init: %v", s.Name(), err)
+		}
+		_, cost, err := pl.Apply(rt, p, join, 128)
+		if err != nil {
+			t.Fatalf("%s: Apply: %v", s.Name(), err)
+		}
+		if !cost.Rebuilt || cost.Cycles < p.OHostSend {
+			t.Fatalf("%s: join cost = %+v, want a full regeneration at >= OHostSend", s.Name(), cost)
+		}
+	}
+}
+
+// TestRedundantDeltasAreFree pins the no-op contract: joining a member,
+// removing a non-member, or joining the source costs nothing and changes
+// nothing.
+func TestRedundantDeltasAreFree(t *testing.T) {
+	rt := routed(t, 5)
+	p := sim.DefaultParams()
+	r := rng.New(17)
+	for _, s := range schemes() {
+		src, members := drawGroup(r, rt.Topo.NumNodes, 6)
+		pl := New(s)
+		if _, err := pl.Init(rt, p, src, members, 128); err != nil {
+			t.Fatalf("%s: Init: %v", s.Name(), err)
+		}
+		outsider := topology.NodeID(-1)
+		for v := 0; v < rt.Topo.NumNodes; v++ {
+			n := topology.NodeID(v)
+			if n != src && memberIndex(members, n) < 0 {
+				outsider = n
+				break
+			}
+		}
+		for name, ev := range map[string]sim.MembershipEvent{
+			"join member":      {At: 1, Node: members[0], Kind: sim.MemberJoin},
+			"leave non-member": {At: 2, Node: outsider, Kind: sim.MemberLeave},
+			"join source":      {At: 3, Node: src, Kind: sim.MemberJoin},
+		} {
+			_, cost, err := pl.Apply(rt, p, ev, 128)
+			if err != nil {
+				t.Fatalf("%s %s: Apply: %v", s.Name(), name, err)
+			}
+			if cost != (RepairCost{}) {
+				t.Fatalf("%s %s: cost = %+v, want zero", s.Name(), name, cost)
+			}
+			if got := pl.Members(); len(got) != len(members) {
+				t.Fatalf("%s %s: membership changed to %v", s.Name(), name, got)
+			}
+		}
+	}
+}
+
+func TestApplyBeforeInitErrors(t *testing.T) {
+	rt := routed(t, 6)
+	for _, s := range schemes() {
+		pl := New(s)
+		ev := sim.MembershipEvent{At: 1, Node: 1, Kind: sim.MemberJoin}
+		if _, _, err := pl.Apply(rt, sim.DefaultParams(), ev, 128); err == nil {
+			t.Fatalf("%s: Apply before Init succeeded", s.Name())
+		}
+	}
+}

@@ -71,6 +71,16 @@ type Snapshot struct {
 	FarLen     int64  `json:"far_len"`    // overflow-heap entries at At
 	FarPosts   uint64 `json:"far_posts"`  // posts beyond the calendar window this interval
 	Migrations uint64 `json:"migrations"` // far→ring migrations this interval
+
+	// Dynamic-group series, indexed by GroupID; present only on runs with
+	// registered groups (see sim/group.go). GroupSize is instantaneous at
+	// At; the remaining fields are cumulative as of At (membership churn
+	// is far sparser than the sampling cadence, and the churn experiment
+	// reads absolute counts), so the recorder does not difference them.
+	GroupSize    []int64 `json:"group_size,omitempty"`    // per group: members at At
+	GroupStale   []int64 `json:"group_stale,omitempty"`   // per group: stale deliveries so far
+	GroupMissed  []int64 `json:"group_missed,omitempty"`  // per group: missed deliveries so far
+	GroupRepairs []int64 `json:"group_repairs,omitempty"` // per group: plan repairs so far
 }
 
 // Bundle is one cell's complete observation: topology labels plus the

@@ -66,6 +66,9 @@ const (
 	// while traffic is in flight (actor nil). Never posted when obs is
 	// disabled, so the kind costs nothing on ordinary runs.
 	evObsFlush
+	// evMembership applies one scheduled group membership change
+	// (actor *MembershipEvent). Never posted without registered groups.
+	evMembership
 )
 
 // registerKinds installs the network's jump table. Handlers close over n
@@ -103,4 +106,5 @@ func (n *Network) registerKinds() {
 	})
 	q.Register(evReclaim, func(a any, _ int64) { n.reclaimBranch(a.(*branch)) })
 	q.Register(evObsFlush, func(_ any, _ int64) { n.obsTick() })
+	q.Register(evMembership, func(a any, _ int64) { n.applyMembership(a.(*MembershipEvent)) })
 }

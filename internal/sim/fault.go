@@ -103,6 +103,13 @@ func (n *Network) killBranch(br *branch) {
 	} else if br.ch != nil && br.ch.sender == br {
 		br.ch.sender = nil
 	}
+	// A killed injection-line branch never reaches its tail, so no evTail
+	// will unwind the NI's streaming state: do it here, or every burst
+	// queued behind it waits forever. A dead (orphaned) NI resets its own
+	// injection side instead.
+	if br.injNI != nil && !br.injNI.dead {
+		br.injNI.streamDone(br.injLast)
+	}
 	n.queue.PostAfter(n.reclaimAfter, evReclaim, br, 0)
 	if br.occ != nil {
 		// Advance eviction before detaching: detaching can recycle the
@@ -263,6 +270,9 @@ func (n *Network) failDest(m *Message, d topology.NodeID) {
 	if m.remaining == 0 {
 		n.outstanding--
 		n.stats.MessagesDone++
+		if m.group != nil {
+			n.groupMsgDone(m)
+		}
 		if m.onComplete != nil {
 			m.onComplete(m)
 		}

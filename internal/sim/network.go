@@ -29,6 +29,11 @@ type Stats struct {
 	WormsKilled  int64 // worms torn down by the fault layer
 	DestsFailed  int64 // destination deliveries declared failed
 	Reconfigs    int64 // routing-table rebuilds that completed
+
+	// Dynamic-group counters (all zero without registered groups).
+	MembershipEvents int64 // applied (non-redundant) join/leave events
+	StaleDeliveries  int64 // deliveries to nodes that had left the group
+	MissedDeliveries int64 // in-flight snapshots that excluded a joiner
 }
 
 // switchState holds one switch's per-port runtime structures; unwired
@@ -101,6 +106,9 @@ type Network struct {
 	// table swap bumps it, and the route cache flushes when it lags.
 	routingEpoch int
 	cache        routeCache
+
+	// Dynamic multicast groups (see group.go); empty on static runs.
+	groups []*Group
 
 	// Topology/routing precomputes rebuilt alongside the tables.
 	nodesAt    [][]topology.NodeID // nodes attached to each switch

@@ -330,6 +330,9 @@ func (n *Network) destDone(m *Message, node topology.NodeID) {
 	}
 	m.DoneAt[node] = n.queue.Now()
 	m.remaining--
+	if m.group != nil {
+		n.groupNoteDelivered(m, node)
+	}
 	if m.OnDestDone != nil {
 		m.OnDestDone(m, node)
 	}
@@ -341,6 +344,9 @@ func (n *Network) destDone(m *Message, node topology.NodeID) {
 	if m.remaining == 0 {
 		n.outstanding--
 		n.stats.MessagesDone++
+		if m.group != nil {
+			n.groupMsgDone(m)
+		}
 		if m.onComplete != nil {
 			m.onComplete(m)
 		}
@@ -410,9 +416,9 @@ func (x *ni) abortMessage(m *Message) {
 	}
 	x.injWait = keep
 	if br := x.inj.sender; br != nil && !br.done && br.w.msg == m {
+		// killBranch unwinds the streaming state and starts the next burst.
 		x.net.killBranch(br)
 		x.net.killDownstream(br)
-		x.streamDone(br.injLast) // unwind streaming state and start the next burst
 	}
 	x.promoteWaiting()
 	for w := range x.rxFlits {

@@ -98,6 +98,18 @@ func (n *Network) obsFlush() {
 			s.NISend[node] = int64(len(x.ready) + len(x.injWait))
 			s.NIRecv[node] = int64(len(x.rxFlits))
 		}
+		if len(n.groups) > 0 {
+			s.GroupSize = make([]int64, len(n.groups))
+			s.GroupStale = make([]int64, len(n.groups))
+			s.GroupMissed = make([]int64, len(n.groups))
+			s.GroupRepairs = make([]int64, len(n.groups))
+			for gi, g := range n.groups {
+				s.GroupSize[gi] = int64(g.Size())
+				s.GroupStale[gi] = g.stale
+				s.GroupMissed[gi] = g.missed
+				s.GroupRepairs[gi] = g.repairs
+			}
+		}
 		s.FlitHops = n.stats.FlitHops
 		es := n.queue.EngineStats()
 		s.Events = es.Processed

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"mcastsim/internal/bitset"
 	"mcastsim/internal/event"
 	"mcastsim/internal/topology"
 )
@@ -265,7 +266,17 @@ type Message struct {
 
 	remaining  int
 	onComplete func(*Message)
+
+	// group/snapshot tag a dynamic-group send (see group.go): snapshot is
+	// the pooled membership fingerprint taken at send time, recycled at
+	// completion. Both nil on plain sends.
+	group    *Group
+	snapshot *bitset.Set
 }
+
+// Group returns the dynamic group this message was addressed to, or nil
+// for a plain send.
+func (m *Message) Group() *Group { return m.group }
 
 // Latency returns the multicast completion latency: last destination's host
 // receive completion minus initiation. It panics if the message has not

@@ -84,9 +84,10 @@ type hopEntry struct {
 }
 
 type routeCache struct {
-	epoch    int // routingEpoch the entries were computed under
-	disabled bool
-	flushes  int // epoch-lag flushes performed (test observability)
+	epoch       int // routingEpoch the entries were computed under
+	disabled    bool
+	flushes     int // epoch-lag flushes performed (test observability)
+	groupInvals int // per-group membership invalidations (test observability)
 
 	climb map[uint64]*climbEntry
 	part  map[partKey]*partEntry
@@ -110,6 +111,32 @@ func (c *routeCache) sync(n *Network) {
 	clear(c.climb)
 	clear(c.part)
 	clear(c.hops)
+}
+
+// invalidateIntersecting drops every set-keyed entry whose keying set
+// intersects delta — the per-group invalidation a membership change
+// triggers instead of a global epoch flush. Next-hop entries are keyed
+// by (switch, phase, destination switch), not by destination set, and
+// stay valid across membership changes. Which entries are deleted is a
+// pure predicate of the stored sets, so the surviving cache contents are
+// deterministic despite map iteration order; RNG transparency is
+// untouched (an invalidated partition recomputes and consumes its
+// shuffle naturally, exactly as a cold miss would).
+func (c *routeCache) invalidateIntersecting(delta *bitset.Set) {
+	if c.disabled {
+		return
+	}
+	c.groupInvals++
+	for fp, e := range c.climb {
+		if e.set.Intersects(delta) {
+			delete(c.climb, fp)
+		}
+	}
+	for k, e := range c.part {
+		if e.set.Intersects(delta) {
+			delete(c.part, k)
+		}
+	}
 }
 
 // climbDist returns the per-switch shortest all-up-hop distance field to

@@ -23,6 +23,11 @@ const (
 	TraceFault
 	// TraceKill: a worm was torn down by the fault layer.
 	TraceKill
+	// TraceMember: a group membership event was applied (Node is the
+	// joining/leaving node, Msg carries the GroupID, Pkt the
+	// MembershipKind). Zero-churn runs emit none, so static traces are
+	// unchanged.
+	TraceMember
 )
 
 func (k TraceKind) String() string {
@@ -41,6 +46,8 @@ func (k TraceKind) String() string {
 		return "fault"
 	case TraceKill:
 		return "kill"
+	case TraceMember:
+		return "member"
 	default:
 		return "?"
 	}

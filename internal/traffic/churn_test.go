@@ -1,0 +1,285 @@
+package traffic
+
+import (
+	"reflect"
+	"testing"
+
+	"mcastsim/internal/event"
+	"mcastsim/internal/mcast"
+	"mcastsim/internal/mcast/kbinomial"
+	"mcastsim/internal/mcast/pathworm"
+	"mcastsim/internal/mcast/treeworm"
+	"mcastsim/internal/obs"
+	"mcastsim/internal/rng"
+	"mcastsim/internal/sim"
+	"mcastsim/internal/topology"
+	"mcastsim/internal/updown"
+)
+
+func churnWorkload(sch mcast.Scheme, seed uint64) Workload {
+	return Workload{Scheme: sch, Params: sim.DefaultParams(),
+		Degree: 8, MsgFlits: 64, Seed: seed}
+}
+
+func quickChurn(events int) ChurnSpec {
+	return ChurnSpec{Probes: 3, Events: events, Horizon: 8_000, SendEvery: 1_000}
+}
+
+// staticComparator replays zero-churn churn mode by hand with plain
+// sends: the same master-RNG draws, the same per-probe arbitration seeds,
+// the same send cadence and post-probe — but no group, no schedule, no
+// planner. Zero churn must be byte-identical to this.
+func staticComparator(t *testing.T, rt *updown.Routing, w Workload, spec ChurnSpec, trace func(sim.TraceEvent), rec *obs.Recorder) {
+	t.Helper()
+	numNodes := rt.Topo.NumNodes
+	r := rng.New(w.Seed)
+	for i := 0; i < spec.Probes; i++ {
+		src, members := randomSet(r, numNodes, w.Degree)
+		var opts []sim.Option
+		if trace != nil {
+			opts = append(opts, sim.WithTrace(trace))
+		}
+		if rec != nil {
+			opts = append(opts, sim.WithObs(rec))
+		}
+		n, err := sim.New(rt, w.Params, rng.Mix(w.Seed, saltChurnArb, uint64(i)), opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := w.Scheme.Plan(rt, w.Params, src, members, w.MsgFlits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sendErr error
+		var sendTick func()
+		sendTick = func() {
+			now := n.Now()
+			if sendErr != nil || now > spec.Horizon {
+				return
+			}
+			if _, err := n.Send(plan, w.MsgFlits, now, nil); err != nil {
+				sendErr = err
+				return
+			}
+			if now+spec.SendEvery <= spec.Horizon {
+				n.Schedule(now+spec.SendEvery, sendTick)
+			}
+		}
+		n.Schedule(0, sendTick)
+		if err := n.Drain(0); err != nil {
+			t.Fatal(err)
+		}
+		if sendErr != nil {
+			t.Fatal(sendErr)
+		}
+		if _, err := n.Send(plan, w.MsgFlits, n.Now(), nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := n.Drain(0); err != nil {
+			t.Fatal(err)
+		}
+		n.FlushObs()
+	}
+}
+
+// TestZeroChurnTraceMatchesStatic pins the zero-churn equivalence: a
+// churn run with an empty membership schedule emits the exact TraceEvent
+// stream of the static comparator — the group machinery, the planner
+// wrapper and the pooled snapshots are all trace-invisible — with obs
+// attached and without.
+func TestZeroChurnTraceMatchesStatic(t *testing.T) {
+	rt := routed(t, 21)
+	for _, withObs := range []bool{false, true} {
+		for _, sch := range []mcast.Scheme{kbinomial.New(), treeworm.New(), pathworm.New()} {
+			w := churnWorkload(sch, 1234)
+			spec := quickChurn(0)
+
+			var churnTrace []sim.TraceEvent
+			var rec *obs.Recorder
+			if withObs {
+				rec = obs.NewRecorder(obs.Config{})
+			}
+			opts := []Option{WithChurn(spec), WithTrace(func(ev sim.TraceEvent) {
+				churnTrace = append(churnTrace, ev)
+			})}
+			if rec != nil {
+				opts = append(opts, WithObs(rec))
+			}
+			res, err := Run(rt, w, opts...)
+			if err != nil {
+				t.Fatalf("%s obs=%v: %v", sch.Name(), withObs, err)
+			}
+			for _, pr := range res.Churn {
+				if pr.Stale != 0 || pr.Missed != 0 || pr.Repairs != 0 {
+					t.Fatalf("%s: zero churn produced stale=%d missed=%d repairs=%d",
+						sch.Name(), pr.Stale, pr.Missed, pr.Repairs)
+				}
+				if pr.FinalMembers != w.Degree {
+					t.Fatalf("%s: membership moved to %d without events", sch.Name(), pr.FinalMembers)
+				}
+			}
+
+			var staticTrace []sim.TraceEvent
+			var rec2 *obs.Recorder
+			if withObs {
+				rec2 = obs.NewRecorder(obs.Config{})
+			}
+			staticComparator(t, rt, w, spec, func(ev sim.TraceEvent) {
+				staticTrace = append(staticTrace, ev)
+			}, rec2)
+
+			if len(churnTrace) == 0 {
+				t.Fatalf("%s: churn run emitted no trace events", sch.Name())
+			}
+			if len(churnTrace) != len(staticTrace) {
+				t.Fatalf("%s obs=%v: trace length diverged: churn %d, static %d",
+					sch.Name(), withObs, len(churnTrace), len(staticTrace))
+			}
+			for i := range churnTrace {
+				if churnTrace[i] != staticTrace[i] {
+					t.Fatalf("%s obs=%v: trace diverged at event %d:\n churn:  %+v\n static: %+v",
+						sch.Name(), withObs, i, churnTrace[i], staticTrace[i])
+				}
+			}
+		}
+	}
+}
+
+// TestChurnSeedsPairwiseDistinct is the seed-discipline regression: every
+// derived stream seed in churn mode (arbitration and schedule, across
+// probes and across nearby workload seeds) must be pairwise distinct —
+// the additive-derivation bug class makes adjacent cells collide.
+func TestChurnSeedsPairwiseDistinct(t *testing.T) {
+	seen := map[uint64]string{}
+	note := func(s uint64, what string) {
+		if prev, ok := seen[s]; ok {
+			t.Fatalf("seed collision: %s and %s both derive %#x", prev, what, s)
+		}
+		seen[s] = what
+	}
+	for _, base := range []uint64{1998, 1999, 2000} {
+		note(base, "workload")
+		for probe := 0; probe < 8; probe++ {
+			note(rng.Mix(base, saltChurnArb, uint64(probe)), "arb")
+			note(rng.Mix(base, saltChurnSched, uint64(probe)), "sched")
+		}
+	}
+}
+
+func TestChurnScheduleRespectsBounds(t *testing.T) {
+	spec := ChurnSpec{Events: 200, Horizon: 10_000, MinMembers: 3, MaxMembers: 6}
+	initial := []topology.NodeID{1, 2, 3, 4}
+	ms := churnSchedule(42, 0, 32, 0, initial, spec)
+	if len(ms.Events) != spec.Events {
+		t.Fatalf("schedule has %d events, want %d", len(ms.Events), spec.Events)
+	}
+	size := len(initial)
+	var last event.Time
+	for i, ev := range ms.Events {
+		if ev.At < last {
+			t.Fatalf("event %d out of order: %d after %d", i, ev.At, last)
+		}
+		last = ev.At
+		if ev.At < 1 || ev.At > spec.Horizon {
+			t.Fatalf("event %d at %d outside (0, %d]", i, ev.At, spec.Horizon)
+		}
+		if ev.Node == 0 {
+			t.Fatal("the source was scheduled to join/leave")
+		}
+		if ev.Kind == sim.MemberJoin {
+			size++
+		} else {
+			size--
+		}
+		if size < spec.MinMembers || size > spec.MaxMembers {
+			t.Fatalf("event %d drives membership to %d, bounds [%d, %d]",
+				i, size, spec.MinMembers, spec.MaxMembers)
+		}
+	}
+	// Determinism: same seed, same schedule.
+	if !reflect.DeepEqual(ms, churnSchedule(42, 0, 32, 0, initial, spec)) {
+		t.Fatal("churnSchedule is not deterministic")
+	}
+	if reflect.DeepEqual(ms, churnSchedule(43, 0, 32, 0, initial, spec)) {
+		t.Fatal("adjacent seeds produced the same schedule")
+	}
+}
+
+// TestRunChurnAllSchemes smoke-tests real churn per scheme and checks the
+// architectural asymmetry: the NI scheme repairs by splicing (never a
+// rebuild), the header-encoded schemes rebuild on every delta.
+func TestRunChurnAllSchemes(t *testing.T) {
+	rt := routed(t, 22)
+	for _, sch := range []mcast.Scheme{kbinomial.New(), treeworm.New(), pathworm.New()} {
+		res, err := Run(rt, churnWorkload(sch, 77), WithChurn(quickChurn(12)))
+		if err != nil {
+			t.Fatalf("%s: %v", sch.Name(), err)
+		}
+		if len(res.Churn) != 3 {
+			t.Fatalf("%s: %d probes, want 3", sch.Name(), len(res.Churn))
+		}
+		for i, pr := range res.Churn {
+			if pr.Sent == 0 || pr.Delivered == 0 || pr.Delivered != pr.TotalDests {
+				t.Fatalf("%s probe %d: sent=%d delivered=%d/%d (fault-free churn loses nothing)",
+					sch.Name(), i, pr.Sent, pr.Delivered, pr.TotalDests)
+			}
+			// The generator never emits redundant events, so every event
+			// applies and every applied event triggers one repair.
+			if pr.Joins+pr.Leaves != 12 || pr.Repairs != 12 {
+				t.Fatalf("%s probe %d: joins=%d leaves=%d repairs=%d, want 12 events and repairs",
+					sch.Name(), i, pr.Joins, pr.Leaves, pr.Repairs)
+			}
+			if pr.RepairCycles <= 0 || pr.RepairEdges <= 0 {
+				t.Fatalf("%s probe %d: free repairs (cycles=%d edges=%d)",
+					sch.Name(), i, pr.RepairCycles, pr.RepairEdges)
+			}
+			switch sch.(type) {
+			case kbinomial.Scheme:
+				if pr.Rebuilds != 0 {
+					t.Fatalf("NI scheme rebuilt %d times; splices expected", pr.Rebuilds)
+				}
+			default:
+				if pr.Rebuilds != pr.Repairs {
+					t.Fatalf("%s: %d rebuilds of %d repairs; header schemes always regenerate",
+						sch.Name(), pr.Rebuilds, pr.Repairs)
+				}
+			}
+			if pr.PostTotal == 0 || pr.PostDelivered != pr.PostTotal {
+				t.Fatalf("%s probe %d: post-churn probe delivered %d/%d",
+					sch.Name(), i, pr.PostDelivered, pr.PostTotal)
+			}
+		}
+	}
+}
+
+func TestRunChurnDeterministic(t *testing.T) {
+	rt := routed(t, 23)
+	run := func() []ChurnProbe {
+		res, err := Run(rt, churnWorkload(treeworm.New(), 5), WithChurn(quickChurn(8)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Churn
+	}
+	if !reflect.DeepEqual(run(), run()) {
+		t.Fatal("identical churn runs diverged")
+	}
+}
+
+func TestRunChurnRejectsBadConfig(t *testing.T) {
+	rt := routed(t, 24)
+	w := churnWorkload(treeworm.New(), 5)
+	for name, spec := range map[string]ChurnSpec{
+		"no probes":       {Probes: 0, Horizon: 100, SendEvery: 10},
+		"no horizon":      {Probes: 1, Horizon: 0, SendEvery: 10},
+		"no cadence":      {Probes: 1, Horizon: 100, SendEvery: 0},
+		"negative events": {Probes: 1, Events: -1, Horizon: 100, SendEvery: 10},
+	} {
+		if _, err := Run(rt, w, WithChurn(spec)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if _, err := Run(rt, w, WithChurn(quickChurn(0)), WithLoad(LoadSpec{})); err == nil {
+		t.Error("WithChurn+WithLoad accepted")
+	}
+}

@@ -75,6 +75,8 @@ type Result struct {
 	Load *LoadResult
 	// Faults holds per-probe reliable-delivery outcomes (fault mode).
 	Faults []FaultProbe
+	// Churn holds per-probe dynamic-group outcomes (churn mode).
+	Churn []ChurnProbe
 }
 
 // runOpts is the collected option state for one Run.
@@ -83,6 +85,7 @@ type runOpts struct {
 	load   *LoadSpec
 	mixed  *MixedSpec
 	fault  *FaultSpec
+	churn  *ChurnSpec
 	rec    *obs.Recorder
 	trace  func(sim.TraceEvent)
 }
@@ -109,9 +112,17 @@ func WithMixed(m MixedSpec) Option {
 }
 
 // WithFaults selects reliable-delivery-under-faults mode. Mutually
-// exclusive with WithLoad and WithMixed.
+// exclusive with WithLoad, WithMixed and WithChurn.
 func WithFaults(f FaultSpec) Option {
 	return func(o *runOpts) { o.fault = &f }
+}
+
+// WithChurn selects dynamic-group churn mode: seeded join/leave streams
+// mutate a multicast group's membership while the source keeps sending
+// to it, with incremental plan repair (see ChurnSpec). Mutually
+// exclusive with WithLoad, WithMixed and WithFaults.
+func WithChurn(c ChurnSpec) Option {
+	return func(o *runOpts) { o.churn = &c }
 }
 
 // WithObs attaches a telemetry recorder to every network the run
@@ -153,13 +164,13 @@ func Run(rt *updown.Routing, w Workload, opts ...Option) (Result, error) {
 		f(&o)
 	}
 	modes := 0
-	for _, set := range []bool{o.load != nil, o.mixed != nil, o.fault != nil} {
+	for _, set := range []bool{o.load != nil, o.mixed != nil, o.fault != nil, o.churn != nil} {
 		if set {
 			modes++
 		}
 	}
 	if modes > 1 {
-		return Result{}, fmt.Errorf("traffic: WithLoad, WithMixed and WithFaults are mutually exclusive")
+		return Result{}, fmt.Errorf("traffic: WithLoad, WithMixed, WithFaults and WithChurn are mutually exclusive")
 	}
 	switch {
 	case o.load != nil:
@@ -180,6 +191,12 @@ func Run(rt *updown.Routing, w Workload, opts ...Option) (Result, error) {
 			return Result{}, err
 		}
 		return Result{Faults: probes}, nil
+	case o.churn != nil:
+		probes, err := runChurn(rt, w, *o.churn, &o)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Churn: probes}, nil
 	default:
 		lats, err := runSingle(rt, w, o.probes, &o)
 		if err != nil {
