@@ -351,6 +351,21 @@ func BenchmarkTreeStorm(b *testing.B) {
 	benchcase.TreeStorm(b)
 }
 
+// BenchmarkHeaderEncode is the destination-coding benchmark from the
+// scale sweep: flat vs interval header encoding of a 1056-destination
+// rack-clustered set in a 101k-host universe (see internal/benchcase).
+func BenchmarkHeaderEncode(b *testing.B) {
+	benchcase.HeaderEncode(b)
+}
+
+// BenchmarkTopologyGen builds the scale sweep's L-tier fat-tree (1088
+// switches, 101376 hosts) plus its up*/down* routing per op, guarding
+// the O(N+S) generation and routing-construction paths (see
+// internal/benchcase).
+func BenchmarkTopologyGen(b *testing.B) {
+	benchcase.TopologyGen(b)
+}
+
 // --- simulator micro-benchmarks ---
 
 // BenchmarkSimCore measures raw simulator throughput: one isolated 16-way

@@ -70,15 +70,37 @@ var (
 		NsPerOp:    2.54e9,
 		Iterations: 1,
 	}
+	// Frozen at introduction (PR 7, scale sweep). The throughput field
+	// carries each benchmark's own rate metric: headers/sec for
+	// HeaderEncode, switches/sec for TopologyGen.
+	headerEncodeBaseline = benchMetrics{
+		NsPerOp:      10_868,
+		EventsPerSec: 184_028,
+		Iterations:   220_412,
+	}
+	topologyGenBaseline = benchMetrics{
+		NsPerOp:      80.6e6,
+		AllocsPerOp:  32_577,
+		BytesPerOp:   105_692_220,
+		EventsPerSec: 13_500,
+		Iterations:   27,
+	}
 )
 
 func measure(f func(b *testing.B)) benchMetrics {
+	return measureRate(f, "events/sec")
+}
+
+// measureRate runs f once through testing.Benchmark, reading the named
+// custom metric into the throughput field (different benchmarks report
+// different rates; the gate only ever compares like against like).
+func measureRate(f func(b *testing.B), rateKey string) benchMetrics {
 	r := testing.Benchmark(f)
 	m := benchMetrics{
 		NsPerOp:      float64(r.NsPerOp()),
 		AllocsPerOp:  float64(r.AllocsPerOp()),
 		BytesPerOp:   float64(r.AllocedBytesPerOp()),
-		EventsPerSec: r.Extra["events/sec"],
+		EventsPerSec: r.Extra[rateKey],
 		EventsPerOp:  r.Extra["events/op"],
 		Iterations:   r.N,
 	}
@@ -111,6 +133,10 @@ func runEmitBench(path, gatePath string) error {
 	drain := measure(benchcase.DrainLarge)
 	fmt.Fprintln(os.Stderr, "mcastsim: measuring SweepParallel...")
 	sweep := measure(benchcase.SweepParallel)
+	fmt.Fprintln(os.Stderr, "mcastsim: measuring HeaderEncode...")
+	hdr := measureRate(benchcase.HeaderEncode, "headers/sec")
+	fmt.Fprintln(os.Stderr, "mcastsim: measuring TopologyGen...")
+	topo := measureRate(benchcase.TopologyGen, "switches/sec")
 
 	out := benchFile{
 		Note: "PR 4 route-cache benchmarks; baselines frozen on the PR 3 engine (calendar queue, uncached routing, per-decision allocation)",
@@ -118,6 +144,8 @@ func runEmitBench(path, gatePath string) error {
 			"TreeStorm":     record(treeStormBaseline, tree),
 			"DrainLarge":    record(drainLargeBaseline, drain),
 			"SweepParallel": record(sweepParallelBaseline, sweep),
+			"HeaderEncode":  record(headerEncodeBaseline, hdr),
+			"TopologyGen":   record(topologyGenBaseline, topo),
 		},
 	}
 	data, err := json.MarshalIndent(out, "", "  ")
@@ -137,6 +165,8 @@ func runEmitBench(path, gatePath string) error {
 			"TreeStorm":     tree,
 			"DrainLarge":    drain,
 			"SweepParallel": sweep,
+			"HeaderEncode":  hdr,
+			"TopologyGen":   topo,
 		})
 	}
 	return nil

@@ -10,6 +10,8 @@ import (
 	"runtime"
 	"testing"
 
+	"mcastsim/internal/bitset"
+	"mcastsim/internal/destset"
 	"mcastsim/internal/event"
 	"mcastsim/internal/experiment"
 	"mcastsim/internal/mcast"
@@ -275,5 +277,81 @@ func SweepParallel(b *testing.B) {
 		if _, err := experiment.Fig9LoadVsR(cfg); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// headerEncodeSpec pins the HeaderEncode workload: destination-header
+// sizing and encoding for a rack-clustered multicast on the scale
+// sweep's large fat-tree (101376 hosts), the per-injection work the
+// interval coding adds to the sim hot path. Each op processes one
+// 8-rack set under both codings: the flat bit-string append and the
+// zero-alloc interval helpers (size + fingerprint + append) the
+// simulator and route cache call.
+const (
+	hdrRacks        = 8
+	hdrHostsPerRack = 132
+	hdrUniverse     = 101_376
+)
+
+// HeaderEncode is the header-encoding benchmark added for the scale
+// sweep: flat vs interval destination coding over a 1056-destination
+// rack-clustered set in a 101k-host universe. It reports headers/sec
+// (one header = one coding of the whole set).
+func HeaderEncode(b *testing.B) {
+	set := bitset.New(hdrUniverse)
+	r := rng.New(0x4ead_e2)
+	for _, rack := range r.Sample(hdrUniverse/hdrHostsPerRack, hdrRacks) {
+		base := rack * hdrHostsPerRack
+		for i := 0; i < hdrHostsPerRack; i++ {
+			set.Add(base + i)
+		}
+	}
+	flat := destset.FromBits(destset.Flat, set)
+	buf := make([]byte, 0, 1+(hdrUniverse+7)/8)
+	var sink uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = flat.AppendEncoded(buf[:0])
+		sink += uint64(len(buf))
+		sink += uint64(destset.IvalBytesOf(set))
+		sink ^= destset.IvalFingerprintOf(set)
+		buf = destset.AppendIvalEncoded(buf[:0], set)
+		sink += uint64(len(buf))
+	}
+	b.StopTimer()
+	if sink == 0 {
+		b.Fatal("benchcase: header encode produced nothing")
+	}
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(2*b.N)/s, "headers/sec")
+	}
+}
+
+// TopologyGen is the large-topology construction benchmark: build the
+// scale sweep's L-tier fat-tree (1088 switches, 101376 hosts) and its
+// up*/down* routing state per op. It guards the O(N+S) scale paths —
+// incremental free-port generation, NodesBySwitch indexing, and the
+// table-free updown construction — against quadratic regressions.
+func TopologyGen(b *testing.B) {
+	cfg := topology.FatTreeConfig{
+		Pods: 32, EdgePerPod: 24, AggPerPod: 8, CoreUplinksPerAgg: 8, HostsPerEdge: 132,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var switches uint64
+	for i := 0; i < b.N; i++ {
+		t, err := topology.FatTree(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := updown.New(t); err != nil {
+			b.Fatal(err)
+		}
+		switches += uint64(t.NumSwitches)
+	}
+	b.StopTimer()
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(switches)/s, "switches/sec")
 	}
 }

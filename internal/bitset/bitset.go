@@ -275,6 +275,92 @@ func (s *Set) ForEach(fn func(i int) bool) {
 	}
 }
 
+// ForEachRun calls fn for every maximal run [lo, hi] of consecutive set
+// bits, in ascending order; fn returning false stops the iteration early.
+// Runs are the unit of the interval-coded destination header (package
+// destset), and this walks them word-at-a-time without allocating, so the
+// simulator can size and fingerprint compressed headers on the hot path.
+func (s *Set) ForEachRun(fn func(lo, hi int) bool) {
+	runStart, runEnd := -1, -1
+	for wi, w := range s.words {
+		base := wi * wordBits
+		for w != 0 {
+			start := bits.TrailingZeros64(w)
+			// Length of the 1-run beginning at start. w>>start zero-fills
+			// from the top, so ^(w>>start) is 0 only when start == 0 and w
+			// is all ones — TrailingZeros64 then returns 64, still correct.
+			length := bits.TrailingZeros64(^(w >> uint(start)))
+			lo, hi := base+start, base+start+length-1
+			if runStart >= 0 && lo == runEnd+1 {
+				runEnd = hi // continues a run across the word boundary
+			} else {
+				if runStart >= 0 && !fn(runStart, runEnd) {
+					return
+				}
+				runStart, runEnd = lo, hi
+			}
+			if start+length >= wordBits {
+				w = 0
+			} else {
+				w &^= ((1 << uint(length)) - 1) << uint(start)
+			}
+		}
+	}
+	if runStart >= 0 {
+		fn(runStart, runEnd)
+	}
+}
+
+// rangeMasks yields the word index range and edge masks covering [lo, hi].
+func rangeWords(lo, hi int) (wLo, wHi int, mLo, mHi uint64) {
+	wLo, wHi = lo/wordBits, hi/wordBits
+	mLo = ^uint64(0) << (uint(lo) % wordBits)
+	mHi = ^uint64(0) >> (wordBits - 1 - uint(hi)%wordBits)
+	return
+}
+
+// AnyInRange reports whether any bit in [lo, hi] is set, allocating
+// nothing. It is the interval backend's Intersects primitive.
+func (s *Set) AnyInRange(lo, hi int) bool {
+	if lo > hi {
+		return false
+	}
+	s.check(lo)
+	s.check(hi)
+	wLo, wHi, mLo, mHi := rangeWords(lo, hi)
+	if wLo == wHi {
+		return s.words[wLo]&mLo&mHi != 0
+	}
+	if s.words[wLo]&mLo != 0 || s.words[wHi]&mHi != 0 {
+		return true
+	}
+	for wi := wLo + 1; wi < wHi; wi++ {
+		if s.words[wi] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// CountRange returns the number of set bits in [lo, hi], allocating
+// nothing. It is the interval backend's AndCount primitive.
+func (s *Set) CountRange(lo, hi int) int {
+	if lo > hi {
+		return 0
+	}
+	s.check(lo)
+	s.check(hi)
+	wLo, wHi, mLo, mHi := rangeWords(lo, hi)
+	if wLo == wHi {
+		return bits.OnesCount64(s.words[wLo] & mLo & mHi)
+	}
+	c := bits.OnesCount64(s.words[wLo]&mLo) + bits.OnesCount64(s.words[wHi]&mHi)
+	for wi := wLo + 1; wi < wHi; wi++ {
+		c += bits.OnesCount64(s.words[wi])
+	}
+	return c
+}
+
 // String renders the set as the paper draws headers: a bit string with bit 0
 // leftmost, e.g. "01001000" (length capped with an ellipsis for big sets).
 func (s *Set) String() string {

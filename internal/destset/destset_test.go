@@ -1,0 +1,290 @@
+package destset
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"mcastsim/internal/bitset"
+)
+
+// TestPropertyBackendsEquivalent drives Flat and Ival backends through
+// identical random Add/Remove sequences over random universes and
+// requires every observation (Contains, Count, Indices, Intersects,
+// AndCount, HeaderBytes consistency with AppendEncoded, Fingerprint
+// stability) to agree — the ISSUE's semantic-equivalence property test.
+func TestPropertyBackendsEquivalent(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		universe := 1 + r.Intn(700)
+		flat := New(Flat, universe)
+		ival := New(Ival, universe)
+		ref := bitset.New(universe) // independent oracle
+
+		ops := 1 + r.Intn(300)
+		for op := 0; op < ops; op++ {
+			i := r.Intn(universe)
+			if r.Intn(3) == 0 {
+				flat.Remove(i)
+				ival.Remove(i)
+				ref.Remove(i)
+			} else {
+				flat.Add(i)
+				ival.Add(i)
+				ref.Add(i)
+			}
+		}
+
+		if flat.Count() != ref.Count() || ival.Count() != ref.Count() {
+			t.Fatalf("trial %d: counts flat=%d ival=%d ref=%d", trial, flat.Count(), ival.Count(), ref.Count())
+		}
+		if flat.Empty() != ref.Empty() || ival.Empty() != ref.Empty() {
+			t.Fatalf("trial %d: Empty disagrees", trial)
+		}
+		for probe := 0; probe < 32; probe++ {
+			i := r.Intn(universe)
+			if flat.Contains(i) != ref.Contains(i) || ival.Contains(i) != ref.Contains(i) {
+				t.Fatalf("trial %d: Contains(%d) disagrees", trial, i)
+			}
+		}
+		if !reflect.DeepEqual(flat.Indices(), ival.Indices()) {
+			t.Fatalf("trial %d: Indices disagree:\nflat %v\nival %v", trial, flat.Indices(), ival.Indices())
+		}
+		if !flat.Equal(ival) || !ival.Equal(flat) {
+			t.Fatalf("trial %d: cross-backend Equal is false for equal sets", trial)
+		}
+
+		// Intersects/AndCount against a random mask.
+		mask := bitset.New(universe)
+		for j := 0; j < universe/3+1; j++ {
+			mask.Add(r.Intn(universe))
+		}
+		if flat.Intersects(mask) != ival.Intersects(mask) {
+			t.Fatalf("trial %d: Intersects disagrees", trial)
+		}
+		if a, b := flat.AndCount(mask), ival.AndCount(mask); a != b {
+			t.Fatalf("trial %d: AndCount flat=%d ival=%d", trial, a, b)
+		}
+
+		// Encoded-size accounting and the zero-alloc bitset mirrors.
+		for _, s := range []DestSet{flat, ival} {
+			if got := len(s.AppendEncoded(nil)); got != s.HeaderBytes() {
+				t.Fatalf("trial %d: %v encoded %d bytes, HeaderBytes says %d", trial, s.Backend(), got, s.HeaderBytes())
+			}
+		}
+		if got, want := IvalBytesOf(ref), ival.HeaderBytes(); got != want {
+			t.Fatalf("trial %d: IvalBytesOf=%d, IvalSet.HeaderBytes=%d", trial, got, want)
+		}
+		if got, want := IvalFingerprintOf(ref), ival.Fingerprint(); got != want {
+			t.Fatalf("trial %d: IvalFingerprintOf=%#x, IvalSet.Fingerprint=%#x", trial, got, want)
+		}
+		if got, want := AppendIvalEncoded(nil, ref), ival.AppendEncoded(nil); !bytesEq(got, want) {
+			t.Fatalf("trial %d: AppendIvalEncoded %x != IvalSet encoding %x", trial, got, want)
+		}
+
+		// Round-trip the interval encoding.
+		enc := ival.AppendEncoded(nil)
+		back := bitset.New(universe)
+		n, err := DecodeIvalInto(back, enc)
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v", trial, err)
+		}
+		if n != len(enc) {
+			t.Fatalf("trial %d: decode consumed %d of %d bytes", trial, n, len(enc))
+		}
+		if !back.Equal(ref) {
+			t.Fatalf("trial %d: interval round-trip lost members", trial)
+		}
+
+		// Clones are independent.
+		for _, s := range []DestSet{flat, ival} {
+			c := s.Clone()
+			if !c.Equal(s) {
+				t.Fatalf("trial %d: clone not equal", trial)
+			}
+			c.Add(r.Intn(universe))
+			c.Remove(r.Intn(universe))
+			if c.Count() != s.Count() && !s.Equal(FromBits(s.Backend(), ref)) {
+				t.Fatalf("trial %d: clone mutation leaked into original", trial)
+			}
+		}
+
+		// FromBits/FromIndices agree with incremental construction.
+		if !FromBits(Ival, ref).Equal(ival) {
+			t.Fatalf("trial %d: FromBits(Ival) != incrementally built set", trial)
+		}
+		if !FromIndices(Ival, universe, ref.Indices()).Equal(ival) {
+			t.Fatalf("trial %d: FromIndices(Ival) != incrementally built set", trial)
+		}
+	}
+}
+
+func bytesEq(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestIvalCompression pins the headline numbers: a rack-clustered set in
+// a large universe encodes orders of magnitude smaller than the flat bit
+// string, and a pathological alternating set degrades gracefully.
+func TestIvalCompression(t *testing.T) {
+	const universe = 100_000
+	s := bitset.New(universe)
+	// Eight contiguous 32-host racks spread across the universe.
+	for rack := 0; rack < 8; rack++ {
+		base := rack * 12_000
+		for i := 0; i < 32; i++ {
+			s.Add(base + i)
+		}
+	}
+	flatBytes := s.HeaderBytes()
+	ivalBytes := IvalBytesOf(s)
+	if flatBytes != 12500 {
+		t.Fatalf("flat header = %d bytes, want 12500", flatBytes)
+	}
+	if ivalBytes > flatBytes/10 {
+		t.Fatalf("interval header %d bytes exceeds 10%% of flat %d", ivalBytes, flatBytes)
+	}
+	// 8 runs: ~3 bytes of lo/gap varint + 1 byte length each, + count.
+	if ivalBytes > 40 {
+		t.Fatalf("interval header %d bytes for 8 runs, want <= 40", ivalBytes)
+	}
+
+	// Worst case — alternating bits — must still round-trip.
+	w := bitset.New(256)
+	for i := 0; i < 256; i += 2 {
+		w.Add(i)
+	}
+	enc := AppendIvalEncoded(nil, w)
+	back := bitset.New(256)
+	if _, err := DecodeIvalInto(back, enc); err != nil {
+		t.Fatalf("alternating decode: %v", err)
+	}
+	if !back.Equal(w) {
+		t.Fatalf("alternating set lost in round-trip")
+	}
+}
+
+// TestDecodeIvalRejects covers malformed input paths.
+func TestDecodeIvalRejects(t *testing.T) {
+	u := 64
+	ok := FromIndices(Ival, u, []int{3, 4, 5, 20}).AppendEncoded(nil)
+
+	// Truncation at every prefix length must error, never panic.
+	for n := 0; n < len(ok); n++ {
+		dst := bitset.New(u)
+		if _, err := DecodeIvalInto(dst, ok[:n]); err == nil && dst.Count() == 4 {
+			t.Fatalf("truncated prefix of %d bytes decoded fully", n)
+		}
+	}
+
+	// A run past the universe bound errors.
+	big := FromIndices(Ival, 1024, []int{1000, 1001}).AppendEncoded(nil)
+	dst := bitset.New(64)
+	if _, err := DecodeIvalInto(dst, big); err == nil {
+		t.Fatalf("out-of-universe run decoded without error")
+	}
+}
+
+// TestEmptyAndFull exercises the degenerate shapes.
+func TestEmptyAndFull(t *testing.T) {
+	for _, b := range []Backend{Flat, Ival} {
+		empty := New(b, 100)
+		if !empty.Empty() || empty.Count() != 0 || len(empty.Indices()) != 0 {
+			t.Fatalf("%v: fresh set not empty", b)
+		}
+		full := New(b, 100)
+		for i := 0; i < 100; i++ {
+			full.Add(i)
+		}
+		if full.Count() != 100 {
+			t.Fatalf("%v: full count %d", b, full.Count())
+		}
+	}
+	// One full-universe run is the smallest possible interval header.
+	full := bitset.New(100_000)
+	for i := 0; i < 100_000; i++ {
+		full.Add(i)
+	}
+	if got := IvalBytesOf(full); got > 5 {
+		t.Fatalf("full-universe interval header %d bytes, want <= 5", got)
+	}
+	if got := IvalBytesOf(bitset.New(16)); got != 1 {
+		t.Fatalf("empty interval header %d bytes, want 1", got)
+	}
+}
+
+// TestForEachRun pins the bitset run iterator on word-boundary shapes.
+func TestForEachRun(t *testing.T) {
+	cases := []struct {
+		n    int
+		idx  []int
+		runs [][2]int
+	}{
+		{10, nil, nil},
+		{10, []int{0}, [][2]int{{0, 0}}},
+		{10, []int{9}, [][2]int{{9, 9}}},
+		{200, []int{0, 1, 2, 63, 64, 65, 127, 128, 199}, [][2]int{{0, 2}, {63, 65}, {127, 128}, {199, 199}}},
+		{128, []int{62, 63, 64, 65}, [][2]int{{62, 65}}},
+		{64, []int{0, 2, 4}, [][2]int{{0, 0}, {2, 2}, {4, 4}}},
+	}
+	for ci, c := range cases {
+		s := bitset.FromIndices(c.n, c.idx)
+		var got [][2]int
+		s.ForEachRun(func(lo, hi int) bool {
+			got = append(got, [2]int{lo, hi})
+			return true
+		})
+		if !reflect.DeepEqual(got, c.runs) {
+			t.Fatalf("case %d: runs %v, want %v", ci, got, c.runs)
+		}
+	}
+	// Full words: 192 consecutive bits are one run.
+	s := bitset.New(300)
+	for i := 10; i < 202; i++ {
+		s.Add(i)
+	}
+	count := 0
+	s.ForEachRun(func(lo, hi int) bool {
+		count++
+		if lo != 10 || hi != 201 {
+			t.Fatalf("full-word run [%d,%d], want [10,201]", lo, hi)
+		}
+		return true
+	})
+	if count != 1 {
+		t.Fatalf("full-word shape yielded %d runs", count)
+	}
+}
+
+// TestRangeHelpers pins AnyInRange/CountRange against brute force.
+func TestRangeHelpers(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	s := bitset.New(300)
+	for i := 0; i < 90; i++ {
+		s.Add(r.Intn(300))
+	}
+	for trial := 0; trial < 500; trial++ {
+		lo := r.Intn(300)
+		hi := lo + r.Intn(300-lo)
+		want := 0
+		for i := lo; i <= hi; i++ {
+			if s.Contains(i) {
+				want++
+			}
+		}
+		if got := s.CountRange(lo, hi); got != want {
+			t.Fatalf("CountRange(%d,%d)=%d want %d", lo, hi, got, want)
+		}
+		if got := s.AnyInRange(lo, hi); got != (want > 0) {
+			t.Fatalf("AnyInRange(%d,%d)=%v want %v", lo, hi, got, want > 0)
+		}
+	}
+}

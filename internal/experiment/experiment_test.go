@@ -293,7 +293,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{"fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
 		"oh", "size", "pkt", "arch", "unisat", "baseline",
 		"ab-tree", "ab-path", "ab-buf", "ab-fpfs", "ab-k", "coll", "root", "mixed", "routing", "fault",
-		"faultsweep", "churnsweep"}
+		"faultsweep", "churnsweep", "scalesweep"}
 	reg := Registry()
 	if len(reg) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))

@@ -44,6 +44,7 @@ func Registry() []Entry {
 		{"fault", "extension: reconfiguration after one link failure", FaultReconfiguration},
 		{"faultsweep", "extension: mid-flight link failures, retransmission and recovery", FaultSweep},
 		{"churnsweep", "extension: dynamic-group churn, incremental tree repair, churn x fault", ChurnSweep},
+		{"scalesweep", "extension: datacenter-scale topology class x size x scheme x destination coding", ScaleSweep},
 	}
 }
 

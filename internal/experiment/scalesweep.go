@@ -1,0 +1,351 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"mcastsim/internal/bitset"
+	"mcastsim/internal/mcast"
+	"mcastsim/internal/mcast/kbinomial"
+	"mcastsim/internal/mcast/pathworm"
+	"mcastsim/internal/mcast/treeworm"
+	"mcastsim/internal/metrics"
+	"mcastsim/internal/rng"
+	"mcastsim/internal/sim"
+	"mcastsim/internal/topology"
+	"mcastsim/internal/updown"
+)
+
+// Scale-sweep salts (joined by case/probe indices at the call sites).
+const (
+	saltScale    uint64 = 0x5ca1e5 // rack-clustered (source, destination) draws
+	saltScaleSim uint64 = 0x5ca151 // per-probe simulation arbitration streams
+)
+
+// scaleCase is one (topology class, size tier) grid point.
+type scaleCase struct {
+	class string // "fattree", "dragonfly", "irregular"
+	tier  string // "S", "M", "L"
+	// simulate: run the flit-level simulator for latency/throughput.
+	// The L tier is plan+encode only — the paper's comparison question
+	// (where does multicast support belong?) is answered there by header
+	// cost and planning cost, which is what changes with scale.
+	simulate bool
+	racks    int // destination racks (edge switches) per multicast probe
+	build    func(seed uint64) (*topology.Topology, error)
+}
+
+// scaleCases returns the class x tier grid. Sizes per tier:
+//
+//	S: tens of switches, tens of hosts (paper scale; fully simulated)
+//	M: ~64-72 switches, ~1k hosts (fully simulated)
+//	L: >=1024 switches, >=100k hosts (plan+encode only)
+//
+// Hosts are contiguous per edge switch in every class, so the
+// rack-clustered destination draws map to few runs under interval coding.
+func scaleCases() []scaleCase {
+	ft := func(c topology.FatTreeConfig) func(uint64) (*topology.Topology, error) {
+		return func(uint64) (*topology.Topology, error) { return topology.FatTree(c) }
+	}
+	df := func(c topology.DragonflyConfig) func(uint64) (*topology.Topology, error) {
+		return func(uint64) (*topology.Topology, error) { return topology.Dragonfly(c) }
+	}
+	ir := func(c topology.ScaledIrregularConfig) func(uint64) (*topology.Topology, error) {
+		return func(seed uint64) (*topology.Topology, error) { return topology.ScaledIrregular(c, seed) }
+	}
+	return []scaleCase{
+		{"fattree", "S", true, 2, ft(topology.FatTreeConfig{
+			Pods: 2, EdgePerPod: 2, AggPerPod: 2, CoreUplinksPerAgg: 1, HostsPerEdge: 8})},
+		{"fattree", "M", true, 4, ft(topology.FatTreeConfig{
+			Pods: 4, EdgePerPod: 8, AggPerPod: 4, CoreUplinksPerAgg: 4, HostsPerEdge: 32})},
+		{"fattree", "L", false, 8, ft(topology.FatTreeConfig{
+			Pods: 32, EdgePerPod: 24, AggPerPod: 8, CoreUplinksPerAgg: 8, HostsPerEdge: 132})},
+		{"dragonfly", "S", true, 2, df(topology.DragonflyConfig{
+			Groups: 6, RoutersPerGroup: 3, GlobalPerRouter: 2, HostsPerRouter: 4})},
+		{"dragonfly", "M", true, 4, df(topology.DragonflyConfig{
+			Groups: 12, RoutersPerGroup: 6, GlobalPerRouter: 2, HostsPerRouter: 12})},
+		{"dragonfly", "L", false, 8, df(topology.DragonflyConfig{
+			Groups: 33, RoutersPerGroup: 33, GlobalPerRouter: 1, HostsPerRouter: 93})},
+		{"irregular", "S", true, 2, ir(topology.ScaledIrregularConfig{
+			Switches: 12, HostsPerSwitch: 4, ExtraLinksPerSwitch: -1})},
+		{"irregular", "M", true, 4, ir(topology.ScaledIrregularConfig{
+			Switches: 64, HostsPerSwitch: 16, ExtraLinksPerSwitch: -1})},
+		{"irregular", "L", false, 8, ir(topology.ScaledIrregularConfig{
+			Switches: 1024, HostsPerSwitch: 99, ExtraLinksPerSwitch: -1})},
+	}
+}
+
+// scaleCombo is one (scheme, destination coding) curve of the sweep. The
+// coding only changes tree-worm headers, so it is swept for the
+// switch-based tree scheme alone.
+type scaleCombo struct {
+	label  string
+	scheme mcast.Scheme
+	coding sim.DestCoding
+}
+
+func scaleCombos() []scaleCombo {
+	return []scaleCombo{
+		{"ni-kbinomial", kbinomial.New(), sim.HeaderFlat},
+		{"sw-tree flat", treeworm.New(), sim.HeaderFlat},
+		{"sw-tree ival", treeworm.New(), sim.HeaderIval},
+		{"sw-path", pathworm.New(), sim.HeaderFlat},
+	}
+}
+
+// scaleProbes bounds the per-cell probe count: every probe at the M and
+// L tiers is a hundreds-to-thousands-destination multicast, so
+// cfg.Probes (sized for degree-16 probes) would be heavy oversampling.
+func scaleProbes(cfg Config) int {
+	if cfg.Probes > 4 {
+		return 4
+	}
+	return cfg.Probes
+}
+
+// rackSet draws one rack-clustered multicast: a random source host plus
+// every host on `racks` distinct randomly chosen switches (the "deliver
+// to these racks" pattern of datacenter multicast — and the workload
+// where run-length destination coding should win). The source is
+// excluded from the destinations; a rack draw that yields no
+// destinations retries with the next draw.
+func rackSet(r *rng.Source, t *topology.Topology, nodesBySwitch [][]topology.NodeID, hostSwitches []int, racks int) (topology.NodeID, []topology.NodeID) {
+	src := topology.NodeID(r.Intn(t.NumNodes))
+	for {
+		var dests []topology.NodeID
+		for _, i := range r.Sample(len(hostSwitches), racks) {
+			for _, n := range nodesBySwitch[hostSwitches[i]] {
+				if n != src {
+					dests = append(dests, n)
+				}
+			}
+		}
+		if len(dests) > 0 {
+			return src, dests
+		}
+	}
+}
+
+// planHeaderBytes totals the encoded wire-header bytes of every worm the
+// plan emits for one packet, under coding-aware sizing (the quantity the
+// paper's §3.2.3 scaling argument is about). NI-tree plans forward
+// unicast worms along their edges; HostSends plans emit their specs
+// directly.
+func planHeaderBytes(t *topology.Topology, p sim.Params, plan *sim.Plan) int {
+	uni := sim.UnicastHeaderFlitsFor(t.NumNodes, t.NumSwitches)
+	if plan.NITree != nil {
+		edges := 0
+		for _, kids := range plan.NITree {
+			edges += len(kids)
+		}
+		return edges * uni
+	}
+	total := 0
+	for _, specs := range plan.HostSends {
+		for i := range specs {
+			switch specs[i].Kind {
+			case sim.WormTree:
+				if p.DestCoding == sim.HeaderIval {
+					set := bitset.New(t.NumNodes)
+					for _, d := range specs[i].DestSet {
+						set.Add(int(d))
+					}
+					total += sim.TreeIvalHeaderFlits(set)
+				} else {
+					total += sim.TreeHeaderFlits(t.NumNodes)
+				}
+			case sim.WormPath:
+				total += sim.PathHeaderFlitsFor(len(specs[i].Path), t.PortsPerSwitch, t.NumNodes, t.NumSwitches)
+			default:
+				total += uni
+			}
+		}
+	}
+	return total
+}
+
+// scaleCellResult is one (case, combo) cell's aggregate over its probes.
+type scaleCellResult struct {
+	headerBytes float64 // mean encoded header bytes per multicast
+	planMS      float64 // mean plan+size wall time per multicast (NOT deterministic)
+	latency     float64 // mean single-multicast latency (NaN when not simulated)
+	throughput  float64 // mean delivered payload bytes/cycle (NaN when not simulated)
+	dests       float64 // mean destination count (table note)
+}
+
+// ScaleSweep re-asks the paper's NI-vs-switch question at datacenter
+// scale: topology class (fat-tree / dragonfly / scaled irregular) x size
+// tier (S/M/L) x scheme x destination coding. Header bytes and planning
+// cost are measured at every tier (they are what the paper's scaling
+// argument predicts will break); flit-level latency and delivered
+// throughput are simulated at the S and M tiers. Destination sets are
+// rack-clustered (whole edge switches), the regime where the
+// interval-coded tree header stays small while the flat bit string grows
+// with the host count.
+//
+// Determinism: every cell seed is a pure function of (case, probe)
+// indices and cells share the paired draws across schemes and codings,
+// so all tables except the wall-clock one are byte-identical for any
+// -workers. The wall-clock table measures real elapsed time and is
+// explicitly excluded from that guarantee.
+func ScaleSweep(cfg Config) ([]*metrics.Table, error) {
+	cases := scaleCases()
+	combos := scaleCombos()
+	probes := scaleProbes(cfg)
+
+	// Build and route each grid point once, sequentially; routing state
+	// is read-only during planning and simulation, so parallel cells
+	// share it (as every other sweep shares its topology family).
+	type routedCase struct {
+		scaleCase
+		rt           *updown.Routing
+		nodesBySw    [][]topology.NodeID
+		hostSwitches []int
+	}
+	routed := make([]routedCase, len(cases))
+	for ci, sc := range cases {
+		t, err := sc.build(rng.Mix(cfg.Seed, saltFamily, uint64(ci)))
+		if err != nil {
+			return nil, fmt.Errorf("experiment: scalesweep %s/%s: %w", sc.class, sc.tier, err)
+		}
+		rt, err := updown.New(t)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: scalesweep %s/%s: %w", sc.class, sc.tier, err)
+		}
+		nbs := t.NodesBySwitch()
+		var hs []int
+		for s := 0; s < t.NumSwitches; s++ {
+			if len(nbs[s]) > 0 {
+				hs = append(hs, s)
+			}
+		}
+		routed[ci] = routedCase{scaleCase: sc, rt: rt, nodesBySw: nbs, hostSwitches: hs}
+	}
+
+	type key struct{ ci, mi int }
+	var keys []key
+	for ci := range routed {
+		for mi := range combos {
+			keys = append(keys, key{ci, mi})
+		}
+	}
+	cells, err := runCells(cfg.workerCount(), len(keys), func(i int) (scaleCellResult, error) {
+		k := keys[i]
+		rc := routed[k.ci]
+		cb := combos[k.mi]
+		t := rc.rt.Topo
+		p := cfg.Params
+		p.DestCoding = cb.coding
+		res := scaleCellResult{latency: math.NaN(), throughput: math.NaN()}
+		var latSum, tputSum float64
+		var hdrSum, destSum, planNS int64
+		for probe := 0; probe < probes; probe++ {
+			// Draw seed depends on (case, probe) only: every scheme and
+			// coding plans the identical rack-clustered multicast.
+			r := rng.New(rng.Mix(cfg.Seed, saltScale, uint64(k.ci), uint64(probe)))
+			src, dests := rackSet(r, t, rc.nodesBySw, rc.hostSwitches, rc.racks)
+			start := time.Now()
+			plan, err := cb.scheme.Plan(rc.rt, p, src, dests, cfg.MsgFlits)
+			if err != nil {
+				return res, fmt.Errorf("experiment: scalesweep %s/%s %s probe %d: %w",
+					rc.class, rc.tier, cb.label, probe, err)
+			}
+			hdr := planHeaderBytes(t, p, plan)
+			planNS += time.Since(start).Nanoseconds()
+			hdrSum += int64(hdr)
+			destSum += int64(len(dests))
+			if !rc.simulate {
+				continue
+			}
+			n, err := sim.New(rc.rt, p, rng.Mix(cfg.Seed, saltScaleSim, uint64(k.ci), uint64(probe)))
+			if err != nil {
+				return res, err
+			}
+			m, err := n.RunSingle(plan, cfg.MsgFlits)
+			if err != nil {
+				return res, fmt.Errorf("experiment: scalesweep %s/%s %s probe %d: %w",
+					rc.class, rc.tier, cb.label, probe, err)
+			}
+			if err := n.CheckConservation(); err != nil {
+				return res, fmt.Errorf("experiment: scalesweep %s/%s %s probe %d: %w",
+					rc.class, rc.tier, cb.label, probe, err)
+			}
+			lat := float64(m.Latency())
+			latSum += lat
+			tputSum += float64(len(dests)*cfg.MsgFlits) / lat
+		}
+		res.headerBytes = float64(hdrSum) / float64(probes)
+		res.planMS = float64(planNS) / float64(probes) / 1e6
+		res.dests = float64(destSum) / float64(probes)
+		if rc.simulate {
+			res.latency = latSum / float64(probes)
+			res.throughput = tputSum / float64(probes)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	header := &metrics.Table{
+		Title:  "Scale sweep: encoded header bytes per multicast (one packet, all worms)",
+		XLabel: "hosts",
+		YLabel: "mean header bytes",
+	}
+	latency := &metrics.Table{
+		Title:  "Scale sweep: single rack-clustered multicast latency",
+		XLabel: "hosts",
+		YLabel: "mean latency (cycles)",
+	}
+	tput := &metrics.Table{
+		Title:  "Scale sweep: delivered payload throughput per multicast",
+		XLabel: "hosts",
+		YLabel: "mean delivered payload (bytes/cycle)",
+	}
+	wall := &metrics.Table{
+		Title:  "Scale sweep: plan + header-sizing wall time (NOT deterministic; excluded from golden comparisons)",
+		XLabel: "hosts",
+		YLabel: "mean wall time per multicast (ms)",
+	}
+
+	cellAt := func(ci, mi int) scaleCellResult { return cells[ci*len(combos)+mi] }
+	for mi, cb := range combos {
+		for _, class := range []string{"fattree", "dragonfly", "irregular"} {
+			label := class + " " + cb.label
+			hSer := metrics.Series{Label: label}
+			lSer := metrics.Series{Label: label}
+			tSer := metrics.Series{Label: label}
+			wSer := metrics.Series{Label: label}
+			for ci := range cases {
+				if cases[ci].class != class {
+					continue
+				}
+				r := cellAt(ci, mi)
+				x := float64(routed[ci].rt.Topo.NumNodes)
+				note := fmt.Sprintf("%s, %.0f dests", cases[ci].tier, r.dests)
+				simNote := note
+				if !cases[ci].simulate {
+					simNote = note + ", plan+encode only"
+				}
+				hSer.X = append(hSer.X, x)
+				hSer.Y = append(hSer.Y, r.headerBytes)
+				hSer.Note = append(hSer.Note, note)
+				lSer.X = append(lSer.X, x)
+				lSer.Y = append(lSer.Y, r.latency)
+				lSer.Note = append(lSer.Note, simNote)
+				tSer.X = append(tSer.X, x)
+				tSer.Y = append(tSer.Y, r.throughput)
+				tSer.Note = append(tSer.Note, simNote)
+				wSer.X = append(wSer.X, x)
+				wSer.Y = append(wSer.Y, r.planMS)
+				wSer.Note = append(wSer.Note, note)
+			}
+			header.Series = append(header.Series, hSer)
+			latency.Series = append(latency.Series, lSer)
+			tput.Series = append(tput.Series, tSer)
+			wall.Series = append(wall.Series, wSer)
+		}
+	}
+	return []*metrics.Table{header, latency, tput, wall}, nil
+}

@@ -1,0 +1,106 @@
+package experiment
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"mcastsim/internal/metrics"
+)
+
+// scaleTestConfig trims the probe count so the two full sweeps (serial
+// and parallel) stay CI-sized; the grid itself — including the >=1k
+// switch / >=100k host L tier — is not reduced, because determinism and
+// the compression bound are claims about that scale.
+func scaleTestConfig(workers int) Config {
+	cfg := Quick()
+	cfg.Probes = 2
+	cfg.Workers = workers
+	return cfg
+}
+
+func renderDeterministicScaleTables(t *testing.T, tabs []*metrics.Table) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, tab := range tabs[:3] { // header, latency, throughput; table 3 is wall clock
+		if err := tab.Render(&buf); err != nil {
+			t.Fatal(err)
+		}
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+func findSeries(t *testing.T, tab *metrics.Table, label string) metrics.Series {
+	t.Helper()
+	for _, s := range tab.Series {
+		if s.Label == label {
+			return s
+		}
+	}
+	t.Fatalf("table %q has no series %q", tab.Title, label)
+	return metrics.Series{}
+}
+
+// TestScaleSweepDeterministicAndCompressed runs the full sweep twice
+// (serial, 8 workers) and checks the two acceptance claims: every table
+// except the wall clock is byte-identical for any worker count, and at
+// the L tier (>=100k hosts) the interval-coded tree header costs at most
+// 10% of the flat bit string in every topology class.
+func TestScaleSweepDeterministicAndCompressed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full scale grid in -short mode")
+	}
+	serialTabs, err := ScaleSweep(scaleTestConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallelTabs, err := ScaleSweep(scaleTestConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serialTabs) != 4 || len(parallelTabs) != 4 {
+		t.Fatalf("expected 4 tables, got %d and %d", len(serialTabs), len(parallelTabs))
+	}
+	if !bytes.Equal(renderDeterministicScaleTables(t, serialTabs),
+		renderDeterministicScaleTables(t, parallelTabs)) {
+		t.Fatal("workers=8 output differs from serial")
+	}
+
+	header := serialTabs[0]
+	for _, class := range []string{"fattree", "dragonfly", "irregular"} {
+		flat := findSeries(t, header, class+" sw-tree flat")
+		ival := findSeries(t, header, class+" sw-tree ival")
+		last := len(flat.X) - 1
+		if flat.X[last] < 100_000 {
+			t.Fatalf("%s: largest tier has only %.0f hosts, want >= 100k", class, flat.X[last])
+		}
+		if ival.X[last] != flat.X[last] {
+			t.Fatalf("%s: flat/ival tiers misaligned (%v vs %v)", class, flat.X, ival.X)
+		}
+		if math.IsNaN(flat.Y[last]) || math.IsNaN(ival.Y[last]) {
+			t.Fatalf("%s: header bytes missing at the L tier", class)
+		}
+		if ival.Y[last] > 0.10*flat.Y[last] {
+			t.Errorf("%s: ival header %.1f bytes > 10%% of flat %.1f at %d hosts",
+				class, ival.Y[last], flat.Y[last], int(flat.X[last]))
+		}
+	}
+
+	// Table shape: the S and M tiers carry real simulated latencies, the
+	// L tier is plan+encode only (NaN latency, rendered "-").
+	latency := serialTabs[1]
+	for _, s := range latency.Series {
+		if len(s.X) != 3 {
+			t.Fatalf("series %q has %d tiers, want 3", s.Label, len(s.X))
+		}
+		for i := 0; i < 2; i++ {
+			if math.IsNaN(s.Y[i]) || s.Y[i] <= 0 {
+				t.Errorf("series %q tier %d: latency %v not simulated", s.Label, i, s.Y[i])
+			}
+		}
+		if !math.IsNaN(s.Y[2]) {
+			t.Errorf("series %q: L tier latency %v, want NaN (plan+encode only)", s.Label, s.Y[2])
+		}
+	}
+}

@@ -41,7 +41,8 @@ func (s Scheme) Plan(rt *updown.Routing, p sim.Params, src topology.NodeID, dest
 	}
 	k := s.FixedK
 	if k <= 0 {
-		k = OptimalK(p, len(dests), msgFlits)
+		k = OptimalKSized(p, len(dests), msgFlits,
+			sim.UnicastHeaderFlitsFor(rt.Topo.NumNodes, rt.Topo.NumSwitches))
 	}
 	ordered := mcast.ClusterBySwitch(rt, src, dests)
 	tree := make(map[topology.NodeID][]topology.NodeID)
@@ -100,6 +101,14 @@ func Depth(k, m int) int {
 // Larger k shortens the tree but widens every pipeline stage, which is why
 // the optimum shrinks as messages grow (paper §4.2.3).
 func OptimalK(p sim.Params, m, msgFlits int) int {
+	return OptimalKSized(p, m, msgFlits, sim.UnicastHeaderFlits)
+}
+
+// OptimalKSized is OptimalK with an explicit per-worm header size, for
+// systems beyond the paper's 256-endpoint id space (the NI forwards
+// unicast worms, so the wire length is header + payload). Equals
+// OptimalK when headerFlits == sim.UnicastHeaderFlits.
+func OptimalKSized(p sim.Params, m, msgFlits, headerFlits int) int {
 	packets := p.Packets(msgFlits)
 	if packets < 1 {
 		packets = 1
@@ -108,7 +117,7 @@ func OptimalK(p sim.Params, m, msgFlits int) int {
 	if payload > p.PacketFlits {
 		payload = p.PacketFlits
 	}
-	wire := event.Time(sim.UnicastHeaderFlits + payload)
+	wire := event.Time(headerFlits + payload)
 	h := p.LinkDelay + 4*(p.RoutingDelay+p.CrossbarDelay+p.LinkDelay) // ~typical path
 	stage := p.ONIRecv + p.ONISend + wire + h
 	bestK, bestT := 1, event.Time(1)<<62

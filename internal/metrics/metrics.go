@@ -235,23 +235,33 @@ func CrossoverX(a, b Series) (float64, bool) {
 			return 0, false // series must share a grid
 		}
 	}
+	// Saturated load points carry Y = NaN; every NaN comparison is false,
+	// so a naive sign(d) collapses NaN to 0 and a NaN following a
+	// negative gap would fabricate a (NaN, true) crossing. NaN points
+	// say nothing about ordering, so skip them: track the last valid
+	// (x, gap) pair and detect the sign change between valid samples only.
 	prev := 0.0
+	prevX := 0.0
 	prevSign := 0
+	havePrev := false
 	for i := 0; i < n; i++ {
 		d := a.Y[i] - b.Y[i]
+		if math.IsNaN(d) {
+			continue
+		}
 		sign := 0
 		if d > 0 {
 			sign = 1
 		} else if d < 0 {
 			sign = -1
 		}
-		if i > 0 && prevSign < 0 && sign >= 0 {
-			// Interpolate the crossing between x[i-1] and x[i].
+		if havePrev && prevSign < 0 && sign >= 0 {
+			// Interpolate the crossing between the last valid x and x[i].
 			dPrev := prev
 			frac := -dPrev / (d - dPrev)
-			return a.X[i-1] + frac*(a.X[i]-a.X[i-1]), true
+			return prevX + frac*(a.X[i]-prevX), true
 		}
-		prev, prevSign = d, sign
+		prev, prevX, prevSign, havePrev = d, a.X[i], sign, true
 	}
 	return 0, false
 }

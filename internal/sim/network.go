@@ -239,10 +239,11 @@ func New(rt *updown.Routing, params Params, seed uint64, opts ...Option) (*Netwo
 	}
 
 	// Hot-path precomputes and scratch (see routecache.go / pool.go).
-	n.nodesAt = make([][]topology.NodeID, t.NumSwitches)
+	// NodesBySwitch is one O(N+S) pass; per-switch NodesAt calls here
+	// were O(S·N), minutes of setup at datacenter sizes.
+	n.nodesAt = t.NodesBySwitch()
 	n.localNodes = make([]*bitset.Set, t.NumSwitches)
 	for s := 0; s < t.NumSwitches; s++ {
-		n.nodesAt[s] = t.NodesAt(topology.SwitchID(s))
 		n.localNodes[s] = bitset.New(t.NumNodes)
 		for _, node := range n.nodesAt[s] {
 			n.localNodes[s].Add(int(node))
@@ -253,7 +254,7 @@ func New(rt *updown.Routing, params Params, seed uint64, opts ...Option) (*Netwo
 	n.usedPorts = make([]bool, t.PortsPerSwitch)
 	n.distScratch = make([]int32, t.NumSwitches)
 	n.bfsQueue = make([]int32, 0, t.NumSwitches)
-	n.cache.init()
+	n.cache.init(t.NumSwitches)
 
 	var o netOptions
 	for _, opt := range opts {

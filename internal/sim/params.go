@@ -83,6 +83,35 @@ type Params struct {
 	// and held ports instead of spinning or hanging. <= 0 disables the
 	// periodic watchdog; the empty-queue check always applies.
 	StallCycles event.Time
+
+	// DestCoding selects the tree-worm destination-header encoding. The
+	// zero value (HeaderFlat) is the paper's N-bit string, so every
+	// existing configuration is unchanged; HeaderIval switches to the
+	// interval-coded run list (package destset), whose header cost scales
+	// with the destination set's run structure instead of the host count.
+	DestCoding DestCoding
+}
+
+// DestCoding names a destination-set header encoding (see Params).
+type DestCoding int
+
+const (
+	// HeaderFlat is the paper's flat N-bit destination string (§3.2.3).
+	HeaderFlat DestCoding = iota
+	// HeaderIval is the interval-coded per-subtree range encoding.
+	HeaderIval
+)
+
+// String renders the coding for flags and table notes.
+func (c DestCoding) String() string {
+	switch c {
+	case HeaderFlat:
+		return "flat"
+	case HeaderIval:
+		return "ival"
+	default:
+		return fmt.Sprintf("DestCoding(%d)", int(c))
+	}
 }
 
 // DefaultParams returns the paper's default system parameters (§4.1,
@@ -157,6 +186,8 @@ func (p Params) Validate() error {
 		return fmt.Errorf("sim: invalid pipeline delays")
 	case p.NIInjectBufferPackets < 0:
 		return fmt.Errorf("sim: negative NI buffer bound")
+	case p.DestCoding != HeaderFlat && p.DestCoding != HeaderIval:
+		return fmt.Errorf("sim: unknown destination coding %d", p.DestCoding)
 	}
 	return nil
 }

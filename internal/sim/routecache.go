@@ -2,6 +2,7 @@ package sim
 
 import (
 	"mcastsim/internal/bitset"
+	"mcastsim/internal/destset"
 	"mcastsim/internal/topology"
 	"mcastsim/internal/updown"
 )
@@ -47,11 +48,17 @@ import (
 //
 // Overflow policy: each map has a hard cap; inserting past it clears the
 // whole map. Deterministic (no eviction order dependence) and effectively
-// unreachable in the paper's experiment sizes.
+// unreachable in the paper's experiment sizes. The caps scale with the
+// switch count (init): the historical constants were sized for tens of
+// switches, and at datacenter scale the steady-state working set — one
+// partition entry per (switch, set) pair a worm actually visits, one hop
+// entry per (switch, phase, destination) — exceeds them by orders of
+// magnitude, so fixed caps would thrash through clear-on-overflow on
+// every multicast.
 const (
-	climbCacheCap = 1024
-	partCacheCap  = 4096
-	hopsCacheCap  = 8192
+	climbCacheCapFloor = 1024
+	partCacheCapFloor  = 4096
+	hopsCacheCapFloor  = 8192
 )
 
 type climbEntry struct {
@@ -89,15 +96,46 @@ type routeCache struct {
 	flushes     int // epoch-lag flushes performed (test observability)
 	groupInvals int // per-group membership invalidations (test observability)
 
+	// Per-instance caps, scaled by init to the topology's switch count.
+	climbCap int
+	partCap  int
+	hopsCap  int
+
 	climb map[uint64]*climbEntry
 	part  map[partKey]*partEntry
 	hops  map[hopKey]*hopEntry
 }
 
-func (c *routeCache) init() {
+func (c *routeCache) init(numSwitches int) {
+	// Floors preserve the paper-scale behavior exactly; the per-switch
+	// multipliers track how entries accumulate (hops per destination
+	// switch and phase, partitions per visited switch).
+	c.climbCap = maxInt(climbCacheCapFloor, 2*numSwitches)
+	c.partCap = maxInt(partCacheCapFloor, 8*numSwitches)
+	c.hopsCap = maxInt(hopsCacheCapFloor, 16*numSwitches)
 	c.climb = make(map[uint64]*climbEntry)
 	c.part = make(map[partKey]*partEntry)
 	c.hops = make(map[hopKey]*hopEntry)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// destFP returns the fingerprint the route cache keys destination sets
+// on. Under the flat coding it is the bit-string hash; under the
+// interval coding it is the compressed encoding's run-list fingerprint
+// (destset.IvalFingerprintOf), so cache keys match what the wire would
+// carry. Either way a hit re-verifies with Equal, so collisions cost a
+// miss, never a wrong route.
+func (n *Network) destFP(set *bitset.Set) uint64 {
+	if n.params.DestCoding == HeaderIval {
+		return destset.IvalFingerprintOf(set)
+	}
+	return set.Hash()
 }
 
 // sync flushes every map when the routing epoch has moved since the
@@ -147,12 +185,12 @@ func (n *Network) climbDist(set *bitset.Set) []int32 {
 	c := &n.cache
 	c.sync(n)
 	if !c.disabled {
-		fp := set.Hash()
+		fp := n.destFP(set)
 		if e := c.climb[fp]; e != nil && e.set.Equal(set) {
 			return e.dist
 		}
 		dist := n.computeClimbDist(set)
-		if len(c.climb) >= climbCacheCap {
+		if len(c.climb) >= c.climbCap {
 			clear(c.climb)
 		}
 		owned := make([]int32, len(dist))
@@ -206,7 +244,7 @@ func (n *Network) nextHops(s topology.SwitchID, ph updown.Phase, d topology.Swit
 	e := c.hops[k]
 	if e == nil {
 		ports, phases := n.rt.NextHops(s, ph, d)
-		if len(c.hops) >= hopsCacheCap {
+		if len(c.hops) >= c.hopsCap {
 			clear(c.hops)
 		}
 		e = &hopEntry{ports: ports, phases: phases}

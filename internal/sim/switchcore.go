@@ -471,7 +471,7 @@ func (n *Network) planPath(o *occupant, s topology.SwitchID, w *worm) {
 	}
 	// Stop switch: the segment's node-ID and port-mask fields are stripped
 	// here; drops and the continuation forward the shortened stream.
-	skip := PathSegFlits(n.topo.PortsPerSwitch)
+	skip := PathSegFlitsFor(n.topo.PortsPerSwitch, n.topo.NumNodes, n.topo.NumSwitches)
 	if skip > w.len {
 		panic("sim: path worm shorter than its own header")
 	}
@@ -541,7 +541,7 @@ func (n *Network) partitionDownAdaptive(s topology.SwitchID, set *bitset.Set) ([
 	var key partKey
 	var cached *partEntry
 	if !c.disabled {
-		key = partKey{sw: int32(s), fp: set.Hash()}
+		key = partKey{sw: int32(s), fp: n.destFP(set)}
 		if e := c.part[key]; e != nil && e.set.Equal(set) {
 			cached = e
 			if !e.tied {
@@ -609,7 +609,7 @@ func (n *Network) partitionDownAdaptive(s topology.SwitchID, set *bitset.Set) ([
 		// First sighting of this (switch, set): record it. Untied
 		// partitions store cache-owned clones; tied ones store only the
 		// flag so future calls go straight to the recomputation.
-		if len(c.part) >= partCacheCap {
+		if len(c.part) >= c.partCap {
 			clear(c.part)
 		}
 		e := &partEntry{set: set.Clone(), tied: tied}

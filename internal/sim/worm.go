@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mcastsim/internal/bitset"
+	"mcastsim/internal/destset"
 	"mcastsim/internal/topology"
 	"mcastsim/internal/updown"
 )
@@ -52,38 +53,85 @@ func (w *worm) String() string {
 // Header sizing (flits; flit = 1 byte). Every worm starts with a 1-flit tag
 // identifying its kind (paper Fig. 5(b) shows the tag field).
 
-// UnicastHeaderFlits is the wire header of a unicast worm: tag + node ID.
+// UnicastHeaderFlits is the wire header of a unicast worm at the paper's
+// system sizes: tag + 1-byte node ID. Beyond 256 endpoints the id field
+// widens; use UnicastHeaderFlitsFor.
 const UnicastHeaderFlits = 2
 
-// TreeHeaderFlits returns the header size of a tree worm in an n-node
-// system: tag + N-bit destination string (paper §3.2.3: header cost grows
-// with system size).
+// IDBytes returns the id-field width for a system with the given
+// endpoint count (nodes + switches, since path stops address either): 1
+// byte covers the paper's sizes, 2 bytes the datacenter tiers. The wire
+// codec (package wire) caps the space at 65536.
+func IDBytes(endpoints int) int {
+	if endpoints <= 256 {
+		return 1
+	}
+	return 2
+}
+
+// UnicastHeaderFlitsFor returns the unicast header size in a system of
+// the given shape: tag + id. Equals UnicastHeaderFlits at paper sizes.
+func UnicastHeaderFlitsFor(numNodes, numSwitches int) int {
+	return 1 + IDBytes(numNodes+numSwitches)
+}
+
+// TreeHeaderFlits returns the header size of a flat-coded tree worm in an
+// n-node system: tag + N-bit destination string (paper §3.2.3: header
+// cost grows with system size).
 func TreeHeaderFlits(numNodes int) int {
 	return 1 + (numNodes+7)/8
 }
 
+// TreeIvalHeaderFlits returns the header size of an interval-coded tree
+// worm carrying exactly the destinations in set: tag + run-list encoding
+// (package destset). Unlike the flat header it depends on the set's run
+// structure, not the universe.
+func TreeIvalHeaderFlits(set *bitset.Set) int {
+	return 1 + destset.IvalBytesOf(set)
+}
+
 // PathSegFlits returns the per-segment header size in a system with
-// portsPerSwitch-port switches: node-ID field + port-mask field.
+// portsPerSwitch-port switches at the paper's sizes: 1-byte id field +
+// port-mask field. Beyond 256 endpoints use PathSegFlitsFor.
 func PathSegFlits(portsPerSwitch int) int {
 	return 1 + (portsPerSwitch+7)/8
 }
 
+// PathSegFlitsFor is the size-aware PathSegFlits: id field (widened past
+// 256 endpoints) + port mask.
+func PathSegFlitsFor(portsPerSwitch, numNodes, numSwitches int) int {
+	return IDBytes(numNodes+numSwitches) + (portsPerSwitch+7)/8
+}
+
 // PathHeaderFlits returns the header size of a path worm with the given
-// number of segments: tag + per-segment fields. Unlike the tree header it
-// is independent of system size (paper §3.3).
+// number of segments at the paper's sizes: tag + per-segment fields.
+// Unlike the tree header it is independent of system size (§3.3).
 func PathHeaderFlits(segments, portsPerSwitch int) int {
 	return 1 + segments*PathSegFlits(portsPerSwitch)
 }
 
-// headerFlits computes the header length for a spec in this network.
-func (n *Network) headerFlits(spec *WormSpec) int {
-	switch spec.Kind {
+// PathHeaderFlitsFor is the size-aware PathHeaderFlits.
+func PathHeaderFlitsFor(segments, portsPerSwitch, numNodes, numSwitches int) int {
+	return 1 + segments*PathSegFlitsFor(portsPerSwitch, numNodes, numSwitches)
+}
+
+// headerFlits computes the header length a freshly injected worm w
+// carries in this network. Tree worms under the interval coding size by
+// their actual destination set (already built on w); everything else
+// sizes by system shape alone. At the paper's sizes and the flat coding
+// every value equals the original constants, so historical tables and
+// goldens are unchanged.
+func (n *Network) headerFlits(w *worm) int {
+	switch w.kind {
 	case WormUnicast:
-		return UnicastHeaderFlits
+		return UnicastHeaderFlitsFor(n.topo.NumNodes, n.topo.NumSwitches)
 	case WormTree:
+		if n.params.DestCoding == HeaderIval {
+			return TreeIvalHeaderFlits(w.destSet)
+		}
 		return TreeHeaderFlits(n.topo.NumNodes)
 	case WormPath:
-		return PathHeaderFlits(len(spec.Path), n.topo.PortsPerSwitch)
+		return PathHeaderFlitsFor(len(w.path), n.topo.PortsPerSwitch, n.topo.NumNodes, n.topo.NumSwitches)
 	default:
 		panic("sim: unknown worm kind")
 	}
@@ -107,7 +155,6 @@ func (n *Network) newWorm(m *Message, spec *WormSpec, pkt int) *worm {
 	w.kind = spec.Kind
 	w.msg = m
 	w.pkt = pkt
-	w.len = n.headerFlits(spec) + n.payloadFlits(m, pkt)
 	w.phase = updown.PhaseUp
 	n.nextWormID++
 	switch spec.Kind {
@@ -121,6 +168,9 @@ func (n *Network) newWorm(m *Message, spec *WormSpec, pkt int) *worm {
 	case WormPath:
 		w.path = spec.Path
 	}
+	// Sized after the destination set is built: the interval coding's
+	// tree header depends on the set's run structure.
+	w.len = n.headerFlits(w) + n.payloadFlits(m, pkt)
 	n.stats.WormsCreated++
 	return w
 }

@@ -70,67 +70,156 @@ func Generate(cfg Config, r *rng.Source) (*Topology, error) {
 		return p
 	}
 
+	// Every phase below repeatedly picks a uniformly random member of
+	// "the switches that still have a free port", in a fixed enumeration
+	// order. Rebuilding that candidate slice per pick is O(S) each time —
+	// O(S·(N+links)) overall, which dominates generation in the
+	// thousands-of-switches regime — so the picks go through selectors
+	// (order-statistic Fenwick trees) instead: the k-th live candidate in
+	// O(log S), with membership withdrawn as ports run out. The candidate
+	// counts, enumeration orders and r.Intn draws are exactly those of
+	// the original scan, so identical (cfg, r-state) pairs still produce
+	// identical topologies (pinned by the regression test).
+
 	// 1. Random spanning tree: attach each switch (in random order) to a
 	// uniformly random already-placed switch. This yields irregular,
-	// varied-diameter trees rather than stars or chains.
+	// varied-diameter trees rather than stars or chains. Candidates
+	// enumerate in placement order, so the selector is keyed by
+	// placement position.
 	order := r.Perm(S)
-	placed := []int{order[0]}
-	for _, s := range order[1:] {
-		// Pick a placed switch with a free port. All placed switches have
-		// >= 1 free port here because P >= 2 whenever S >= 2 (checked by
-		// the feasibility bound), but guard anyway.
-		cand := make([]int, 0, len(placed))
-		for _, q := range placed {
-			if free[q] > 0 {
-				cand = append(cand, q)
-			}
+	avail := newSelector(S)
+	posSwitch := make([]int, S) // placement position -> switch
+	posOf := make([]int, S)     // switch -> placement position
+	place := func(pos, s int) {
+		posSwitch[pos] = s
+		posOf[s] = pos
+		if free[s] > 0 {
+			avail.set(pos)
 		}
-		if len(cand) == 0 || free[s] == 0 {
+	}
+	place(0, order[0])
+	for i, s := range order[1:] {
+		// All placed switches have >= 1 free port here because P >= 2
+		// whenever S >= 2 (checked by the feasibility bound), but guard
+		// anyway.
+		c := avail.count()
+		if c == 0 || free[s] == 0 {
 			return nil, fmt.Errorf("topology: ran out of ports building spanning tree")
 		}
-		q := cand[r.Intn(len(cand))]
+		q := posSwitch[avail.kth(r.Intn(c))]
 		links = append(links, [4]int{s, takePort(s), q, takePort(q)})
-		placed = append(placed, s)
+		if free[q] == 0 {
+			avail.clear(posOf[q])
+		}
+		place(i+1, s)
+	}
+
+	// Phases 2 and 3 enumerate candidates in ascending switch-ID order.
+	byID := newSelector(S)
+	for s := 0; s < S; s++ {
+		if free[s] > 0 {
+			byID.set(s)
+		}
 	}
 
 	// 2. Node attachment: uniform over switches with a free port.
 	nodes := make([][2]int, N)
 	for n := 0; n < N; n++ {
-		cand := make([]int, 0, S)
-		for s := 0; s < S; s++ {
-			if free[s] > 0 {
-				cand = append(cand, s)
-			}
-		}
-		if len(cand) == 0 {
+		c := byID.count()
+		if c == 0 {
 			return nil, fmt.Errorf("topology: ran out of ports attaching node %d", n)
 		}
-		s := cand[r.Intn(len(cand))]
+		s := byID.kth(r.Intn(c))
 		nodes[n] = [2]int{s, takePort(s)}
+		if free[s] == 0 {
+			byID.clear(s)
+		}
 	}
 
 	// 3. Extra links: pair free ports of distinct switches until the
 	// density target is met or no legal pair remains.
 	target := int(perSwitch*float64(S) + 0.5)
 	for added := 0; added < target; added++ {
-		cand := make([]int, 0, S)
-		for s := 0; s < S; s++ {
-			if free[s] > 0 {
-				cand = append(cand, s)
-			}
-		}
-		if len(cand) < 2 {
+		c := byID.count()
+		if c < 2 {
 			break
 		}
-		a := cand[r.Intn(len(cand))]
-		b := cand[r.Intn(len(cand))]
+		a := byID.kth(r.Intn(c))
+		b := byID.kth(r.Intn(c))
 		for b == a {
-			b = cand[r.Intn(len(cand))]
+			b = byID.kth(r.Intn(c))
 		}
 		links = append(links, [4]int{a, takePort(a), b, takePort(b)})
+		if free[a] == 0 {
+			byID.clear(a)
+		}
+		if free[b] == 0 {
+			byID.clear(b)
+		}
 	}
 
 	return Build(S, P, links, nodes)
+}
+
+// selector is an order-statistic set over [0, n): a Fenwick tree of 0/1
+// membership flags answering "how many members?" and "which index is the
+// k-th member (in ascending key order)?" in O(log n). It replaces the
+// per-pick candidate-slice rebuilds of the generator's original scans.
+type selector struct {
+	tree []int // 1-based Fenwick partial sums
+	in   []bool
+	n    int
+	c    int
+}
+
+func newSelector(n int) *selector {
+	return &selector{tree: make([]int, n+1), in: make([]bool, n), n: n}
+}
+
+func (f *selector) count() int { return f.c }
+
+func (f *selector) add(i, delta int) {
+	for i++; i <= f.n; i += i & -i {
+		f.tree[i] += delta
+	}
+}
+
+// set adds i to the set (no-op when already present).
+func (f *selector) set(i int) {
+	if !f.in[i] {
+		f.in[i] = true
+		f.c++
+		f.add(i, 1)
+	}
+}
+
+// clear removes i from the set (no-op when absent).
+func (f *selector) clear(i int) {
+	if f.in[i] {
+		f.in[i] = false
+		f.c--
+		f.add(i, -1)
+	}
+}
+
+// kth returns the key of the k-th member, 0-based, by Fenwick descent.
+func (f *selector) kth(k int) int {
+	if k < 0 || k >= f.c {
+		panic(fmt.Sprintf("topology: selector rank %d out of %d", k, f.c))
+	}
+	idx := 0
+	half := 1
+	for half*2 <= f.n {
+		half *= 2
+	}
+	rank := k + 1 // 1-based rank
+	for ; half > 0; half /= 2 {
+		if idx+half <= f.n && f.tree[idx+half] < rank {
+			idx += half
+			rank -= f.tree[idx]
+		}
+	}
+	return idx // idx is the count of members strictly before the answer
 }
 
 // GenerateFamily returns count independent topologies from cfg, one per

@@ -1,0 +1,265 @@
+package topology
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"mcastsim/internal/rng"
+)
+
+// generateReference is a verbatim copy of the pre-selector Generate body
+// (the O(S·(N+links)) candidate rescans), kept as the oracle: the
+// selector rewrite must consume the identical r.Intn stream and emit the
+// identical topology for every historical seed.
+func generateReference(cfg Config, r *rng.Source) (*Topology, error) {
+	S, P, N := cfg.Switches, cfg.PortsPerSwitch, cfg.Nodes
+	perSwitch := cfg.ExtraLinksPerSwitch
+	if perSwitch < 0 {
+		perSwitch = defaultExtraLinksPerSwitch
+	}
+	free := make([]int, S)
+	for i := range free {
+		free[i] = P
+	}
+	var links [][4]int
+	nextPort := make([]int, S)
+	takePort := func(s int) int {
+		p := nextPort[s]
+		nextPort[s]++
+		free[s]--
+		return p
+	}
+	order := r.Perm(S)
+	placed := []int{order[0]}
+	for _, s := range order[1:] {
+		cand := make([]int, 0, len(placed))
+		for _, q := range placed {
+			if free[q] > 0 {
+				cand = append(cand, q)
+			}
+		}
+		if len(cand) == 0 || free[s] == 0 {
+			return nil, nil
+		}
+		q := cand[r.Intn(len(cand))]
+		links = append(links, [4]int{s, takePort(s), q, takePort(q)})
+		placed = append(placed, s)
+	}
+	nodes := make([][2]int, N)
+	for n := 0; n < N; n++ {
+		cand := make([]int, 0, S)
+		for s := 0; s < S; s++ {
+			if free[s] > 0 {
+				cand = append(cand, s)
+			}
+		}
+		if len(cand) == 0 {
+			return nil, nil
+		}
+		s := cand[r.Intn(len(cand))]
+		nodes[n] = [2]int{s, takePort(s)}
+	}
+	target := int(perSwitch*float64(S) + 0.5)
+	for added := 0; added < target; added++ {
+		cand := make([]int, 0, S)
+		for s := 0; s < S; s++ {
+			if free[s] > 0 {
+				cand = append(cand, s)
+			}
+		}
+		if len(cand) < 2 {
+			break
+		}
+		a := cand[r.Intn(len(cand))]
+		b := cand[r.Intn(len(cand))]
+		for b == a {
+			b = cand[r.Intn(len(cand))]
+		}
+		links = append(links, [4]int{a, takePort(a), b, takePort(b)})
+	}
+	return Build(S, P, links, nodes)
+}
+
+// TestGenerateMatchesReference pins the selector-based Generate to the
+// original scan, struct-for-struct, over the paper configs and assorted
+// stress shapes — the old seeds must keep producing the old topologies.
+func TestGenerateMatchesReference(t *testing.T) {
+	cfgs := []Config{
+		DefaultConfig(),
+		{Switches: 16, PortsPerSwitch: 8, Nodes: 64, ExtraLinksPerSwitch: -1},
+		{Switches: 32, PortsPerSwitch: 8, Nodes: 32, ExtraLinksPerSwitch: -1},
+		{Switches: 64, PortsPerSwitch: 8, Nodes: 128, ExtraLinksPerSwitch: 0.75},
+		{Switches: 8, PortsPerSwitch: 8, Nodes: 32, ExtraLinksPerSwitch: 0},
+		// Port-starved: switches exhaust mid-phase, exercising candidate
+		// withdrawal in every phase.
+		{Switches: 24, PortsPerSwitch: 4, Nodes: 40, ExtraLinksPerSwitch: 3},
+		{Switches: 5, PortsPerSwitch: 3, Nodes: 7, ExtraLinksPerSwitch: 2},
+	}
+	for _, cfg := range cfgs {
+		for seed := uint64(1); seed <= 25; seed++ {
+			got, gotErr := Generate(cfg, rng.New(seed))
+			want, wantErr := generateReference(cfg, rng.New(seed))
+			if (gotErr != nil) != (wantErr != nil) {
+				t.Fatalf("cfg %+v seed %d: error mismatch got=%v want=%v", cfg, seed, gotErr, wantErr)
+			}
+			if gotErr != nil {
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("cfg %+v seed %d: selector Generate diverged from reference", cfg, seed)
+			}
+		}
+	}
+}
+
+// TestSelector pins the order-statistic structure against a brute-force
+// mirror under random churn.
+func TestSelector(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	const n = 97
+	sel := newSelector(n)
+	ref := make([]bool, n)
+	for op := 0; op < 5000; op++ {
+		i := r.Intn(n)
+		if r.Intn(2) == 0 {
+			sel.set(i)
+			ref[i] = true
+		} else {
+			sel.clear(i)
+			ref[i] = false
+		}
+		var members []int
+		for j, in := range ref {
+			if in {
+				members = append(members, j)
+			}
+		}
+		if sel.count() != len(members) {
+			t.Fatalf("op %d: count %d want %d", op, sel.count(), len(members))
+		}
+		if len(members) > 0 {
+			k := r.Intn(len(members))
+			if got := sel.kth(k); got != members[k] {
+				t.Fatalf("op %d: kth(%d)=%d want %d", op, k, got, members[k])
+			}
+		}
+	}
+}
+
+func TestFatTree(t *testing.T) {
+	cfg := FatTreeConfig{Pods: 4, EdgePerPod: 2, AggPerPod: 2, CoreUplinksPerAgg: 2, HostsPerEdge: 4}
+	topo, err := FatTree(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.NumSwitches != cfg.Switches() || topo.NumNodes != cfg.Hosts() {
+		t.Fatalf("sizes %d/%d, want %d/%d", topo.NumSwitches, topo.NumNodes, cfg.Switches(), cfg.Hosts())
+	}
+	// Hosts are contiguous per edge switch: host n on switch n/HostsPerEdge.
+	for n := 0; n < topo.NumNodes; n++ {
+		if int(topo.NodeSwitch[n]) != n/cfg.HostsPerEdge {
+			t.Fatalf("host %d on switch %d, want %d", n, topo.NodeSwitch[n], n/cfg.HostsPerEdge)
+		}
+	}
+	// Edge-to-edge across pods is reachable (Validate already checked
+	// connectivity; spot-check the diameter is the Clos 4 hops).
+	d := topo.SwitchDistances()
+	if d[0][cfg.EdgePerPod] != 4 { // edge 0 (pod 0) to edge 0 of pod 1
+		t.Fatalf("cross-pod edge distance %d, want 4", d[0][cfg.EdgePerPod])
+	}
+	if d[0][1] != 2 { // two edges of one pod meet at an agg
+		t.Fatalf("intra-pod edge distance %d, want 2", d[0][1])
+	}
+}
+
+func TestDragonfly(t *testing.T) {
+	cfg := DragonflyConfig{Groups: 9, RoutersPerGroup: 4, GlobalPerRouter: 2, HostsPerRouter: 3}
+	topo, err := Dragonfly(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.NumSwitches != cfg.Switches() || topo.NumNodes != cfg.Hosts() {
+		t.Fatalf("sizes %d/%d, want %d/%d", topo.NumSwitches, topo.NumNodes, cfg.Switches(), cfg.Hosts())
+	}
+	for n := 0; n < topo.NumNodes; n++ {
+		if int(topo.NodeSwitch[n]) != n/cfg.HostsPerRouter {
+			t.Fatalf("host %d on router %d, want %d", n, topo.NodeSwitch[n], n/cfg.HostsPerRouter)
+		}
+	}
+	// Every group pair shares exactly one global link.
+	pair := make(map[[2]int]int)
+	for _, l := range topo.Links {
+		ga, gb := int(l.A)/cfg.RoutersPerGroup, int(l.B)/cfg.RoutersPerGroup
+		if ga != gb {
+			if gb < ga {
+				ga, gb = gb, ga
+			}
+			pair[[2]int{ga, gb}]++
+		}
+	}
+	want := cfg.Groups * (cfg.Groups - 1) / 2
+	if len(pair) != want {
+		t.Fatalf("%d group pairs linked, want %d", len(pair), want)
+	}
+	for p, c := range pair {
+		if c != 1 {
+			t.Fatalf("group pair %v has %d global links, want 1", p, c)
+		}
+	}
+	// Too few global slots must be rejected.
+	if _, err := Dragonfly(DragonflyConfig{Groups: 20, RoutersPerGroup: 2, GlobalPerRouter: 2, HostsPerRouter: 1}); err == nil {
+		t.Fatal("infeasible dragonfly accepted")
+	}
+}
+
+func TestScaledIrregular(t *testing.T) {
+	cfg := ScaledIrregularConfig{Switches: 40, HostsPerSwitch: 6, ExtraLinksPerSwitch: -1}
+	a, err := ScaledIrregular(cfg, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumSwitches != 40 || a.NumNodes != 240 {
+		t.Fatalf("sizes %d/%d", a.NumSwitches, a.NumNodes)
+	}
+	for n := 0; n < a.NumNodes; n++ {
+		if int(a.NodeSwitch[n]) != n/6 || a.NodePort[n] != n%6 {
+			t.Fatalf("host %d at (%d,%d), want (%d,%d)", n, a.NodeSwitch[n], a.NodePort[n], n/6, n%6)
+		}
+	}
+	// Determinism: same seed, same topology; different seed, different.
+	b, err := ScaledIrregular(cfg, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("equal seeds produced different topologies")
+	}
+	c, err := ScaledIrregular(cfg, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Links, c.Links) {
+		t.Fatal("different seeds produced identical link sets")
+	}
+}
+
+func TestNodesBySwitch(t *testing.T) {
+	topo, err := Generate(DefaultConfig(), rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	by := topo.NodesBySwitch()
+	for s := 0; s < topo.NumSwitches; s++ {
+		want := topo.NodesAt(SwitchID(s))
+		got := by[s]
+		if len(got) != len(want) {
+			t.Fatalf("switch %d: %d nodes, want %d", s, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("switch %d: node list %v, want %v", s, got, want)
+			}
+		}
+	}
+}

@@ -253,6 +253,29 @@ func (t *Topology) NodesAt(s SwitchID) []NodeID {
 	return out
 }
 
+// NodesBySwitch returns the attached nodes of every switch, ascending by
+// node ID, in one O(N + S) pass over the attachment table. Per-switch
+// NodesAt calls are O(N) each, which turns precomputation loops
+// quadratic at datacenter scale; builders over all switches use this.
+func (t *Topology) NodesBySwitch() [][]NodeID {
+	counts := make([]int, t.NumSwitches)
+	for _, s := range t.NodeSwitch {
+		counts[s]++
+	}
+	buf := make([]NodeID, t.NumNodes)
+	out := make([][]NodeID, t.NumSwitches)
+	pos := 0
+	for s := range out {
+		out[s] = buf[pos:pos:pos+counts[s]]
+		pos += counts[s]
+	}
+	for n := 0; n < t.NumNodes; n++ {
+		s := t.NodeSwitch[n]
+		out[s] = append(out[s], NodeID(n))
+	}
+	return out
+}
+
 // OpenPorts returns the number of unconnected ports on switch s.
 func (t *Topology) OpenPorts(s SwitchID) int {
 	c := 0

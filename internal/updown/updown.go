@@ -101,9 +101,10 @@ type Routing struct {
 	// ports' reachability strings.
 	Cover []*bitset.Set
 
-	// nodePort[s][n] is the port of switch s wired to node n (only for
-	// nodes attached to s); otherwise -1.
-	nodePort [][]int
+	// nodesBySwitch[s] lists the nodes attached to switch s (shared
+	// backing array, see topology.NodesBySwitch). Replaces the old S×N
+	// nodePort table, whose footprint was quadratic in system size.
+	nodesBySwitch [][]topology.NodeID
 
 	// deadSwitch[s] / deadPort[s][p] mark failed switches and ports whose
 	// link, peer switch, or own switch has failed. A dead port keeps
@@ -209,8 +210,8 @@ func NewWithOptions(t *topology.Topology, opt Options) (*Routing, error) {
 	}
 	r.orientPorts()
 	r.computeDistances()
+	r.nodesBySwitch = t.NodesBySwitch()
 	r.computeReachability()
-	r.indexNodePorts()
 	if err := r.verify(); err != nil {
 		return nil, err
 	}
@@ -476,7 +477,7 @@ func (r *Routing) computeReachability() {
 	})
 	for _, s := range order {
 		set := bitset.New(N)
-		for _, n := range t.NodesAt(topology.SwitchID(s)) {
+		for _, n := range r.nodesBySwitch[s] {
 			set.Add(int(n))
 		}
 		for p := 0; p < t.PortsPerSwitch; p++ {
@@ -494,7 +495,7 @@ func (r *Routing) computeReachability() {
 	for s := 0; s < S; s++ {
 		r.DownReach[s] = make([]*bitset.Set, t.PortsPerSwitch)
 		cover := bitset.New(N)
-		for _, n := range t.NodesAt(topology.SwitchID(s)) {
+		for _, n := range r.nodesBySwitch[s] {
 			cover.Add(int(n))
 		}
 		for p := 0; p < t.PortsPerSwitch; p++ {
@@ -506,20 +507,6 @@ func (r *Routing) computeReachability() {
 			cover.UnionWith(downSet[q])
 		}
 		r.Cover[s] = cover
-	}
-}
-
-func (r *Routing) indexNodePorts() {
-	t := r.Topo
-	r.nodePort = make([][]int, t.NumSwitches)
-	for s := 0; s < t.NumSwitches; s++ {
-		r.nodePort[s] = make([]int, t.NumNodes)
-		for n := range r.nodePort[s] {
-			r.nodePort[s][n] = -1
-		}
-	}
-	for n := 0; n < t.NumNodes; n++ {
-		r.nodePort[t.NodeSwitch[n]][n] = t.NodePort[n]
 	}
 }
 
@@ -605,9 +592,14 @@ func (r *Routing) DistDown(s, d topology.SwitchID) (int, bool) {
 }
 
 // NodePortAt returns the port of switch s wired to node n, or -1 if n is
-// not attached to s.
+// not attached to s. Computed from the topology's node attachment arrays
+// rather than a precomputed S×N table (which would be quadratic in
+// system size).
 func (r *Routing) NodePortAt(s topology.SwitchID, n topology.NodeID) int {
-	return r.nodePort[s][n]
+	if r.Topo.NodeSwitch[n] == s {
+		return r.Topo.NodePort[n]
+	}
+	return -1
 }
 
 // NextHops returns the adaptive candidate output ports at switch s, in
@@ -693,9 +685,8 @@ func (r *Routing) Covers(s topology.SwitchID, set *bitset.Set) bool {
 // larger overlaps are preferred so the branch count is small (greedy set
 // cover). Covers(s, set) must be true.
 func (r *Routing) PartitionDown(s topology.SwitchID, set *bitset.Set) (local []topology.NodeID, perPort map[int]*bitset.Set) {
-	t := r.Topo
 	remaining := set.Clone()
-	for _, n := range t.NodesAt(s) {
+	for _, n := range r.nodesBySwitch[s] {
 		if remaining.Contains(int(n)) {
 			local = append(local, n)
 			remaining.Remove(int(n))

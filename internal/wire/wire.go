@@ -6,33 +6,37 @@
 //
 // Formats (first byte is the worm tag, as in the paper's Figure 5(b)):
 //
-//	unicast: [tag][id]
-//	tree:    [tag][N-bit destination string, ceil(N/8) bytes]  (§3.2.3)
-//	path:    [tag] then per stop: [id][P-bit port mask, ceil(P/8) bytes]
-//	         (§3.2.4; the mask's bits select drop ports plus at most one
-//	         continuation port, and fields strip as stops are passed)
+//	unicast:   [tag][id]
+//	tree:      [tag][N-bit destination string, ceil(N/8) bytes]  (§3.2.3)
+//	tree-ival: [tag][run-list encoding, see package destset]
+//	path:      [tag] then per stop: [id][P-bit port mask, ceil(P/8) bytes]
+//	           (§3.2.4; the mask's bits select drop ports plus at most one
+//	           continuation port, and fields strip as stops are passed)
 //
 // The paper's path worms address a stop as "the ID of any arbitrary node
 // connected to the switch". Our planner also emits pure-transit stops at
 // switches that may have no attached node, so the id field carries an
 // extended address space: values below numNodes are node IDs; numNodes+s
-// addresses switch s directly (documented extension; field width stays
-// one byte for the paper's system sizes).
+// addresses switch s directly (documented extension). The id field is one
+// byte at the paper's system sizes and widens to two big-endian bytes
+// past 256 endpoints (sim.IDBytes); the codec caps the space at 65536.
 package wire
 
 import (
 	"fmt"
 
 	"mcastsim/internal/bitset"
+	"mcastsim/internal/destset"
 	"mcastsim/internal/sim"
 	"mcastsim/internal/topology"
 )
 
 // Worm tag values.
 const (
-	TagUnicast byte = 0x01
-	TagTree    byte = 0x02
-	TagPath    byte = 0x03
+	TagUnicast  byte = 0x01
+	TagTree     byte = 0x02
+	TagPath     byte = 0x03
+	TagTreeIval byte = 0x04
 )
 
 // Sizes captures the address-space parameters a codec needs.
@@ -42,20 +46,40 @@ type Sizes struct {
 	PortsPerSwitch int
 }
 
-// Validate rejects systems the one-byte id field cannot address.
+// Validate rejects systems the widened id field cannot address.
 func (z Sizes) Validate() error {
 	switch {
 	case z.Nodes <= 0 || z.Switches <= 0 || z.PortsPerSwitch <= 0:
 		return fmt.Errorf("wire: non-positive sizes %+v", z)
-	case z.Nodes+z.Switches > 256:
-		return fmt.Errorf("wire: %d nodes + %d switches exceed the 1-byte id space", z.Nodes, z.Switches)
-	case z.PortsPerSwitch > 64:
+	case z.Nodes+z.Switches > 65536:
+		return fmt.Errorf("wire: %d nodes + %d switches exceed the 2-byte id space", z.Nodes, z.Switches)
+	case z.PortsPerSwitch > 256:
 		return fmt.Errorf("wire: %d ports exceed the supported mask width", z.PortsPerSwitch)
 	}
 	return nil
 }
 
 func (z Sizes) maskBytes() int { return (z.PortsPerSwitch + 7) / 8 }
+
+// idBytes is the id-field width: 1 byte at the paper's sizes, 2 beyond
+// 256 endpoints (matches sim.IDBytes, so header-length constants agree).
+func (z Sizes) idBytes() int { return sim.IDBytes(z.Nodes + z.Switches) }
+
+// appendID writes id in the field width (big-endian when widened).
+func (z Sizes) appendID(dst []byte, id int) []byte {
+	if z.idBytes() == 2 {
+		dst = append(dst, byte(id>>8))
+	}
+	return append(dst, byte(id))
+}
+
+// readID parses an id field (field must be exactly idBytes long).
+func (z Sizes) readID(field []byte) int {
+	if len(field) == 2 {
+		return int(field[0])<<8 | int(field[1])
+	}
+	return int(field[0])
+}
 
 // EncodeUnicast encodes a unicast worm header.
 func EncodeUnicast(z Sizes, dest topology.NodeID) ([]byte, error) {
@@ -65,7 +89,7 @@ func EncodeUnicast(z Sizes, dest topology.NodeID) ([]byte, error) {
 	if int(dest) < 0 || int(dest) >= z.Nodes {
 		return nil, fmt.Errorf("wire: destination %d out of range", dest)
 	}
-	return []byte{TagUnicast, byte(dest)}, nil
+	return z.appendID([]byte{TagUnicast}, int(dest)), nil
 }
 
 // DecodeUnicast parses a unicast header.
@@ -73,13 +97,14 @@ func DecodeUnicast(z Sizes, b []byte) (topology.NodeID, error) {
 	if err := z.Validate(); err != nil {
 		return 0, err
 	}
-	if len(b) != sim.UnicastHeaderFlits {
-		return 0, fmt.Errorf("wire: unicast header is %d bytes, want %d", len(b), sim.UnicastHeaderFlits)
+	want := sim.UnicastHeaderFlitsFor(z.Nodes, z.Switches)
+	if len(b) != want {
+		return 0, fmt.Errorf("wire: unicast header is %d bytes, want %d", len(b), want)
 	}
 	if b[0] != TagUnicast {
 		return 0, fmt.Errorf("wire: bad unicast tag %#x", b[0])
 	}
-	d := topology.NodeID(b[1])
+	d := topology.NodeID(z.readID(b[1:]))
 	if int(d) >= z.Nodes {
 		return 0, fmt.Errorf("wire: decoded destination %d out of range", d)
 	}
@@ -137,6 +162,49 @@ func DecodeTree(z Sizes, b []byte) (*bitset.Set, error) {
 	return set, nil
 }
 
+// EncodeTreeIval encodes the interval-coded (run-list) header of a tree
+// worm: the compressed alternative to the flat bit string whose size
+// tracks the destination set's run structure instead of the node count
+// (package destset documents the byte format). The set's universe must
+// equal the node count.
+func EncodeTreeIval(z Sizes, dests *bitset.Set) ([]byte, error) {
+	if err := z.Validate(); err != nil {
+		return nil, err
+	}
+	if dests.Len() != z.Nodes {
+		return nil, fmt.Errorf("wire: destination set universe %d, want %d nodes", dests.Len(), z.Nodes)
+	}
+	if dests.Empty() {
+		return nil, fmt.Errorf("wire: empty destination set")
+	}
+	out := make([]byte, 1, sim.TreeIvalHeaderFlits(dests))
+	out[0] = TagTreeIval
+	return destset.AppendIvalEncoded(out, dests), nil
+}
+
+// DecodeTreeIval parses an interval-coded tree header back into a
+// destination set, rejecting truncated or out-of-universe encodings.
+func DecodeTreeIval(z Sizes, b []byte) (*bitset.Set, error) {
+	if err := z.Validate(); err != nil {
+		return nil, err
+	}
+	if len(b) < 1 || b[0] != TagTreeIval {
+		return nil, fmt.Errorf("wire: bad tree-ival header")
+	}
+	set := bitset.New(z.Nodes)
+	used, err := destset.DecodeIvalInto(set, b[1:])
+	if err != nil {
+		return nil, fmt.Errorf("wire: %w", err)
+	}
+	if used != len(b)-1 {
+		return nil, fmt.Errorf("wire: tree-ival header has %d trailing bytes", len(b)-1-used)
+	}
+	if set.Empty() {
+		return nil, fmt.Errorf("wire: decoded empty destination set")
+	}
+	return set, nil
+}
+
 // EncodePath encodes a path worm's stop chain. Drops become mask bits via
 // the topology's node-port mapping; the continuation port is the mask's
 // single switch-port bit (the paper's "at most one other output port").
@@ -148,7 +216,7 @@ func EncodePath(topo *topology.Topology, segs []sim.PathSeg) ([]byte, error) {
 	if len(segs) == 0 {
 		return nil, fmt.Errorf("wire: empty path")
 	}
-	out := make([]byte, 0, sim.PathHeaderFlits(len(segs), z.PortsPerSwitch))
+	out := make([]byte, 0, sim.PathHeaderFlitsFor(len(segs), z.PortsPerSwitch, z.Nodes, z.Switches))
 	out = append(out, TagPath)
 	for i, seg := range segs {
 		if int(seg.Switch) < 0 || int(seg.Switch) >= z.Switches {
@@ -156,9 +224,9 @@ func EncodePath(topo *topology.Topology, segs []sim.PathSeg) ([]byte, error) {
 		}
 		// Address the stop by an attached node when one exists (the
 		// paper's encoding); fall back to the switch-address extension.
-		id := byte(z.Nodes + int(seg.Switch))
+		id := z.Nodes + int(seg.Switch)
 		if nodes := topo.NodesAt(seg.Switch); len(nodes) > 0 {
-			id = byte(nodes[0])
+			id = int(nodes[0])
 		}
 		mask := make([]byte, z.maskBytes())
 		for _, d := range seg.Drops {
@@ -179,7 +247,7 @@ func EncodePath(topo *topology.Topology, segs []sim.PathSeg) ([]byte, error) {
 		} else if i != len(segs)-1 {
 			return nil, fmt.Errorf("wire: segment %d terminates early", i)
 		}
-		out = append(out, id)
+		out = z.appendID(out, id)
 		out = append(out, mask...)
 	}
 	return out, nil
@@ -196,7 +264,8 @@ func DecodePath(topo *topology.Topology, b []byte) ([]sim.PathSeg, error) {
 	if len(b) < 1 || b[0] != TagPath {
 		return nil, fmt.Errorf("wire: bad path header")
 	}
-	segBytes := 1 + z.maskBytes()
+	idB := z.idBytes()
+	segBytes := idB + z.maskBytes()
 	if (len(b)-1)%segBytes != 0 || len(b) == 1 {
 		return nil, fmt.Errorf("wire: path header length %d not 1+k*%d", len(b), segBytes)
 	}
@@ -204,7 +273,7 @@ func DecodePath(topo *topology.Topology, b []byte) ([]sim.PathSeg, error) {
 	segs := make([]sim.PathSeg, 0, count)
 	for i := 0; i < count; i++ {
 		field := b[1+i*segBytes : 1+(i+1)*segBytes]
-		id := int(field[0])
+		id := z.readID(field[:idB])
 		var sw topology.SwitchID
 		switch {
 		case id < z.Nodes:
@@ -216,7 +285,7 @@ func DecodePath(topo *topology.Topology, b []byte) ([]sim.PathSeg, error) {
 		}
 		seg := sim.PathSeg{Switch: sw, NextPort: -1}
 		for p := 0; p < z.PortsPerSwitch; p++ {
-			if field[1+p/8]&(1<<(uint(p)%8)) == 0 {
+			if field[idB+p/8]&(1<<(uint(p)%8)) == 0 {
 				continue
 			}
 			switch topo.Conn[sw][p].Kind {

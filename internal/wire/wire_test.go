@@ -30,10 +30,22 @@ func TestSizesValidate(t *testing.T) {
 	if err := defaultSizes().Validate(); err != nil {
 		t.Fatal(err)
 	}
-	bad := []Sizes{
-		{Nodes: 0, Switches: 1, PortsPerSwitch: 1},
+	// Sizes past the paper's 1-byte id space are valid now that the id
+	// field widens; the codec caps at the 2-byte space.
+	ok := []Sizes{
 		{Nodes: 250, Switches: 10, PortsPerSwitch: 8},
 		{Nodes: 8, Switches: 2, PortsPerSwitch: 65},
+		{Nodes: 65000, Switches: 536, PortsPerSwitch: 256},
+	}
+	for i, z := range ok {
+		if err := z.Validate(); err != nil {
+			t.Errorf("case %d rejected: %v", i, err)
+		}
+	}
+	bad := []Sizes{
+		{Nodes: 0, Switches: 1, PortsPerSwitch: 1},
+		{Nodes: 65000, Switches: 537, PortsPerSwitch: 8},
+		{Nodes: 8, Switches: 2, PortsPerSwitch: 257},
 	}
 	for i, z := range bad {
 		if z.Validate() == nil {
@@ -251,5 +263,187 @@ func TestPathFuzzDecode(t *testing.T) {
 		b[0] = TagPath
 		// Must never panic; errors are fine.
 		_, _ = DecodePath(topo, b)
+	}
+}
+
+// wideTopo builds a >256-endpoint system (fat-tree, 512 hosts + 20
+// switches) so the 2-byte id field is exercised end to end.
+func wideTopo(t *testing.T) (*topology.Topology, *updown.Routing) {
+	t.Helper()
+	topo, err := topology.FatTree(topology.FatTreeConfig{
+		Pods: 4, EdgePerPod: 4, AggPerPod: 2, CoreUplinksPerAgg: 2, HostsPerEdge: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := updown.New(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo, rt
+}
+
+func TestUnicastRoundTripWide(t *testing.T) {
+	topo, _ := wideTopo(t)
+	z := Sizes{Nodes: topo.NumNodes, Switches: topo.NumSwitches, PortsPerSwitch: topo.PortsPerSwitch}
+	if z.Nodes+z.Switches <= 256 {
+		t.Fatalf("topology too small to exercise the wide id field: %d endpoints", z.Nodes+z.Switches)
+	}
+	want := sim.UnicastHeaderFlitsFor(z.Nodes, z.Switches)
+	for _, d := range []int{0, 1, 255, 256, 257, z.Nodes - 1} {
+		b, err := EncodeUnicast(z, topology.NodeID(d))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(b) != want {
+			t.Fatalf("wide unicast header %d bytes, sim says %d flits", len(b), want)
+		}
+		got, err := DecodeUnicast(z, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int(got) != d {
+			t.Fatalf("round trip %d -> %d", d, got)
+		}
+	}
+}
+
+func TestPathRoundTripWide(t *testing.T) {
+	topo, rt := wideTopo(t)
+	r := rng.New(77)
+	sch := pathworm.New()
+	p := sim.DefaultParams()
+	for trial := 0; trial < 20; trial++ {
+		src := topology.NodeID(r.Intn(topo.NumNodes))
+		seen := map[topology.NodeID]bool{src: true}
+		var dests []topology.NodeID
+		for len(dests) < 8 {
+			d := topology.NodeID(r.Intn(topo.NumNodes))
+			if !seen[d] {
+				seen[d] = true
+				dests = append(dests, d)
+			}
+		}
+		plan, err := sch.Plan(rt, p, src, dests, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, specs := range plan.HostSends {
+			for i := range specs {
+				if specs[i].Kind != sim.WormPath {
+					continue
+				}
+				b, err := EncodePath(topo, specs[i].Path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := sim.PathHeaderFlitsFor(len(specs[i].Path), topo.PortsPerSwitch, topo.NumNodes, topo.NumSwitches)
+				if len(b) != want {
+					t.Fatalf("wide path header %d bytes, sim says %d flits", len(b), want)
+				}
+				segs, err := DecodePath(topo, b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(segs) != len(specs[i].Path) {
+					t.Fatalf("decoded %d segments, want %d", len(segs), len(specs[i].Path))
+				}
+				for j, seg := range segs {
+					orig := specs[i].Path[j]
+					if seg.Switch != orig.Switch || seg.NextPort != orig.NextPort || len(seg.Drops) != len(orig.Drops) {
+						t.Fatalf("segment %d mismatch: got %+v want %+v", j, seg, orig)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestTreeIvalRoundTripRandom(t *testing.T) {
+	topo, _ := wideTopo(t)
+	z := Sizes{Nodes: topo.NumNodes, Switches: topo.NumSwitches, PortsPerSwitch: topo.PortsPerSwitch}
+	r := rng.New(99)
+	for trial := 0; trial < 200; trial++ {
+		set := bitset.New(z.Nodes)
+		// Mix of clustered runs and scattered singletons.
+		for runs := 1 + r.Intn(5); runs > 0; runs-- {
+			lo := r.Intn(z.Nodes)
+			hi := lo + r.Intn(40)
+			if hi >= z.Nodes {
+				hi = z.Nodes - 1
+			}
+			for i := lo; i <= hi; i++ {
+				set.Add(i)
+			}
+		}
+		for k := r.Intn(6); k > 0; k-- {
+			set.Add(r.Intn(z.Nodes))
+		}
+		b, err := EncodeTreeIval(z, set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(b) != sim.TreeIvalHeaderFlits(set) {
+			t.Fatalf("tree-ival header %d bytes, sim says %d flits", len(b), sim.TreeIvalHeaderFlits(set))
+		}
+		got, err := DecodeTreeIval(z, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(set) {
+			t.Fatalf("round trip mismatch: %v -> %v", set.Indices(), got.Indices())
+		}
+	}
+}
+
+func TestTreeIvalFuzzDecode(t *testing.T) {
+	z := Sizes{Nodes: 512, Switches: 20, PortsPerSwitch: 20}
+	r := rng.New(100)
+	for trial := 0; trial < 5000; trial++ {
+		n := 1 + r.Intn(16)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte(r.Intn(256))
+		}
+		b[0] = TagTreeIval
+		// Must never panic; errors are fine. When decode succeeds the
+		// result must re-encode to the same bytes (canonical form).
+		set, err := DecodeTreeIval(z, b)
+		if err != nil {
+			continue
+		}
+		back, err := EncodeTreeIval(z, set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(back) != string(b) {
+			t.Fatalf("non-canonical decode: % x -> % x", b, back)
+		}
+	}
+}
+
+func TestTreeIvalErrors(t *testing.T) {
+	z := defaultSizes()
+	if _, err := EncodeTreeIval(z, bitset.New(z.Nodes)); err == nil {
+		t.Error("empty set accepted")
+	}
+	if _, err := EncodeTreeIval(z, bitset.New(z.Nodes+1)); err == nil {
+		t.Error("wrong universe accepted")
+	}
+	set := bitset.New(z.Nodes)
+	set.Add(3)
+	b, err := EncodeTreeIval(z, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeTreeIval(z, b[:1]); err == nil {
+		t.Error("truncated header accepted")
+	}
+	if _, err := DecodeTreeIval(z, append(b, 0)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+	b[0] = TagTree
+	if _, err := DecodeTreeIval(z, b); err == nil {
+		t.Error("wrong tag accepted")
 	}
 }
