@@ -351,6 +351,17 @@ func BenchmarkTreeStorm(b *testing.B) {
 	benchcase.TreeStorm(b)
 }
 
+// BenchmarkShardScaling is the PR 8 sharded-engine family: the
+// TreeStorm workload re-timed with 8-cycle links (so the conservative
+// window amortizes the barrier) on 1 shard (serial engine), then 2 and
+// 4 fast-mode shards. The 4-shard/1-shard events/sec ratio is the
+// scaling metric tracked in BENCH_PR8.json (see internal/benchcase).
+func BenchmarkShardScaling(b *testing.B) {
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), benchcase.ShardScaling(shards))
+	}
+}
+
 // BenchmarkHeaderEncode is the destination-coding benchmark from the
 // scale sweep: flat vs interval header encoding of a 1056-destination
 // rack-clustered set in a 101k-host universe (see internal/benchcase).

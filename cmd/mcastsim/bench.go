@@ -4,6 +4,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
 	"testing"
 
 	"mcastsim/internal/benchcase"
@@ -85,7 +89,27 @@ var (
 		EventsPerSec: 13_500,
 		Iterations:   27,
 	}
+	// Frozen at introduction (PR 8, sharded engine): the serial
+	// single-queue engine running the wide-window (8-cycle link)
+	// TreeStorm variant on the reference box. Every ShardScaling/k
+	// member shares this baseline, so each record's
+	// speedup_events_per_sec reads directly as "k shards vs serial".
+	shardScalingBaseline = benchMetrics{
+		NsPerOp:      143.6e6,
+		AllocsPerOp:  81_865,
+		BytesPerOp:   14_853_824,
+		EventsPerSec: 17.6e6,
+		EventsPerOp:  2_533_027,
+		Iterations:   3,
+	}
 )
+
+// shardScalingMinSpeedup is the PR 8 acceptance floor: fast mode on 4
+// shards must deliver >= 3x the serial engine's events/sec on the
+// ShardScaling workload. Only enforced when the box has at least 4 CPUs
+// — with fewer cores the 4 shard workers time-slice one another and the
+// measurement is scheduling overhead, not scaling.
+const shardScalingMinSpeedup = 3.0
 
 func measure(f func(b *testing.B)) benchMetrics {
 	return measureRate(f, "events/sec")
@@ -123,9 +147,11 @@ func record(baseline, current benchMetrics) benchRecord {
 }
 
 // runEmitBench measures the benchcase workloads with testing.Benchmark and
-// writes BENCH_PR4.json-format results to path. When gatePath names a
-// committed reference file (BENCH_PR3.json), checkGate fails the run on
-// order-of-magnitude regressions.
+// writes BENCH_PR8.json-format results to path. When gatePath names a
+// committed reference file (or is "auto", which resolves to the newest
+// committed BENCH_*.json beside the output), checkGate fails the run on
+// order-of-magnitude regressions. The ShardScaling family additionally
+// enforces the PR 8 >= 3x fast-mode speedup on boxes with >= 4 CPUs.
 func runEmitBench(path, gatePath string) error {
 	fmt.Fprintln(os.Stderr, "mcastsim: measuring TreeStorm...")
 	tree := measure(benchcase.TreeStorm)
@@ -137,15 +163,23 @@ func runEmitBench(path, gatePath string) error {
 	hdr := measureRate(benchcase.HeaderEncode, "headers/sec")
 	fmt.Fprintln(os.Stderr, "mcastsim: measuring TopologyGen...")
 	topo := measureRate(benchcase.TopologyGen, "switches/sec")
+	shard := map[int]benchMetrics{}
+	for _, k := range []int{1, 2, 4} {
+		fmt.Fprintf(os.Stderr, "mcastsim: measuring ShardScaling/%d...\n", k)
+		shard[k] = measure(benchcase.ShardScaling(k))
+	}
 
 	out := benchFile{
-		Note: "PR 4 route-cache benchmarks; baselines frozen on the PR 3 engine (calendar queue, uncached routing, per-decision allocation)",
+		Note: "PR 8 sharded-engine benchmarks; ShardScaling baselines frozen on the serial single-queue engine, earlier baselines carried over from their introducing PRs",
 		Benchmarks: map[string]benchRecord{
-			"TreeStorm":     record(treeStormBaseline, tree),
-			"DrainLarge":    record(drainLargeBaseline, drain),
-			"SweepParallel": record(sweepParallelBaseline, sweep),
-			"HeaderEncode":  record(headerEncodeBaseline, hdr),
-			"TopologyGen":   record(topologyGenBaseline, topo),
+			"TreeStorm":      record(treeStormBaseline, tree),
+			"DrainLarge":     record(drainLargeBaseline, drain),
+			"SweepParallel":  record(sweepParallelBaseline, sweep),
+			"HeaderEncode":   record(headerEncodeBaseline, hdr),
+			"TopologyGen":    record(topologyGenBaseline, topo),
+			"ShardScaling/1": record(shardScalingBaseline, shard[1]),
+			"ShardScaling/2": record(shardScalingBaseline, shard[2]),
+			"ShardScaling/4": record(shardScalingBaseline, shard[4]),
 		},
 	}
 	data, err := json.MarshalIndent(out, "", "  ")
@@ -155,21 +189,84 @@ func runEmitBench(path, gatePath string) error {
 	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s: TreeStorm %.1f ms/op, %.3gM events/sec (%.2fx baseline); DrainLarge %.0f allocs/op (%.0f%% below baseline)\n",
+	speedup := shard[4].EventsPerSec / shard[1].EventsPerSec
+	fmt.Printf("wrote %s: TreeStorm %.1f ms/op, %.3gM events/sec (%.2fx baseline); ShardScaling 4-shard/serial %.2fx on %d CPU(s)\n",
 		path, tree.NsPerOp/1e6, tree.EventsPerSec/1e6,
 		tree.EventsPerSec/treeStormBaseline.EventsPerSec,
-		drain.AllocsPerOp, 100*(1-drain.AllocsPerOp/drainLargeBaseline.AllocsPerOp))
+		speedup, runtime.NumCPU())
+
+	if runtime.NumCPU() >= 4 && speedup < shardScalingMinSpeedup {
+		return fmt.Errorf("bench gate: ShardScaling 4-shard speedup %.2fx below the %.1fx floor on a %d-CPU box",
+			speedup, shardScalingMinSpeedup, runtime.NumCPU())
+	}
 
 	if gatePath != "" {
-		return checkGate(gatePath, map[string]benchMetrics{
-			"TreeStorm":     tree,
-			"DrainLarge":    drain,
-			"SweepParallel": sweep,
-			"HeaderEncode":  hdr,
-			"TopologyGen":   topo,
+		resolved, err := resolveGatePath(gatePath, path)
+		if err != nil {
+			return err
+		}
+		return checkGate(resolved, map[string]benchMetrics{
+			"TreeStorm":      tree,
+			"DrainLarge":     drain,
+			"SweepParallel":  sweep,
+			"HeaderEncode":   hdr,
+			"TopologyGen":    topo,
+			"ShardScaling/1": shard[1],
+			"ShardScaling/2": shard[2],
+			"ShardScaling/4": shard[4],
 		})
 	}
 	return nil
+}
+
+// resolveGatePath turns the -bench-gate value into a concrete reference
+// file. Anything but the literal "auto" passes through untouched. "auto"
+// picks the newest committed reference: the BENCH_*.json beside the
+// output file with the highest trailing PR number, excluding the file
+// being written (a stale copy of the new artifact must never gate
+// itself).
+func resolveGatePath(gatePath, emitPath string) (string, error) {
+	if gatePath != "auto" {
+		return gatePath, nil
+	}
+	dir := filepath.Dir(emitPath)
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return "", fmt.Errorf("bench gate: %w", err)
+	}
+	best, bestNum := "", -1
+	for _, m := range matches {
+		if filepath.Clean(m) == filepath.Clean(emitPath) {
+			continue
+		}
+		if num, ok := benchFileNumber(filepath.Base(m)); ok && num > bestNum {
+			best, bestNum = m, num
+		}
+	}
+	if best == "" {
+		return "", fmt.Errorf("bench gate: auto found no BENCH_*.json reference in %s", dir)
+	}
+	fmt.Printf("bench gate: auto-selected %s\n", best)
+	return best, nil
+}
+
+// benchFileNumber extracts the PR number from a reference filename like
+// BENCH_PR4.json; the second return is false for names with no trailing
+// integer before the extension.
+func benchFileNumber(name string) (int, bool) {
+	s := strings.TrimSuffix(name, ".json")
+	i := len(s)
+	for i > 0 && s[i-1] >= '0' && s[i-1] <= '9' {
+		i--
+	}
+	if i == len(s) {
+		return 0, false
+	}
+	n, err := strconv.Atoi(s[i:])
+	if err != nil {
+		return 0, false
+	}
+	return n, true
 }
 
 // checkGate compares fresh measurements against the "current" values of a

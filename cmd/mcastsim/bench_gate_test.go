@@ -1,0 +1,58 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestBenchFileNumber(t *testing.T) {
+	cases := []struct {
+		name string
+		num  int
+		ok   bool
+	}{
+		{"BENCH_PR3.json", 3, true},
+		{"BENCH_PR10.json", 10, true},
+		{"BENCH_PR8.json", 8, true},
+		{"BENCH_notes.json", 0, false},
+		{"BENCH_.json", 0, false},
+	}
+	for _, c := range cases {
+		num, ok := benchFileNumber(c.name)
+		if num != c.num || ok != c.ok {
+			t.Errorf("benchFileNumber(%q) = (%d, %v), want (%d, %v)", c.name, num, ok, c.num, c.ok)
+		}
+	}
+}
+
+// TestResolveGatePathAuto pins the -bench-gate auto contract: the
+// highest-numbered BENCH_*.json beside the output wins, the file being
+// written never gates itself, non-numbered names are ignored, and an
+// explicit path passes through untouched.
+func TestResolveGatePathAuto(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"BENCH_PR3.json", "BENCH_PR4.json", "BENCH_PR8.json", "BENCH_notes.json"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	emit := filepath.Join(dir, "BENCH_PR8.json") // stale copy of the artifact being rewritten
+
+	got, err := resolveGatePath("auto", emit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := filepath.Join(dir, "BENCH_PR4.json"); got != want {
+		t.Fatalf("auto resolved %q, want %q", got, want)
+	}
+
+	if got, err := resolveGatePath("BENCH_PR3.json", emit); err != nil || got != "BENCH_PR3.json" {
+		t.Fatalf("explicit path: got (%q, %v), want pass-through", got, err)
+	}
+
+	empty := t.TempDir()
+	if _, err := resolveGatePath("auto", filepath.Join(empty, "BENCH_PR9.json")); err == nil {
+		t.Fatal("auto with no references resolved instead of erroring")
+	}
+}

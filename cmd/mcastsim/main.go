@@ -42,12 +42,14 @@ func run() int {
 		full       = flag.Bool("full", false, "paper-scale runs (slow) instead of quick")
 		seed       = flag.Uint64("seed", 0, "override the experiment seed (0 = default)")
 		workers    = flag.Int("workers", 0, "parallel simulation-cell workers (0 = one per CPU); output is identical for any value")
+		shards     = flag.Int("shards", 1, "intra-cell PDES shards per simulation (serial-equivalence engine); output is identical for any value")
+		simL       = flag.Bool("sim-l", false, "flit-simulate the scale sweep's L tier (one probe per cell) instead of plan+encode only")
 		csvDir     = flag.String("csv", "", "also write each table as CSV into this directory")
 		compare    = flag.String("compare", "", "run a scheme comparison on this topology file instead of an experiment")
 		degree     = flag.Int("degree", 16, "multicast degree for -compare")
 		flits      = flag.Int("flits", 128, "message flits for -compare")
 		bench      = flag.String("emit-bench", "", "measure the scheduler-core benchmarks and write JSON results to this file (e.g. BENCH_PR4.json)")
-		benchGate  = flag.String("bench-gate", "", "with -emit-bench: fail if events/sec or allocs/op regress more than 2x against this reference JSON (e.g. BENCH_PR3.json)")
+		benchGate  = flag.String("bench-gate", "", "with -emit-bench: fail if events/sec or allocs/op regress more than 2x against this reference JSON; 'auto' picks the newest committed BENCH_*.json beside the output")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with go tool pprof)")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file when the run finishes")
 		obsOn      = flag.Bool("obs", false, "sample per-cell telemetry (link utilization, buffer occupancy, queue depths) during -exp runs")
@@ -107,6 +109,8 @@ func run() int {
 		cfg.Seed = *seed
 	}
 	cfg.Workers = *workers
+	cfg.Shards = *shards
+	cfg.SimulateL = *simL
 	var sink *experiment.ObsSink
 	if *obsOn {
 		sink = &experiment.ObsSink{Config: obs.Config{Every: event.Time(*obsEvery)}}

@@ -175,7 +175,7 @@ type treeStormWorkload struct {
 	plans  []*sim.Plan
 }
 
-func buildTreeStorm() (*treeStormWorkload, error) {
+func buildTreeStorm(p sim.Params) (*treeStormWorkload, error) {
 	cfg := topology.Config{
 		Switches:            treeSwitches,
 		PortsPerSwitch:      treePorts,
@@ -190,8 +190,6 @@ func buildTreeStorm() (*treeStormWorkload, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := sim.DefaultParams()
-	p.PacketFlits = treePktFlits
 	w := &treeStormWorkload{rt: rt, params: p}
 	// Groups draw from nodes [treeMsgs, treeNodes) and message i sources
 	// from node i, so a source never appears in its own destination set
@@ -220,8 +218,8 @@ func buildTreeStorm() (*treeStormWorkload, error) {
 
 // run injects the tree-worm burst (staggered 20 cycles apart) and drains
 // the network, returning the event count.
-func (w *treeStormWorkload) run(seed uint64) (uint64, error) {
-	n, err := sim.New(w.rt, w.params, seed)
+func (w *treeStormWorkload) run(seed uint64, opts ...sim.Option) (uint64, error) {
+	n, err := sim.New(w.rt, w.params, seed, opts...)
 	if err != nil {
 		return 0, err
 	}
@@ -243,7 +241,9 @@ func (w *treeStormWorkload) run(seed uint64) (uint64, error) {
 // >= 1.5x events/sec improvement from the epoch-tagged route cache and
 // the allocation-free worm lifecycle.
 func TreeStorm(b *testing.B) {
-	w, err := buildTreeStorm()
+	p := sim.DefaultParams()
+	p.PacketFlits = treePktFlits
+	w, err := buildTreeStorm(p)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -262,6 +262,52 @@ func TreeStorm(b *testing.B) {
 		b.ReportMetric(float64(events)/s, "events/sec")
 	}
 	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+}
+
+// shardLinkDelay widens the conservative window for the ShardScaling
+// family. The fast engine's lookahead window is W = LinkDelay; at the
+// default 1-cycle delay the per-window barrier fires every cycle and
+// swamps any parallel gain, so the family re-times TreeStorm with
+// 8-cycle links — the long-cable regime the sharded engine targets,
+// where each shard processes a full window of work between barriers.
+const shardLinkDelay = 8
+
+// ShardScaling returns the k-shard member of the shard-scaling
+// benchmark family: the TreeStorm workload re-timed with 8-cycle links,
+// run on the serial single-queue engine for k == 1 (the reference) and
+// on the parallel fast-mode engine (sim.WithFastShards) for k > 1.
+// Every member reports events/sec; BENCH_PR8.json records the 4-shard /
+// 1-shard ratio as the PR 8 scaling metric, enforced only on boxes with
+// >= 4 CPUs (a 1-CPU runner measures scheduling overhead, not scaling).
+func ShardScaling(shards int) func(b *testing.B) {
+	return func(b *testing.B) {
+		p := sim.DefaultParams()
+		p.PacketFlits = treePktFlits
+		p.LinkDelay = shardLinkDelay
+		w, err := buildTreeStorm(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var opts []sim.Option
+		if shards > 1 {
+			opts = append(opts, sim.WithFastShards(shards))
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		var events uint64
+		for i := 0; i < b.N; i++ {
+			ev, err := w.run(uint64(i), opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			events += ev
+		}
+		b.StopTimer()
+		if s := b.Elapsed().Seconds(); s > 0 {
+			b.ReportMetric(float64(events)/s, "events/sec")
+		}
+		b.ReportMetric(float64(events)/float64(b.N), "events/op")
+	}
 }
 
 // SweepParallel is the experiment-harness benchmark from PR 2: the full

@@ -1,0 +1,529 @@
+package event
+
+// Sharded engine facades for intra-cell parallel simulation (PDES).
+//
+// Two engines share one contract: the simulation is partitioned into
+// shards, each with its own future-event list, synchronized in
+// conservative windows of width W = the minimum inter-shard link delay.
+// An event executed at time t may post to another shard only with
+// timestamp >= t + W, so everything a shard can receive during the
+// window [T, T+W) is already in its queue when the window opens.
+//
+//   - ShardSet is the serial-equivalence engine: per-shard ("lane")
+//     min-heaps sharing ONE global insertion-sequence counter, executed
+//     by an N-way merge that always dispatches the globally least
+//     (at, seq) entry. Because the calendar queue also realizes exact
+//     (at, insertion-seq) order, a ShardSet run is event-for-event
+//     identical to a single-queue run for ANY shard count — traces,
+//     RNG draws, ids, everything. Windows are bookkeeping here: the
+//     merge counts boundary crossings and flags lookahead violations
+//     (cross-shard posts that land inside the open window), which is
+//     what the conformance property tests assert on.
+//
+//   - FastSet is the parallel engine: per-shard calendar Queues driven
+//     by persistent worker goroutines. A coordinator opens the window
+//     [T, T+W) at the globally earliest pending timestamp, releases all
+//     workers to run their queues up to T+W-1, waits on the barrier,
+//     then flushes cross-shard mailboxes into destination queues in
+//     deterministic (at, srcShard, srcPostOrder) merge order. A mailbox
+//     entry timestamped before T+W is a hard LookaheadError — the
+//     model violated the conservative contract — never a silent
+//     mis-merge. Results are deterministic for a fixed shard count
+//     (mailbox order and per-queue seq assignment are both scheduler-
+//     independent) but are a different serialization than ShardSet's.
+//
+// The heap backend is excluded from sharding entirely: SetBackend
+// renumbers sequence values when migrating entries, which breaks the
+// (at, seq, shard) merge contract. See BackendShardError.
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sort"
+	"sync"
+)
+
+// BackendShardError reports an engine backend that cannot participate in
+// a sharded run. Only the calendar backend preserves stable global
+// insertion order; BackendHeap's SetBackend migration renumbers seq and
+// would silently mis-merge across shards, so the combination is refused
+// up front.
+type BackendShardError struct {
+	Backend Backend
+	Shards  int
+}
+
+func (e *BackendShardError) Error() string {
+	return fmt.Sprintf("event: backend %d is incompatible with %d shards (heap migration renumbers seq; the (at, seq, shard) merge contract requires the calendar backend)", e.Backend, e.Shards)
+}
+
+// LookaheadError reports a cross-shard event posted with a timestamp
+// inside the synchronization window that generated it — a violation of
+// the conservative lookahead contract (delay < minimum inter-shard link
+// delay). The parallel engine fails hard rather than deliver it late.
+type LookaheadError struct {
+	Src, Dst int32
+	Kind     Kind
+	At       Time
+	WinEnd   Time
+}
+
+func (e *LookaheadError) Error() string {
+	return fmt.Sprintf("event: lookahead violation: shard %d posted kind %d to shard %d at t=%d inside the open window (boundary %d)", e.Src, e.Kind, e.Dst, e.At, e.WinEnd)
+}
+
+// ShardStats counts window-synchronization activity. Crossings is the
+// number of cross-shard posts; Violations counts crossings timestamped
+// inside the window that produced them (always 0 for a conforming
+// model — asserted by the property tests).
+type ShardStats struct {
+	Windows    uint64
+	Crossings  uint64
+	Violations uint64
+}
+
+// NextTime reports the timestamp of the queue's earliest pending event.
+// The second result is false when the queue is empty. Used by the
+// window coordinator to skip straight over idle stretches.
+func (q *Queue) NextTime() (Time, bool) {
+	if q.backend == BackendHeap {
+		if len(q.heap) == 0 {
+			return 0, false
+		}
+		return q.heap[0].at, true
+	}
+	var best Time
+	ok := false
+	if q.pending > 0 {
+		for t := q.cursor; t < q.cursor+ringSize; t++ {
+			b := &q.buckets[t&(ringSize-1)]
+			if b.head < len(b.items) {
+				best, ok = t, true
+				break
+			}
+		}
+	}
+	if len(q.far) > 0 && (!ok || q.far[0].at < best) {
+		best, ok = q.far[0].at, true
+	}
+	return best, ok
+}
+
+// --- serial-equivalence engine ---
+
+// ShardSet is the serial-equivalence sharded engine: N lanes, one
+// global clock, one global sequence counter, executed by an N-way
+// (at, seq) merge on a single goroutine. See the package comment above.
+type ShardSet struct {
+	window Time
+	now    Time
+	// winEnd is the exclusive boundary of the open synchronization
+	// window; dispatching an event at or past it opens the next window
+	// at that event's timestamp (the same alignment-free schedule the
+	// parallel engine runs).
+	winEnd Time
+	gseq   uint64
+	ran    uint64
+	// cur is the lane currently dispatching, -1 between events; posts
+	// from lane A's handler into lane B are the boundary crossings the
+	// stats track.
+	cur   int32
+	table [MaxKinds]Handler
+	lanes []Lane
+	stats ShardStats
+	obs   *EngineObs
+}
+
+// Lane is one shard's posting surface into a ShardSet: a min-heap of
+// entries ordered by (at, globalSeq).
+type Lane struct {
+	set  *ShardSet
+	idx  int32
+	heap []entry
+}
+
+// NewShardSet builds a serial-equivalence engine with the given shard
+// count and synchronization window (the minimum inter-shard delay;
+// must be >= 1).
+func NewShardSet(shards int, window Time) *ShardSet {
+	if shards < 1 {
+		panic("event: NewShardSet with shards < 1")
+	}
+	if window < 1 {
+		panic("event: NewShardSet with window < 1")
+	}
+	s := &ShardSet{window: window, cur: -1}
+	s.lanes = make([]Lane, shards)
+	for i := range s.lanes {
+		s.lanes[i].set = s
+		s.lanes[i].idx = int32(i)
+	}
+	return s
+}
+
+// Lane returns shard i's posting surface.
+func (s *ShardSet) Lane(i int) *Lane { return &s.lanes[i] }
+
+// Register installs the handler for a typed kind across every lane.
+func (s *ShardSet) Register(k Kind, h Handler) {
+	if k == KindClosure || k >= MaxKinds {
+		panic(fmt.Sprintf("event: Register of invalid kind %d", k))
+	}
+	s.table[k] = h
+}
+
+// Now returns the current simulation time.
+func (s *ShardSet) Now() Time { return s.now }
+
+// Processed returns the total number of events executed.
+func (s *ShardSet) Processed() uint64 { return s.ran }
+
+// Len returns the number of pending events across all lanes.
+func (s *ShardSet) Len() int {
+	n := 0
+	for i := range s.lanes {
+		n += len(s.lanes[i].heap)
+	}
+	return n
+}
+
+// Stats returns the window/crossing counters.
+func (s *ShardSet) Stats() ShardStats { return s.stats }
+
+// SetObs attaches a scheduler-counter sink (closure posts only; the
+// lane heaps have no far/ring split to instrument).
+func (s *ShardSet) SetObs(o *EngineObs) { s.obs = o }
+
+// EngineStats reports occupancy and progress for samplers.
+func (s *ShardSet) EngineStats() EngineStats {
+	return EngineStats{Len: s.Len(), Processed: s.ran}
+}
+
+// NextTime reports the earliest pending timestamp across all lanes.
+func (s *ShardSet) NextTime() (Time, bool) {
+	best := -1
+	for i := range s.lanes {
+		h := s.lanes[i].heap
+		if len(h) == 0 {
+			continue
+		}
+		if best < 0 || entryLess(&h[0], &s.lanes[best].heap[0]) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return s.lanes[best].heap[0].at, true
+}
+
+// Step dispatches the globally earliest (at, seq) event across all
+// lanes, advancing the clock. Returns false when every lane is empty.
+func (s *ShardSet) Step() bool {
+	best := -1
+	for i := range s.lanes {
+		h := s.lanes[i].heap
+		if len(h) == 0 {
+			continue
+		}
+		if best < 0 || entryLess(&h[0], &s.lanes[best].heap[0]) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return false
+	}
+	e := heapPop(&s.lanes[best].heap)
+	if e.at >= s.winEnd {
+		s.winEnd = e.at + s.window
+		s.stats.Windows++
+	}
+	s.now = e.at
+	s.ran++
+	s.cur = int32(best)
+	if e.kind == KindClosure {
+		e.actor.(func())()
+	} else if h := s.table[e.kind]; h != nil {
+		h(e.actor, e.arg)
+	} else {
+		s.cur = -1
+		panic(fmt.Sprintf("event: no handler for kind %d", e.kind))
+	}
+	s.cur = -1
+	return true
+}
+
+// RunUntil executes every event with timestamp <= limit and advances
+// the clock to limit. Returns the number of events executed.
+func (s *ShardSet) RunUntil(limit Time) uint64 {
+	var c uint64
+	for {
+		t, ok := s.NextTime()
+		if !ok || t > limit {
+			break
+		}
+		s.Step()
+		c++
+	}
+	if s.now < limit {
+		s.now = limit
+	}
+	return c
+}
+
+// Post schedules a typed event on this lane. Posting into the past
+// panics, matching Queue.Post.
+func (l *Lane) Post(t Time, k Kind, actor any, arg int64) {
+	s := l.set
+	if t < s.now {
+		panic(fmt.Sprintf("event: Post at t=%d before now=%d", t, s.now))
+	}
+	if s.cur >= 0 && s.cur != l.idx {
+		s.stats.Crossings++
+		if t < s.winEnd {
+			s.stats.Violations++
+		}
+	}
+	heapPush(&l.heap, entry{at: t, seq: s.gseq, arg: arg, actor: actor, kind: k})
+	s.gseq++
+}
+
+// PostAfter schedules a typed event delay cycles from now.
+func (l *Lane) PostAfter(delay Time, k Kind, actor any, arg int64) {
+	l.Post(l.set.now+delay, k, actor, arg)
+}
+
+// Now returns the set-wide simulation time.
+func (l *Lane) Now() Time { return l.set.now }
+
+// At schedules a closure (the legacy shim) on lane 0. Lane choice is
+// immaterial for ordering: the global sequence counter makes the merge
+// order independent of lane assignment.
+func (s *ShardSet) At(t Time, fn func()) {
+	if s.obs != nil {
+		s.obs.ClosurePosts++
+	}
+	s.lanes[0].Post(t, KindClosure, fn, 0)
+}
+
+// After schedules a closure delay cycles from now on lane 0.
+func (s *ShardSet) After(delay Time, fn func()) {
+	s.At(s.now+delay, fn)
+}
+
+// --- parallel engine ---
+
+// FastSet is the multicore sharded engine: one calendar Queue per
+// shard, persistent worker goroutines, and a window-barrier coordinator
+// that exchanges cross-shard mailboxes at window edges. Drive it with
+// Start, repeated Window calls, and Stop. All coordinator methods
+// (Window, Len, NextTime, Stats) must be called between windows, never
+// concurrently with one.
+type FastSet struct {
+	window Time
+	qs     []*Queue
+	// mail[src*len(qs)+dst] is the (src -> dst) mailbox, appended by
+	// src's worker during its window (single writer) and drained by the
+	// coordinator after the barrier. Entry seq is unused in the box; the
+	// flush's stable sort keyed on at preserves (src, post-order) for
+	// equal timestamps, realizing (at, srcShard, srcPostOrder).
+	mail    [][]entry
+	cmd     []chan Time
+	ack     chan int
+	started bool
+	// panics recovered on worker goroutines, re-raised by the
+	// coordinator so model bugs still fail loudly.
+	panicMu  sync.Mutex
+	panicked []any
+	stats    ShardStats
+	scratch  []entry
+}
+
+// NewFastSet builds a parallel engine with the given shard count and
+// synchronization window (minimum inter-shard delay, >= 1).
+func NewFastSet(shards int, window Time) *FastSet {
+	if shards < 1 {
+		panic("event: NewFastSet with shards < 1")
+	}
+	if window < 1 {
+		panic("event: NewFastSet with window < 1")
+	}
+	f := &FastSet{window: window}
+	f.qs = make([]*Queue, shards)
+	for i := range f.qs {
+		f.qs[i] = &Queue{}
+	}
+	f.mail = make([][]entry, shards*shards)
+	return f
+}
+
+// Queue returns shard i's event queue. Register handlers on every
+// queue before Start; post initial events before Start or between
+// windows (coordinator context only).
+func (f *FastSet) Queue(i int) *Queue { return f.qs[i] }
+
+// Shards returns the shard count.
+func (f *FastSet) Shards() int { return len(f.qs) }
+
+// Mail appends a cross-shard event to the (src, dst) mailbox. Must be
+// called from src's worker during its window (or from the coordinator
+// between windows). The entry is delivered to dst's queue at the next
+// window edge; t must be at or past that edge or Window returns a
+// LookaheadError.
+func (f *FastSet) Mail(src, dst int32, t Time, k Kind, actor any, arg int64) {
+	box := &f.mail[int(src)*len(f.qs)+int(dst)]
+	*box = append(*box, entry{at: t, arg: arg, actor: actor, kind: k})
+}
+
+// Start launches the worker goroutines. Idempotent until Stop.
+func (f *FastSet) Start() {
+	if f.started {
+		return
+	}
+	f.started = true
+	f.cmd = make([]chan Time, len(f.qs))
+	f.ack = make(chan int, len(f.qs))
+	for i := range f.qs {
+		f.cmd[i] = make(chan Time)
+		go f.worker(i)
+	}
+}
+
+// Stop shuts the workers down and waits for them to exit. Idempotent.
+func (f *FastSet) Stop() {
+	if !f.started {
+		return
+	}
+	for _, c := range f.cmd {
+		close(c)
+	}
+	f.started = false
+}
+
+func (f *FastSet) worker(i int) {
+	q := f.qs[i]
+	for limit := range f.cmd[i] {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					// The coordinator re-raises on the caller's stack, so
+					// capture this goroutine's stack now or lose the site.
+					f.panicMu.Lock()
+					f.panicked = append(f.panicked,
+						fmt.Sprintf("shard %d worker: %v\n%s", i, r, debug.Stack()))
+					f.panicMu.Unlock()
+				}
+				f.ack <- i
+			}()
+			q.RunUntil(limit)
+		}()
+	}
+}
+
+// NextTime reports the earliest pending timestamp across all shards.
+func (f *FastSet) NextTime() (Time, bool) {
+	var best Time
+	ok := false
+	for _, q := range f.qs {
+		if t, has := q.NextTime(); has && (!ok || t < best) {
+			best, ok = t, true
+		}
+	}
+	return best, ok
+}
+
+// Len returns the pending-event total across all shards. Mailboxes are
+// always empty between windows.
+func (f *FastSet) Len() int {
+	n := 0
+	for _, q := range f.qs {
+		n += q.Len()
+	}
+	return n
+}
+
+// Processed returns the total events executed across all shards.
+func (f *FastSet) Processed() uint64 {
+	var n uint64
+	for _, q := range f.qs {
+		n += q.ran
+	}
+	return n
+}
+
+// Stats returns the window/crossing counters.
+func (f *FastSet) Stats() ShardStats { return f.stats }
+
+// Now returns the coordinator-visible clock: every queue sits at the
+// same time between windows.
+func (f *FastSet) Now() Time { return f.qs[0].now }
+
+// Window opens the next synchronization window at the earliest pending
+// timestamp T, runs every shard concurrently through [T, T+W), then
+// flushes cross-shard mailboxes in (at, srcShard, srcPostOrder) order.
+// Returns the events executed and ran=false when no events remain
+// anywhere. Requires Start.
+func (f *FastSet) Window() (processed uint64, ran bool, err error) {
+	if !f.started {
+		panic("event: FastSet.Window before Start")
+	}
+	start, ok := f.NextTime()
+	if !ok {
+		return 0, false, nil
+	}
+	limit := start + f.window - 1 // events at <= limit, i.e. strictly inside [T, T+W)
+	before := f.Processed()
+	for _, c := range f.cmd {
+		c <- limit
+	}
+	for range f.cmd {
+		<-f.ack
+	}
+	if len(f.panicked) > 0 {
+		r := f.panicked[0]
+		f.Stop()
+		panic(r)
+	}
+	f.stats.Windows++
+	if err := f.flush(limit + 1); err != nil {
+		return f.Processed() - before, true, err
+	}
+	return f.Processed() - before, true, nil
+}
+
+// flush drains every mailbox into its destination queue. For one
+// destination, entries merge across sources by (at, srcShard,
+// srcPostOrder): boxes are visited in ascending src order and the sort
+// is stable on at alone, so equal-timestamp entries keep source-major
+// post order. Destination queues assign fresh local seq on Post, which
+// preserves the merge order for equal timestamps (per-cycle FIFO).
+func (f *FastSet) flush(winEnd Time) error {
+	n := len(f.qs)
+	for dst := 0; dst < n; dst++ {
+		buf := f.scratch[:0]
+		for src := 0; src < n; src++ {
+			box := &f.mail[src*n+dst]
+			if len(*box) == 0 {
+				continue
+			}
+			for _, e := range *box {
+				if e.at < winEnd {
+					return &LookaheadError{Src: int32(src), Dst: int32(dst), Kind: e.kind, At: e.at, WinEnd: winEnd}
+				}
+			}
+			buf = append(buf, *box...)
+			*box = (*box)[:0]
+		}
+		if len(buf) == 0 {
+			continue
+		}
+		f.stats.Crossings += uint64(len(buf))
+		sort.SliceStable(buf, func(i, j int) bool { return buf[i].at < buf[j].at })
+		q := f.qs[dst]
+		for _, e := range buf {
+			q.Post(e.at, e.kind, e.actor, e.arg)
+		}
+		f.scratch = buf
+	}
+	return nil
+}

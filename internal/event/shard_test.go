@@ -1,0 +1,332 @@
+package event
+
+import (
+	"errors"
+	"testing"
+
+	"mcastsim/internal/rng"
+)
+
+// rec is the typed-event recorder the shard tests share: each dispatch
+// appends the actor's tag so full execution orders can be diffed.
+type rec struct {
+	order []int64
+}
+
+const kindRec Kind = 1
+
+func (r *rec) register(q interface{ Register(Kind, Handler) }) {
+	q.Register(kindRec, func(actor any, arg int64) { r.order = append(r.order, arg) })
+}
+
+// TestShardSetMatchesSingleQueue is the serial-equivalence property: a
+// ShardSet dispatches a random workload in exactly the (at, seq) order a
+// single queue would, for every lane assignment. Lane choice is derived
+// from the post index so each trial spreads posts across all lanes.
+func TestShardSetMatchesSingleQueue(t *testing.T) {
+	for _, shards := range []int{1, 2, 3, 4, 7} {
+		src := rng.New(42)
+		var q Queue
+		qr := &rec{}
+		qr.register(&q)
+		s := NewShardSet(shards, 5)
+		sr := &rec{}
+		sr.register(s)
+
+		for i := int64(0); i < 500; i++ {
+			at := Time(src.Intn(97))
+			q.Post(at, kindRec, nil, i)
+			s.Lane(int(i) % shards).Post(at, kindRec, nil, i)
+		}
+		for q.Step() {
+		}
+		for s.Step() {
+		}
+		if len(qr.order) != len(sr.order) {
+			t.Fatalf("shards=%d: ran %d events, single queue ran %d", shards, len(sr.order), len(qr.order))
+		}
+		for i := range qr.order {
+			if qr.order[i] != sr.order[i] {
+				t.Fatalf("shards=%d: order diverged at event %d: shard set %d, single queue %d",
+					shards, i, sr.order[i], qr.order[i])
+			}
+		}
+		if s.Now() != q.Now() {
+			t.Fatalf("shards=%d: clock %d, single queue %d", shards, s.Now(), q.Now())
+		}
+	}
+}
+
+// TestShardSetCascadeMatchesSingleQueue extends the equivalence property
+// across window edges: handlers post follow-up events into OTHER lanes
+// with at least the window of lookahead, the exact shape of the hot
+// path's cross-shard flit/credit exchange. Global (at, seq) order must
+// still match a single queue running the identical cascade.
+func TestShardSetCascadeMatchesSingleQueue(t *testing.T) {
+	const window = 4
+	const seeds = 120
+
+	run := func(shards int) []int64 {
+		r := &rec{}
+		var next int64 = 1000
+		if shards == 0 {
+			var q Queue
+			q.Register(kindRec, func(actor any, arg int64) {
+				r.order = append(r.order, arg)
+				if arg < 400 { // three generations of follow-ups
+					q.Post(q.Now()+window+Time(arg%3), kindRec, nil, next)
+					next++
+				}
+			})
+			for i := int64(0); i < seeds; i++ {
+				q.Post(Time(i%13), kindRec, nil, i)
+			}
+			for q.Step() {
+			}
+			return r.order
+		}
+		s := NewShardSet(shards, window)
+		s.Register(kindRec, func(actor any, arg int64) {
+			r.order = append(r.order, arg)
+			if arg < 400 {
+				// Post into a rotating "other" lane: every follow-up is a
+				// boundary crossing with exactly the conservative lookahead.
+				lane := int(arg+1) % shards
+				s.Lane(lane).Post(s.Now()+window+Time(arg%3), kindRec, nil, next)
+				next++
+			}
+		})
+		for i := int64(0); i < seeds; i++ {
+			s.Lane(int(i) % shards).Post(Time(i%13), kindRec, nil, i)
+		}
+		for s.Step() {
+		}
+		if st := s.Stats(); st.Violations != 0 {
+			t.Fatalf("shards=%d: %d lookahead violations in a conforming cascade", shards, st.Violations)
+		} else if st.Crossings == 0 {
+			t.Fatalf("shards=%d: cascade never crossed a shard boundary — property is vacuous", shards)
+		}
+		return r.order
+	}
+
+	want := run(0)
+	for _, shards := range []int{2, 3, 5} {
+		got := run(shards)
+		if len(got) != len(want) {
+			t.Fatalf("shards=%d: ran %d events, single queue ran %d", shards, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("shards=%d: order diverged at event %d: got %d want %d", shards, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestShardSetViolationAccounting pins the window bookkeeping: a
+// cross-lane post timestamped inside the open window counts as a
+// violation; one at or past the boundary counts as a clean crossing.
+func TestShardSetViolationAccounting(t *testing.T) {
+	s := NewShardSet(2, 10)
+	s.Register(kindRec, func(actor any, arg int64) {
+		switch arg {
+		case 0: // window is [0, 10): t=5 is inside it — a violation.
+			s.Lane(1).Post(5, kindRec, nil, 1)
+		case 1:
+			// Executing at t=5 re-opens the window as [5, 15): t=15 is
+			// exactly on the boundary — clean.
+			s.Lane(0).Post(15, kindRec, nil, 2)
+		}
+	})
+	s.Lane(0).Post(0, kindRec, nil, 0)
+	for s.Step() {
+	}
+	st := s.Stats()
+	if st.Crossings != 2 {
+		t.Fatalf("crossings = %d, want 2", st.Crossings)
+	}
+	if st.Violations != 1 {
+		t.Fatalf("violations = %d, want 1", st.Violations)
+	}
+}
+
+// TestQueueNextTime covers the window coordinator's peek on both
+// backends, including the far-heap overflow path of the calendar.
+func TestQueueNextTime(t *testing.T) {
+	for _, b := range []Backend{BackendCalendar, BackendHeap} {
+		var q Queue
+		q.SetBackend(b)
+		if _, ok := q.NextTime(); ok {
+			t.Fatalf("backend %d: NextTime on empty queue reported an event", b)
+		}
+		q.Register(kindRec, func(any, int64) {})
+		q.Post(100000, kindRec, nil, 0) // far future: overflow heap on the calendar
+		q.Post(7, kindRec, nil, 0)
+		if at, ok := q.NextTime(); !ok || at != 7 {
+			t.Fatalf("backend %d: NextTime = %d,%v, want 7,true", b, at, ok)
+		}
+		q.Step()
+		if at, ok := q.NextTime(); !ok || at != 100000 {
+			t.Fatalf("backend %d: NextTime after step = %d,%v, want 100000,true", b, at, ok)
+		}
+	}
+}
+
+// TestFastSetWindowExchange drives a two-shard ping-pong through the
+// mailbox path: each handler mails the other shard one window ahead.
+// The run must terminate with every event delivered in timestamp order
+// per shard and the crossing counter equal to the mails sent.
+func TestFastSetWindowExchange(t *testing.T) {
+	const window = 3
+	f := NewFastSet(2, window)
+	var got [2][]Time
+	for i := 0; i < 2; i++ {
+		i := i
+		f.Queue(i).Register(kindRec, func(actor any, arg int64) {
+			q := f.Queue(i)
+			got[i] = append(got[i], q.Now())
+			if arg < 5 {
+				f.Mail(int32(i), int32(1-i), q.Now()+window, kindRec, nil, arg+1)
+			}
+		})
+	}
+	f.Queue(0).Post(0, kindRec, nil, 0)
+	f.Start()
+	defer f.Stop()
+	for {
+		_, ran, err := f.Window()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ran {
+			break
+		}
+	}
+	// arg 0,2,4 run on shard 0 at t=0,6,12; arg 1,3,5 on shard 1 at 3,9,15.
+	wantTimes := [2][]Time{{0, 6, 12}, {3, 9, 15}}
+	for i := range got {
+		if len(got[i]) != len(wantTimes[i]) {
+			t.Fatalf("shard %d ran %d events, want %d (%v)", i, len(got[i]), len(wantTimes[i]), got[i])
+		}
+		for j := range got[i] {
+			if got[i][j] != wantTimes[i][j] {
+				t.Fatalf("shard %d event %d at t=%d, want %d", i, j, got[i][j], wantTimes[i][j])
+			}
+		}
+	}
+	if st := f.Stats(); st.Crossings != 5 {
+		t.Fatalf("crossings = %d, want 5", st.Crossings)
+	}
+	if f.Processed() != 6 {
+		t.Fatalf("processed = %d, want 6", f.Processed())
+	}
+}
+
+// TestFastSetFlushOrder pins the boundary merge order: entries mailed to
+// one destination during one window are delivered in (at, srcShard,
+// srcPostOrder) order, so equal-timestamp events from a lower source
+// shard always execute first and one source's posts keep their order.
+func TestFastSetFlushOrder(t *testing.T) {
+	f := NewFastSet(3, 5)
+	r := &rec{}
+	for i := 0; i < 3; i++ {
+		r.register(f.Queue(i))
+	}
+	f.Queue(1).Register(kindRec, func(actor any, arg int64) {
+		r.order = append(r.order, arg)
+		if arg != 0 {
+			return
+		}
+		// Shard 1's window [0,5) mails shard 0 four entries; shard 2 is
+		// idle, so flush order within dst 0 is decided by (at, src, post
+		// order) alone.
+		f.Mail(1, 0, 9, kindRec, nil, 101)
+		f.Mail(1, 0, 5, kindRec, nil, 102)
+		f.Mail(1, 0, 9, kindRec, nil, 103)
+		f.Mail(2, 0, 9, kindRec, nil, 104) // lower at ties: src 1 entries first
+	})
+	f.Queue(1).Post(0, kindRec, nil, 0)
+	f.Start()
+	defer f.Stop()
+	for {
+		_, ran, err := f.Window()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ran {
+			break
+		}
+	}
+	want := []int64{0, 102, 101, 103, 104}
+	if len(r.order) != len(want) {
+		t.Fatalf("ran %v, want %v", r.order, want)
+	}
+	for i := range want {
+		if r.order[i] != want[i] {
+			t.Fatalf("flush order %v, want %v", r.order, want)
+		}
+	}
+}
+
+// TestFastSetLookaheadError proves the conservative contract is enforced,
+// not assumed: a mailbox entry timestamped inside the window that mailed
+// it surfaces as a typed *LookaheadError from Window, never a silent
+// late delivery.
+func TestFastSetLookaheadError(t *testing.T) {
+	f := NewFastSet(2, 10)
+	f.Queue(0).Register(kindRec, func(actor any, arg int64) {
+		f.Mail(0, 1, f.Queue(0).Now()+3, kindRec, nil, 0) // 3 < window 10
+	})
+	f.Queue(1).Register(kindRec, func(any, int64) {})
+	f.Queue(0).Post(0, kindRec, nil, 0)
+	f.Start()
+	defer f.Stop()
+	_, _, err := f.Window()
+	var le *LookaheadError
+	if !errors.As(err, &le) {
+		t.Fatalf("Window returned %v, want *LookaheadError", err)
+	}
+	if le.Src != 0 || le.Dst != 1 || le.At != 3 {
+		t.Fatalf("LookaheadError = %+v, want src 0 dst 1 at 3", le)
+	}
+}
+
+// TestFastSetSkipsIdleStretches: the coordinator opens each window at the
+// globally earliest pending timestamp, so a sparse schedule takes one
+// window per event cluster instead of walking empty windows.
+func TestFastSetSkipsIdleStretches(t *testing.T) {
+	f := NewFastSet(2, 2)
+	r := &rec{}
+	r.register(f.Queue(0))
+	r.register(f.Queue(1))
+	f.Queue(0).Post(0, kindRec, nil, 0)
+	f.Queue(1).Post(1_000_000, kindRec, nil, 1)
+	f.Start()
+	defer f.Stop()
+	windows := 0
+	for {
+		_, ran, err := f.Window()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ran {
+			break
+		}
+		windows++
+	}
+	if windows != 2 {
+		t.Fatalf("took %d windows for 2 isolated events, want 2", windows)
+	}
+	if len(r.order) != 2 {
+		t.Fatalf("ran %d events, want 2", len(r.order))
+	}
+}
+
+// TestBackendShardErrorMessage pins the typed refusal carrying enough
+// context to act on.
+func TestBackendShardErrorMessage(t *testing.T) {
+	err := &BackendShardError{Backend: BackendHeap, Shards: 4}
+	if err.Error() == "" {
+		t.Fatal("empty error message")
+	}
+}

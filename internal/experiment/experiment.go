@@ -33,6 +33,12 @@ type Config struct {
 	// of the cell's indices, so tables are byte-identical for every
 	// worker count.
 	Workers int
+	// Shards runs every simulation cell on the serial-equivalence sharded
+	// PDES engine with this many shards (sim.WithShards). Tables are
+	// byte-identical for every shard count — the engine realizes the
+	// exact single-queue execution order — so Shards, like Workers, can
+	// never change a result. 0 or 1 keeps the plain engine.
+	Shards int
 	// Topologies is the family size for single-multicast experiments;
 	// LoadTopologies for the (far costlier) load experiments.
 	Topologies     int
@@ -54,6 +60,12 @@ type Config struct {
 	TopoCfg topology.Config
 	Params  sim.Params
 
+	// SimulateL opts the scale sweep's L tier (>=1024 switches, >=100k
+	// hosts) into flit-level simulation: one short probe per cell instead
+	// of the tier's plan+encode-only default. Off by default — an L-tier
+	// network is minutes of assembly plus millions of events per probe —
+	// and surfaced as -sim-l on the CLI; CI smokes it at reduced scale.
+	SimulateL bool
 	// Obs, when non-nil, collects per-cell telemetry bundles (see
 	// internal/obs): every simulation cell records link/NI/engine time
 	// series at the sink's cadence. Nil (the default) disables
@@ -130,7 +142,7 @@ func singleMean(cfg Config, label string, rts []*updown.Routing, sch mcast.Schem
 		r, err := traffic.Run(rts[i], traffic.Workload{
 			Scheme: sch, Params: p, Degree: degree, MsgFlits: flits,
 			Seed: rng.Mix(cfg.Seed, saltSingle, uint64(i)),
-		}, traffic.WithProbes(cfg.Probes), traffic.WithObs(rec))
+		}, traffic.WithProbes(cfg.Probes), traffic.WithObs(rec), traffic.WithShards(cfg.Shards))
 		if err != nil {
 			return nil, err
 		}
@@ -189,7 +201,7 @@ func sweepSingle(cfg Config, title, xLabel string, xs []float64,
 		r, err := traffic.Run(pt.rts[k.ti], traffic.Workload{
 			Scheme: schemes[k.si], Params: pt.p, Degree: pt.degree, MsgFlits: pt.flits,
 			Seed: rng.Mix(cfg.Seed, saltSingle, uint64(k.ti)),
-		}, traffic.WithProbes(cfg.Probes), traffic.WithObs(rec))
+		}, traffic.WithProbes(cfg.Probes), traffic.WithObs(rec), traffic.WithShards(cfg.Shards))
 		if err != nil {
 			return nil, fmt.Errorf("%s at %s=%v: %w", schemes[k.si].Name(), xLabel, xs[k.xi], err)
 		}

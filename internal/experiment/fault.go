@@ -90,7 +90,7 @@ func FaultReconfiguration(cfg Config) ([]*metrics.Table, error) {
 			Scheme: schemes[k.si], Params: cfg.Params, Degree: cfg.Degree,
 			MsgFlits: cfg.MsgFlits,
 			Seed:     rng.Mix(cfg.Seed, 7919, uint64(k.ti)),
-		}, traffic.WithProbes(cfg.Probes), traffic.WithObs(rec))
+		}, traffic.WithProbes(cfg.Probes), traffic.WithObs(rec), traffic.WithShards(cfg.Shards))
 		if err != nil {
 			return nil, err
 		}

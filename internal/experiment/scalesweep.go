@@ -238,6 +238,16 @@ func ScaleSweep(cfg Config) ([]*metrics.Table, error) {
 		p := cfg.Params
 		p.DestCoding = cb.coding
 		res := scaleCellResult{latency: math.NaN(), throughput: math.NaN()}
+		// Simulated probes per cell: every probe at tiers that simulate by
+		// default; with -sim-l, ONE probe at the L tier (the smoke that
+		// proves the sharded engine event-simulates 100k+ hosts without
+		// turning the sweep into an hours-long run).
+		simProbes := 0
+		if rc.simulate {
+			simProbes = probes
+		} else if cfg.SimulateL {
+			simProbes = 1
+		}
 		var latSum, tputSum float64
 		var hdrSum, destSum, planNS int64
 		for probe := 0; probe < probes; probe++ {
@@ -255,10 +265,11 @@ func ScaleSweep(cfg Config) ([]*metrics.Table, error) {
 			planNS += time.Since(start).Nanoseconds()
 			hdrSum += int64(hdr)
 			destSum += int64(len(dests))
-			if !rc.simulate {
+			if probe >= simProbes {
 				continue
 			}
-			n, err := sim.New(rc.rt, p, rng.Mix(cfg.Seed, saltScaleSim, uint64(k.ci), uint64(probe)))
+			n, err := sim.New(rc.rt, p, rng.Mix(cfg.Seed, saltScaleSim, uint64(k.ci), uint64(probe)),
+				sim.WithShards(cfg.Shards))
 			if err != nil {
 				return res, err
 			}
@@ -278,9 +289,9 @@ func ScaleSweep(cfg Config) ([]*metrics.Table, error) {
 		res.headerBytes = float64(hdrSum) / float64(probes)
 		res.planMS = float64(planNS) / float64(probes) / 1e6
 		res.dests = float64(destSum) / float64(probes)
-		if rc.simulate {
-			res.latency = latSum / float64(probes)
-			res.throughput = tputSum / float64(probes)
+		if simProbes > 0 {
+			res.latency = latSum / float64(simProbes)
+			res.throughput = tputSum / float64(simProbes)
 		}
 		return res, nil
 	})
@@ -326,7 +337,11 @@ func ScaleSweep(cfg Config) ([]*metrics.Table, error) {
 				note := fmt.Sprintf("%s, %.0f dests", cases[ci].tier, r.dests)
 				simNote := note
 				if !cases[ci].simulate {
-					simNote = note + ", plan+encode only"
+					if cfg.SimulateL {
+						simNote = note + ", 1 simulated probe (-sim-l)"
+					} else {
+						simNote = note + ", plan+encode only"
+					}
 				}
 				hSer.X = append(hSer.X, x)
 				hSer.Y = append(hSer.Y, r.headerBytes)

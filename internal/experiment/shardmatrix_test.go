@@ -1,0 +1,59 @@
+package experiment
+
+import (
+	"testing"
+)
+
+// TestShardWorkerMatrixIdentical is the PR's tier-1 table property: under
+// the serial-equivalence sharded engine, experiment tables are
+// byte-identical across the full workers {1,8} x shards {1,2,4} matrix
+// for the load (fig9), fault (faultsweep) and churn (churnsweep)
+// pipelines. Workers vary only the cell scheduling; shards vary only the
+// engine's internal structure; neither may leak into a result. The
+// (workers=1, shards=1) cell is the pre-refactor baseline every other
+// cell is diffed against.
+func TestShardWorkerMatrixIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full worker x shard matrix in -short mode")
+	}
+	cases := []struct {
+		id  string
+		run Runner
+	}{
+		{"fig9", Fig9LoadVsR},
+		{"faultsweep", FaultSweep},
+		{"churnsweep", ChurnSweep},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.id, func(t *testing.T) {
+			base := testConfig()
+			base.Workers = 1
+			base.Shards = 1
+			bt, err := c.run(base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := renderTables(t, bt)
+
+			for _, workers := range []int{1, 8} {
+				for _, shards := range []int{1, 2, 4} {
+					if workers == 1 && shards == 1 {
+						continue
+					}
+					cfg := testConfig()
+					cfg.Workers = workers
+					cfg.Shards = shards
+					gt, err := c.run(cfg)
+					if err != nil {
+						t.Fatalf("workers=%d shards=%d: %v", workers, shards, err)
+					}
+					if got := renderTables(t, gt); got != want {
+						t.Fatalf("workers=%d shards=%d diverged from workers=1 shards=1:\n--- got ---\n%s\n--- want ---\n%s",
+							workers, shards, got, want)
+					}
+				}
+			}
+		})
+	}
+}

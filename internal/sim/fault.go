@@ -68,8 +68,20 @@ func (n *Network) Invariant() *InvariantError { return n.invariant }
 // recorded for Drain to surface, and the worm is still torn down so the
 // simulation terminates instead of wedging.
 func (n *Network) routeFailure(o *occupant, s topology.SwitchID, reason string) {
-	if !n.faultedEver() && n.invariant == nil {
-		n.invariant = &InvariantError{At: n.queue.Now(), Switch: s, Reason: reason}
+	if !n.faultedEver() {
+		n.invMu.Lock()
+		if n.invariant == nil {
+			n.invariant = &InvariantError{At: o.buf.sh.now(), Switch: s, Reason: reason}
+		}
+		n.invMu.Unlock()
+	}
+	if n.fset != nil {
+		// Parallel engine: the full teardown walks cross-shard structures
+		// (downstream buffers, NIs, the message), which would race other
+		// workers. Mark the worm dead — its flits drain at arrival — and
+		// let Drain's between-window invariant check abort the run.
+		o.w.dead = true
+		return
 	}
 	n.killOccupant(o)
 }
@@ -110,7 +122,7 @@ func (n *Network) killBranch(br *branch) {
 	if br.injNI != nil && !br.injNI.dead {
 		br.injNI.streamDone(br.injLast)
 	}
-	n.queue.PostAfter(n.reclaimAfter, evReclaim, br, 0)
+	br.sh.postAfter(n.reclaimAfter, evReclaim, br, 0)
 	if br.occ != nil {
 		// Advance eviction before detaching: detaching can recycle the
 		// occupant this branch was reading.
@@ -179,7 +191,7 @@ func (n *Network) removeFromBuffer(o *occupant) {
 	b.used -= held
 	if b.upstream != nil && !b.upstream.dead {
 		for i := 0; i < held; i++ {
-			n.queue.PostAfter(n.params.LinkDelay, evCredit, b, 0)
+			b.sh.postTo(b.upstream.sh, b.sh.now()+n.params.LinkDelay, evCredit, b, 0)
 		}
 	}
 	wasHead := len(b.occupants) > 0 && b.occupants[0] == o
@@ -195,7 +207,7 @@ func (n *Network) removeFromBuffer(o *occupant) {
 		next := b.occupants[0]
 		if next.arrived > 0 && !next.routed && !next.routing {
 			next.routing = true
-			n.queue.PostAfter(n.params.RoutingDelay, evRoute, next, 0)
+			b.sh.postAfter(n.params.RoutingDelay, evRoute, next, 0)
 		}
 	}
 }
@@ -258,7 +270,7 @@ func (n *Network) failDest(m *Message, d topology.NodeID) {
 	if m.FailedAt == nil {
 		m.FailedAt = make(map[topology.NodeID]event.Time)
 	}
-	m.FailedAt[d] = n.queue.Now()
+	m.FailedAt[d] = n.nowAt()
 	n.stats.DestsFailed++
 	x := n.nis[d]
 	delete(x.rxMsgs, m)
@@ -268,7 +280,7 @@ func (n *Network) failDest(m *Message, d topology.NodeID) {
 	}
 	m.remaining--
 	if m.remaining == 0 {
-		n.outstanding--
+		n.outstanding.Add(-1)
 		n.stats.MessagesDone++
 		if m.group != nil {
 			n.groupMsgDone(m)
@@ -395,8 +407,11 @@ type FaultSchedule struct {
 // InstallFaults schedules every event of fs on the simulation clock.
 // Call before advancing past the earliest event time.
 func (n *Network) InstallFaults(fs *FaultSchedule) error {
+	if err := n.fastModeCheck("fault injection (InstallFaults)"); err != nil {
+		return err
+	}
 	n.ensureFaultState()
-	now := n.queue.Now()
+	now := n.nowAt()
 	// The schedule is copied so callers may reuse fs; each typed
 	// evFaultApply event carries a pointer into the copy.
 	events := append([]FaultEvent(nil), fs.Events...)
@@ -417,7 +432,7 @@ func (n *Network) InstallFaults(fs *FaultSchedule) error {
 		default:
 			return fmt.Errorf("sim: fault event %d: unknown kind %d", i, ev.Kind)
 		}
-		n.queue.Post(ev.At, evFaultApply, &events[i], 0)
+		n.ctlPost(ev.At, evFaultApply, &events[i], 0)
 	}
 	return nil
 }
@@ -537,8 +552,8 @@ func (n *Network) reviveChannel(op *outPort) {
 	ch.dead = false
 	op.dead = false
 	ch.sender = nil
-	if ch.lineFree < n.queue.Now() {
-		ch.lineFree = n.queue.Now()
+	if now := n.nowAt(); ch.lineFree < now {
+		ch.lineFree = now
 	}
 	if ch.toSwitch {
 		ch.credits = ch.dstBuf.cap - ch.dstBuf.used
@@ -556,7 +571,7 @@ func (n *Network) scheduleReconfig() {
 		return
 	}
 	n.reconfigEpoch++
-	n.queue.PostAfter(n.params.FaultDetectCycles, evReconfig, nil, int64(n.reconfigEpoch))
+	n.ctlPostAfter(n.params.FaultDetectCycles, evReconfig, nil, int64(n.reconfigEpoch))
 }
 
 // reconfigure recomputes up*/down* state over the surviving subgraph

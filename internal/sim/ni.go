@@ -15,6 +15,7 @@ import (
 // Each is a serially reusable resource tracked by a next-free time.
 type ni struct {
 	net  *Network
+	sh   *shardState // home switch's shard; all NI state lives here
 	node topology.NodeID
 	inj  *channel // injection line into the home switch
 
@@ -50,6 +51,7 @@ type ni struct {
 func newNI(net *Network, node topology.NodeID, inj *channel) *ni {
 	return &ni{
 		net:     net,
+		sh:      inj.sh,
 		node:    node,
 		inj:     inj,
 		rxFlits: make(map[*worm]int),
@@ -91,8 +93,8 @@ func (x *ni) hostSend(m *Message, spec *WormSpec) {
 		x.failSendDests(m, spec)
 		return
 	}
-	softDone := reserve(&x.hostFree, n.queue.Now(), n.params.OHostSend)
-	n.queue.Post(softDone, evSendSoft, &sendOp{x: x, m: m, spec: spec}, 0)
+	softDone := reserve(&x.hostFree, x.sh.now(), n.params.OHostSend)
+	x.sh.post(softDone, evSendSoft, &sendOp{x: x, m: m, spec: spec}, 0)
 }
 
 // softwareDone runs when the host send software overhead finishes (the
@@ -100,11 +102,11 @@ func (x *ni) hostSend(m *Message, spec *WormSpec) {
 func (op *sendOp) softwareDone() {
 	x, m := op.x, op.m
 	n := x.net
-	cur := n.queue.Now()
+	cur := x.sh.now()
 	for pkt := 0; pkt < m.Packets; pkt++ {
 		bytes := n.payloadFlits(m, pkt)
 		dmaDone := reserve(&x.busFree, cur, n.params.BusCycles(bytes))
-		n.queue.Post(dmaDone, evSendDMA, op, int64(pkt))
+		x.sh.post(dmaDone, evSendDMA, op, int64(pkt))
 	}
 }
 
@@ -116,8 +118,8 @@ func (op *sendOp) dmaDone(pkt int) {
 		x.admitBurst(x.replicaBurst(op.m, pkt))
 		return
 	}
-	b := x.net.getBurst()
-	b.worms = append(b.worms, x.net.newWorm(op.m, op.spec, pkt))
+	b := x.sh.getBurst()
+	b.worms = append(b.worms, x.sh.newWorm(op.m, op.spec, pkt))
 	x.admitBurst(b)
 }
 
@@ -133,12 +135,12 @@ type burst struct {
 // children.
 func (x *ni) replicaBurst(m *Message, pkt int) *burst {
 	kids := m.Plan.NITree[x.node]
-	b := x.net.getBurst()
+	b := x.sh.getBurst()
 	for _, kid := range kids {
 		// Unicast specs are consumed by newWorm, never retained, so the
-		// Network scratch spec avoids one allocation per replica.
-		x.net.specScratch = WormSpec{Kind: WormUnicast, Dest: kid}
-		b.worms = append(b.worms, x.net.newWorm(m, &x.net.specScratch, pkt))
+		// shard scratch spec avoids one allocation per replica.
+		x.sh.scr.specScratch = WormSpec{Kind: WormUnicast, Dest: kid}
+		b.worms = append(b.worms, x.sh.newWorm(m, &x.sh.scr.specScratch, pkt))
 	}
 	return b
 }
@@ -163,10 +165,9 @@ func (x *ni) admitBurst(b *burst) {
 }
 
 func (x *ni) chargeAndReady(b *burst) {
-	n := x.net
 	b.owner = x
-	procDone := reserve(&x.niFree, n.queue.Now(), n.params.ONISend)
-	n.queue.Post(procDone, evNICharged, b, 0)
+	procDone := reserve(&x.niFree, x.sh.now(), x.net.params.ONISend)
+	x.sh.post(procDone, evNICharged, b, 0)
 }
 
 // charged runs when a burst's NI send processing finishes (the
@@ -192,17 +193,17 @@ func (x *ni) startStream() {
 	lastOfBurst := b.next == len(b.worms)
 	if lastOfBurst {
 		x.ready = x.ready[1:]
-		x.net.putBurst(b) // every worm is streamed; no list names b anymore
+		x.sh.putBurst(b) // every worm is streamed; no list names b anymore
 	}
 	x.streaming = true
-	br := x.net.newBranch(nil, w, 0)
+	br := x.sh.newBranch(nil, w, 0)
 	br.ch = x.inj
 	br.injNI = x
 	br.injLast = lastOfBurst
 	x.inj.sender = br
-	x.net.stats.PacketsInjected++
+	x.sh.stats.PacketsInjected++
 	x.net.trace(TraceEvent{Kind: TraceInject, Worm: w.id, Msg: w.msg.ID, Pkt: w.pkt, Node: x.node})
-	br.schedulePump(x.net.queue.Now())
+	br.schedulePump(x.sh.now())
 }
 
 // streamDone unwinds the injection line after a stream's tail (or its
@@ -230,13 +231,13 @@ func (x *ni) streamDone(last bool) {
 func (x *ni) flitArrive(w *worm) {
 	if w.dead {
 		// Straggler of a torn-down worm; the partial packet was discarded.
-		x.net.stats.FlitsDropped++
+		x.sh.stats.FlitsDropped++
 		return
 	}
-	x.net.stats.FlitsDelivered++
+	x.sh.stats.FlitsDelivered++
 	c := x.rxFlits[w] + 1
 	if c == 1 {
-		w.refs++ // the NI assembly leg; released after receive processing
+		wormRef(w) // the NI assembly leg; released after receive processing
 	}
 	if c > w.len {
 		panic("sim: NI received more flits than worm length")
@@ -262,13 +263,13 @@ func (x *ni) packetArrived(w *worm) {
 		// This destination was already declared failed (another packet of
 		// the message died); a stray complete packet does not resurrect
 		// it — the retransmission layer owns the remainder.
-		n.wormDecref(w) // no receive processing will release the NI leg
+		x.sh.wormDecref(w) // no receive processing will release the NI leg
 		return
 	}
-	n.stats.PacketsAtNI++
+	x.sh.stats.PacketsAtNI++
 	n.trace(TraceEvent{Kind: TraceDeliver, Worm: w.id, Msg: w.msg.ID, Pkt: w.pkt, Node: x.node})
-	procDone := reserve(&x.niFree, n.queue.Now(), n.params.ONIRecv)
-	n.queue.Post(procDone, evNIRecvProc, w, int64(x.node))
+	procDone := reserve(&x.niFree, x.sh.now(), n.params.ONIRecv)
+	x.sh.post(procDone, evNIRecvProc, w, int64(x.node))
 }
 
 // recvProcessed runs when a packet's NI receive processing finishes (the
@@ -294,9 +295,9 @@ func (x *ni) recvProcessed(w *worm) {
 		}
 	}
 	bytes := n.payloadFlits(m, w.pkt)
-	dmaDone := reserve(&x.busFree, n.queue.Now(), n.params.BusCycles(bytes))
-	n.queue.Post(dmaDone, evNIRecvDMA, m, int64(x.node))
-	n.wormDecref(w) // the NI assembly leg; host-side events carry m, not w
+	dmaDone := reserve(&x.busFree, x.sh.now(), n.params.BusCycles(bytes))
+	x.sh.post(dmaDone, evNIRecvDMA, m, int64(x.node))
+	x.sh.wormDecref(w) // the NI assembly leg; host-side events carry m, not w
 }
 
 // hostPacketArrived counts packets landed in host memory; the last one
@@ -307,14 +308,19 @@ func (x *ni) hostPacketArrived(m *Message) {
 		return
 	}
 	c := x.rxMsgs[m] + 1
-	n.stats.PacketsToHost++
+	x.sh.stats.PacketsToHost++
 	if c < m.Packets {
 		x.rxMsgs[m] = c
 		return
 	}
 	delete(x.rxMsgs, m)
-	done := reserve(&x.hostFree, n.queue.Now(), n.params.OHostRecv)
-	n.queue.Post(done, evDestDone, m, int64(x.node))
+	done := reserve(&x.hostFree, x.sh.now(), n.params.OHostRecv)
+	// Completion is the Message owner's (source shard's) event: DoneAt,
+	// remaining and the completion hooks are single-owner state. The host
+	// receive overhead supplies the cross-shard lookahead; with a
+	// pathological OHostRecv < LinkDelay the fast engine fails loudly
+	// with a LookaheadError rather than mis-merging.
+	x.sh.postTo(m.sh, done, evDestDone, m, int64(x.node))
 }
 
 // destDone records destination completion, fires any secondary-source
@@ -328,7 +334,7 @@ func (n *Network) destDone(m *Message, node topology.NodeID) {
 	if _, dup := m.DoneAt[node]; dup {
 		panic(fmt.Sprintf("sim: node %d received message %d twice", node, m.ID))
 	}
-	m.DoneAt[node] = n.queue.Now()
+	m.DoneAt[node] = m.sh.now()
 	m.remaining--
 	if m.group != nil {
 		n.groupNoteDelivered(m, node)
@@ -342,8 +348,8 @@ func (n *Network) destDone(m *Message, node topology.NodeID) {
 		}
 	}
 	if m.remaining == 0 {
-		n.outstanding--
-		n.stats.MessagesDone++
+		n.outstanding.Add(-1)
+		m.sh.stats.MessagesDone++
 		if m.group != nil {
 			n.groupMsgDone(m)
 		}
@@ -376,9 +382,9 @@ func (x *ni) failSendDests(m *Message, spec *WormSpec) {
 func (x *ni) dropBurst(b *burst) {
 	for _, w := range b.worms[b.next:] {
 		x.net.failWormDests(w)
-		x.net.recycleWorm(w)
+		x.sh.recycleWorm(w)
 	}
-	x.net.putBurst(b)
+	x.sh.putBurst(b)
 }
 
 // promoteWaiting admits deferred bursts while buffer slots are free
@@ -424,7 +430,7 @@ func (x *ni) abortMessage(m *Message) {
 	for w := range x.rxFlits {
 		if w.msg == m {
 			delete(x.rxFlits, w)
-			x.net.wormDecref(w) // the NI assembly leg
+			x.sh.wormDecref(w) // the NI assembly leg
 		}
 	}
 	delete(x.rxMsgs, m)
@@ -465,7 +471,7 @@ func (x *ni) orphan() {
 		}
 		// Release the NI assembly leg after reading w.msg: the decref can
 		// recycle the worm.
-		n.wormDecref(w)
+		x.sh.wormDecref(w)
 	}
 	for m := range x.rxMsgs {
 		if !seen[m] {

@@ -267,6 +267,10 @@ type Message struct {
 	remaining  int
 	onComplete func(*Message)
 
+	// sh is the shard owning the message's mutable state (the source
+	// NI's shard): evMsgStart and every evDestDone dispatch there.
+	sh *shardState
+
 	// group/snapshot tag a dynamic-group send (see group.go): snapshot is
 	// the pooled membership fingerprint taken at send time, recycled at
 	// completion. Both nil on plain sends.

@@ -1,13 +1,21 @@
 package sim
 
 import (
+	"sync/atomic"
+
 	"mcastsim/internal/bitset"
 	"mcastsim/internal/event"
 )
 
-// This file implements the simulator's per-network free lists. A Network
-// is single-goroutine (see enterRun), so the pools are plain slices with
-// LIFO reuse — no locking, no sync.Pool clearing at GC.
+// This file implements the simulator's per-shard free lists. A shard is
+// single-goroutine (one event-loop goroutine in serial modes, one
+// worker per shard in fast mode), so the pools are plain slices with
+// LIFO reuse — no locking, no sync.Pool clearing at GC. In serial modes
+// every shard aliases one shared pool set, so recycling behaviour is
+// bit-identical to the pre-shard engine; in fast mode each shard
+// recycles into its own pools (an entity freed on a different shard
+// than it was allocated simply migrates — harmless, the pools are
+// interchangeable).
 //
 // Ownership and lifetime rules:
 //
@@ -16,14 +24,16 @@ import (
 //     returns a cleared set; putSet recycles it. The route cache keeps
 //     its own clones and never lends storage out (see routecache.go).
 //
-//   - Worms are reference-counted. The legs are: the producing branch
+//   - Worms are reference-counted (atomically: the legs live on
+//     different shards in fast mode). The legs are: the producing branch
 //     (released when the branch is reclaimed after its quarantine), the
 //     downstream occupant assembling the worm in an input buffer
 //     (released when the occupant is recycled), and the destination NI
 //     assembling the packet (taken at the first received flit, released
 //     after NI receive processing or at any rxFlits teardown). A worm in
 //     an un-streamed burst has zero refs and is recycled directly when
-//     the burst is dropped.
+//     the burst is dropped. Whichever shard drops the last leg owns the
+//     worm exclusively at that point and recycles it locally.
 //
 //   - Branches are time-quarantined: a branch goes done exactly once (the
 //     pump tail or a fault kill), is spliced out of its occupant's branch
@@ -52,76 +62,104 @@ func (n *Network) reclaimQuarantine() event.Time {
 	if h < 1 {
 		h = 1
 	}
-	return h + 2
+	q := h + 2
+	// Fast mode executes one window's events concurrently across shards,
+	// so timestamp order alone is not "strictly after": a cross-shard
+	// evDeliver and the evReclaim that invalidates its branch must land
+	// in different windows (the barrier is the only cross-shard
+	// ordering). Padding by the window width W = LinkDelay puts the
+	// reclaim > W past every pending event naming the branch, which
+	// forces a later window. Serial modes keep the exact pre-shard
+	// horizon, preserving byte-identity.
+	if n.fset != nil {
+		q += n.params.LinkDelay
+	}
+	return q
 }
 
 // --- destination sets ---
 
-func (n *Network) getSet() *bitset.Set {
-	if len(n.setPool) == 0 {
-		return bitset.New(n.topo.NumNodes)
+func (sh *shardState) getSet() *bitset.Set {
+	p := sh.pools
+	if len(p.setPool) == 0 {
+		return bitset.New(sh.net.topo.NumNodes)
 	}
-	s := n.setPool[len(n.setPool)-1]
-	n.setPool = n.setPool[:len(n.setPool)-1]
+	s := p.setPool[len(p.setPool)-1]
+	p.setPool = p.setPool[:len(p.setPool)-1]
 	s.Clear()
 	return s
 }
 
-func (n *Network) putSet(s *bitset.Set) {
-	n.setPool = append(n.setPool, s)
+func (sh *shardState) putSet(s *bitset.Set) {
+	sh.pools.setPool = append(sh.pools.setPool, s)
 }
+
+// Network-level wrappers for the serial-only subsystems (faults,
+// groups); in serial modes every shard aliases one pool set, so the
+// shard choice is immaterial.
+func (n *Network) getSet() *bitset.Set  { return n.sh0().getSet() }
+func (n *Network) putSet(s *bitset.Set) { n.sh0().putSet(s) }
 
 // --- worms ---
 
-func (n *Network) getWorm() *worm {
-	if len(n.wormPool) == 0 {
+func (sh *shardState) getWorm() *worm {
+	p := sh.pools
+	if len(p.wormPool) == 0 {
 		return &worm{}
 	}
-	w := n.wormPool[len(n.wormPool)-1]
-	n.wormPool = n.wormPool[:len(n.wormPool)-1]
+	w := p.wormPool[len(p.wormPool)-1]
+	p.wormPool = p.wormPool[:len(p.wormPool)-1]
 	return w
 }
 
 // recycleWorm returns an unreferenced worm (and its destination set) to
 // the pools.
-func (n *Network) recycleWorm(w *worm) {
-	if w.refs != 0 {
+func (sh *shardState) recycleWorm(w *worm) {
+	if atomic.LoadInt32(&w.refs) != 0 {
 		panic("sim: recycling a referenced worm")
 	}
 	if w.destSet != nil {
-		n.putSet(w.destSet)
+		sh.putSet(w.destSet)
 	}
 	*w = worm{}
-	n.wormPool = append(n.wormPool, w)
+	sh.pools.wormPool = append(sh.pools.wormPool, w)
 }
 
-// wormDecref releases one reference leg; the last leg recycles the worm.
-func (n *Network) wormDecref(w *worm) {
-	w.refs--
-	if w.refs > 0 {
+// wormRef takes one reference leg.
+func wormRef(w *worm) { atomic.AddInt32(&w.refs, 1) }
+
+// wormDecref releases one reference leg; the shard dropping the last
+// leg holds the only remaining pointer and recycles the worm locally.
+func (sh *shardState) wormDecref(w *worm) {
+	left := atomic.AddInt32(&w.refs, -1)
+	if left > 0 {
 		return
 	}
-	if w.refs < 0 {
+	if left < 0 {
 		panic("sim: worm refcount underflow")
 	}
-	n.recycleWorm(w)
+	sh.recycleWorm(w)
 }
+
+func (n *Network) wormDecref(w *worm) { n.sh0().wormDecref(w) }
 
 // --- branches ---
 
-func (n *Network) getBranch() *branch {
-	if len(n.branchPool) == 0 {
-		return &branch{net: n}
+func (sh *shardState) getBranch() *branch {
+	p := sh.pools
+	if len(p.branchPool) == 0 {
+		return &branch{net: sh.net, sh: sh}
 	}
-	br := n.branchPool[len(n.branchPool)-1]
-	n.branchPool = n.branchPool[:len(n.branchPool)-1]
+	br := p.branchPool[len(p.branchPool)-1]
+	p.branchPool = p.branchPool[:len(p.branchPool)-1]
+	br.sh = sh
 	return br
 }
 
 // detachBranch splices a just-done branch out of its occupant's consumer
 // list (callers guarantee br.occ != nil and br.done). The occupant may
 // recycle here when this was its last live branch.
-func (n *Network) detachBranch(br *branch) {
+func (sh *shardState) detachBranch(br *branch) {
 	o := br.occ
 	for i, cand := range o.branches {
 		if cand == br {
@@ -130,20 +168,22 @@ func (n *Network) detachBranch(br *branch) {
 		}
 	}
 	o.live--
-	n.tryRecycleOccupant(o)
+	sh.tryRecycleOccupant(o)
 }
+
+func (n *Network) detachBranch(br *branch) { n.sh0().detachBranch(br) }
 
 // reclaimBranch is the evReclaim handler: the quarantine has elapsed, no
 // pending event names this branch anymore, so its worm ref is released
 // and the branch recycles.
-func (n *Network) reclaimBranch(br *branch) {
+func (sh *shardState) reclaimBranch(br *branch) {
 	if br.pumping {
 		// Unreachable by construction (a pending pump fires well inside
 		// the quarantine and no-ops on done); leak to GC rather than
 		// recycle under a live event.
 		return
 	}
-	n.wormDecref(br.w)
+	sh.wormDecref(br.w)
 	br.occ = nil
 	br.w = nil
 	br.elastic = false
@@ -156,27 +196,28 @@ func (n *Network) reclaimBranch(br *branch) {
 	br.drops = nil
 	br.injNI = nil
 	br.injLast = false
-	n.branchPool = append(n.branchPool, br)
+	sh.pools.branchPool = append(sh.pools.branchPool, br)
 }
 
 // --- occupants ---
 
-func (n *Network) getOccupant() *occupant {
-	if len(n.occPool) == 0 {
+func (sh *shardState) getOccupant() *occupant {
+	p := sh.pools
+	if len(p.occPool) == 0 {
 		return &occupant{}
 	}
-	o := n.occPool[len(n.occPool)-1]
-	n.occPool = n.occPool[:len(n.occPool)-1]
+	o := p.occPool[len(p.occPool)-1]
+	p.occPool = p.occPool[:len(p.occPool)-1]
 	return o
 }
 
 // tryRecycleOccupant recycles an occupant once it is out of its buffer,
 // has no routing event in flight, and no live branch still reads it.
-func (n *Network) tryRecycleOccupant(o *occupant) {
+func (sh *shardState) tryRecycleOccupant(o *occupant) {
 	if !o.detached || o.routing || o.live != 0 {
 		return
 	}
-	n.wormDecref(o.w)
+	sh.wormDecref(o.w)
 	o.buf = nil
 	o.w = nil
 	o.arrived = 0
@@ -187,23 +228,26 @@ func (n *Network) tryRecycleOccupant(o *occupant) {
 	o.detached = false
 	o.live = 0
 	o.branches = o.branches[:0]
-	n.occPool = append(n.occPool, o)
+	sh.pools.occPool = append(sh.pools.occPool, o)
 }
+
+func (n *Network) tryRecycleOccupant(o *occupant) { n.sh0().tryRecycleOccupant(o) }
 
 // --- bursts ---
 
-func (n *Network) getBurst() *burst {
-	if len(n.burstPool) == 0 {
+func (sh *shardState) getBurst() *burst {
+	p := sh.pools
+	if len(p.burstPool) == 0 {
 		return &burst{}
 	}
-	b := n.burstPool[len(n.burstPool)-1]
-	n.burstPool = n.burstPool[:len(n.burstPool)-1]
+	b := p.burstPool[len(p.burstPool)-1]
+	p.burstPool = p.burstPool[:len(p.burstPool)-1]
 	return b
 }
 
-func (n *Network) putBurst(b *burst) {
+func (sh *shardState) putBurst(b *burst) {
 	b.owner = nil
 	b.worms = b.worms[:0]
 	b.next = 0
-	n.burstPool = append(n.burstPool, b)
+	sh.pools.burstPool = append(sh.pools.burstPool, b)
 }

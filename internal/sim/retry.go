@@ -94,6 +94,9 @@ func (n *Network) SendReliable(plan *Plan, flits int, at event.Time, replan Repl
 	if replan == nil {
 		return nil, fmt.Errorf("sim: SendReliable requires a replanner")
 	}
+	if err := n.fastModeCheck("reliable delivery (SendReliable)"); err != nil {
+		return nil, err
+	}
 	d := &Delivery{
 		Source:    plan.Source,
 		Dests:     append([]topology.NodeID(nil), plan.Dests...),
@@ -103,7 +106,7 @@ func (n *Network) SendReliable(plan *Plan, flits int, at event.Time, replan Repl
 	}
 
 	finish := func() {
-		d.Completed = n.queue.Now()
+		d.Completed = n.nowAt()
 		sort.Slice(d.Failed, func(i, j int) bool { return d.Failed[i] < d.Failed[j] })
 		if onDone != nil {
 			onDone(d)
@@ -137,7 +140,7 @@ func (n *Network) SendReliable(plan *Plan, flits int, at event.Time, replan Repl
 				finish()
 				return
 			}
-			n.queue.After(wait, func() {
+			n.schedAfter(wait, func() {
 				n.markProgress()
 				p2, err := replan(n.rt, d.Source, retry, flits)
 				if err != nil {
@@ -149,7 +152,7 @@ func (n *Network) SendReliable(plan *Plan, flits int, at event.Time, replan Repl
 				}
 				// Scheduling from inside an event: errors here are plan
 				// bugs, surfaced by failing the remainder.
-				if err := attempt(p2, n.queue.Now(), wait*event.Time(pol.BackoffFactor)); err != nil {
+				if err := attempt(p2, n.nowAt(), wait*event.Time(pol.BackoffFactor)); err != nil {
 					d.Failed = append(d.Failed, retry...)
 					finish()
 				}
@@ -158,7 +161,7 @@ func (n *Network) SendReliable(plan *Plan, flits int, at event.Time, replan Repl
 		if err != nil {
 			return err
 		}
-		n.queue.Post(sendAt+pol.Timeout, evMsgTimeout, m, 0)
+		n.ctlPost(sendAt+pol.Timeout, evMsgTimeout, m, 0)
 		return nil
 	}
 	if err := attempt(plan, at, pol.Backoff); err != nil {
@@ -171,7 +174,7 @@ func (n *Network) SendReliable(plan *Plan, flits int, at event.Time, replan Repl
 // the network, and returns the outcome. The fault-injection analogue of
 // RunSingle.
 func (n *Network) RunReliable(plan *Plan, flits int, replan Replanner, pol RetryPolicy) (*Delivery, error) {
-	d, err := n.SendReliable(plan, flits, n.queue.Now(), replan, pol, nil)
+	d, err := n.SendReliable(plan, flits, n.nowAt(), replan, pol, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -131,8 +131,8 @@ func maxInt(a, b int) int {
 // (destset.IvalFingerprintOf), so cache keys match what the wire would
 // carry. Either way a hit re-verifies with Equal, so collisions cost a
 // miss, never a wrong route.
-func (n *Network) destFP(set *bitset.Set) uint64 {
-	if n.params.DestCoding == HeaderIval {
+func (sh *shardState) destFP(set *bitset.Set) uint64 {
+	if sh.net.params.DestCoding == HeaderIval {
 		return destset.IvalFingerprintOf(set)
 	}
 	return set.Hash()
@@ -140,11 +140,11 @@ func (n *Network) destFP(set *bitset.Set) uint64 {
 
 // sync flushes every map when the routing epoch has moved since the
 // entries were computed.
-func (c *routeCache) sync(n *Network) {
-	if c.epoch == n.routingEpoch {
+func (c *routeCache) sync(epoch int) {
+	if c.epoch == epoch {
 		return
 	}
-	c.epoch = n.routingEpoch
+	c.epoch = epoch
 	c.flushes++
 	clear(c.climb)
 	clear(c.part)
@@ -181,15 +181,15 @@ func (c *routeCache) invalidateIntersecting(delta *bitset.Set) {
 // any switch covering set (the reverse BFS of climbPorts), cached by the
 // set's fingerprint. The returned slice is cache-owned (or Network
 // scratch when the cache is disabled or cold-storing): read-only.
-func (n *Network) climbDist(set *bitset.Set) []int32 {
-	c := &n.cache
-	c.sync(n)
+func (sh *shardState) climbDist(set *bitset.Set) []int32 {
+	c := sh.cache
+	c.sync(sh.net.routingEpoch)
 	if !c.disabled {
-		fp := n.destFP(set)
+		fp := sh.destFP(set)
 		if e := c.climb[fp]; e != nil && e.set.Equal(set) {
 			return e.dist
 		}
-		dist := n.computeClimbDist(set)
+		dist := sh.computeClimbDist(set)
 		if len(c.climb) >= c.climbCap {
 			clear(c.climb)
 		}
@@ -198,18 +198,19 @@ func (n *Network) climbDist(set *bitset.Set) []int32 {
 		c.climb[fp] = &climbEntry{set: set.Clone(), dist: owned}
 		return owned
 	}
-	return n.computeClimbDist(set)
+	return sh.computeClimbDist(set)
 }
 
 // computeClimbDist runs the reverse BFS over up links from every switch
-// covering set, into Network scratch.
-func (n *Network) computeClimbDist(set *bitset.Set) []int32 {
+// covering set, into shard scratch.
+func (sh *shardState) computeClimbDist(set *bitset.Set) []int32 {
+	n := sh.net
 	S := n.topo.NumSwitches
-	dist := n.distScratch
+	dist := sh.scr.distScratch
 	for i := range dist {
 		dist[i] = -1
 	}
-	q := n.bfsQueue[:0]
+	q := sh.scr.bfsQueue[:0]
 	for x := 0; x < S; x++ {
 		if n.rt.Covers(topology.SwitchID(x), set) {
 			dist[x] = 0
@@ -226,17 +227,18 @@ func (n *Network) computeClimbDist(set *bitset.Set) []int32 {
 			}
 		}
 	}
-	n.bfsQueue = q[:0]
+	sh.scr.bfsQueue = q[:0]
 	return dist
 }
 
 // nextHops returns the adaptive candidate ports and phases for a packet
 // at switch s headed to switch d, through the route cache. The returned
-// slices are Network scratch: callers may permute or compact them but
+// slices are shard scratch: callers may permute or compact them but
 // must not retain them past the current decision.
-func (n *Network) nextHops(s topology.SwitchID, ph updown.Phase, d topology.SwitchID) ([]int, []updown.Phase) {
-	c := &n.cache
-	c.sync(n)
+func (sh *shardState) nextHops(s topology.SwitchID, ph updown.Phase, d topology.SwitchID) ([]int, []updown.Phase) {
+	n := sh.net
+	c := sh.cache
+	c.sync(n.routingEpoch)
 	if c.disabled {
 		return n.rt.NextHops(s, ph, d)
 	}
@@ -250,9 +252,9 @@ func (n *Network) nextHops(s topology.SwitchID, ph updown.Phase, d topology.Swit
 		e = &hopEntry{ports: ports, phases: phases}
 		c.hops[k] = e
 	}
-	ports := append(n.portScratch[:0], e.ports...)
-	phases := append(n.phaseScratch[:0], e.phases...)
-	n.portScratch = ports
-	n.phaseScratch = phases
+	ports := append(sh.scr.portScratch[:0], e.ports...)
+	phases := append(sh.scr.phaseScratch[:0], e.phases...)
+	sh.scr.portScratch = ports
+	sh.scr.phaseScratch = phases
 	return ports, phases
 }

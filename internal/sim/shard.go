@@ -1,0 +1,388 @@
+package sim
+
+import (
+	"fmt"
+
+	"mcastsim/internal/bitset"
+	"mcastsim/internal/event"
+	"mcastsim/internal/rng"
+	"mcastsim/internal/topology"
+	"mcastsim/internal/updown"
+)
+
+// Actor→shard ownership for sharded PDES runs.
+//
+// The network's switches are partitioned into contiguous shard blocks;
+// every input buffer, output port and branch belongs to its switch's
+// shard, every NI to its home switch's shard, and every channel to the
+// shard of its SENDER (credits, line occupancy and the active-sender
+// slot are all mutated by the pump/grant/release path on the sending
+// side). Events are posted through the owning shard's surface; the only
+// cross-shard posts the hot path makes are evDeliver (to the channel's
+// destination shard) and evCredit (to the destination buffer's upstream
+// sender shard), both scheduled LinkDelay ahead — exactly the
+// conservative lookahead the synchronization window is derived from —
+// plus the message-level evMsgStart/evDestDone events routed to the
+// message's source shard.
+//
+// Three engine modes share this structure:
+//
+//   - shards == 1: sh.q is the network's own calendar queue and every
+//     shardState field aliases the network's shared state. This is
+//     byte-for-byte the pre-shard engine (the golden traces pin it).
+//   - serial-equivalence (WithShards): per-shard event.Lanes merged on
+//     a global (at, seq) order, still one goroutine, still aliasing ALL
+//     shared state (one RNG, one Stats, one pool set, one route cache).
+//     Execution is event-for-event identical to shards == 1 for any
+//     shard count.
+//   - fast (WithFastShards): per-shard queues run by worker goroutines
+//     in conservative windows. Each shard owns PRIVATE state: its own
+//     arbitration RNG stream, Stats instance (merged on read), entity
+//     pools, decision scratch, route cache, and a strided worm-id
+//     counter. Deterministic for a fixed shard count, but a different
+//     (equally valid) serialization than the serial engines; the model
+//     features that are inherently cross-shard-mutating (faults,
+//     groups, retry, tracing, obs, mid-run closures) are refused with
+//     typed errors at setup.
+type shardState struct {
+	idx int32
+	net *Network
+
+	// Exactly one of q/lane is non-nil: q for the single-queue and fast
+	// engines, lane for the serial-equivalence merge.
+	q    *event.Queue
+	lane *event.Lane
+
+	// Aliased to the network's shared state in serial modes; private
+	// per-shard instances in fast mode.
+	arb   *rng.Source
+	stats *Stats
+	cache *routeCache
+	pools *entityPools
+	scr   *scratchSpace
+
+	// Worm-id allocation: shared counter with stride 1 in serial modes,
+	// per-shard counter starting at idx with stride nshards in fast mode
+	// (ids stay globally unique without coordination).
+	wormID     *int64
+	wormStride int64
+}
+
+// entityPools carries the per-shard free lists (see pool.go for the
+// ownership rules that make recycling safe).
+type entityPools struct {
+	setPool    []*bitset.Set
+	wormPool   []*worm
+	branchPool []*branch
+	occPool    []*occupant
+	burstPool  []*burst
+}
+
+// scratchSpace is the per-decision scratch reused by the planners and
+// arbitration so the steady-state routing path allocates nothing. Valid
+// only within one routing decision; never retained. One instance per
+// executing shard — in serial modes all shards alias one.
+type scratchSpace struct {
+	onePort      [1]int
+	onePhase     [1]updown.Phase
+	portScratch  []int
+	phaseScratch []updown.Phase
+	downScratch  []int
+	partScratch  []portSet
+	usedPorts    []bool
+	distScratch  []int32
+	bfsQueue     []int32
+	specScratch  WormSpec
+}
+
+func (sc *scratchSpace) init(t *topology.Topology) {
+	sc.usedPorts = make([]bool, t.PortsPerSwitch)
+	sc.distScratch = make([]int32, t.NumSwitches)
+	sc.bfsQueue = make([]int32, 0, t.NumSwitches)
+}
+
+// now returns the shard-visible simulation time.
+func (sh *shardState) now() event.Time {
+	if sh.lane != nil {
+		return sh.lane.Now()
+	}
+	return sh.q.Now()
+}
+
+// post schedules a typed event on this shard at absolute time t.
+func (sh *shardState) post(t event.Time, k event.Kind, actor any, arg int64) {
+	if sh.lane != nil {
+		sh.lane.Post(t, k, actor, arg)
+		return
+	}
+	sh.q.Post(t, k, actor, arg)
+}
+
+// postAfter schedules a typed event on this shard delay cycles from now.
+func (sh *shardState) postAfter(delay event.Time, k event.Kind, actor any, arg int64) {
+	sh.post(sh.now()+delay, k, actor, arg)
+}
+
+// postTo schedules a typed event on the target shard. Same-shard posts
+// go straight to the local queue; cross-shard posts go through the
+// serial merge (global-sequence order subsumes the window exchange) or,
+// in a running fast engine, the window-edge mailbox.
+func (sh *shardState) postTo(tgt *shardState, t event.Time, k event.Kind, actor any, arg int64) {
+	if tgt == sh {
+		sh.post(t, k, actor, arg)
+		return
+	}
+	if sh.lane != nil {
+		tgt.lane.Post(t, k, actor, arg)
+		return
+	}
+	n := sh.net
+	if n.fset != nil && n.running.Load() {
+		n.fset.Mail(sh.idx, tgt.idx, t, k, actor, arg)
+		return
+	}
+	// Fast engine between windows (or before Start): workers are
+	// quiescent, direct posting is safe and keeps setup simple.
+	tgt.q.Post(t, k, actor, arg)
+}
+
+// shardOf returns the shard owning switch s.
+func (n *Network) shardOf(s topology.SwitchID) *shardState { return n.shs[n.swShard[s]] }
+
+// sh0 is the shard every serial-only subsystem (faults, groups, retry,
+// obs, control-plane scheduling) runs on. In serial modes all shards
+// alias the same shared state, so the choice is immaterial for pool and
+// RNG identity; fast mode refuses those subsystems at setup.
+func (n *Network) sh0() *shardState { return n.shs[0] }
+
+// --- network-level engine dispatch (cold paths) ---
+
+// nowAt returns the current simulation time under any engine.
+func (n *Network) nowAt() event.Time {
+	if n.lanes != nil {
+		return n.lanes.Now()
+	}
+	if n.fset != nil {
+		return n.fset.Now()
+	}
+	return n.queue.Now()
+}
+
+// queueLen returns the pending-event total under any engine.
+func (n *Network) queueLen() int {
+	if n.lanes != nil {
+		return n.lanes.Len()
+	}
+	if n.fset != nil {
+		return n.fset.Len()
+	}
+	return n.queue.Len()
+}
+
+// engineStep dispatches the next event under a serial engine.
+func (n *Network) engineStep() bool {
+	if n.lanes != nil {
+		return n.lanes.Step()
+	}
+	return n.queue.Step()
+}
+
+// schedAt runs fn at absolute time t (control-plane closures; serial
+// engines only — the closure would race with shard workers otherwise).
+func (n *Network) schedAt(t event.Time, fn func()) {
+	if n.fset != nil {
+		panic((&FastModeError{Feature: "Schedule (mid-run closures)"}).Error())
+	}
+	if n.lanes != nil {
+		n.lanes.At(t, fn)
+		return
+	}
+	n.queue.At(t, fn)
+}
+
+// schedAfter runs fn delay cycles from now.
+func (n *Network) schedAfter(delay event.Time, fn func()) {
+	n.schedAt(n.nowAt()+delay, fn)
+}
+
+// ctlPost schedules a network-level typed event (fault/membership/
+// timeout/obs control plane). Under the serial merge the lane choice is
+// immaterial — the global sequence counter fixes execution order.
+func (n *Network) ctlPost(t event.Time, k event.Kind, actor any, arg int64) {
+	if n.lanes != nil {
+		n.lanes.Lane(0).Post(t, k, actor, arg)
+		return
+	}
+	n.queue.Post(t, k, actor, arg)
+}
+
+// ctlPostAfter schedules a control-plane event delay cycles from now.
+func (n *Network) ctlPostAfter(delay event.Time, k event.Kind, actor any, arg int64) {
+	n.ctlPost(n.nowAt()+delay, k, actor, arg)
+}
+
+// engineObsSink attaches the obs engine sink under any serial engine.
+func (n *Network) engineObsSink(o *event.EngineObs) {
+	if n.lanes != nil {
+		n.lanes.SetObs(o)
+		return
+	}
+	n.queue.SetObs(o)
+}
+
+// engineEventStats snapshots scheduler occupancy for obs sampling.
+func (n *Network) engineEventStats() event.EngineStats {
+	if n.lanes != nil {
+		return n.lanes.EngineStats()
+	}
+	return n.queue.EngineStats()
+}
+
+// initShards builds the engine and the shard states. Called by New
+// after the topology is known and before any per-port structure exists.
+func (n *Network) initShards(shards int, fast bool, seed uint64) {
+	t := n.topo
+	if shards < 1 {
+		shards = 1
+	}
+	n.nshards = shards
+	n.swShard = make([]int32, t.NumSwitches)
+	for s := 0; s < t.NumSwitches; s++ {
+		n.swShard[s] = int32(s * shards / t.NumSwitches)
+	}
+	// The synchronization window is the minimum inter-shard link delay.
+	// Link delay is uniform in this model, so that is LinkDelay itself
+	// (params.Validate pins it >= 1).
+	window := n.params.LinkDelay
+
+	n.shs = make([]*shardState, shards)
+	switch {
+	case fast && shards > 1:
+		n.fset = event.NewFastSet(shards, window)
+		for i := 0; i < shards; i++ {
+			wid := new(int64)
+			*wid = int64(i)
+			sh := &shardState{
+				idx: int32(i), net: n,
+				q:      n.fset.Queue(i),
+				arb:    rng.New(rng.Mix(seed, shardArbSalt, uint64(i))),
+				stats:  &Stats{},
+				cache:  &routeCache{},
+				pools:  &entityPools{},
+				scr:    &scratchSpace{},
+				wormID: wid, wormStride: int64(shards),
+			}
+			sh.cache.init(t.NumSwitches)
+			sh.scr.init(t)
+			n.shs[i] = sh
+		}
+	case shards > 1:
+		n.lanes = event.NewShardSet(shards, window)
+		for i := 0; i < shards; i++ {
+			n.shs[i] = n.sharedShard(int32(i))
+			n.shs[i].lane = n.lanes.Lane(i)
+		}
+	default:
+		n.shs[0] = n.sharedShard(0)
+		n.shs[0].q = &n.queue
+	}
+	n.cache.init(t.NumSwitches)
+	n.scr.init(t)
+}
+
+// sharedShard builds a shard state aliasing the network's shared
+// serial-mode state (engine surface filled in by the caller).
+func (n *Network) sharedShard(idx int32) *shardState {
+	return &shardState{
+		idx: idx, net: n,
+		arb:    n.arb,
+		stats:  &n.stats,
+		cache:  &n.cache,
+		pools:  &n.pools,
+		scr:    &n.scr,
+		wormID: &n.nextWormID, wormStride: 1,
+	}
+}
+
+// shardArbSalt derives per-shard arbitration RNG streams in fast mode.
+const shardArbSalt = 0x5ade5a17
+
+// Shards reports the configured shard count.
+func (n *Network) Shards() int { return n.nshards }
+
+// ShardStats reports window-synchronization counters (zero under the
+// single-queue engine).
+func (n *Network) ShardStats() event.ShardStats {
+	if n.lanes != nil {
+		return n.lanes.Stats()
+	}
+	if n.fset != nil {
+		return n.fset.Stats()
+	}
+	return event.ShardStats{}
+}
+
+// validateFastRun refuses model features the parallel engine cannot run
+// without cross-shard mutation. Checked at setup so a fast run either
+// starts clean or fails with a typed, actionable error.
+type FastModeError struct {
+	Feature string
+}
+
+func (e *FastModeError) Error() string {
+	return fmt.Sprintf("sim: %s requires a serial engine (shards=1 or serial-equivalence WithShards); the parallel WithFastShards engine does not support it", e.Feature)
+}
+
+func (n *Network) fastModeCheck(feature string) error {
+	if n.fset != nil {
+		return &FastModeError{Feature: feature}
+	}
+	return nil
+}
+
+// drainFast is Drain's coordinator loop for the parallel engine: open
+// the window at the earliest pending timestamp, run every shard through
+// it concurrently, exchange boundary mailboxes, then re-check
+// termination, invariants and the stall watchdog between windows (the
+// barrier gives the coordinator a consistent view).
+func (n *Network) drainFast(maxEvents uint64) error {
+	f := n.fset
+	f.Start()
+	defer f.Stop()
+	watch := n.params.StallCycles
+	lastSig := int64(-1)
+	var lastAt event.Time
+	var total uint64
+	for {
+		processed, ran, err := f.Window()
+		total += processed
+		if err != nil {
+			return fmt.Errorf("sim: shard window exchange: %w", err)
+		}
+		if inv := n.Invariant(); inv != nil {
+			return inv
+		}
+		if !ran {
+			if n.outstanding.Load() > 0 {
+				return n.stallReport(true)
+			}
+			return nil
+		}
+		if n.outstanding.Load() == 0 && f.Len() == 0 {
+			return nil
+		}
+		if total > maxEvents {
+			return fmt.Errorf("sim: event budget %d exhausted at t=%d (%d outstanding)", maxEvents, f.Now(), n.outstanding.Load())
+		}
+		if watch > 0 && n.outstanding.Load() > 0 {
+			sig := n.Stats().FlitHops
+			now := f.Now()
+			if sig != lastSig {
+				lastSig = sig
+				lastAt = now
+			} else if now-lastAt >= watch {
+				return n.stallReport(false)
+			}
+		}
+	}
+}

@@ -1,0 +1,339 @@
+package sim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"mcastsim/internal/event"
+	"mcastsim/internal/obs"
+	"mcastsim/internal/topology"
+	"mcastsim/internal/updown"
+)
+
+// fixtureNetOpts is fixtureNet with engine options (shard tests pick the
+// engine per subtest; every other suite keeps the plain constructor).
+func fixtureNetOpts(t *testing.T, p Params, opts ...Option) *Network {
+	t.Helper()
+	links := [][4]int{
+		{0, 0, 1, 0}, {0, 1, 2, 0}, {1, 1, 3, 0}, {2, 1, 3, 1}, {2, 2, 4, 0},
+		{3, 2, 5, 0}, {4, 1, 5, 1}, {4, 2, 6, 0}, {5, 2, 7, 0}, {6, 1, 7, 1},
+	}
+	nodes := make([][2]int, 8)
+	for i := range nodes {
+		nodes[i] = [2]int{i, 7}
+	}
+	topo, err := topology.Build(8, 8, links, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := updown.New(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := New(rt, p, 1, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestHeapBackendShardsRefused pins the typed setup error: the heap
+// backend renumbers sequence values on migration, which breaks the
+// (at, seq, shard) merge contract, so combining it with any sharded
+// engine must fail up front — for both the serial-equivalence and the
+// parallel engine — while shards=1 still accepts the heap.
+func TestHeapBackendShardsRefused(t *testing.T) {
+	topo, err := topology.Build(2, 4,
+		[][4]int{{0, 0, 1, 0}},
+		[][2]int{{0, 2}, {0, 3}, {1, 2}, {1, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := updown.New(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		name string
+		opt  Option
+	}{
+		{"serial-equivalence", WithShards(2)},
+		{"fast", WithFastShards(2)},
+	} {
+		_, err := New(rt, DefaultParams(), 1, tc.opt, WithEngine(EngineHeap))
+		var bse *event.BackendShardError
+		if !errors.As(err, &bse) {
+			t.Fatalf("%s + heap: New returned %v, want *event.BackendShardError", tc.name, err)
+		}
+		if bse.Backend != event.BackendHeap || bse.Shards != 2 {
+			t.Fatalf("%s: error carries %+v, want backend heap, 2 shards", tc.name, bse)
+		}
+	}
+
+	if _, err := New(rt, DefaultParams(), 1, WithShards(1), WithEngine(EngineHeap)); err != nil {
+		t.Fatalf("shards=1 + heap must remain legal, got %v", err)
+	}
+	if _, err := New(rt, DefaultParams(), 1, WithShards(2), WithEngine(EngineCalendar)); err != nil {
+		t.Fatalf("shards=2 + calendar must be legal, got %v", err)
+	}
+}
+
+// TestSerialEquivalenceTraceIdentity is the tentpole's core contract:
+// under the serial-equivalence engine the tree-storm workload must
+// produce a byte-identical TraceEvent stream and identical Stats for
+// ANY shard count, because the global (at, seq) merge realizes exactly
+// the single-queue execution order.
+func TestSerialEquivalenceTraceIdentity(t *testing.T) {
+	baseline := fixtureNet(t, DefaultParams())
+	want := runTreeStorm(t, baseline)
+	wantStats := baseline.Stats()
+
+	for _, shards := range []int{2, 4, 8} {
+		n := fixtureNetOpts(t, DefaultParams(), WithShards(shards))
+		got := runTreeStorm(t, n)
+		diffTraces(t, got, want)
+		if gs := n.Stats(); gs != wantStats {
+			t.Fatalf("shards=%d: stats diverged:\n sharded: %+v\n single:  %+v", shards, gs, wantStats)
+		}
+		st := n.ShardStats()
+		if st.Violations != 0 {
+			t.Fatalf("shards=%d: %d lookahead violations on a conforming model", shards, st.Violations)
+		}
+		if st.Crossings == 0 {
+			t.Fatalf("shards=%d: workload never crossed a shard boundary — identity is vacuous", shards)
+		}
+		if st.Windows == 0 {
+			t.Fatalf("shards=%d: window accounting never advanced", shards)
+		}
+	}
+}
+
+// TestSerialEquivalenceFaultScriptIdentity extends byte-identity to the
+// control plane: the fault/repair/reconfiguration script (evFaultApply,
+// table swaps, cache flushes, kills) must replay identically under the
+// sharded serial engine. This is what licenses faultsweep and churnsweep
+// to run with -shards > 1.
+func TestSerialEquivalenceFaultScriptIdentity(t *testing.T) {
+	baseline := fixtureNet(t, DefaultParams())
+	want := runFaultScript(t, baseline)
+	wantStats := baseline.Stats()
+
+	for _, shards := range []int{2, 4} {
+		n := fixtureNetOpts(t, DefaultParams(), WithShards(shards))
+		got := runFaultScript(t, n)
+		diffTraces(t, got, want)
+		if gs := n.Stats(); gs != wantStats {
+			t.Fatalf("shards=%d: stats diverged:\n sharded: %+v\n single:  %+v", shards, gs, wantStats)
+		}
+		if st := n.ShardStats(); st.Violations != 0 {
+			t.Fatalf("shards=%d: %d lookahead violations", shards, st.Violations)
+		}
+	}
+}
+
+// fastStorm drives the tracer-free tree-storm script (fast mode refuses
+// tracing) and returns per-run message latencies plus final stats.
+func fastStorm(t *testing.T, n *Network) ([]event.Time, Stats) {
+	t.Helper()
+	var lat []event.Time
+	for round := 0; round < 3; round++ {
+		for _, src := range []topology.NodeID{0, 4, 7} {
+			m := mustRun(t, n, treeStormPlan(src), 48)
+			lat = append(lat, m.Latency())
+		}
+		lat = append(lat, mustRun(t, n, unicastPlan(0, 7), 48).Latency())
+		lat = append(lat, mustRun(t, n, unicastPlan(6, 1), 48).Latency())
+	}
+	return lat, n.Stats()
+}
+
+// TestFastShardsDeterminismAndConservation: the parallel engine must (a)
+// complete the storm with conservation intact, (b) be run-to-run
+// deterministic for a fixed shard count, and (c) agree with the serial
+// engine on every delivery-side counter (routes may differ — per-shard
+// arbitration RNG streams — but what arrives must not).
+func TestFastShardsDeterminismAndConservation(t *testing.T) {
+	serialLat, serialStats := fastStorm(t, fixtureNet(t, DefaultParams()))
+
+	for _, shards := range []int{2, 4} {
+		a := fixtureNetOpts(t, DefaultParams(), WithFastShards(shards))
+		latA, statsA := fastStorm(t, a)
+		b := fixtureNetOpts(t, DefaultParams(), WithFastShards(shards))
+		latB, statsB := fastStorm(t, b)
+
+		if len(latA) != len(latB) {
+			t.Fatalf("shards=%d: run lengths diverged", shards)
+		}
+		for i := range latA {
+			if latA[i] != latB[i] {
+				t.Fatalf("shards=%d: nondeterministic latency at message %d: %d vs %d", shards, i, latA[i], latB[i])
+			}
+		}
+		if statsA != statsB {
+			t.Fatalf("shards=%d: nondeterministic stats:\n run A: %+v\n run B: %+v", shards, statsA, statsB)
+		}
+
+		if statsA.MessagesSent != serialStats.MessagesSent ||
+			statsA.MessagesDone != serialStats.MessagesDone ||
+			statsA.PacketsInjected != serialStats.PacketsInjected ||
+			statsA.PacketsAtNI != serialStats.PacketsAtNI ||
+			statsA.PacketsToHost != serialStats.PacketsToHost ||
+			statsA.FlitsDelivered != serialStats.FlitsDelivered {
+			t.Fatalf("shards=%d: delivery counters diverged from serial:\n fast:   %+v\n serial: %+v",
+				shards, statsA, serialStats)
+		}
+		if len(latA) != len(serialLat) {
+			t.Fatalf("shards=%d: message count diverged from serial", shards)
+		}
+
+		st := a.ShardStats()
+		if st.Windows == 0 || st.Crossings == 0 {
+			t.Fatalf("shards=%d: fast run exchanged nothing (windows=%d crossings=%d) — parallelism is vacuous",
+				shards, st.Windows, st.Crossings)
+		}
+	}
+}
+
+// TestFastShardsWideWindow is the wide-lookahead regression: with
+// LinkDelay 8 the window is 8 cycles, so a cross-shard evDeliver and
+// the sender-side evReclaim that recycles its branch can carry
+// timestamps inside ONE window — the quarantine must push the reclaim
+// into a later window or the destination shard dereferences a recycled
+// branch (the crash the ShardScaling benchmark first hit). Asserts the
+// same conservation and determinism contract as the narrow-window test.
+func TestFastShardsWideWindow(t *testing.T) {
+	p := DefaultParams()
+	p.LinkDelay = 8
+	serialLat, serialStats := fastStorm(t, fixtureNet(t, p))
+
+	for _, shards := range []int{2, 4} {
+		a := fixtureNetOpts(t, p, WithFastShards(shards))
+		latA, statsA := fastStorm(t, a)
+		b := fixtureNetOpts(t, p, WithFastShards(shards))
+		latB, statsB := fastStorm(t, b)
+
+		if len(latA) != len(latB) || statsA != statsB {
+			t.Fatalf("shards=%d: wide-window fast run is nondeterministic", shards)
+		}
+		for i := range latA {
+			if latA[i] != latB[i] {
+				t.Fatalf("shards=%d: nondeterministic latency at message %d", shards, i)
+			}
+		}
+		if statsA.MessagesDone != serialStats.MessagesDone ||
+			statsA.FlitsDelivered != serialStats.FlitsDelivered ||
+			statsA.PacketsToHost != serialStats.PacketsToHost {
+			t.Fatalf("shards=%d: delivery counters diverged from serial:\n fast:   %+v\n serial: %+v",
+				shards, statsA, serialStats)
+		}
+		if len(latA) != len(serialLat) {
+			t.Fatalf("shards=%d: message count diverged from serial", shards)
+		}
+	}
+}
+
+// TestFastModeRefusals pins the typed refusal surface: every model
+// feature that would mutate cross-shard state from a worker is rejected
+// at setup with *FastModeError, never silently misrun.
+func TestFastModeRefusals(t *testing.T) {
+	isFastErr := func(t *testing.T, err error, what string) {
+		t.Helper()
+		var fe *FastModeError
+		if !errors.As(err, &fe) {
+			t.Fatalf("%s: got %v, want *FastModeError", what, err)
+		}
+	}
+
+	t.Run("trace", func(t *testing.T) {
+		topoErr := func() error {
+			links := [][4]int{{0, 0, 1, 0}}
+			topo, _ := topology.Build(2, 4, links, [][2]int{{0, 2}, {0, 3}, {1, 2}, {1, 3}})
+			rt, _ := updown.New(topo)
+			_, err := New(rt, DefaultParams(), 1, WithFastShards(2), WithTrace(func(TraceEvent) {}))
+			return err
+		}()
+		isFastErr(t, topoErr, "WithTrace")
+	})
+
+	t.Run("obs", func(t *testing.T) {
+		links := [][4]int{{0, 0, 1, 0}}
+		topo, _ := topology.Build(2, 4, links, [][2]int{{0, 2}, {0, 3}, {1, 2}, {1, 3}})
+		rt, _ := updown.New(topo)
+		_, err := New(rt, DefaultParams(), 1, WithFastShards(2), WithObs(obs.NewRecorder(obs.Config{})))
+		isFastErr(t, err, "WithObs")
+	})
+
+	n := fixtureNetOpts(t, DefaultParams(), WithFastShards(2))
+
+	t.Run("onComplete", func(t *testing.T) {
+		_, err := n.Send(unicastPlan(0, 7), 16, 0, func(*Message) {})
+		isFastErr(t, err, "Send onComplete")
+	})
+
+	t.Run("secondary host sends", func(t *testing.T) {
+		plan := &Plan{
+			Source: 0,
+			Dests:  []topology.NodeID{3, 7},
+			HostSends: map[topology.NodeID][]WormSpec{
+				0: {{Kind: WormUnicast, Dest: 3}},
+				3: {{Kind: WormUnicast, Dest: 7}},
+			},
+		}
+		_, err := n.Send(plan, 16, 0, nil)
+		isFastErr(t, err, "secondary HostSends")
+	})
+
+	t.Run("faults", func(t *testing.T) {
+		err := n.InstallFaults(&FaultSchedule{Events: []FaultEvent{{At: 100, Kind: FaultLink, Link: 0}}})
+		isFastErr(t, err, "InstallFaults")
+	})
+
+	t.Run("membership", func(t *testing.T) {
+		err := n.InstallMembership(&MembershipSchedule{})
+		isFastErr(t, err, "InstallMembership")
+	})
+
+	t.Run("reliable", func(t *testing.T) {
+		replan := func(rt *updown.Routing, src topology.NodeID, dests []topology.NodeID, flits int) (*Plan, error) {
+			return unicastPlan(src, dests[0]), nil
+		}
+		_, err := n.SendReliable(unicastPlan(0, 7), 16, 0, replan, RetryPolicy{Timeout: 10000, Backoff: 100, BackoffFactor: 2, MaxAttempts: 2}, nil)
+		isFastErr(t, err, "SendReliable")
+	})
+
+	t.Run("schedule closure", func(t *testing.T) {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("Schedule on a fast network did not panic")
+			}
+			if msg, ok := r.(string); !ok || !strings.Contains(msg, "serial engine") {
+				t.Fatalf("Schedule panicked with %v, want a FastModeError message", r)
+			}
+		}()
+		n.Schedule(100, func() {})
+	})
+}
+
+// TestShardAccessors pins the introspection surface the experiment layer
+// threads through: shard count and the zero value of ShardStats on the
+// plain engine.
+func TestShardAccessors(t *testing.T) {
+	n := fixtureNet(t, DefaultParams())
+	if n.Shards() != 1 {
+		t.Fatalf("default Shards() = %d, want 1", n.Shards())
+	}
+	if st := n.ShardStats(); st != (event.ShardStats{}) {
+		t.Fatalf("single-queue ShardStats = %+v, want zero", st)
+	}
+	s := fixtureNetOpts(t, DefaultParams(), WithShards(4))
+	if s.Shards() != 4 {
+		t.Fatalf("Shards() = %d, want 4", s.Shards())
+	}
+	f := fixtureNetOpts(t, DefaultParams(), WithFastShards(2))
+	if f.Shards() != 2 {
+		t.Fatalf("fast Shards() = %d, want 2", f.Shards())
+	}
+}

@@ -18,6 +18,13 @@ type channel struct {
 	dstBuf   *inputBuf       // when toSwitch
 	dstNode  topology.NodeID // when !toSwitch (ejection into an NI)
 
+	// sh owns the channel: the SENDER's shard (credits, line occupancy
+	// and the active-sender slot are all mutated by the pump/grant/
+	// release path). dst is the receiving side's shard — evDeliver is
+	// posted there; equal to sh for ejection and injection lines.
+	sh  *shardState
+	dst *shardState
+
 	credits  int // free slots in dstBuf (meaningless for ejection)
 	lineFree event.Time
 	sender   *branch // active sender, for credit wake-ups
@@ -37,6 +44,7 @@ type channel struct {
 // oldest resident worm is routed and forwarded.
 type inputBuf struct {
 	net  *Network
+	sh   *shardState // the owning switch's shard
 	sw   topology.SwitchID
 	port int
 	cap  int
@@ -50,13 +58,14 @@ type inputBuf struct {
 func (b *inputBuf) bindUpstream(up *channel) { b.upstream = up }
 
 // creditReturn hands one buffer slot back to the feeding channel and
-// wakes its sender. Scheduled as evCredit after the link delay; called
-// directly when a drained straggler flit returns its slot immediately.
+// wakes its sender. Scheduled as evCredit on the channel's owning (sender)
+// shard after the link delay; called directly when a drained straggler
+// flit returns its slot immediately (fault teardown, serial engines only).
 func (b *inputBuf) creditReturn() {
 	up := b.upstream
 	up.credits++
 	if up.sender != nil {
-		up.sender.schedulePump(b.net.queue.Now())
+		up.sender.schedulePump(up.sh.now())
 	}
 }
 
@@ -93,8 +102,9 @@ type occupant struct {
 // multicast under load.
 type branch struct {
 	net     *Network
-	occ     *occupant // nil for NI injection
-	w       *worm     // the child worm delivered downstream; w.len flits to send
+	sh      *shardState // the shard the branch lives (and pumps) on
+	occ     *occupant   // nil for NI injection
+	w       *worm       // the child worm delivered downstream; w.len flits to send
 	elastic bool
 
 	offset int // index in the occupant stream where this branch starts
@@ -122,9 +132,10 @@ type branch struct {
 }
 
 // deliver lands one flit at the branch's destination after the link
-// delay (the evDeliver handler). ch and w are fixed for the branch's
-// lifetime, so reading them at dispatch time matches the old engine's
-// capture-at-grant closures exactly.
+// delay (the evDeliver handler, dispatched on the destination shard).
+// ch and w are fixed for the branch's lifetime, so reading them at
+// dispatch time matches the old engine's capture-at-grant closures
+// exactly — and gives the cross-shard event a stable frozen payload.
 func (br *branch) deliver() {
 	ch := br.ch
 	if ch.toSwitch {
@@ -152,6 +163,7 @@ func (br *branch) tailRelease() {
 // holds it from header grant until its tail passes; contenders queue FIFO.
 type outPort struct {
 	net    *Network
+	sh     *shardState // the owning switch's shard
 	sw     topology.SwitchID
 	port   int
 	ch     *channel
@@ -178,7 +190,9 @@ func (b *inputBuf) flitArrive(w *worm) {
 		// Straggler flit of a torn-down worm: drain it. The sender already
 		// spent a credit on it; hand the credit straight back if the
 		// feeding channel is still alive so the buffer slot never leaks.
-		b.net.stats.FlitsDropped++
+		// (Worms die only under the fault layer — serial engines — so the
+		// direct cross-structure call never runs under shard workers.)
+		b.sh.stats.FlitsDropped++
 		if b.upstream != nil && !b.upstream.dead {
 			b.creditReturn()
 		}
@@ -192,10 +206,10 @@ func (b *inputBuf) flitArrive(w *worm) {
 	if n := len(b.occupants); n > 0 && b.occupants[n-1].w == w {
 		o = b.occupants[n-1]
 	} else {
-		o = b.net.getOccupant()
+		o = b.sh.getOccupant()
 		o.buf = b
 		o.w = w
-		w.refs++ // the occupant's assembly leg; released at recycle
+		wormRef(w) // the occupant's assembly leg; released at recycle
 		b.occupants = append(b.occupants, o)
 	}
 	o.arrived++
@@ -204,12 +218,12 @@ func (b *inputBuf) flitArrive(w *worm) {
 	}
 	if o == b.occupants[0] && !o.routed && !o.routing {
 		o.routing = true
-		b.net.queue.PostAfter(b.net.params.RoutingDelay, evRoute, o, 0)
+		b.sh.postAfter(b.net.params.RoutingDelay, evRoute, o, 0)
 	}
 	if o.routed {
 		// New flit may unblock consumer branches.
 		for _, br := range o.branches {
-			br.schedulePump(b.net.queue.Now())
+			br.schedulePump(b.sh.now())
 		}
 		o.advanceEviction()
 	}
@@ -222,7 +236,7 @@ func (o *occupant) advanceEviction() {
 		return
 	}
 	b := o.buf
-	net := b.net
+	sh := b.sh
 	for o.evicted < o.arrived {
 		i := o.evicted
 		freed := true
@@ -240,7 +254,10 @@ func (o *occupant) advanceEviction() {
 		}
 		o.evicted++
 		b.used--
-		net.queue.PostAfter(net.params.LinkDelay, evCredit, b, 0)
+		// The credit lands on the feeding channel's owner — the sender
+		// shard — one link delay out: at or past the window edge, which
+		// is exactly the conservative lookahead.
+		sh.postTo(b.upstream.sh, sh.now()+b.net.params.LinkDelay, evCredit, b, 0)
 	}
 	o.maybeComplete()
 }
@@ -254,12 +271,12 @@ func (o *occupant) maybeComplete() {
 	}
 	b.occupants = b.occupants[1:]
 	o.detached = true
-	b.net.tryRecycleOccupant(o)
+	b.sh.tryRecycleOccupant(o)
 	if len(b.occupants) > 0 {
 		next := b.occupants[0]
 		if next.arrived > 0 && !next.routed && !next.routing {
 			next.routing = true
-			b.net.queue.PostAfter(b.net.params.RoutingDelay, evRoute, next, 0)
+			b.sh.postAfter(b.net.params.RoutingDelay, evRoute, next, 0)
 		}
 	}
 }
@@ -269,26 +286,26 @@ func (o *occupant) maybeComplete() {
 // route flips the occupant's routing flags and hands the header to the
 // worm-advancement dispatcher (the evRoute handler).
 func (o *occupant) route() {
-	net := o.buf.net
+	sh := o.buf.sh
 	o.routing = false
 	if o.killed {
 		// The pending routing event was the last thing pinning a
 		// torn-down occupant.
-		net.tryRecycleOccupant(o)
+		sh.tryRecycleOccupant(o)
 		return
 	}
 	o.routed = true
-	net.advanceWorm(o)
+	sh.advanceWorm(o)
 }
 
 // wormPlanner emits the branches advancing one worm kind past a switch.
-type wormPlanner func(*Network, *occupant, topology.SwitchID, *worm)
+type wormPlanner func(*shardState, *occupant, topology.SwitchID, *worm)
 
 // wormPlanners is advanceWorm's dispatch table, indexed by WormKind.
 var wormPlanners = [...]wormPlanner{
-	WormUnicast: (*Network).planUnicast,
-	WormTree:    (*Network).planTree,
-	WormPath:    (*Network).planPath,
+	WormUnicast: (*shardState).planUnicast,
+	WormTree:    (*shardState).planTree,
+	WormPath:    (*shardState).planPath,
 }
 
 // branchSpec describes one replication output a planner wants: the child
@@ -307,27 +324,27 @@ type branchSpec struct {
 
 // emitBranch realizes one branchSpec: the shared create-and-file step
 // behind every worm kind's advancement. spec.ports/phases may live in
-// Network scratch; fileRequest copies before retaining.
-func (n *Network) emitBranch(o *occupant, s topology.SwitchID, spec branchSpec) {
-	br := n.newBranch(o, spec.child, spec.offset)
+// shard scratch; fileRequest copies before retaining.
+func (sh *shardState) emitBranch(o *occupant, s topology.SwitchID, spec branchSpec) {
+	br := sh.newBranch(o, spec.child, spec.offset)
 	br.elastic = spec.elastic
 	br.drops = spec.drops
 	if spec.adaptive {
-		n.fileAdaptive(br, s, spec.ports, spec.phases)
+		sh.fileAdaptive(br, s, spec.ports, spec.phases)
 		return
 	}
-	n.fileRequest(br, s, spec.ports, spec.phases)
+	sh.fileRequest(br, s, spec.ports, spec.phases)
 }
 
 // advanceWorm is the single worm-advancement dispatcher: it traces the
 // routing decision, runs the worm kind's planner, applies the tree
 // scheme's central-buffer elasticity, and lets absorbed header flits
 // evict. Unicast, tree replication and path stops all flow through here.
-func (n *Network) advanceWorm(o *occupant) {
+func (sh *shardState) advanceWorm(o *occupant) {
 	s := o.buf.sw
 	w := o.w
-	n.trace(TraceEvent{Kind: TraceRoute, Worm: w.id, Msg: w.msg.ID, Pkt: w.pkt, Switch: s, Port: o.buf.port})
-	wormPlanners[w.kind](n, o, s, w)
+	sh.net.trace(TraceEvent{Kind: TraceRoute, Worm: w.id, Msg: w.msg.ID, Pkt: w.pkt, Switch: s, Port: o.buf.port})
+	wormPlanners[w.kind](sh, o, s, w)
 	// Tree-worm replication passes through the switch's central buffer
 	// (ISCA'97): wherever the worm split, every branch drains from that
 	// buffer.
@@ -343,31 +360,33 @@ func (n *Network) advanceWorm(o *occupant) {
 
 // singleSpec loads the one-port scratch pair for single-candidate specs,
 // avoiding a slice-literal escape per branch.
-func (n *Network) singleSpec(p int, ph updown.Phase) ([]int, []updown.Phase) {
-	n.onePort[0] = p
-	n.onePhase[0] = ph
-	return n.onePort[:], n.onePhase[:]
+func (sh *shardState) singleSpec(p int, ph updown.Phase) ([]int, []updown.Phase) {
+	sh.scr.onePort[0] = p
+	sh.scr.onePhase[0] = ph
+	return sh.scr.onePort[:], sh.scr.onePhase[:]
 }
 
-func (n *Network) planUnicast(o *occupant, s topology.SwitchID, w *worm) {
+func (sh *shardState) planUnicast(o *occupant, s topology.SwitchID, w *worm) {
+	n := sh.net
 	home := n.topo.NodeSwitch[w.dest]
 	if home == s {
-		ports, phases := n.singleSpec(n.rt.NodePortAt(s, w.dest), w.phase)
-		n.emitBranch(o, s, branchSpec{child: w.child(n, 0),
+		ports, phases := sh.singleSpec(n.rt.NodePortAt(s, w.dest), w.phase)
+		sh.emitBranch(o, s, branchSpec{child: w.child(sh, 0),
 			ports: ports, phases: phases})
 		return
 	}
-	ports, phases := n.nextHops(s, w.phase, home)
+	ports, phases := sh.nextHops(s, w.phase, home)
 	if len(ports) == 0 {
 		n.routeFailure(o, s, fmt.Sprintf("no legal route for %v phase %v", w, w.phase))
 		return
 	}
-	n.emitBranch(o, s, branchSpec{child: w.child(n, 0),
+	sh.emitBranch(o, s, branchSpec{child: w.child(sh, 0),
 		ports: ports, phases: phases, adaptive: true})
 }
 
-func (n *Network) planTree(o *occupant, s topology.SwitchID, w *worm) {
-	remaining := n.getSet()
+func (sh *shardState) planTree(o *occupant, s topology.SwitchID, w *worm) {
+	n := sh.net
+	remaining := sh.getSet()
 	remaining.CopyFrom(w.destSet)
 	// Local deliveries: destinations attached to this switch drop here
 	// regardless of the climb state.
@@ -377,40 +396,40 @@ func (n *Network) planTree(o *occupant, s topology.SwitchID, w *worm) {
 				continue
 			}
 			remaining.Remove(int(node))
-			ds := n.getSet()
+			ds := sh.getSet()
 			ds.Add(int(node))
-			ports, phases := n.singleSpec(n.rt.NodePortAt(s, node), w.phase)
-			n.emitBranch(o, s, branchSpec{child: w.childSet(n, 0, ds),
+			ports, phases := sh.singleSpec(n.rt.NodePortAt(s, node), w.phase)
+			sh.emitBranch(o, s, branchSpec{child: w.childSet(sh, 0, ds),
 				ports: ports, phases: phases})
 		}
 	}
 	if remaining.Empty() {
-		n.putSet(remaining)
+		sh.putSet(remaining)
 		return
 	}
 	if n.rt.Covers(s, remaining) {
 		// Replicate down: partition the remaining set across down ports.
-		parts, ok := n.partitionDownAdaptive(s, remaining)
+		parts, ok := sh.partitionDownAdaptive(s, remaining)
 		if !ok {
 			n.routeFailure(o, s, fmt.Sprintf("down partition cannot cover %v", remaining.Indices()))
-			n.putSet(remaining)
+			sh.putSet(remaining)
 			return
 		}
-		n.putSet(remaining)
+		sh.putSet(remaining)
 		for _, ps := range parts {
 			// The partition subset becomes the child's destination set
 			// (pooled; ownership transfers to the child worm).
-			c := w.childSet(n, 0, ps.sub)
+			c := w.childSet(sh, 0, ps.sub)
 			c.phase = updown.PhaseDown
-			ports, phases := n.singleSpec(ps.port, updown.PhaseDown)
-			n.emitBranch(o, s, branchSpec{child: c,
+			ports, phases := sh.singleSpec(ps.port, updown.PhaseDown)
+			sh.emitBranch(o, s, branchSpec{child: c,
 				ports: ports, phases: phases})
 		}
 		return
 	}
 	if w.phase == updown.PhaseDown {
 		n.routeFailure(o, s, fmt.Sprintf("tree worm %v descended to a switch that cannot cover %v", w, remaining.Indices()))
-		n.putSet(remaining)
+		sh.putSet(remaining)
 		return
 	}
 	if n.params.EarlyTreeBranch {
@@ -419,40 +438,41 @@ func (n *Network) planTree(o *occupant, s topology.SwitchID, w *worm) {
 			if !remaining.Intersects(n.rt.DownReach[s][p]) {
 				continue
 			}
-			sub := n.getSet()
+			sub := sh.getSet()
 			bitset.AndInto(sub, remaining, n.rt.DownReach[s][p])
 			remaining.DifferenceWith(sub)
-			c := w.childSet(n, 0, sub)
+			c := w.childSet(sh, 0, sub)
 			c.phase = updown.PhaseDown
-			ports, phases := n.singleSpec(p, updown.PhaseDown)
-			n.emitBranch(o, s, branchSpec{child: c,
+			ports, phases := sh.singleSpec(p, updown.PhaseDown)
+			sh.emitBranch(o, s, branchSpec{child: c,
 				ports: ports, phases: phases})
 		}
 		if remaining.Empty() {
-			n.putSet(remaining)
+			sh.putSet(remaining)
 			return
 		}
 	}
 	// Climb: continue on an up port along a shortest up-path to a switch
 	// that covers the remainder (the paper's "travel adaptively to a least
 	// common ancestor switch using links in the up direction").
-	ports := n.climbPorts(s, remaining)
+	ports := sh.climbPorts(s, remaining)
 	if len(ports) == 0 {
 		n.routeFailure(o, s, fmt.Sprintf("tree worm %v stuck: no up port reaches a switch covering %v", w, remaining.Indices()))
-		n.putSet(remaining)
+		sh.putSet(remaining)
 		return
 	}
-	c := w.childSet(n, 0, remaining) // remaining's ownership moves to the child
-	phases := n.phaseScratch[:0]
+	c := w.childSet(sh, 0, remaining) // remaining's ownership moves to the child
+	phases := sh.scr.phaseScratch[:0]
 	for range ports {
 		phases = append(phases, updown.PhaseUp)
 	}
-	n.phaseScratch = phases
-	n.emitBranch(o, s, branchSpec{child: c,
+	sh.scr.phaseScratch = phases
+	sh.emitBranch(o, s, branchSpec{child: c,
 		ports: ports, phases: phases, adaptive: true})
 }
 
-func (n *Network) planPath(o *occupant, s topology.SwitchID, w *worm) {
+func (sh *shardState) planPath(o *occupant, s topology.SwitchID, w *worm) {
+	n := sh.net
 	if len(w.path) == 0 {
 		panic("sim: path worm with no remaining segments")
 	}
@@ -465,7 +485,7 @@ func (n *Network) planPath(o *occupant, s topology.SwitchID, w *worm) {
 			n.routeFailure(o, s, fmt.Sprintf("path worm %v has no legal route toward switch %d", w, seg.Switch))
 			return
 		}
-		n.emitBranch(o, s, branchSpec{child: w.child(n, 0),
+		sh.emitBranch(o, s, branchSpec{child: w.child(sh, 0),
 			ports: ports, phases: phases, adaptive: true})
 		return
 	}
@@ -481,12 +501,12 @@ func (n *Network) planPath(o *occupant, s topology.SwitchID, w *worm) {
 		if p < 0 {
 			panic(fmt.Sprintf("sim: path worm drop %d not attached to switch %d", d, s))
 		}
-		c := w.child(n, skip)
+		c := w.child(sh, skip)
 		c.path = rest
 		// Drops are buffered deliveries: the worm never stalls on them
 		// (the multi-drop mechanism's delivery buffering); only the
 		// continuation below is synchronous.
-		n.emitBranch(o, s, branchSpec{child: c, offset: skip,
+		sh.emitBranch(o, s, branchSpec{child: c, offset: skip,
 			elastic: true, drops: []topology.NodeID{d},
 			ports: []int{p}, phases: []updown.Phase{w.phase}})
 	}
@@ -510,10 +530,10 @@ func (n *Network) planPath(o *occupant, s topology.SwitchID, w *worm) {
 		if len(rest) == 0 {
 			panic("sim: path worm continues with no remaining segments")
 		}
-		c := w.child(n, skip)
+		c := w.child(sh, skip)
 		c.path = rest
 		c.phase = next
-		n.emitBranch(o, s, branchSpec{child: c, offset: skip,
+		sh.emitBranch(o, s, branchSpec{child: c, offset: skip,
 			ports: []int{seg.NextPort}, phases: []updown.Phase{next}})
 	}
 }
@@ -535,44 +555,45 @@ type portSet struct {
 // false when the down ports cannot cover the set — impossible under the
 // Covers precondition on healthy routing state, but reachable when a fault
 // invalidates the reachability strings mid-run.
-func (n *Network) partitionDownAdaptive(s topology.SwitchID, set *bitset.Set) ([]portSet, bool) {
-	c := &n.cache
-	c.sync(n)
+func (sh *shardState) partitionDownAdaptive(s topology.SwitchID, set *bitset.Set) ([]portSet, bool) {
+	n := sh.net
+	c := sh.cache
+	c.sync(n.routingEpoch)
 	var key partKey
 	var cached *partEntry
 	if !c.disabled {
-		key = partKey{sw: int32(s), fp: n.destFP(set)}
+		key = partKey{sw: int32(s), fp: sh.destFP(set)}
 		if e := c.part[key]; e != nil && e.set.Equal(set) {
 			cached = e
 			if !e.tied {
 				// Hit: burn the identical shuffle the miss path draws so
 				// the arbitration RNG stream stays byte-for-byte equal,
 				// then hand out pooled copies of the cached partition.
-				n.arb.Shuffle(len(n.downPorts[s]), func(i, j int) {})
-				out := n.partScratch[:0]
+				sh.arb.Shuffle(len(n.downPorts[s]), func(i, j int) {})
+				out := sh.scr.partScratch[:0]
 				for i, p := range e.ports {
-					sub := n.getSet()
+					sub := sh.getSet()
 					sub.CopyFrom(e.subs[i])
 					out = append(out, portSet{port: int(p), sub: sub})
 				}
-				n.partScratch = out
+				sh.scr.partScratch = out
 				return out, true
 			}
 			// Tied entry: the greedy choice depends on the shuffle, so
 			// recompute in full (which consumes the shuffle naturally).
 		}
 	}
-	remaining := n.getSet()
+	remaining := sh.getSet()
 	remaining.CopyFrom(set)
-	downs := append(n.downScratch[:0], n.downPorts[s]...)
-	n.downScratch = downs
-	n.arb.Shuffle(len(downs), func(i, j int) { downs[i], downs[j] = downs[j], downs[i] })
-	out := n.partScratch[:0]
+	downs := append(sh.scr.downScratch[:0], n.downPorts[s]...)
+	sh.scr.downScratch = downs
+	sh.arb.Shuffle(len(downs), func(i, j int) { downs[i], downs[j] = downs[j], downs[i] })
+	out := sh.scr.partScratch[:0]
 	tied := false
 	for !remaining.Empty() {
 		best, bestCount, dup := -1, 0, false
 		for _, p := range downs {
-			if n.usedPorts[p] {
+			if sh.scr.usedPorts[p] {
 				continue
 			}
 			c := bitset.AndCount(remaining, n.rt.DownReach[s][p])
@@ -584,27 +605,27 @@ func (n *Network) partitionDownAdaptive(s topology.SwitchID, set *bitset.Set) ([
 		}
 		if best == -1 {
 			for _, ps := range out {
-				n.usedPorts[ps.port] = false
-				n.putSet(ps.sub)
+				sh.scr.usedPorts[ps.port] = false
+				sh.putSet(ps.sub)
 			}
-			n.putSet(remaining)
-			n.partScratch = out[:0]
+			sh.putSet(remaining)
+			sh.scr.partScratch = out[:0]
 			return nil, false
 		}
 		if dup {
 			tied = true
 		}
-		sub := n.getSet()
+		sub := sh.getSet()
 		bitset.AndInto(sub, remaining, n.rt.DownReach[s][best])
-		n.usedPorts[best] = true
+		sh.scr.usedPorts[best] = true
 		out = append(out, portSet{port: best, sub: sub})
 		remaining.DifferenceWith(sub)
 	}
 	for _, ps := range out {
-		n.usedPorts[ps.port] = false
+		sh.scr.usedPorts[ps.port] = false
 	}
-	n.putSet(remaining)
-	n.partScratch = out
+	sh.putSet(remaining)
+	sh.scr.partScratch = out
 	if !c.disabled && cached == nil {
 		// First sighting of this (switch, set): record it. Untied
 		// partitions store cache-owned clones; tied ones store only the
@@ -629,19 +650,19 @@ func (n *Network) partitionDownAdaptive(s topology.SwitchID, set *bitset.Set) ([
 // climbPorts returns the up ports of s that begin a shortest all-up path to
 // a switch covering set (reverse BFS from all covering switches over up
 // links, memoized per destination set by the route cache). The result
-// lives in Network scratch.
-func (n *Network) climbPorts(s topology.SwitchID, set *bitset.Set) []int {
-	dist := n.climbDist(set)
+// lives in shard scratch.
+func (sh *shardState) climbPorts(s topology.SwitchID, set *bitset.Set) []int {
+	dist := sh.climbDist(set)
 	if dist[s] <= 0 {
 		return nil // s covers already (caller bug) or nothing reachable
 	}
-	out := n.portScratch[:0]
-	for _, pp := range n.upAdj[s] {
+	out := sh.scr.portScratch[:0]
+	for _, pp := range sh.net.upAdj[s] {
 		if dist[pp.sw] == dist[s]-1 {
 			out = append(out, pp.port)
 		}
 	}
-	n.portScratch = out
+	sh.scr.portScratch = out
 	return out
 }
 
@@ -650,12 +671,12 @@ func (n *Network) climbPorts(s topology.SwitchID, set *bitset.Set) []int {
 // newBranch pulls a pooled branch for child's stream. A nil occupant
 // means NI injection (all flits already in NI memory). The branch holds
 // a reference on its worm until the post-done quarantine reclaims it.
-func (n *Network) newBranch(o *occupant, child *worm, offset int) *branch {
-	br := n.getBranch()
+func (sh *shardState) newBranch(o *occupant, child *worm, offset int) *branch {
+	br := sh.getBranch()
 	br.occ = o
 	br.w = child
 	br.offset = offset
-	child.refs++
+	wormRef(child)
 	if o != nil {
 		o.branches = append(o.branches, br)
 		o.live++
@@ -666,20 +687,21 @@ func (n *Network) newBranch(o *occupant, child *worm, offset int) *branch {
 // fileAdaptive shuffles candidate ports (the simulator's adaptivity
 // tie-break) and files the request. ports/phases must be mutable
 // (scratch or freshly built), never cached storage.
-func (n *Network) fileAdaptive(br *branch, s topology.SwitchID, ports []int, phases []updown.Phase) {
-	n.arb.Shuffle(len(ports), func(i, j int) {
+func (sh *shardState) fileAdaptive(br *branch, s topology.SwitchID, ports []int, phases []updown.Phase) {
+	sh.arb.Shuffle(len(ports), func(i, j int) {
 		ports[i], ports[j] = ports[j], ports[i]
 		phases[i], phases[j] = phases[j], phases[i]
 	})
-	n.fileRequest(br, s, ports, phases)
+	sh.fileRequest(br, s, ports, phases)
 }
 
 // fileRequest arbitrates br onto one of the candidate ports of switch s.
 // The common case — some candidate is free — grants directly without
 // materializing a portRequest; only genuine contention allocates one
 // (with owned copies of the candidate list, since ports/phases may be
-// Network scratch).
-func (n *Network) fileRequest(br *branch, s topology.SwitchID, ports []int, phases []updown.Phase) {
+// shard scratch).
+func (sh *shardState) fileRequest(br *branch, s topology.SwitchID, ports []int, phases []updown.Phase) {
+	n := sh.net
 	sw := n.switches[s]
 	if n.faulted {
 		// Routing state can lag a fault by up to the detection delay: drop
@@ -739,7 +761,7 @@ func (o *outPort) grantTo(br *branch, ph updown.Phase) {
 	o.holder = br
 	o.ch.sender = br
 	o.net.trace(TraceEvent{Kind: TraceGrant, Worm: br.w.id, Msg: br.w.msg.ID, Pkt: br.w.pkt, Switch: o.sw, Port: o.port})
-	br.schedulePump(o.net.queue.Now() + o.net.params.CrossbarDelay)
+	br.schedulePump(o.sh.now() + o.net.params.CrossbarDelay)
 }
 
 // release frees the port after a tail passes and grants the next waiter.
@@ -783,11 +805,11 @@ func (br *branch) schedulePump(t event.Time) {
 		return
 	}
 	br.pumping = true
-	now := br.net.queue.Now()
+	now := br.sh.now()
 	if t < now {
 		t = now
 	}
-	br.net.queue.Post(t, evPump, br, 0)
+	br.sh.post(t, evPump, br, 0)
 }
 
 // pump attempts to send one flit; it self-schedules while streaming and
@@ -798,6 +820,7 @@ func (br *branch) pump() {
 		return
 	}
 	net := br.net
+	sh := br.sh
 	ch := br.ch
 	if ch.dead || br.w.dead {
 		// The channel failed under us (or the worm was torn down) between
@@ -805,7 +828,7 @@ func (br *branch) pump() {
 		net.deadEndBranch(br)
 		return
 	}
-	now := net.queue.Now()
+	now := sh.now()
 	if now < ch.lineFree {
 		br.schedulePump(ch.lineFree)
 		return
@@ -825,9 +848,11 @@ func (br *branch) pump() {
 	ch.lineFree = now + 1
 	br.sent++
 	ch.busyFlits++
-	net.stats.FlitHops++
+	sh.stats.FlitHops++
 	w := br.w
-	net.queue.PostAfter(net.params.LinkDelay, evDeliver, br, 0)
+	// The flit lands on the channel's destination shard one link delay
+	// out — at or past the window edge, the conservative lookahead.
+	sh.postTo(ch.dst, now+net.params.LinkDelay, evDeliver, br, 0)
 	if br.occ != nil {
 		br.occ.advanceEviction()
 	}
@@ -836,13 +861,13 @@ func (br *branch) pump() {
 		if br.port != nil {
 			net.trace(TraceEvent{Kind: TraceTail, Worm: w.id, Msg: w.msg.ID, Pkt: w.pkt, Switch: br.port.sw, Port: br.port.port})
 		}
-		net.queue.PostAfter(1, evTail, br, 0)
-		net.queue.PostAfter(net.reclaimAfter, evReclaim, br, 0)
+		sh.postAfter(1, evTail, br, 0)
+		sh.postAfter(net.reclaimAfter, evReclaim, br, 0)
 		if br.occ != nil {
 			// Complete the occupant before detaching: detaching can
 			// recycle it, and maybeComplete must read its live state.
 			br.occ.maybeComplete()
-			net.detachBranch(br)
+			sh.detachBranch(br)
 		}
 		return
 	}

@@ -78,7 +78,7 @@ func (n *Network) SetTracer(fn func(TraceEvent)) { n.tracer = fn }
 
 func (n *Network) trace(ev TraceEvent) {
 	if n.tracer != nil {
-		ev.At = n.queue.Now()
+		ev.At = n.nowAt()
 		n.tracer(ev)
 	}
 }

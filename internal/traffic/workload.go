@@ -88,6 +88,7 @@ type runOpts struct {
 	churn  *ChurnSpec
 	rec    *obs.Recorder
 	trace  func(sim.TraceEvent)
+	shards int
 }
 
 // Option configures a Run.
@@ -139,9 +140,20 @@ func WithTrace(fn func(sim.TraceEvent)) Option {
 	return func(o *runOpts) { o.trace = fn }
 }
 
+// WithShards runs every network the run creates on the serial-equivalence
+// sharded PDES engine with k shards (see sim.WithShards). Results are
+// byte-identical to the single-queue engine for any k, so experiment
+// tables never depend on the shard count; k <= 1 keeps the plain engine.
+func WithShards(k int) Option {
+	return func(o *runOpts) { o.shards = k }
+}
+
 // simOpts translates the run options into network assembly options.
 func (o *runOpts) simOpts() []sim.Option {
 	var opts []sim.Option
+	if o.shards > 1 {
+		opts = append(opts, sim.WithShards(o.shards))
+	}
 	if o.trace != nil {
 		opts = append(opts, sim.WithTrace(o.trace))
 	}
