@@ -377,6 +377,22 @@ func BenchmarkTopologyGen(b *testing.B) {
 	benchcase.TopologyGen(b)
 }
 
+// BenchmarkSparseStorm is the PR 9 sparse-representation storm: 12
+// short interval-coded tree worms over 3 shared ~1050-destination rack
+// sets on the 101k-host fat-tree, where RepAuto selects run-coded
+// destination sets (see internal/benchcase).
+func BenchmarkSparseStorm(b *testing.B) {
+	benchcase.SparseStorm(b)
+}
+
+// BenchmarkScaleSim is the PR 9 scale-tier probe: one full-payload
+// rack-clustered multicast flit-simulated on the 101k-host fat-tree
+// under the 4-shard serial-equivalence engine, the same configuration
+// as the scale sweep's -sim-l smoke (see internal/benchcase).
+func BenchmarkScaleSim(b *testing.B) {
+	benchcase.ScaleSim(b)
+}
+
 // --- simulator micro-benchmarks ---
 
 // BenchmarkSimCore measures raw simulator throughput: one isolated 16-way

@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"mcastsim/internal/benchcase"
+	"mcastsim/internal/memwatch"
 )
 
 // benchMetrics is one benchmark measurement in BENCH_PR4.json.
@@ -20,7 +21,12 @@ type benchMetrics struct {
 	BytesPerOp   float64 `json:"bytes_per_op"`
 	EventsPerSec float64 `json:"events_per_sec,omitempty"`
 	EventsPerOp  float64 `json:"events_per_op,omitempty"`
-	Iterations   int     `json:"iterations"`
+	// PeakHeapBytes is the process-wide HeapAlloc high-water mark sampled
+	// while the benchmark ran (internal/memwatch) — the "does it fit in
+	// RAM" axis of the trajectory, added in PR 9. Absent from references
+	// that predate it, in which case the gate skips its memory rule.
+	PeakHeapBytes float64 `json:"peak_heap_bytes,omitempty"`
+	Iterations    int     `json:"iterations"`
 }
 
 // benchRecord pairs a current measurement with the frozen pre-optimization
@@ -102,6 +108,28 @@ var (
 		EventsPerOp:  2_533_027,
 		Iterations:   3,
 	}
+	// Frozen at introduction (PR 9, sparse destination sets): the
+	// run-coded hot path on the 101k-host fat-tree, measured on the
+	// reference box the day the families landed. Peak-heap baselines
+	// start here too — earlier baselines predate the field.
+	sparseStormBaseline = benchMetrics{
+		NsPerOp:       335.6e6,
+		AllocsPerOp:   1_337_890,
+		BytesPerOp:    92_929_749,
+		EventsPerSec:  7.21e6,
+		EventsPerOp:   2_418_888,
+		PeakHeapBytes: 235e6,
+		Iterations:    3,
+	}
+	scaleSimBaseline = benchMetrics{
+		NsPerOp:       211.6e6,
+		AllocsPerOp:   1_327_182,
+		BytesPerOp:    85_887_888,
+		EventsPerSec:  1.71e6,
+		EventsPerOp:   362_728,
+		PeakHeapBytes: 237e6,
+		Iterations:    5,
+	}
 )
 
 // shardScalingMinSpeedup is the PR 8 acceptance floor: fast mode on 4
@@ -117,16 +145,22 @@ func measure(f func(b *testing.B)) benchMetrics {
 
 // measureRate runs f once through testing.Benchmark, reading the named
 // custom metric into the throughput field (different benchmarks report
-// different rates; the gate only ever compares like against like).
+// different rates; the gate only ever compares like against like). A
+// memwatch sampler brackets the whole run, so PeakHeapBytes covers every
+// probe round including setup — the resident cost of running the
+// workload at all, not just the steady state.
 func measureRate(f func(b *testing.B), rateKey string) benchMetrics {
+	mw := memwatch.Start()
 	r := testing.Benchmark(f)
+	peak := mw.Stop()
 	m := benchMetrics{
-		NsPerOp:      float64(r.NsPerOp()),
-		AllocsPerOp:  float64(r.AllocsPerOp()),
-		BytesPerOp:   float64(r.AllocedBytesPerOp()),
-		EventsPerSec: r.Extra[rateKey],
-		EventsPerOp:  r.Extra["events/op"],
-		Iterations:   r.N,
+		NsPerOp:       float64(r.NsPerOp()),
+		AllocsPerOp:   float64(r.AllocsPerOp()),
+		BytesPerOp:    float64(r.AllocedBytesPerOp()),
+		EventsPerSec:  r.Extra[rateKey],
+		EventsPerOp:   r.Extra["events/op"],
+		PeakHeapBytes: float64(peak),
+		Iterations:    r.N,
 	}
 	return m
 }
@@ -168,9 +202,13 @@ func runEmitBench(path, gatePath string) error {
 		fmt.Fprintf(os.Stderr, "mcastsim: measuring ShardScaling/%d...\n", k)
 		shard[k] = measure(benchcase.ShardScaling(k))
 	}
+	fmt.Fprintln(os.Stderr, "mcastsim: measuring SparseStorm...")
+	sparse := measure(benchcase.SparseStorm)
+	fmt.Fprintln(os.Stderr, "mcastsim: measuring ScaleSim...")
+	scale := measure(benchcase.ScaleSim)
 
 	out := benchFile{
-		Note: "PR 8 sharded-engine benchmarks; ShardScaling baselines frozen on the serial single-queue engine, earlier baselines carried over from their introducing PRs",
+		Note: "PR 9 sparse-destination-set benchmarks; SparseStorm/ScaleSim baselines frozen on the run-coded hot path at introduction, peak_heap_bytes joins the trajectory here, earlier baselines carried over from their introducing PRs",
 		Benchmarks: map[string]benchRecord{
 			"TreeStorm":      record(treeStormBaseline, tree),
 			"DrainLarge":     record(drainLargeBaseline, drain),
@@ -180,6 +218,8 @@ func runEmitBench(path, gatePath string) error {
 			"ShardScaling/1": record(shardScalingBaseline, shard[1]),
 			"ShardScaling/2": record(shardScalingBaseline, shard[2]),
 			"ShardScaling/4": record(shardScalingBaseline, shard[4]),
+			"SparseStorm":    record(sparseStormBaseline, sparse),
+			"ScaleSim":       record(scaleSimBaseline, scale),
 		},
 	}
 	data, err := json.MarshalIndent(out, "", "  ")
@@ -214,6 +254,8 @@ func runEmitBench(path, gatePath string) error {
 			"ShardScaling/1": shard[1],
 			"ShardScaling/2": shard[2],
 			"ShardScaling/4": shard[4],
+			"SparseStorm":    sparse,
+			"ScaleSim":       scale,
 		})
 	}
 	return nil
@@ -299,6 +341,14 @@ func checkGate(gatePath string, current map[string]benchMetrics) error {
 			failures = append(failures, fmt.Sprintf(
 				"%s: allocs/op %.0f exceeded %.0f (reference %.0f * %gx)",
 				name, cur.AllocsPerOp, want.AllocsPerOp*tolerance, want.AllocsPerOp, tolerance))
+		}
+		// Memory joins the trajectory in PR 9; references that predate
+		// the field (zero peak) skip the rule rather than fail it.
+		if want.PeakHeapBytes > 0 && cur.PeakHeapBytes > want.PeakHeapBytes*tolerance {
+			failures = append(failures, fmt.Sprintf(
+				"%s: peak heap %.3g MB exceeded %.3g MB (reference %.3g MB * %gx)",
+				name, cur.PeakHeapBytes/1e6, want.PeakHeapBytes*tolerance/1e6,
+				want.PeakHeapBytes/1e6, tolerance))
 		}
 	}
 	if len(failures) > 0 {

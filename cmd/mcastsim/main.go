@@ -43,7 +43,8 @@ func run() int {
 		seed       = flag.Uint64("seed", 0, "override the experiment seed (0 = default)")
 		workers    = flag.Int("workers", 0, "parallel simulation-cell workers (0 = one per CPU); output is identical for any value")
 		shards     = flag.Int("shards", 1, "intra-cell PDES shards per simulation (serial-equivalence engine); output is identical for any value")
-		simL       = flag.Bool("sim-l", false, "flit-simulate the scale sweep's L tier (one probe per cell) instead of plan+encode only")
+		simL       = flag.Bool("sim-l", false, "flit-simulate the scale sweep's L and XL tiers (one probe per cell) instead of plan+encode only")
+		tiers      = flag.String("tiers", "", "comma-separated scale-sweep size tiers (S,M,L,XL); empty = S,M,L. The ~1M-host XL tier is opt-in: its routing state alone is ~2.6 GB")
 		csvDir     = flag.String("csv", "", "also write each table as CSV into this directory")
 		compare    = flag.String("compare", "", "run a scheme comparison on this topology file instead of an experiment")
 		degree     = flag.Int("degree", 16, "multicast degree for -compare")
@@ -111,6 +112,9 @@ func run() int {
 	cfg.Workers = *workers
 	cfg.Shards = *shards
 	cfg.SimulateL = *simL
+	if *tiers != "" {
+		cfg.Tiers = strings.Split(*tiers, ",")
+	}
 	var sink *experiment.ObsSink
 	if *obsOn {
 		sink = &experiment.ObsSink{Config: obs.Config{Every: event.Time(*obsEvery)}}

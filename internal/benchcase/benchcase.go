@@ -8,6 +8,7 @@ package benchcase
 import (
 	"fmt"
 	"runtime"
+	"sync"
 	"testing"
 
 	"mcastsim/internal/bitset"
@@ -372,6 +373,168 @@ func HeaderEncode(b *testing.B) {
 	if s := b.Elapsed().Seconds(); s > 0 {
 		b.ReportMetric(float64(2*b.N)/s, "headers/sec")
 	}
+}
+
+// scaleFT caches the scale sweep's L-tier routed fat-tree (1088
+// switches, 101376 hosts) for the sparse-representation families. The
+// universe is above sim.SparseUniverseThreshold, so RepAuto selects the
+// run-coded destination sets — exactly the regime PR 9's hot-path work
+// targets. Building it costs seconds, so it is shared across benchmark
+// rounds (testing.Benchmark re-enters the body with growing b.N) and
+// between SparseStorm and ScaleSim; at ~30 MB resident it is cheap to
+// keep.
+var scaleFT struct {
+	once sync.Once
+	rt   *updown.Routing
+	err  error
+}
+
+func scaleFatTree() (*updown.Routing, error) {
+	scaleFT.once.Do(func() {
+		t, err := topology.FatTree(topology.FatTreeConfig{
+			Pods: 32, EdgePerPod: 24, AggPerPod: 8, CoreUplinksPerAgg: 8, HostsPerEdge: 132,
+		})
+		if err != nil {
+			scaleFT.err = err
+			return
+		}
+		scaleFT.rt, scaleFT.err = updown.New(t)
+	})
+	return scaleFT.rt, scaleFT.err
+}
+
+// rackPlan draws a rack-clustered tree multicast on rt: every host on
+// `racks` sampled host-bearing switches, excluding src, planned by the
+// switch-based tree scheme.
+func rackPlan(rt *updown.Routing, p sim.Params, r *rng.Source, racks int, src topology.NodeID, flits int) (*sim.Plan, error) {
+	t := rt.Topo
+	nbs := t.NodesBySwitch()
+	var hs []int
+	for s := 0; s < t.NumSwitches; s++ {
+		if len(nbs[s]) > 0 {
+			hs = append(hs, s)
+		}
+	}
+	var dests []topology.NodeID
+	for _, i := range r.Sample(len(hs), racks) {
+		for _, n := range nbs[hs[i]] {
+			if n != src {
+				dests = append(dests, n)
+			}
+		}
+	}
+	return treeworm.New().Plan(rt, p, src, dests, flits)
+}
+
+// sparseStormSpec pins the SparseStorm workload: a burst of short
+// rack-clustered tree multicasts on the 101k-host fat-tree, cycling over
+// a handful of shared destination sets. Above the sparse threshold every
+// destination set is run-coded, so the burst drives the PR 9 hot paths —
+// pooled run sets, per-branch subset splitting, and the route cache's
+// interval-run keys (the shared sets re-present identical (switch, set)
+// decisions) — with flit streaming kept cheap by the short payload.
+const (
+	sparseRacks    = 8
+	sparseGroups   = 3
+	sparseMsgs     = 12
+	sparseFlits    = 16
+	sparsePktFlits = 8
+	sparseSeed     = 0x5a2e_510
+)
+
+// SparseStorm is the sparse-representation planning/branch storm: 12
+// two-packet interval-coded tree worms over 3 shared 8-rack destination
+// sets (~1050 destinations each) on the 101k-host fat-tree. It reports
+// events/sec like the other simulator families; the PR 9 target is that
+// run-coded sets keep the per-branch planning path allocation-light at
+// a universe 200x larger than TreeStorm's.
+func SparseStorm(b *testing.B) {
+	rt, err := scaleFatTree()
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := sim.DefaultParams()
+	p.DestCoding = sim.HeaderIval
+	p.PacketFlits = sparsePktFlits
+	r := rng.New(sparseSeed)
+	// Sources sit on the last edge switch's hosts; destination racks that
+	// happen to include a source simply skip it (rackPlan excludes src).
+	srcBase := topology.NodeID(rt.Topo.NumNodes - sparseMsgs)
+	plans := make([]*sim.Plan, sparseGroups)
+	for g := range plans {
+		plans[g], err = rackPlan(rt, p, r, sparseRacks, srcBase+topology.NodeID(g), sparseFlits)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		n, err := sim.New(rt, p, uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for m := 0; m < sparseMsgs; m++ {
+			at := n.Now() + event.Time(200*m)
+			if _, err := n.Send(plans[m%sparseGroups], sparseFlits, at, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := n.Drain(0); err != nil {
+			b.Fatal(err)
+		}
+		events += n.EventsProcessed()
+	}
+	b.StopTimer()
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(events)/s, "events/sec")
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+}
+
+// ScaleSim is the scale-tier probe as a benchcase: ONE full-payload
+// rack-clustered tree multicast (8 racks, ~1050 destinations, interval
+// coding) flit-simulated on the 101k-host fat-tree under the 4-shard
+// serial-equivalence engine — the same configuration the scale sweep's
+// -sim-l smoke runs at the L and XL tiers. Its events/sec and peak-heap
+// figures in the bench JSON are the committed trajectory for "does the
+// flit simulator still reach datacenter scale".
+const (
+	scaleSimRacks = 8
+	scaleSimFlits = 128
+	scaleSimSeed  = 0x5ca1e_b
+)
+
+func ScaleSim(b *testing.B) {
+	rt, err := scaleFatTree()
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := sim.DefaultParams()
+	p.DestCoding = sim.HeaderIval
+	plan, err := rackPlan(rt, p, rng.New(scaleSimSeed), scaleSimRacks, 0, scaleSimFlits)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		n, err := sim.New(rt, p, uint64(i), sim.WithShards(4))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := n.RunSingle(plan, scaleSimFlits); err != nil {
+			b.Fatal(err)
+		}
+		events += n.EventsProcessed()
+	}
+	b.StopTimer()
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(events)/s, "events/sec")
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/op")
 }
 
 // TopologyGen is the large-topology construction benchmark: build the

@@ -342,6 +342,113 @@ func (s *Set) AnyInRange(lo, hi int) bool {
 	return false
 }
 
+// AddRange sets every bit in [lo, hi], allocating nothing. It is how a
+// run-coded destination set is materialized back into a flat header.
+func (s *Set) AddRange(lo, hi int) {
+	if lo > hi {
+		return
+	}
+	s.check(lo)
+	s.check(hi)
+	wLo, wHi, mLo, mHi := rangeWords(lo, hi)
+	if wLo == wHi {
+		s.words[wLo] |= mLo & mHi
+		return
+	}
+	s.words[wLo] |= mLo
+	s.words[wHi] |= mHi
+	for wi := wLo + 1; wi < wHi; wi++ {
+		s.words[wi] = ^uint64(0)
+	}
+}
+
+// AllInRange reports whether every bit in [lo, hi] is set, allocating
+// nothing. It is the interval backend's SubsetOf primitive: a run-coded
+// set is a subset of s exactly when each of its runs passes this test,
+// which costs O(run span / 64) words instead of a full-universe scan.
+func (s *Set) AllInRange(lo, hi int) bool {
+	if lo > hi {
+		return true
+	}
+	s.check(lo)
+	s.check(hi)
+	wLo, wHi, mLo, mHi := rangeWords(lo, hi)
+	if wLo == wHi {
+		m := mLo & mHi
+		return s.words[wLo]&m == m
+	}
+	if s.words[wLo]&mLo != mLo || s.words[wHi]&mHi != mHi {
+		return false
+	}
+	for wi := wLo + 1; wi < wHi; wi++ {
+		if s.words[wi] != ^uint64(0) {
+			return false
+		}
+	}
+	return true
+}
+
+// ForEachRunInRange calls fn for every maximal run of consecutive set
+// bits within the window [lo, hi] (runs are clipped to the window), in
+// ascending order; fn returning false stops early. It is the interval
+// backend's AndInto primitive: intersecting a run-coded set with a bit
+// string walks each run's window instead of the whole universe.
+func (s *Set) ForEachRunInRange(lo, hi int, fn func(lo, hi int) bool) {
+	if lo > hi {
+		return
+	}
+	s.check(lo)
+	s.check(hi)
+	wLo, wHi, mLo, mHi := rangeWords(lo, hi)
+	runStart, runEnd := -1, -1
+	for wi := wLo; wi <= wHi; wi++ {
+		w := s.words[wi]
+		if wi == wLo {
+			w &= mLo
+		}
+		if wi == wHi {
+			w &= mHi
+		}
+		base := wi * wordBits
+		for w != 0 {
+			start := bits.TrailingZeros64(w)
+			length := bits.TrailingZeros64(^(w >> uint(start)))
+			rLo, rHi := base+start, base+start+length-1
+			if runStart >= 0 && rLo == runEnd+1 {
+				runEnd = rHi
+			} else {
+				if runStart >= 0 && !fn(runStart, runEnd) {
+					return
+				}
+				runStart, runEnd = rLo, rHi
+			}
+			if start+length >= wordBits {
+				w = 0
+			} else {
+				w &^= ((1 << uint(length)) - 1) << uint(start)
+			}
+		}
+	}
+	if runStart >= 0 {
+		fn(runStart, runEnd)
+	}
+}
+
+// RunCount returns the number of maximal runs of consecutive set bits,
+// without iterating them: a run starts at every set bit whose predecessor
+// is clear, so per word it popcounts w &^ (w<<1) with the carry bit from
+// the previous word. The header encoder uses this to size run-coded
+// output in a single pass.
+func (s *Set) RunCount() int {
+	c := 0
+	carry := uint64(0) // bit 0 set iff the previous word ended in a 1
+	for _, w := range s.words {
+		c += bits.OnesCount64(w &^ (w<<1 | carry))
+		carry = w >> (wordBits - 1)
+	}
+	return c
+}
+
 // CountRange returns the number of set bits in [lo, hi], allocating
 // nothing. It is the interval backend's AndCount primitive.
 func (s *Set) CountRange(lo, hi int) int {

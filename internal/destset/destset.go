@@ -461,10 +461,11 @@ func IvalFingerprintOf(s *bitset.Set) uint64 {
 
 // AppendIvalEncoded appends the interval wire encoding of s's members to
 // dst — the zero-copy analog of FromBits(Ival, s).AppendEncoded(dst).
+// The leading run count comes from the branch-free word scan
+// (bitset.RunCount) rather than a counting ForEachRun pass, so the set's
+// words are only run-iterated once.
 func AppendIvalEncoded(dst []byte, s *bitset.Set) []byte {
-	runs := 0
-	s.ForEachRun(func(lo, hi int) bool { runs++; return true })
-	dst = binary.AppendUvarint(dst, uint64(runs))
+	dst = binary.AppendUvarint(dst, uint64(s.RunCount()))
 	prevHi := 0
 	first := true
 	s.ForEachRun(func(lo, hi int) bool {

@@ -1,0 +1,270 @@
+package destset
+
+import (
+	"bytes"
+	"testing"
+
+	"mcastsim/internal/bitset"
+)
+
+// Large-universe coverage for the Runs representation (PR 9): at the XL
+// tier every destination set in the hot path is a *Runs over a >=1M-bit
+// universe, converted to and from flat bit strings at the representation
+// boundary. These tests drive that boundary with the same adversarial
+// patterns the bitset suite uses, pin the cross-representation contracts
+// the simulator's determinism depends on (equal fingerprints, equal wire
+// encodings, equal header sizes), and assert the iteration paths stay
+// allocation-free.
+
+const bigN = 1<<20 + 37
+
+func bigPatterns(n int) map[string]*bitset.Set {
+	pat := map[string]*bitset.Set{}
+	empty := bitset.New(n)
+	pat["empty"] = empty
+	full := bitset.New(n)
+	full.AddRange(0, n-1)
+	pat["full"] = full
+	alt := bitset.New(n)
+	for i := 0; i < n; i += 2 {
+		alt.Add(i)
+	}
+	pat["alternating"] = alt
+	single := bitset.New(n)
+	for i := 0; i < n; i += 97 {
+		single.Add(i)
+	}
+	pat["single-bits"] = single
+	racks := bitset.New(n)
+	for base := 0; base+1024 <= n; base += 8192 {
+		racks.AddRange(base, base+1023)
+	}
+	pat["long-runs"] = racks
+	edges := bitset.New(n)
+	edges.AddRange(63, 64)
+	edges.AddRange(127, 192)
+	edges.Add(256)
+	edges.Add(319)
+	edges.AddRange(n-40, n-1)
+	pat["word-edges"] = edges
+	return pat
+}
+
+// TestRunsBitsRoundTripMillionBit: CopyFromBits/WriteToBits is an exact
+// round trip for every adversarial pattern, and the run structure
+// matches the bitset's own run scan.
+func TestRunsBitsRoundTripMillionBit(t *testing.T) {
+	for name, s := range bigPatterns(bigN) {
+		v := NewRuns(bigN)
+		v.CopyFromBits(s)
+		if v.Count() != s.Count() {
+			t.Errorf("%s: Count %d, bitset %d", name, v.Count(), s.Count())
+		}
+		if v.NumRuns() != s.RunCount() {
+			t.Errorf("%s: NumRuns %d, bitset RunCount %d", name, v.NumRuns(), s.RunCount())
+		}
+		if !v.EqualBits(s) {
+			t.Errorf("%s: EqualBits false after CopyFromBits", name)
+		}
+		back := bitset.New(bigN)
+		v.WriteToBits(back)
+		if !back.Equal(s) {
+			t.Errorf("%s: WriteToBits round trip diverged", name)
+		}
+		// Run-by-run agreement with the flat scan.
+		var flat [][2]int
+		s.ForEachRun(func(lo, hi int) bool { flat = append(flat, [2]int{lo, hi}); return true })
+		var sparse [][2]int
+		v.ForEachRun(func(lo, hi int) bool { sparse = append(sparse, [2]int{lo, hi}); return true })
+		if len(flat) != len(sparse) {
+			t.Fatalf("%s: %d sparse runs vs %d flat", name, len(sparse), len(flat))
+		}
+		for i := range flat {
+			if flat[i] != sparse[i] {
+				t.Fatalf("%s: run %d is %v sparse vs %v flat", name, i, sparse[i], flat[i])
+			}
+		}
+	}
+}
+
+// TestRunsWireContractsMillionBit pins the three cross-representation
+// equalities the simulator relies on for byte-identical traces and
+// representation-blind route-cache keys: Runs.Fingerprint ==
+// IvalFingerprintOf, Runs.HeaderBytes == IvalBytesOf, and
+// Runs.AppendEncoded == AppendIvalEncoded, over every pattern.
+func TestRunsWireContractsMillionBit(t *testing.T) {
+	for name, s := range bigPatterns(bigN) {
+		v := NewRuns(bigN)
+		v.CopyFromBits(s)
+		if got, want := v.Fingerprint(), IvalFingerprintOf(s); got != want {
+			t.Errorf("%s: Fingerprint %x, IvalFingerprintOf %x", name, got, want)
+		}
+		if got, want := v.HeaderBytes(), IvalBytesOf(s); got != want {
+			t.Errorf("%s: HeaderBytes %d, IvalBytesOf %d", name, got, want)
+		}
+		a := v.AppendEncoded(nil)
+		b := AppendIvalEncoded(nil, s)
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s: wire encodings differ (%d vs %d bytes)", name, len(a), len(b))
+		}
+		if len(a) != v.HeaderBytes() {
+			t.Errorf("%s: HeaderBytes %d != encoded length %d", name, v.HeaderBytes(), len(a))
+		}
+	}
+}
+
+// TestRunsMutateMillionBit drives Add/Remove through the adversarial
+// canonicalization cases at high indices: merging three runs into one,
+// splitting a long run, and peeling run endpoints — each verified
+// against a flat mirror.
+func TestRunsMutateMillionBit(t *testing.T) {
+	v := NewRuns(bigN)
+	mirror := bitset.New(bigN)
+	do := func(add bool, i int) {
+		if add {
+			v.Add(i)
+			mirror.Add(i)
+		} else {
+			v.Remove(i)
+			mirror.Remove(i)
+		}
+		if v.Contains(i) != add {
+			t.Fatalf("Contains(%d) = %v after %v", i, v.Contains(i), add)
+		}
+	}
+	base := 1 << 19
+	// Build two runs with a one-bit hole, then fill it: three runs merge.
+	for i := base; i < base+100; i++ {
+		do(true, i)
+	}
+	for i := base + 101; i < base+200; i++ {
+		do(true, i)
+	}
+	do(true, base+100)
+	if v.NumRuns() != 1 {
+		t.Fatalf("merge left %d runs, want 1", v.NumRuns())
+	}
+	// Split the run in the middle, then peel both endpoints.
+	do(false, base+50)
+	do(false, base)
+	do(false, base+199)
+	// Adjacent-run formation at word boundaries near the universe edge.
+	do(true, bigN-1)
+	do(true, bigN-3)
+	do(true, bigN-2)
+	if !v.EqualBits(mirror) || v.Count() != mirror.Count() || v.NumRuns() != mirror.RunCount() {
+		t.Fatalf("mutation mirror diverged: %d members in %d runs vs %d in %d",
+			v.Count(), v.NumRuns(), mirror.Count(), mirror.RunCount())
+	}
+}
+
+// TestRunsSetOpsMillionBit checks the planning-path set operations
+// (IntersectsBits, SubsetOfBits, AndCountBits, SetToIntersection,
+// DifferenceWith) against flat-set equivalents on pattern pairs.
+func TestRunsSetOpsMillionBit(t *testing.T) {
+	pats := bigPatterns(bigN)
+	names := []string{"empty", "full", "alternating", "single-bits", "long-runs", "word-edges"}
+	for _, an := range names {
+		a := NewRuns(bigN)
+		a.CopyFromBits(pats[an])
+		for _, bn := range names {
+			bbits := pats[bn]
+			if got, want := a.IntersectsBits(bbits), bitset.AndCount(pats[an], bbits) > 0; got != want {
+				t.Errorf("%s∩%s: IntersectsBits %v, want %v", an, bn, got, want)
+			}
+			if got, want := a.SubsetOfBits(bbits), pats[an].SubsetOf(bbits); got != want {
+				t.Errorf("%s⊆%s: SubsetOfBits %v, want %v", an, bn, got, want)
+			}
+			if got, want := a.AndCountBits(bbits), bitset.AndCount(pats[an], bbits); got != want {
+				t.Errorf("%s∩%s: AndCountBits %d, want %d", an, bn, got, want)
+			}
+			inter := NewRuns(bigN)
+			inter.SetToIntersection(a, bbits)
+			wantBits := bitset.And(pats[an], bbits)
+			if !inter.EqualBits(wantBits) {
+				t.Errorf("%s∩%s: SetToIntersection diverged (%d members, want %d)",
+					an, bn, inter.Count(), wantBits.Count())
+			}
+			brs := NewRuns(bigN)
+			brs.CopyFromBits(bbits)
+			diff := NewRuns(bigN)
+			diff.CopyFrom(a)
+			diff.DifferenceWith(brs)
+			wantDiff := bitset.AndNot(pats[an], bbits)
+			if !diff.EqualBits(wantDiff) {
+				t.Errorf("%s∖%s: DifferenceWith diverged (%d members, want %d)",
+					an, bn, diff.Count(), wantDiff.Count())
+			}
+		}
+	}
+}
+
+// TestRunsPoolReuseMillionBit pins the pooling discipline the simulator
+// leans on: a Cleared Runs re-filled from a different pattern is
+// indistinguishable from a fresh one (no stale runs, counts, or spare-
+// buffer aliasing), even when the previous occupant was the worst-case
+// alternating pattern.
+func TestRunsPoolReuseMillionBit(t *testing.T) {
+	pats := bigPatterns(bigN)
+	v := NewRuns(bigN)
+	v.CopyFromBits(pats["alternating"])
+	v.Clear()
+	if !v.Empty() || v.NumRuns() != 0 || v.Count() != 0 {
+		t.Fatal("Clear left members behind")
+	}
+	v.CopyFromBits(pats["word-edges"])
+	fresh := NewRuns(bigN)
+	fresh.CopyFromBits(pats["word-edges"])
+	if !v.Equal(fresh) || v.Fingerprint() != fresh.Fingerprint() {
+		t.Fatal("reused Runs differs from a fresh one")
+	}
+	// CopyFrom must produce an independent value: mutating the copy may
+	// not disturb the original (the route cache stores cloned keys).
+	snap := NewRuns(bigN)
+	snap.CopyFrom(v)
+	v.Remove(63)
+	v.Add(1 << 18)
+	if !snap.Equal(fresh) {
+		t.Fatal("mutating the source leaked into its CopyFrom snapshot")
+	}
+}
+
+// TestRunsIterationZeroAlloc pins the allocation-free contract of the
+// sparse read paths the per-branch planning loop calls.
+func TestRunsIterationZeroAlloc(t *testing.T) {
+	pats := bigPatterns(bigN)
+	sink := 0
+	for _, name := range []string{"alternating", "long-runs", "word-edges"} {
+		v := NewRuns(bigN)
+		v.CopyFromBits(pats[name])
+		bits := pats["long-runs"]
+		inter := NewRuns(bigN)
+		for probe, f := range map[string]func(){
+			"ForEachRun": func() {
+				v.ForEachRun(func(lo, hi int) bool { sink += hi - lo; return true })
+			},
+			"AnyInRange":        func() { sink += boolInt(v.AnyInRange(63, 1<<19)) },
+			"Contains":          func() { sink += boolInt(v.Contains(1 << 19)) },
+			"Fingerprint":       func() { sink += int(v.Fingerprint()) },
+			"HeaderBytes":       func() { sink += v.HeaderBytes() },
+			"IntersectsBits":    func() { sink += boolInt(v.IntersectsBits(bits)) },
+			"SubsetOfBits":      func() { sink += boolInt(v.SubsetOfBits(bits)) },
+			"AndCountBits":      func() { sink += v.AndCountBits(bits) },
+			"SetToIntersection": func() { inter.SetToIntersection(v, bits); sink += inter.Count() },
+		} {
+			if allocs := testing.AllocsPerRun(2, f); allocs != 0 {
+				t.Errorf("%s on %s: %v allocs/op, want 0", probe, name, allocs)
+			}
+		}
+	}
+	if sink == 1<<62 {
+		t.Log(sink)
+	}
+}
+
+func boolInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,384 @@
+package destset
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"mcastsim/internal/bitset"
+)
+
+// Runs is the simulator-facing mutable run-list set: the same canonical
+// representation as IvalSet (sorted maximal runs [lo, hi], every inter-run
+// gap at least 2) but built for pooling and in-place mutation on the hot
+// planning path. Where IvalSet is the wire-format DestSet backend, Runs is
+// the in-core currency: a tree worm's remaining-destination set at
+// datacenter scale is a handful of rack runs, so planning operations cost
+// O(runs) or O(runs x span/64) instead of O(universe/64).
+//
+// All operations preserve canonical form, so two Runs holding the same
+// members always hold identical run slices, and Fingerprint matches
+// IvalFingerprintOf over a bitset with the same members.
+type Runs struct {
+	n     int
+	runs  []ivRun
+	count int
+	spare []ivRun // scratch for DifferenceWith's merge; reused across calls
+}
+
+// NewRuns returns an empty Runs over universe [0, n).
+func NewRuns(n int) *Runs {
+	if n < 0 {
+		panic("destset: negative universe")
+	}
+	return &Runs{n: n}
+}
+
+// Universe returns the index-space size.
+func (v *Runs) Universe() int { return v.n }
+
+// Count returns the member count.
+func (v *Runs) Count() int { return v.count }
+
+// Empty reports whether the set has no members.
+func (v *Runs) Empty() bool { return v.count == 0 }
+
+// NumRuns returns the number of maximal runs.
+func (v *Runs) NumRuns() int { return len(v.runs) }
+
+// Clear empties the set in place, keeping capacity for reuse.
+func (v *Runs) Clear() {
+	v.runs = v.runs[:0]
+	v.count = 0
+}
+
+func (v *Runs) check(i int) {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("destset: index %d out of range [0,%d)", i, v.n))
+	}
+}
+
+// search returns the index of the first run with hi >= i.
+func (v *Runs) search(i int) int {
+	return sort.Search(len(v.runs), func(j int) bool { return v.runs[j].hi >= int32(i) })
+}
+
+// Contains reports membership of i.
+func (v *Runs) Contains(i int) bool {
+	v.check(i)
+	idx := v.search(i)
+	return idx < len(v.runs) && v.runs[idx].lo <= int32(i)
+}
+
+// Add inserts index i, coalescing with adjacent runs.
+func (v *Runs) Add(i int) {
+	v.check(i)
+	idx := v.search(i)
+	if idx < len(v.runs) && v.runs[idx].lo <= int32(i) {
+		return // already a member
+	}
+	joinL := idx > 0 && v.runs[idx-1].hi == int32(i)-1
+	joinR := idx < len(v.runs) && v.runs[idx].lo == int32(i)+1
+	switch {
+	case joinL && joinR:
+		v.runs[idx-1].hi = v.runs[idx].hi
+		v.runs = append(v.runs[:idx], v.runs[idx+1:]...)
+	case joinL:
+		v.runs[idx-1].hi = int32(i)
+	case joinR:
+		v.runs[idx].lo = int32(i)
+	default:
+		v.runs = append(v.runs, ivRun{})
+		copy(v.runs[idx+1:], v.runs[idx:])
+		v.runs[idx] = ivRun{int32(i), int32(i)}
+	}
+	v.count++
+}
+
+// Remove deletes index i, splitting its run if interior.
+func (v *Runs) Remove(i int) {
+	v.check(i)
+	idx := v.search(i)
+	if idx == len(v.runs) || v.runs[idx].lo > int32(i) {
+		return // not a member
+	}
+	r := v.runs[idx]
+	switch {
+	case r.lo == r.hi:
+		v.runs = append(v.runs[:idx], v.runs[idx+1:]...)
+	case int32(i) == r.lo:
+		v.runs[idx].lo++
+	case int32(i) == r.hi:
+		v.runs[idx].hi--
+	default:
+		v.runs = append(v.runs, ivRun{})
+		copy(v.runs[idx+1:], v.runs[idx:])
+		v.runs[idx].hi = int32(i) - 1
+		v.runs[idx+1].lo = int32(i) + 1
+	}
+	v.count--
+}
+
+// appendRun appends [lo, hi] which must start at least 2 past the last
+// run's hi (callers iterate sources in canonical ascending order, so this
+// holds by construction; coalesce anyway to be safe against touching runs).
+func (v *Runs) appendRun(lo, hi int32) {
+	if k := len(v.runs); k > 0 && v.runs[k-1].hi >= lo-1 {
+		if hi > v.runs[k-1].hi {
+			v.count += int(hi - v.runs[k-1].hi)
+			v.runs[k-1].hi = hi
+		}
+		return
+	}
+	v.runs = append(v.runs, ivRun{lo, hi})
+	v.count += int(hi-lo) + 1
+}
+
+// CopyFrom sets v to an exact copy of o in place (same universe required).
+func (v *Runs) CopyFrom(o *Runs) {
+	if v.n != o.n {
+		panic(fmt.Sprintf("destset: universe mismatch %d vs %d", v.n, o.n))
+	}
+	v.runs = append(v.runs[:0], o.runs...)
+	v.count = o.count
+}
+
+// CopyFromBits sets v to the members of s in place (same universe
+// required), allocating only when the run list must grow.
+func (v *Runs) CopyFromBits(s *bitset.Set) {
+	if v.n != s.Len() {
+		panic(fmt.Sprintf("destset: universe mismatch %d vs %d", v.n, s.Len()))
+	}
+	v.Clear()
+	s.ForEachRun(func(lo, hi int) bool {
+		v.runs = append(v.runs, ivRun{int32(lo), int32(hi)})
+		v.count += hi - lo + 1
+		return true
+	})
+}
+
+// WriteToBits materializes v's members into dst (cleared first; same
+// universe required).
+func (v *Runs) WriteToBits(dst *bitset.Set) {
+	if v.n != dst.Len() {
+		panic(fmt.Sprintf("destset: universe mismatch %d vs %d", v.n, dst.Len()))
+	}
+	dst.Clear()
+	for _, r := range v.runs {
+		dst.AddRange(int(r.lo), int(r.hi))
+	}
+}
+
+// Indices returns the members in ascending order.
+func (v *Runs) Indices() []int {
+	out := make([]int, 0, v.count)
+	for _, r := range v.runs {
+		for i := r.lo; i <= r.hi; i++ {
+			out = append(out, int(i))
+		}
+	}
+	return out
+}
+
+// ForEach visits members in ascending order until fn returns false.
+func (v *Runs) ForEach(fn func(i int) bool) {
+	for _, r := range v.runs {
+		for i := r.lo; i <= r.hi; i++ {
+			if !fn(int(i)) {
+				return
+			}
+		}
+	}
+}
+
+// ForEachRun visits maximal runs in ascending order until fn returns false.
+func (v *Runs) ForEachRun(fn func(lo, hi int) bool) {
+	for _, r := range v.runs {
+		if !fn(int(r.lo), int(r.hi)) {
+			return
+		}
+	}
+}
+
+// AnyInRange reports whether any member falls in [lo, hi].
+func (v *Runs) AnyInRange(lo, hi int) bool {
+	if lo > hi {
+		return false
+	}
+	idx := v.search(lo)
+	return idx < len(v.runs) && int(v.runs[idx].lo) <= hi
+}
+
+// Equal reports whether v and o hold the same members over the same
+// universe. Canonical form makes this a run-slice comparison.
+func (v *Runs) Equal(o *Runs) bool {
+	if v.n != o.n || len(v.runs) != len(o.runs) {
+		return false
+	}
+	for i, r := range v.runs {
+		if r != o.runs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualBits reports whether v holds exactly the members of s (same
+// universe required), walking s's runs without materializing anything.
+func (v *Runs) EqualBits(s *bitset.Set) bool {
+	if v.n != s.Len() {
+		return false
+	}
+	i, same := 0, true
+	s.ForEachRun(func(lo, hi int) bool {
+		if i >= len(v.runs) || v.runs[i] != (ivRun{int32(lo), int32(hi)}) {
+			same = false
+			return false
+		}
+		i++
+		return true
+	})
+	return same && i == len(v.runs)
+}
+
+// Fingerprint returns the same digest IvalFingerprintOf computes over a
+// bitset holding v's members, so sparse and flat route-cache keys agree.
+func (v *Runs) Fingerprint() uint64 {
+	h := fnvSeed(v.n)
+	for _, r := range v.runs {
+		h = fnvMix(h, uint64(r.lo))
+		h = fnvMix(h, uint64(r.hi))
+	}
+	return h
+}
+
+// HeaderBytes returns the interval wire encoding's size in bytes.
+func (v *Runs) HeaderBytes() int {
+	b := uvarintLen(uint64(len(v.runs)))
+	prevHi := int32(0)
+	for i, r := range v.runs {
+		if i == 0 {
+			b += uvarintLen(uint64(r.lo))
+		} else {
+			b += uvarintLen(uint64(r.lo - prevHi - 2))
+		}
+		b += uvarintLen(uint64(r.hi - r.lo))
+		prevHi = r.hi
+	}
+	return b
+}
+
+// AppendEncoded appends the interval wire encoding (see
+// IvalSet.AppendEncoded for the format).
+func (v *Runs) AppendEncoded(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(v.runs)))
+	prevHi := int32(0)
+	for i, r := range v.runs {
+		if i == 0 {
+			dst = binary.AppendUvarint(dst, uint64(r.lo))
+		} else {
+			dst = binary.AppendUvarint(dst, uint64(r.lo-prevHi-2))
+		}
+		dst = binary.AppendUvarint(dst, uint64(r.hi-r.lo))
+		prevHi = r.hi
+	}
+	return dst
+}
+
+func (v *Runs) sameBitsLen(o *bitset.Set) {
+	if v.n != o.Len() {
+		panic(fmt.Sprintf("destset: universe mismatch %d vs %d", v.n, o.Len()))
+	}
+}
+
+// IntersectsBits reports whether any member is set in o.
+func (v *Runs) IntersectsBits(o *bitset.Set) bool {
+	v.sameBitsLen(o)
+	for _, r := range v.runs {
+		if o.AnyInRange(int(r.lo), int(r.hi)) {
+			return true
+		}
+	}
+	return false
+}
+
+// SubsetOfBits reports whether every member is set in o — the sparse
+// Covers test: O(runs x span/64) instead of a universe scan.
+func (v *Runs) SubsetOfBits(o *bitset.Set) bool {
+	v.sameBitsLen(o)
+	for _, r := range v.runs {
+		if !o.AllInRange(int(r.lo), int(r.hi)) {
+			return false
+		}
+	}
+	return true
+}
+
+// AndCountBits returns how many members are set in o.
+func (v *Runs) AndCountBits(o *bitset.Set) int {
+	v.sameBitsLen(o)
+	c := 0
+	for _, r := range v.runs {
+		c += o.CountRange(int(r.lo), int(r.hi))
+	}
+	return c
+}
+
+// SetToIntersection sets v = src & o in place (v must not alias src):
+// each run of src is clipped against o's set bits. The output is
+// canonical because src's runs are separated by >= 2 and maximal sub-runs
+// within one window are separated by at least one clear bit.
+func (v *Runs) SetToIntersection(src *Runs, o *bitset.Set) {
+	src.sameBitsLen(o)
+	if v.n != src.n {
+		panic(fmt.Sprintf("destset: universe mismatch %d vs %d", v.n, src.n))
+	}
+	v.Clear()
+	for _, r := range src.runs {
+		o.ForEachRunInRange(int(r.lo), int(r.hi), func(lo, hi int) bool {
+			v.appendRun(int32(lo), int32(hi))
+			return true
+		})
+	}
+}
+
+// DifferenceWith sets v = v &^ o in place with a single O(k_v + k_o)
+// run merge through the spare buffer.
+func (v *Runs) DifferenceWith(o *Runs) {
+	if v.n != o.n {
+		panic(fmt.Sprintf("destset: universe mismatch %d vs %d", v.n, o.n))
+	}
+	if len(o.runs) == 0 || len(v.runs) == 0 {
+		return
+	}
+	out := v.spare[:0]
+	count := 0
+	oi := 0
+	for _, r := range v.runs {
+		lo := r.lo
+		for oi < len(o.runs) && o.runs[oi].hi < lo {
+			oi++
+		}
+		// Clip [lo, r.hi] against every o-run overlapping it. oi only
+		// advances when an o-run ends before the current position, so the
+		// walk is linear over both lists.
+		for j := oi; j < len(o.runs) && o.runs[j].lo <= r.hi; j++ {
+			if o.runs[j].lo > lo {
+				out = append(out, ivRun{lo, o.runs[j].lo - 1})
+				count += int(o.runs[j].lo - lo)
+			}
+			if o.runs[j].hi >= r.hi {
+				lo = r.hi + 1
+				break
+			}
+			lo = o.runs[j].hi + 1
+		}
+		if lo <= r.hi {
+			out = append(out, ivRun{lo, r.hi})
+			count += int(r.hi-lo) + 1
+		}
+	}
+	v.spare = v.runs[:0]
+	v.runs = out
+	v.count = count
+}

@@ -66,6 +66,13 @@ type Config struct {
 	// network is minutes of assembly plus millions of events per probe —
 	// and surfaced as -sim-l on the CLI; CI smokes it at reduced scale.
 	SimulateL bool
+	// Tiers restricts the scale sweep to the named size tiers (case-
+	// insensitive; e.g. []string{"XL"}). Empty selects the default grid —
+	// S, M and L. The XL tier (>=10k switches, >=1M hosts) is always
+	// opt-in: one XL routing holds ~2.6 GB of reachability bit strings.
+	// Skipped cases keep their grid indices, so filtering never moves a
+	// surviving cell's seeds. Surfaced as -tiers on the CLI.
+	Tiers []string
 	// Obs, when non-nil, collects per-cell telemetry bundles (see
 	// internal/obs): every simulation cell records link/NI/engine time
 	// series at the sink's cadence. Nil (the default) disables

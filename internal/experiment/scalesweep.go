@@ -3,10 +3,12 @@ package experiment
 import (
 	"fmt"
 	"math"
+	"strings"
 	"time"
 
 	"mcastsim/internal/bitset"
 	"mcastsim/internal/mcast"
+	"mcastsim/internal/memwatch"
 	"mcastsim/internal/mcast/kbinomial"
 	"mcastsim/internal/mcast/pathworm"
 	"mcastsim/internal/mcast/treeworm"
@@ -38,12 +40,23 @@ type scaleCase struct {
 
 // scaleCases returns the class x tier grid. Sizes per tier:
 //
-//	S: tens of switches, tens of hosts (paper scale; fully simulated)
-//	M: ~64-72 switches, ~1k hosts (fully simulated)
-//	L: >=1024 switches, >=100k hosts (plan+encode only)
+//	S:  tens of switches, tens of hosts (paper scale; fully simulated)
+//	M:  ~64-72 switches, ~1k hosts (fully simulated)
+//	L:  >=1024 switches, >=100k hosts (plan+encode only)
+//	XL: >=10k switches, >=1M hosts (plan+encode only; -tiers XL opt-in)
 //
 // Hosts are contiguous per edge switch in every class, so the
 // rack-clustered destination draws map to few runs under interval coding.
+//
+// The XL tier exists to answer the PR 9 question — does the sparse
+// destination representation let the flit simulator reach 10k switches /
+// 1M hosts in commodity RAM? One XL routing holds ~2.6 GB of up*/down*
+// reachability and cover bit strings, so the tier is excluded from the
+// default grid (Config.Tiers empty selects S, M, L) and opted into with
+// -tiers; -sim-l then flit-simulates one probe per XL cell exactly as it
+// does for L. XL cases are APPENDED to the grid: existing cases keep
+// their original indices, which the cell seeds are pure functions of, so
+// adding the tier cannot move any S/M/L number.
 func scaleCases() []scaleCase {
 	ft := func(c topology.FatTreeConfig) func(uint64) (*topology.Topology, error) {
 		return func(uint64) (*topology.Topology, error) { return topology.FatTree(c) }
@@ -73,7 +86,28 @@ func scaleCases() []scaleCase {
 			Switches: 64, HostsPerSwitch: 16, ExtraLinksPerSwitch: -1})},
 		{"irregular", "L", false, 8, ir(topology.ScaledIrregularConfig{
 			Switches: 1024, HostsPerSwitch: 99, ExtraLinksPerSwitch: -1})},
+		// XL: appended after the original grid (see the doc comment).
+		{"fattree", "XL", false, 8, ft(topology.FatTreeConfig{
+			Pods: 72, EdgePerPod: 128, AggPerPod: 14, CoreUplinksPerAgg: 10, HostsPerEdge: 112})},
+		{"dragonfly", "XL", false, 8, df(topology.DragonflyConfig{
+			Groups: 321, RoutersPerGroup: 32, GlobalPerRouter: 10, HostsPerRouter: 98})},
+		{"irregular", "XL", false, 8, ir(topology.ScaledIrregularConfig{
+			Switches: 10240, HostsPerSwitch: 98, ExtraLinksPerSwitch: -1})},
 	}
+}
+
+// tierSelected reports whether cfg's tier filter includes the named
+// tier. An empty filter selects every tier except the opt-in XL.
+func (cfg Config) tierSelected(tier string) bool {
+	if len(cfg.Tiers) == 0 {
+		return tier != "XL"
+	}
+	for _, t := range cfg.Tiers {
+		if strings.EqualFold(strings.TrimSpace(t), tier) {
+			return true
+		}
+	}
+	return false
 }
 
 // scaleCombo is one (scheme, destination coding) curve of the sweep. The
@@ -172,14 +206,23 @@ type scaleCellResult struct {
 	latency     float64 // mean single-multicast latency (NaN when not simulated)
 	throughput  float64 // mean delivered payload bytes/cycle (NaN when not simulated)
 	dests       float64 // mean destination count (table note)
+	// Simulated-probe capacity figures (NaN when not simulated). Both are
+	// wall-clock measurements and live only in the NOT-deterministic
+	// tables: eventsPerSec is events processed over sim wall time;
+	// peakHeapMB is the process-wide HeapAlloc high-water mark sampled
+	// while the cell's probes ran (coarse when cells run in parallel —
+	// concurrent cells share one heap — but exactly the capacity number
+	// the XL acceptance bound is about).
+	eventsPerSec float64
+	peakHeapMB   float64
 }
 
 // ScaleSweep re-asks the paper's NI-vs-switch question at datacenter
 // scale: topology class (fat-tree / dragonfly / scaled irregular) x size
-// tier (S/M/L) x scheme x destination coding. Header bytes and planning
-// cost are measured at every tier (they are what the paper's scaling
-// argument predicts will break); flit-level latency and delivered
-// throughput are simulated at the S and M tiers. Destination sets are
+// tier (S/M/L, plus XL via -tiers) x scheme x destination coding. Header
+// bytes and planning cost are measured at every tier (they are what the
+// paper's scaling argument predicts will break); flit-level latency and
+// delivered throughput are simulated at the S and M tiers. Destination sets are
 // rack-clustered (whole edge switches), the regime where the
 // interval-coded tree header stays small while the flat bit string grows
 // with the host count.
@@ -194,17 +237,31 @@ func ScaleSweep(cfg Config) ([]*metrics.Table, error) {
 	combos := scaleCombos()
 	probes := scaleProbes(cfg)
 
-	// Build and route each grid point once, sequentially; routing state
-	// is read-only during planning and simulation, so parallel cells
-	// share it (as every other sweep shares its topology family).
-	type routedCase struct {
-		scaleCase
-		rt           *updown.Routing
-		nodesBySw    [][]topology.NodeID
-		hostSwitches []int
-	}
-	routed := make([]routedCase, len(cases))
+	sel := make([]bool, len(cases))
+	anySel := false
 	for ci, sc := range cases {
+		sel[ci] = cfg.tierSelected(sc.tier)
+		anySel = anySel || sel[ci]
+	}
+	if !anySel {
+		return nil, fmt.Errorf("experiment: scalesweep: tier filter %v selects no grid cases", cfg.Tiers)
+	}
+
+	// One grid case is resident at a time: an XL routing alone holds
+	// ~2.6 GB of reachability/cover bit strings, so routing the whole
+	// grid up front (as the sweep did when L was the largest tier) would
+	// stack three of those on the heap at once. Combos within a case
+	// still fan out across the worker pool — routing state is read-only
+	// during planning and simulation — and every cell seed stays a pure
+	// function of the case's original grid index, so the restructure
+	// cannot change a table.
+	cells := make([]scaleCellResult, len(cases)*len(combos))
+	numNodes := make([]int, len(cases))
+	for ci := range cases {
+		if !sel[ci] {
+			continue
+		}
+		sc := cases[ci]
 		t, err := sc.build(rng.Mix(cfg.Seed, saltFamily, uint64(ci)))
 		if err != nil {
 			return nil, fmt.Errorf("experiment: scalesweep %s/%s: %w", sc.class, sc.tier, err)
@@ -220,83 +277,93 @@ func ScaleSweep(cfg Config) ([]*metrics.Table, error) {
 				hs = append(hs, s)
 			}
 		}
-		routed[ci] = routedCase{scaleCase: sc, rt: rt, nodesBySw: nbs, hostSwitches: hs}
-	}
-
-	type key struct{ ci, mi int }
-	var keys []key
-	for ci := range routed {
-		for mi := range combos {
-			keys = append(keys, key{ci, mi})
+		numNodes[ci] = t.NumNodes
+		res, err := runCells(cfg.workerCount(), len(combos), func(mi int) (scaleCellResult, error) {
+			cb := combos[mi]
+			p := cfg.Params
+			p.DestCoding = cb.coding
+			res := scaleCellResult{
+				latency: math.NaN(), throughput: math.NaN(),
+				eventsPerSec: math.NaN(), peakHeapMB: math.NaN(),
+			}
+			// Simulated probes per cell: every probe at tiers that simulate
+			// by default; with -sim-l, ONE probe at the L and XL tiers (the
+			// smoke that proves the sharded engine event-simulates 100k-1M+
+			// hosts without turning the sweep into an hours-long run).
+			simProbes := 0
+			if sc.simulate {
+				simProbes = probes
+			} else if cfg.SimulateL {
+				simProbes = 1
+			}
+			var latSum, tputSum float64
+			var hdrSum, destSum, planNS int64
+			var simNS int64
+			var simEvents uint64
+			var peakHeap uint64
+			for probe := 0; probe < probes; probe++ {
+				// Draw seed depends on (case, probe) only: every scheme and
+				// coding plans the identical rack-clustered multicast.
+				r := rng.New(rng.Mix(cfg.Seed, saltScale, uint64(ci), uint64(probe)))
+				src, dests := rackSet(r, t, nbs, hs, sc.racks)
+				start := time.Now()
+				plan, err := cb.scheme.Plan(rt, p, src, dests, cfg.MsgFlits)
+				if err != nil {
+					return res, fmt.Errorf("experiment: scalesweep %s/%s %s probe %d: %w",
+						sc.class, sc.tier, cb.label, probe, err)
+				}
+				hdr := planHeaderBytes(t, p, plan)
+				planNS += time.Since(start).Nanoseconds()
+				hdrSum += int64(hdr)
+				destSum += int64(len(dests))
+				if probe >= simProbes {
+					continue
+				}
+				mw := memwatch.Start()
+				simStart := time.Now()
+				n, err := sim.New(rt, p, rng.Mix(cfg.Seed, saltScaleSim, uint64(ci), uint64(probe)),
+					sim.WithShards(cfg.Shards))
+				if err != nil {
+					mw.Stop()
+					return res, err
+				}
+				m, err := n.RunSingle(plan, cfg.MsgFlits)
+				if err != nil {
+					mw.Stop()
+					return res, fmt.Errorf("experiment: scalesweep %s/%s %s probe %d: %w",
+						sc.class, sc.tier, cb.label, probe, err)
+				}
+				if err := n.CheckConservation(); err != nil {
+					mw.Stop()
+					return res, fmt.Errorf("experiment: scalesweep %s/%s %s probe %d: %w",
+						sc.class, sc.tier, cb.label, probe, err)
+				}
+				simNS += time.Since(simStart).Nanoseconds()
+				simEvents += n.EventsProcessed()
+				if pk := mw.Stop(); pk > peakHeap {
+					peakHeap = pk
+				}
+				lat := float64(m.Latency())
+				latSum += lat
+				tputSum += float64(len(dests)*cfg.MsgFlits) / lat
+			}
+			res.headerBytes = float64(hdrSum) / float64(probes)
+			res.planMS = float64(planNS) / float64(probes) / 1e6
+			res.dests = float64(destSum) / float64(probes)
+			if simProbes > 0 {
+				res.latency = latSum / float64(simProbes)
+				res.throughput = tputSum / float64(simProbes)
+				if simNS > 0 {
+					res.eventsPerSec = float64(simEvents) / (float64(simNS) / 1e9)
+				}
+				res.peakHeapMB = float64(peakHeap) / (1 << 20)
+			}
+			return res, nil
+		})
+		if err != nil {
+			return nil, err
 		}
-	}
-	cells, err := runCells(cfg.workerCount(), len(keys), func(i int) (scaleCellResult, error) {
-		k := keys[i]
-		rc := routed[k.ci]
-		cb := combos[k.mi]
-		t := rc.rt.Topo
-		p := cfg.Params
-		p.DestCoding = cb.coding
-		res := scaleCellResult{latency: math.NaN(), throughput: math.NaN()}
-		// Simulated probes per cell: every probe at tiers that simulate by
-		// default; with -sim-l, ONE probe at the L tier (the smoke that
-		// proves the sharded engine event-simulates 100k+ hosts without
-		// turning the sweep into an hours-long run).
-		simProbes := 0
-		if rc.simulate {
-			simProbes = probes
-		} else if cfg.SimulateL {
-			simProbes = 1
-		}
-		var latSum, tputSum float64
-		var hdrSum, destSum, planNS int64
-		for probe := 0; probe < probes; probe++ {
-			// Draw seed depends on (case, probe) only: every scheme and
-			// coding plans the identical rack-clustered multicast.
-			r := rng.New(rng.Mix(cfg.Seed, saltScale, uint64(k.ci), uint64(probe)))
-			src, dests := rackSet(r, t, rc.nodesBySw, rc.hostSwitches, rc.racks)
-			start := time.Now()
-			plan, err := cb.scheme.Plan(rc.rt, p, src, dests, cfg.MsgFlits)
-			if err != nil {
-				return res, fmt.Errorf("experiment: scalesweep %s/%s %s probe %d: %w",
-					rc.class, rc.tier, cb.label, probe, err)
-			}
-			hdr := planHeaderBytes(t, p, plan)
-			planNS += time.Since(start).Nanoseconds()
-			hdrSum += int64(hdr)
-			destSum += int64(len(dests))
-			if probe >= simProbes {
-				continue
-			}
-			n, err := sim.New(rc.rt, p, rng.Mix(cfg.Seed, saltScaleSim, uint64(k.ci), uint64(probe)),
-				sim.WithShards(cfg.Shards))
-			if err != nil {
-				return res, err
-			}
-			m, err := n.RunSingle(plan, cfg.MsgFlits)
-			if err != nil {
-				return res, fmt.Errorf("experiment: scalesweep %s/%s %s probe %d: %w",
-					rc.class, rc.tier, cb.label, probe, err)
-			}
-			if err := n.CheckConservation(); err != nil {
-				return res, fmt.Errorf("experiment: scalesweep %s/%s %s probe %d: %w",
-					rc.class, rc.tier, cb.label, probe, err)
-			}
-			lat := float64(m.Latency())
-			latSum += lat
-			tputSum += float64(len(dests)*cfg.MsgFlits) / lat
-		}
-		res.headerBytes = float64(hdrSum) / float64(probes)
-		res.planMS = float64(planNS) / float64(probes) / 1e6
-		res.dests = float64(destSum) / float64(probes)
-		if simProbes > 0 {
-			res.latency = latSum / float64(simProbes)
-			res.throughput = tputSum / float64(simProbes)
-		}
-		return res, nil
-	})
-	if err != nil {
-		return nil, err
+		copy(cells[ci*len(combos):], res)
 	}
 
 	header := &metrics.Table{
@@ -319,6 +386,16 @@ func ScaleSweep(cfg Config) ([]*metrics.Table, error) {
 		XLabel: "hosts",
 		YLabel: "mean wall time per multicast (ms)",
 	}
+	rate := &metrics.Table{
+		Title:  "Scale sweep: simulated event rate (NOT deterministic; excluded from golden comparisons)",
+		XLabel: "hosts",
+		YLabel: "events/sec over simulated probes (wall)",
+	}
+	heap := &metrics.Table{
+		Title:  "Scale sweep: peak heap during simulated probes (NOT deterministic; excluded from golden comparisons)",
+		XLabel: "hosts",
+		YLabel: "peak HeapAlloc (MiB)",
+	}
 
 	cellAt := func(ci, mi int) scaleCellResult { return cells[ci*len(combos)+mi] }
 	for mi, cb := range combos {
@@ -328,12 +405,14 @@ func ScaleSweep(cfg Config) ([]*metrics.Table, error) {
 			lSer := metrics.Series{Label: label}
 			tSer := metrics.Series{Label: label}
 			wSer := metrics.Series{Label: label}
+			rSer := metrics.Series{Label: label}
+			pSer := metrics.Series{Label: label}
 			for ci := range cases {
-				if cases[ci].class != class {
+				if cases[ci].class != class || !sel[ci] {
 					continue
 				}
 				r := cellAt(ci, mi)
-				x := float64(routed[ci].rt.Topo.NumNodes)
+				x := float64(numNodes[ci])
 				note := fmt.Sprintf("%s, %.0f dests", cases[ci].tier, r.dests)
 				simNote := note
 				if !cases[ci].simulate {
@@ -355,12 +434,20 @@ func ScaleSweep(cfg Config) ([]*metrics.Table, error) {
 				wSer.X = append(wSer.X, x)
 				wSer.Y = append(wSer.Y, r.planMS)
 				wSer.Note = append(wSer.Note, note)
+				rSer.X = append(rSer.X, x)
+				rSer.Y = append(rSer.Y, r.eventsPerSec)
+				rSer.Note = append(rSer.Note, simNote)
+				pSer.X = append(pSer.X, x)
+				pSer.Y = append(pSer.Y, r.peakHeapMB)
+				pSer.Note = append(pSer.Note, simNote)
 			}
 			header.Series = append(header.Series, hSer)
 			latency.Series = append(latency.Series, lSer)
 			tput.Series = append(tput.Series, tSer)
 			wall.Series = append(wall.Series, wSer)
+			rate.Series = append(rate.Series, rSer)
+			heap.Series = append(heap.Series, pSer)
 		}
 	}
-	return []*metrics.Table{header, latency, tput, wall}, nil
+	return []*metrics.Table{header, latency, tput, wall, rate, heap}, nil
 }

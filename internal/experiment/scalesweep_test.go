@@ -22,7 +22,7 @@ func scaleTestConfig(workers int) Config {
 func renderDeterministicScaleTables(t *testing.T, tabs []*metrics.Table) []byte {
 	t.Helper()
 	var buf bytes.Buffer
-	for _, tab := range tabs[:3] { // header, latency, throughput; table 3 is wall clock
+	for _, tab := range tabs[:3] { // header, latency, throughput; tables 3-5 are wall-clock measurements
 		if err := tab.Render(&buf); err != nil {
 			t.Fatal(err)
 		}
@@ -42,6 +42,33 @@ func findSeries(t *testing.T, tab *metrics.Table, label string) metrics.Series {
 	return metrics.Series{}
 }
 
+// TestScaleSweepTierFilter pins the -tiers behavior: a filtered sweep
+// keeps one point per selected tier in every series, matching is
+// case-insensitive, and a filter selecting nothing is an error rather
+// than an empty report.
+func TestScaleSweepTierFilter(t *testing.T) {
+	cfg := scaleTestConfig(1)
+	cfg.Tiers = []string{"s"}
+	tabs, err := ScaleSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs) != 6 {
+		t.Fatalf("expected 6 tables, got %d", len(tabs))
+	}
+	for _, tab := range tabs {
+		for _, s := range tab.Series {
+			if len(s.X) != 1 {
+				t.Fatalf("table %q series %q: %d tiers with -tiers S, want 1", tab.Title, s.Label, len(s.X))
+			}
+		}
+	}
+	cfg.Tiers = []string{"XXL"}
+	if _, err := ScaleSweep(cfg); err == nil {
+		t.Fatal("tier filter selecting no cases did not error")
+	}
+}
+
 // TestScaleSweepDeterministicAndCompressed runs the full sweep twice
 // (serial, 8 workers) and checks the two acceptance claims: every table
 // except the wall clock is byte-identical for any worker count, and at
@@ -59,8 +86,8 @@ func TestScaleSweepDeterministicAndCompressed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(serialTabs) != 4 || len(parallelTabs) != 4 {
-		t.Fatalf("expected 4 tables, got %d and %d", len(serialTabs), len(parallelTabs))
+	if len(serialTabs) != 6 || len(parallelTabs) != 6 {
+		t.Fatalf("expected 6 tables, got %d and %d", len(serialTabs), len(parallelTabs))
 	}
 	if !bytes.Equal(renderDeterministicScaleTables(t, serialTabs),
 		renderDeterministicScaleTables(t, parallelTabs)) {

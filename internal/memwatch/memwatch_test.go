@@ -1,0 +1,44 @@
+package memwatch
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+func TestPeakMonotone(t *testing.T) {
+	w := StartPeriod(time.Millisecond)
+	first := w.Peak()
+	if first == 0 {
+		t.Fatal("initial synchronous sample missing")
+	}
+	// Hold a large allocation across at least one sampling period.
+	buf := make([]byte, 64<<20)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	time.Sleep(10 * time.Millisecond)
+	peak := w.Stop()
+	runtime.KeepAlive(buf)
+	if peak < first {
+		t.Fatalf("peak %d below initial sample %d", peak, first)
+	}
+	if peak < 64<<20 {
+		t.Fatalf("peak %d missed a held 64 MiB allocation", peak)
+	}
+}
+
+func TestStopFinalSample(t *testing.T) {
+	// Even with an absurdly long period, Stop's synchronous sample must
+	// see allocations made after Start.
+	w := StartPeriod(time.Hour)
+	buf := make([]byte, 32<<20)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	peak := w.Stop()
+	runtime.KeepAlive(buf)
+	if peak < 32<<20 {
+		t.Fatalf("final sample missed a live 32 MiB allocation (peak %d)", peak)
+	}
+}

@@ -244,7 +244,7 @@ func (n *Network) failWormDests(w *worm) {
 	case WormUnicast:
 		n.failDest(m, w.dest)
 	case WormTree:
-		for _, d := range w.destSet.Indices() {
+		for _, d := range w.destSet.indices() {
 			n.failDest(m, topology.NodeID(d))
 		}
 	case WormPath:

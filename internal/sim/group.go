@@ -230,7 +230,7 @@ func (n *Network) applyMembership(ev *MembershipEvent) {
 		// Every in-flight message was addressed to a snapshot that
 		// excludes the joiner: each is a missed delivery.
 		for _, m := range g.inflight {
-			if !m.snapshot.Contains(node) {
+			if !m.snapshot.contains(node) {
 				g.missed++
 				n.stats.MissedDeliveries++
 			}
@@ -245,12 +245,9 @@ func (n *Network) applyMembership(ev *MembershipEvent) {
 	g.epoch++
 	n.stats.MembershipEvents++
 	// Per-group cache hygiene: drop only the route-cache entries whose
-	// destination fingerprint intersects the delta — never a global
-	// routingEpoch bump, so unrelated groups' cached routes survive.
-	delta := n.getSet()
-	delta.Add(node)
-	n.cache.invalidateIntersecting(delta)
-	n.putSet(delta)
+	// keying set contains the changed node — never a global routingEpoch
+	// bump, so unrelated groups' cached routes survive.
+	n.cache.invalidateNode(node)
 	n.trace(TraceEvent{Kind: TraceMember, Node: ev.Node, Msg: int64(ev.Group), Pkt: int(ev.Kind)})
 	n.markProgress()
 	if g.onDelta != nil {
@@ -273,11 +270,11 @@ func (n *Network) SendToGroup(g *Group, plan *Plan, flits int, at event.Time, on
 	if err != nil {
 		return nil, err
 	}
-	snap := n.getSet()
+	snap := n.getDset()
 	for _, d := range plan.Dests {
-		snap.Add(int(d))
+		snap.add(int(d))
 	}
-	snap.Add(int(plan.Source))
+	snap.add(int(plan.Source))
 	m.group = g
 	m.snapshot = snap
 	g.inflight = append(g.inflight, m)
@@ -306,6 +303,6 @@ func (n *Network) groupMsgDone(m *Message) {
 			break
 		}
 	}
-	n.putSet(m.snapshot)
-	m.snapshot = nil
+	n.putDset(m.snapshot)
+	m.snapshot = dset{}
 }

@@ -146,7 +146,7 @@ func TestGroupStaleDelivery(t *testing.T) {
 	if g.Missed() != 0 {
 		t.Fatalf("missed = %d, want 0", g.Missed())
 	}
-	if m.Group() != g || m.snapshot != nil {
+	if m.Group() != g || m.snapshot.some() {
 		t.Fatal("completed message kept its snapshot (pool leak)")
 	}
 	if len(g.inflight) != 0 {
@@ -284,12 +284,12 @@ func TestGroupInvalidateIntersecting(t *testing.T) {
 		t.Fatalf("groupInvals = %d, want 1", n.cache.groupInvals)
 	}
 	for _, e := range n.cache.climb {
-		if e.set.Contains(7) {
+		if e.key.Contains(7) {
 			t.Fatal("climb entry intersecting the delta survived")
 		}
 	}
 	for _, e := range n.cache.part {
-		if e.set.Contains(7) {
+		if e.key.Contains(7) {
 			t.Fatal("partition entry intersecting the delta survived")
 		}
 	}
@@ -297,7 +297,7 @@ func TestGroupInvalidateIntersecting(t *testing.T) {
 	// would have dropped them).
 	found := false
 	for _, e := range n.cache.climb {
-		if e.set.Contains(1) && e.set.Contains(2) {
+		if e.key.Contains(1) && e.key.Contains(2) {
 			found = true
 		}
 	}

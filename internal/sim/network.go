@@ -6,7 +6,6 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"mcastsim/internal/bitset"
 	"mcastsim/internal/event"
 	"mcastsim/internal/obs"
 	"mcastsim/internal/rng"
@@ -127,9 +126,24 @@ type Network struct {
 	groups []*Group
 
 	// Topology/routing precomputes rebuilt alongside the tables.
-	nodesAt    [][]topology.NodeID // nodes attached to each switch
-	localNodes []*bitset.Set       // nodesAt as bit strings (planTree's local gate)
-	downPorts  [][]int             // rt.DownPorts per switch
+	nodesAt   [][]topology.NodeID // nodes attached to each switch
+	downPorts [][]int             // rt.DownPorts per switch
+
+	// hostLo/hostHi give each switch's attached hosts as a contiguous id
+	// range [lo, hi] when the attachment is contiguous (every scale
+	// generator numbers hosts per edge switch that way), replacing the
+	// per-switch localNodes bit strings — an O(S×N) table that costs
+	// ~1.25 GB at 10k switches × 1M hosts. lo=0/hi=-1 marks a hostless
+	// switch; lo=-1 marks an irregular attachment, where planTree's local
+	// gate falls back to probing nodesAt[s] (paper-size nets are tiny, so
+	// the probe is a handful of Contains calls).
+	hostLo []int32
+	hostHi []int32
+
+	// sparse selects the run-coded destination-set representation for
+	// every pooled planning set (see dset.go); fixed at New from
+	// Params.SetRep and never changed.
+	sparse bool
 
 	// reclaimAfter is the branch quarantine horizon (see pool.go).
 	reclaimAfter event.Time
@@ -185,6 +199,8 @@ func New(rt *updown.Routing, params Params, seed uint64, opts ...Option) (*Netwo
 		params: params,
 		arb:    rng.New(seed),
 	}
+	n.sparse = params.SetRep == RepSparse ||
+		(params.SetRep == RepAuto && t.NumNodes >= SparseUniverseThreshold)
 	n.initShards(o.shards, o.fastShards, seed)
 	if n.lanes != nil {
 		n.registerKinds(n.lanes)
@@ -268,11 +284,21 @@ func New(rt *updown.Routing, params Params, seed uint64, opts ...Option) (*Netwo
 	// NodesBySwitch is one O(N+S) pass; per-switch NodesAt calls here
 	// were O(S·N), minutes of setup at datacenter sizes.
 	n.nodesAt = t.NodesBySwitch()
-	n.localNodes = make([]*bitset.Set, t.NumSwitches)
+	n.hostLo = make([]int32, t.NumSwitches)
+	n.hostHi = make([]int32, t.NumSwitches)
 	for s := 0; s < t.NumSwitches; s++ {
-		n.localNodes[s] = bitset.New(t.NumNodes)
-		for _, node := range n.nodesAt[s] {
-			n.localNodes[s].Add(int(node))
+		nodes := n.nodesAt[s]
+		if len(nodes) == 0 {
+			n.hostLo[s], n.hostHi[s] = 0, -1
+			continue
+		}
+		lo, hi := nodes[0], nodes[len(nodes)-1]
+		if int(hi)-int(lo)+1 == len(nodes) {
+			// NodesBySwitch lists ids ascending, so first==min and
+			// last==max; an exact span means the attachment is contiguous.
+			n.hostLo[s], n.hostHi[s] = int32(lo), int32(hi)
+		} else {
+			n.hostLo[s], n.hostHi[s] = -1, -2
 		}
 	}
 	n.rebuildDownPorts()
@@ -282,6 +308,22 @@ func New(rt *updown.Routing, params Params, seed uint64, opts ...Option) (*Netwo
 		return nil, err
 	}
 	return n, nil
+}
+
+// localIntersects reports whether d contains a host attached to switch s
+// — planTree's local-delivery gate, formerly Intersects against a
+// per-switch localNodes bit string. Same predicate, no O(S×N) table.
+func (n *Network) localIntersects(d dset, s topology.SwitchID) bool {
+	lo, hi := n.hostLo[s], n.hostHi[s]
+	if lo >= 0 {
+		return lo <= hi && d.anyInRange(int(lo), int(hi))
+	}
+	for _, node := range n.nodesAt[s] {
+		if d.contains(int(node)) {
+			return true
+		}
+	}
+	return false
 }
 
 // rebuildDownPorts refreshes the per-switch down-port lists from the

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"sort"
 
-	"mcastsim/internal/bitset"
 	"mcastsim/internal/event"
 	"mcastsim/internal/topology"
 )
@@ -272,10 +271,10 @@ type Message struct {
 	sh *shardState
 
 	// group/snapshot tag a dynamic-group send (see group.go): snapshot is
-	// the pooled membership fingerprint taken at send time, recycled at
-	// completion. Both nil on plain sends.
+	// the pooled membership set taken at send time, recycled at
+	// completion. Both empty on plain sends.
 	group    *Group
-	snapshot *bitset.Set
+	snapshot dset
 }
 
 // Group returns the dynamic group this message was addressed to, or nil

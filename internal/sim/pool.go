@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"mcastsim/internal/bitset"
+	"mcastsim/internal/destset"
 	"mcastsim/internal/event"
 )
 
@@ -94,11 +95,46 @@ func (sh *shardState) putSet(s *bitset.Set) {
 	sh.pools.setPool = append(sh.pools.setPool, s)
 }
 
+func (sh *shardState) getRuns() *destset.Runs {
+	p := sh.pools
+	if len(p.runPool) == 0 {
+		return destset.NewRuns(sh.net.topo.NumNodes)
+	}
+	r := p.runPool[len(p.runPool)-1]
+	p.runPool = p.runPool[:len(p.runPool)-1]
+	r.Clear()
+	return r
+}
+
+func (sh *shardState) putRuns(r *destset.Runs) {
+	sh.pools.runPool = append(sh.pools.runPool, r)
+}
+
+// getDset returns a cleared destination set in the network's chosen
+// representation. Sparse networks pool run lists sized by run count (a
+// few dozen bytes for rack-clustered sets) instead of universe bits.
+func (sh *shardState) getDset() dset {
+	if sh.net.sparse {
+		return dset{runs: sh.getRuns()}
+	}
+	return dset{bits: sh.getSet()}
+}
+
+func (sh *shardState) putDset(d dset) {
+	if d.bits != nil {
+		sh.putSet(d.bits)
+		return
+	}
+	sh.putRuns(d.runs)
+}
+
 // Network-level wrappers for the serial-only subsystems (faults,
 // groups); in serial modes every shard aliases one pool set, so the
 // shard choice is immaterial.
 func (n *Network) getSet() *bitset.Set  { return n.sh0().getSet() }
 func (n *Network) putSet(s *bitset.Set) { n.sh0().putSet(s) }
+func (n *Network) getDset() dset        { return n.sh0().getDset() }
+func (n *Network) putDset(d dset)       { n.sh0().putDset(d) }
 
 // --- worms ---
 
@@ -118,8 +154,8 @@ func (sh *shardState) recycleWorm(w *worm) {
 	if atomic.LoadInt32(&w.refs) != 0 {
 		panic("sim: recycling a referenced worm")
 	}
-	if w.destSet != nil {
-		sh.putSet(w.destSet)
+	if w.destSet.some() {
+		sh.putDset(w.destSet)
 	}
 	*w = worm{}
 	sh.pools.wormPool = append(sh.pools.wormPool, w)

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"mcastsim/internal/bitset"
 	"mcastsim/internal/destset"
 	"mcastsim/internal/topology"
 	"mcastsim/internal/updown"
@@ -62,8 +61,8 @@ const (
 )
 
 type climbEntry struct {
-	set  *bitset.Set // keying set (verified on hit)
-	dist []int32     // per-switch up-hop distance to a covering switch, -1 unreachable
+	key  *destset.Runs // keying set as a run snapshot (verified on hit)
+	dist []int32       // per-switch up-hop distance to a covering switch, -1 unreachable
 }
 
 type partKey struct {
@@ -71,12 +70,18 @@ type partKey struct {
 	fp uint64
 }
 
+// Cached keying sets and partition subsets are stored run-coded in BOTH
+// representations: a run snapshot costs O(runs) bytes instead of O(N)
+// bits, which is what keeps thousands of cached partitions affordable at
+// the 1M-host tiers. The verify-on-hit Equal and the hit expansion are
+// pure membership operations, so flat networks behave byte-identically
+// to the historical clone-keyed cache.
 type partEntry struct {
-	set  *bitset.Set // keying set (verified on hit)
-	tied bool        // a greedy round's max was multiply-achieved: result is shuffle-dependent
+	key  *destset.Runs // keying set (verified on hit)
+	tied bool          // a greedy round's max was multiply-achieved: result is shuffle-dependent
 	// Untied entries only: the partition in pick order.
 	ports []int32
-	subs  []*bitset.Set
+	subs  []*destset.Runs
 }
 
 type hopKey struct {
@@ -126,16 +131,22 @@ func maxInt(a, b int) int {
 }
 
 // destFP returns the fingerprint the route cache keys destination sets
-// on. Under the flat coding it is the bit-string hash; under the
-// interval coding it is the compressed encoding's run-list fingerprint
-// (destset.IvalFingerprintOf), so cache keys match what the wire would
-// carry. Either way a hit re-verifies with Equal, so collisions cost a
-// miss, never a wrong route.
-func (sh *shardState) destFP(set *bitset.Set) uint64 {
-	if sh.net.params.DestCoding == HeaderIval {
-		return destset.IvalFingerprintOf(set)
+// on. Flat sets under the flat coding use the historical bit-string
+// hash; flat sets under the interval coding use the compressed
+// encoding's run-list fingerprint (destset.IvalFingerprintOf); sparse
+// sets always fingerprint their run list directly (same mix as
+// IvalFingerprintOf, computed in O(runs)). The choice is correctness-
+// and determinism-neutral: a hit re-verifies full membership, so
+// collisions cost a miss, never a wrong route, and hit-vs-miss is
+// RNG-transparent by construction.
+func (sh *shardState) destFP(set dset) uint64 {
+	if set.runs != nil {
+		return set.runs.Fingerprint()
 	}
-	return set.Hash()
+	if sh.net.params.DestCoding == HeaderIval {
+		return destset.IvalFingerprintOf(set.bits)
+	}
+	return set.bits.Hash()
 }
 
 // sync flushes every map when the routing epoch has moved since the
@@ -151,27 +162,27 @@ func (c *routeCache) sync(epoch int) {
 	clear(c.hops)
 }
 
-// invalidateIntersecting drops every set-keyed entry whose keying set
-// intersects delta — the per-group invalidation a membership change
-// triggers instead of a global epoch flush. Next-hop entries are keyed
-// by (switch, phase, destination switch), not by destination set, and
-// stay valid across membership changes. Which entries are deleted is a
-// pure predicate of the stored sets, so the surviving cache contents are
+// invalidateNode drops every set-keyed entry whose keying set contains
+// node — the per-group invalidation a single-member join/leave triggers
+// instead of a global epoch flush. Next-hop entries are keyed by
+// (switch, phase, destination switch), not by destination set, and stay
+// valid across membership changes. Which entries are deleted is a pure
+// predicate of the stored sets, so the surviving cache contents are
 // deterministic despite map iteration order; RNG transparency is
 // untouched (an invalidated partition recomputes and consumes its
 // shuffle naturally, exactly as a cold miss would).
-func (c *routeCache) invalidateIntersecting(delta *bitset.Set) {
+func (c *routeCache) invalidateNode(node int) {
 	if c.disabled {
 		return
 	}
 	c.groupInvals++
 	for fp, e := range c.climb {
-		if e.set.Intersects(delta) {
+		if e.key.Contains(node) {
 			delete(c.climb, fp)
 		}
 	}
 	for k, e := range c.part {
-		if e.set.Intersects(delta) {
+		if e.key.Contains(node) {
 			delete(c.part, k)
 		}
 	}
@@ -181,12 +192,12 @@ func (c *routeCache) invalidateIntersecting(delta *bitset.Set) {
 // any switch covering set (the reverse BFS of climbPorts), cached by the
 // set's fingerprint. The returned slice is cache-owned (or Network
 // scratch when the cache is disabled or cold-storing): read-only.
-func (sh *shardState) climbDist(set *bitset.Set) []int32 {
+func (sh *shardState) climbDist(set dset) []int32 {
 	c := sh.cache
 	c.sync(sh.net.routingEpoch)
 	if !c.disabled {
 		fp := sh.destFP(set)
-		if e := c.climb[fp]; e != nil && e.set.Equal(set) {
+		if e := c.climb[fp]; e != nil && set.equalRuns(e.key) {
 			return e.dist
 		}
 		dist := sh.computeClimbDist(set)
@@ -195,15 +206,18 @@ func (sh *shardState) climbDist(set *bitset.Set) []int32 {
 		}
 		owned := make([]int32, len(dist))
 		copy(owned, dist)
-		c.climb[fp] = &climbEntry{set: set.Clone(), dist: owned}
+		c.climb[fp] = &climbEntry{key: set.cloneRuns(), dist: owned}
 		return owned
 	}
 	return sh.computeClimbDist(set)
 }
 
 // computeClimbDist runs the reverse BFS over up links from every switch
-// covering set, into shard scratch.
-func (sh *shardState) computeClimbDist(set *bitset.Set) []int32 {
+// covering set, into shard scratch. The seeding pass tests every
+// switch's Cover string against the set; on sparse sets that is
+// O(runs × span/64) per switch instead of O(N/64) — the difference
+// between seconds and an hour of planning at the 1M-host tiers.
+func (sh *shardState) computeClimbDist(set dset) []int32 {
 	n := sh.net
 	S := n.topo.NumSwitches
 	dist := sh.scr.distScratch
@@ -212,7 +226,7 @@ func (sh *shardState) computeClimbDist(set *bitset.Set) []int32 {
 	}
 	q := sh.scr.bfsQueue[:0]
 	for x := 0; x < S; x++ {
-		if n.rt.Covers(topology.SwitchID(x), set) {
+		if set.subsetOfBits(n.rt.Cover[x]) {
 			dist[x] = 0
 			q = append(q, int32(x))
 		}

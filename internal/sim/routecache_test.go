@@ -172,16 +172,16 @@ func TestRouteCacheWarmDecisionsZeroAlloc(t *testing.T) {
 	}
 
 	partition := func() {
-		out, ok := n.sh0().partitionDownAdaptive(coverer, set)
+		out, ok := n.sh0().partitionDownAdaptive(coverer, dset{bits: set})
 		if !ok {
 			t.Fatal("partition failed on healthy tables")
 		}
 		for _, ps := range out {
-			n.putSet(ps.sub)
+			n.putDset(ps.sub)
 		}
 	}
 	climb := func() {
-		if ports := n.sh0().climbPorts(climber, set); len(ports) == 0 {
+		if ports := n.sh0().climbPorts(climber, dset{bits: set}); len(ports) == 0 {
 			t.Fatalf("no climb ports from switch %d", climber)
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mcastsim/internal/bitset"
+	"mcastsim/internal/destset"
 	"mcastsim/internal/event"
 	"mcastsim/internal/rng"
 	"mcastsim/internal/topology"
@@ -72,6 +73,7 @@ type shardState struct {
 // ownership rules that make recycling safe).
 type entityPools struct {
 	setPool    []*bitset.Set
+	runPool    []*destset.Runs
 	wormPool   []*worm
 	branchPool []*branch
 	occPool    []*occupant

@@ -3,7 +3,7 @@ package sim
 import (
 	"fmt"
 
-	"mcastsim/internal/bitset"
+	"mcastsim/internal/destset"
 	"mcastsim/internal/event"
 	"mcastsim/internal/topology"
 	"mcastsim/internal/updown"
@@ -386,36 +386,36 @@ func (sh *shardState) planUnicast(o *occupant, s topology.SwitchID, w *worm) {
 
 func (sh *shardState) planTree(o *occupant, s topology.SwitchID, w *worm) {
 	n := sh.net
-	remaining := sh.getSet()
-	remaining.CopyFrom(w.destSet)
+	remaining := sh.getDset()
+	remaining.copyFrom(w.destSet)
 	// Local deliveries: destinations attached to this switch drop here
 	// regardless of the climb state.
-	if remaining.Intersects(n.localNodes[s]) {
+	if n.localIntersects(remaining, s) {
 		for _, node := range n.nodesAt[s] {
-			if !remaining.Contains(int(node)) {
+			if !remaining.contains(int(node)) {
 				continue
 			}
-			remaining.Remove(int(node))
-			ds := sh.getSet()
-			ds.Add(int(node))
+			remaining.remove(int(node))
+			ds := sh.getDset()
+			ds.add(int(node))
 			ports, phases := sh.singleSpec(n.rt.NodePortAt(s, node), w.phase)
 			sh.emitBranch(o, s, branchSpec{child: w.childSet(sh, 0, ds),
 				ports: ports, phases: phases})
 		}
 	}
-	if remaining.Empty() {
-		sh.putSet(remaining)
+	if remaining.empty() {
+		sh.putDset(remaining)
 		return
 	}
-	if n.rt.Covers(s, remaining) {
+	if remaining.subsetOfBits(n.rt.Cover[s]) {
 		// Replicate down: partition the remaining set across down ports.
 		parts, ok := sh.partitionDownAdaptive(s, remaining)
 		if !ok {
-			n.routeFailure(o, s, fmt.Sprintf("down partition cannot cover %v", remaining.Indices()))
-			sh.putSet(remaining)
+			n.routeFailure(o, s, fmt.Sprintf("down partition cannot cover %v", remaining.indices()))
+			sh.putDset(remaining)
 			return
 		}
-		sh.putSet(remaining)
+		sh.putDset(remaining)
 		for _, ps := range parts {
 			// The partition subset becomes the child's destination set
 			// (pooled; ownership transfers to the child worm).
@@ -428,27 +428,27 @@ func (sh *shardState) planTree(o *occupant, s topology.SwitchID, w *worm) {
 		return
 	}
 	if w.phase == updown.PhaseDown {
-		n.routeFailure(o, s, fmt.Sprintf("tree worm %v descended to a switch that cannot cover %v", w, remaining.Indices()))
-		sh.putSet(remaining)
+		n.routeFailure(o, s, fmt.Sprintf("tree worm %v descended to a switch that cannot cover %v", w, remaining.indices()))
+		sh.putDset(remaining)
 		return
 	}
 	if n.params.EarlyTreeBranch {
 		// Ablation variant: peel off down-coverable subsets while climbing.
 		for _, p := range n.downPorts[s] {
-			if !remaining.Intersects(n.rt.DownReach[s][p]) {
+			if !remaining.intersectsBits(n.rt.DownReach[s][p]) {
 				continue
 			}
-			sub := sh.getSet()
-			bitset.AndInto(sub, remaining, n.rt.DownReach[s][p])
-			remaining.DifferenceWith(sub)
+			sub := sh.getDset()
+			remaining.intersectInto(sub, n.rt.DownReach[s][p])
+			remaining.differenceWith(sub)
 			c := w.childSet(sh, 0, sub)
 			c.phase = updown.PhaseDown
 			ports, phases := sh.singleSpec(p, updown.PhaseDown)
 			sh.emitBranch(o, s, branchSpec{child: c,
 				ports: ports, phases: phases})
 		}
-		if remaining.Empty() {
-			sh.putSet(remaining)
+		if remaining.empty() {
+			sh.putDset(remaining)
 			return
 		}
 	}
@@ -457,8 +457,8 @@ func (sh *shardState) planTree(o *occupant, s topology.SwitchID, w *worm) {
 	// common ancestor switch using links in the up direction").
 	ports := sh.climbPorts(s, remaining)
 	if len(ports) == 0 {
-		n.routeFailure(o, s, fmt.Sprintf("tree worm %v stuck: no up port reaches a switch covering %v", w, remaining.Indices()))
-		sh.putSet(remaining)
+		n.routeFailure(o, s, fmt.Sprintf("tree worm %v stuck: no up port reaches a switch covering %v", w, remaining.indices()))
+		sh.putDset(remaining)
 		return
 	}
 	c := w.childSet(sh, 0, remaining) // remaining's ownership moves to the child
@@ -541,7 +541,7 @@ func (sh *shardState) planPath(o *occupant, s topology.SwitchID, w *worm) {
 // portSet is one branch of a down partition.
 type portSet struct {
 	port int
-	sub  *bitset.Set
+	sub  dset
 }
 
 // partitionDownAdaptive splits a covered destination set across down
@@ -555,7 +555,7 @@ type portSet struct {
 // false when the down ports cannot cover the set — impossible under the
 // Covers precondition on healthy routing state, but reachable when a fault
 // invalidates the reachability strings mid-run.
-func (sh *shardState) partitionDownAdaptive(s topology.SwitchID, set *bitset.Set) ([]portSet, bool) {
+func (sh *shardState) partitionDownAdaptive(s topology.SwitchID, set dset) ([]portSet, bool) {
 	n := sh.net
 	c := sh.cache
 	c.sync(n.routingEpoch)
@@ -563,7 +563,7 @@ func (sh *shardState) partitionDownAdaptive(s topology.SwitchID, set *bitset.Set
 	var cached *partEntry
 	if !c.disabled {
 		key = partKey{sw: int32(s), fp: sh.destFP(set)}
-		if e := c.part[key]; e != nil && e.set.Equal(set) {
+		if e := c.part[key]; e != nil && set.equalRuns(e.key) {
 			cached = e
 			if !e.tied {
 				// Hit: burn the identical shuffle the miss path draws so
@@ -572,8 +572,8 @@ func (sh *shardState) partitionDownAdaptive(s topology.SwitchID, set *bitset.Set
 				sh.arb.Shuffle(len(n.downPorts[s]), func(i, j int) {})
 				out := sh.scr.partScratch[:0]
 				for i, p := range e.ports {
-					sub := sh.getSet()
-					sub.CopyFrom(e.subs[i])
+					sub := sh.getDset()
+					sub.copyFromRuns(e.subs[i])
 					out = append(out, portSet{port: int(p), sub: sub})
 				}
 				sh.scr.partScratch = out
@@ -583,20 +583,20 @@ func (sh *shardState) partitionDownAdaptive(s topology.SwitchID, set *bitset.Set
 			// recompute in full (which consumes the shuffle naturally).
 		}
 	}
-	remaining := sh.getSet()
-	remaining.CopyFrom(set)
+	remaining := sh.getDset()
+	remaining.copyFrom(set)
 	downs := append(sh.scr.downScratch[:0], n.downPorts[s]...)
 	sh.scr.downScratch = downs
 	sh.arb.Shuffle(len(downs), func(i, j int) { downs[i], downs[j] = downs[j], downs[i] })
 	out := sh.scr.partScratch[:0]
 	tied := false
-	for !remaining.Empty() {
+	for !remaining.empty() {
 		best, bestCount, dup := -1, 0, false
 		for _, p := range downs {
 			if sh.scr.usedPorts[p] {
 				continue
 			}
-			c := bitset.AndCount(remaining, n.rt.DownReach[s][p])
+			c := remaining.andCountBits(n.rt.DownReach[s][p])
 			if c > bestCount {
 				best, bestCount, dup = p, c, false
 			} else if c == bestCount && c > 0 {
@@ -606,40 +606,40 @@ func (sh *shardState) partitionDownAdaptive(s topology.SwitchID, set *bitset.Set
 		if best == -1 {
 			for _, ps := range out {
 				sh.scr.usedPorts[ps.port] = false
-				sh.putSet(ps.sub)
+				sh.putDset(ps.sub)
 			}
-			sh.putSet(remaining)
+			sh.putDset(remaining)
 			sh.scr.partScratch = out[:0]
 			return nil, false
 		}
 		if dup {
 			tied = true
 		}
-		sub := sh.getSet()
-		bitset.AndInto(sub, remaining, n.rt.DownReach[s][best])
+		sub := sh.getDset()
+		remaining.intersectInto(sub, n.rt.DownReach[s][best])
 		sh.scr.usedPorts[best] = true
 		out = append(out, portSet{port: best, sub: sub})
-		remaining.DifferenceWith(sub)
+		remaining.differenceWith(sub)
 	}
 	for _, ps := range out {
 		sh.scr.usedPorts[ps.port] = false
 	}
-	sh.putSet(remaining)
+	sh.putDset(remaining)
 	sh.scr.partScratch = out
 	if !c.disabled && cached == nil {
 		// First sighting of this (switch, set): record it. Untied
-		// partitions store cache-owned clones; tied ones store only the
-		// flag so future calls go straight to the recomputation.
+		// partitions store cache-owned run snapshots; tied ones store only
+		// the flag so future calls go straight to the recomputation.
 		if len(c.part) >= c.partCap {
 			clear(c.part)
 		}
-		e := &partEntry{set: set.Clone(), tied: tied}
+		e := &partEntry{key: set.cloneRuns(), tied: tied}
 		if !tied {
 			e.ports = make([]int32, len(out))
-			e.subs = make([]*bitset.Set, len(out))
+			e.subs = make([]*destset.Runs, len(out))
 			for i, ps := range out {
 				e.ports[i] = int32(ps.port)
-				e.subs[i] = ps.sub.Clone()
+				e.subs[i] = ps.sub.cloneRuns()
 			}
 		}
 		c.part[key] = e
@@ -651,7 +651,7 @@ func (sh *shardState) partitionDownAdaptive(s topology.SwitchID, set *bitset.Set
 // a switch covering set (reverse BFS from all covering switches over up
 // links, memoized per destination set by the route cache). The result
 // lives in shard scratch.
-func (sh *shardState) climbPorts(s topology.SwitchID, set *bitset.Set) []int {
+func (sh *shardState) climbPorts(s topology.SwitchID, set dset) []int {
 	dist := sh.climbDist(set)
 	if dist[s] <= 0 {
 		return nil // s covers already (caller bug) or nothing reachable

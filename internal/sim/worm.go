@@ -26,7 +26,7 @@ type worm struct {
 	phase updown.Phase
 
 	dest    topology.NodeID // WormUnicast
-	destSet *bitset.Set     // WormTree: remaining destinations
+	destSet dset            // WormTree: remaining destinations
 	path    []PathSeg       // WormPath: remaining segments
 
 	// dead marks a worm torn down by the fault layer: in-flight flits are
@@ -44,7 +44,7 @@ func (w *worm) String() string {
 	case WormUnicast:
 		return fmt.Sprintf("worm%d[uni msg%d pkt%d ->%d len%d]", w.id, w.msg.ID, w.pkt, w.dest, w.len)
 	case WormTree:
-		return fmt.Sprintf("worm%d[tree msg%d pkt%d dests%v len%d]", w.id, w.msg.ID, w.pkt, w.destSet.Indices(), w.len)
+		return fmt.Sprintf("worm%d[tree msg%d pkt%d dests%v len%d]", w.id, w.msg.ID, w.pkt, w.destSet.indices(), w.len)
 	default:
 		return fmt.Sprintf("worm%d[path msg%d pkt%d segs%d len%d]", w.id, w.msg.ID, w.pkt, len(w.path), w.len)
 	}
@@ -127,7 +127,7 @@ func (n *Network) headerFlits(w *worm) int {
 		return UnicastHeaderFlitsFor(n.topo.NumNodes, n.topo.NumSwitches)
 	case WormTree:
 		if n.params.DestCoding == HeaderIval {
-			return TreeIvalHeaderFlits(w.destSet)
+			return 1 + w.destSet.ivalHeaderBytes()
 		}
 		return TreeHeaderFlits(n.topo.NumNodes)
 	case WormPath:
@@ -165,9 +165,9 @@ func (sh *shardState) newWorm(m *Message, spec *WormSpec, pkt int) *worm {
 	case WormUnicast:
 		w.dest = spec.Dest
 	case WormTree:
-		w.destSet = sh.getSet()
+		w.destSet = sh.getDset()
 		for _, d := range spec.DestSet {
-			w.destSet.Add(int(d))
+			w.destSet.add(int(d))
 		}
 	case WormPath:
 		w.path = spec.Path
@@ -183,10 +183,10 @@ func (sh *shardState) newWorm(m *Message, spec *WormSpec, pkt int) *worm {
 // that leaves the branch (length len minus the flits absorbed at this
 // switch) and its own header state.
 func (w *worm) child(sh *shardState, skipped int) *worm {
-	c := w.childSet(sh, skipped, nil)
-	if w.destSet != nil {
-		c.destSet = sh.getSet()
-		c.destSet.CopyFrom(w.destSet)
+	c := w.childSet(sh, skipped, dset{})
+	if w.destSet.some() {
+		c.destSet = sh.getDset()
+		c.destSet.copyFrom(w.destSet)
 	}
 	return c
 }
@@ -194,7 +194,7 @@ func (w *worm) child(sh *shardState, skipped int) *worm {
 // childSet clones w like child but installs ds — a pooled set whose
 // ownership transfers to the child — as the destination set directly,
 // skipping the copy-then-overwrite the tree planner would otherwise pay.
-func (w *worm) childSet(sh *shardState, skipped int, ds *bitset.Set) *worm {
+func (w *worm) childSet(sh *shardState, skipped int, ds dset) *worm {
 	c := sh.getWorm()
 	// Field-by-field, not *c = *w: a whole-struct copy would read w.refs
 	// non-atomically while another shard's decref may be in flight (the

@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"mcastsim/internal/bitset"
 	"mcastsim/internal/topology"
@@ -74,6 +75,10 @@ const (
 
 const unreachable = int(^uint(0) >> 2) // effectively infinity for hop counts
 
+// unreachable32 is the row-local sentinel; DistUp/DistDown translate it
+// back to the package-wide unreachable value.
+const unreachable32 = int32(^uint32(0) >> 2)
+
 // Routing is the immutable routing state derived from a topology.
 type Routing struct {
 	Topo *topology.Topology
@@ -86,11 +91,20 @@ type Routing struct {
 	// Dirs[s][p] orients each port of each switch.
 	Dirs [][]Dir
 
-	// distUp[d][s]: shortest legal route length (switch hops) from s,
-	// starting fresh, to switch d. distDown[d][s]: same but restricted to
-	// down links only (unreachable if no down-only route exists).
-	distUp   [][]int
-	distDown [][]int
+	// dist[d] holds destination d's distance row: row.up[s] is the
+	// shortest legal route length (switch hops) from s, starting fresh,
+	// to switch d; row.down[s] the same restricted to down links only
+	// (unreachable32 if no down-only route exists). Rows are computed
+	// lazily per destination on first use — a 10k-switch network's full
+	// table would be ~1.7 GB and O(S·(S+L)) to build, but a simulation
+	// probe only routes toward a handful of destination switches. The
+	// BFS is deterministic, so concurrent users publishing the same row
+	// via CompareAndSwap always agree; Routing stays safe for shared
+	// read-only use across worker goroutines.
+	dist []atomic.Pointer[distRow]
+	// revAdj is the reverse adjacency over (switch, phase) states that
+	// each row BFS runs on, built once at construction.
+	revAdj [][]revState
 
 	// DownReach[s][p] is the reachability string of down port p of switch
 	// s: node n is in the set iff n is legally reachable by entering that
@@ -383,13 +397,26 @@ func (r *Routing) orientPorts() {
 	}
 }
 
-// computeDistances fills distUp and distDown by reverse BFS per
-// destination switch over the (switch, phase) state graph.
+// distRow is one destination switch's distance vectors (see Routing.dist).
+type distRow struct {
+	up   []int32
+	down []int32
+}
+
+// revState is a predecessor (switch, phase) state in the reverse
+// adjacency; int32 keeps the edge lists compact at 10k-switch scale.
+type revState struct {
+	s     int32
+	phase Phase
+}
+
+// computeDistances prepares the lazy distance machinery: the reverse
+// adjacency over (switch, phase) states and an empty row table. Rows are
+// filled by row() on first use per destination.
 func (r *Routing) computeDistances() {
 	t := r.Topo
 	S := t.NumSwitches
-	r.distUp = make([][]int, S)
-	r.distDown = make([][]int, S)
+	r.dist = make([]atomic.Pointer[distRow], S)
 	// Reverse adjacency over states. State encoding: s*2 + phase.
 	// Forward edges:
 	//   (s, up)   --up-port-->   (q, up)
@@ -397,11 +424,7 @@ func (r *Routing) computeDistances() {
 	//   (s, down) --down-port--> (q, down)
 	// For the reverse BFS we need, for each state, the states with a
 	// forward edge into it.
-	type st struct {
-		s     int
-		phase Phase
-	}
-	revAdj := make([][]st, 2*S)
+	r.revAdj = make([][]revState, 2*S)
 	for s := 0; s < S; s++ {
 		for p := 0; p < t.PortsPerSwitch; p++ {
 			e := t.Conn[s][p]
@@ -412,43 +435,60 @@ func (r *Routing) computeDistances() {
 			switch r.Dirs[s][p] {
 			case DirUp:
 				// (s,up) -> (q,up)
-				revAdj[q*2+int(PhaseUp)] = append(revAdj[q*2+int(PhaseUp)], st{s, PhaseUp})
+				r.revAdj[q*2+int(PhaseUp)] = append(r.revAdj[q*2+int(PhaseUp)], revState{int32(s), PhaseUp})
 			case DirDown:
 				// (s,up) -> (q,down) and (s,down) -> (q,down)
-				revAdj[q*2+int(PhaseDown)] = append(revAdj[q*2+int(PhaseDown)], st{s, PhaseUp})
-				revAdj[q*2+int(PhaseDown)] = append(revAdj[q*2+int(PhaseDown)], st{s, PhaseDown})
+				r.revAdj[q*2+int(PhaseDown)] = append(r.revAdj[q*2+int(PhaseDown)], revState{int32(s), PhaseUp})
+				r.revAdj[q*2+int(PhaseDown)] = append(r.revAdj[q*2+int(PhaseDown)], revState{int32(s), PhaseDown})
 			}
 		}
 	}
-	for d := 0; d < S; d++ {
-		distState := make([]int, 2*S)
-		for i := range distState {
-			distState[i] = unreachable
-		}
-		// Arriving at switch d in either phase terminates the route.
-		distState[d*2+int(PhaseUp)] = 0
-		distState[d*2+int(PhaseDown)] = 0
-		queue := []int{d*2 + int(PhaseUp), d*2 + int(PhaseDown)}
-		for len(queue) > 0 {
-			cur := queue[0]
-			queue = queue[1:]
-			for _, prev := range revAdj[cur] {
-				pi := prev.s*2 + int(prev.phase)
-				if distState[pi] == unreachable {
-					distState[pi] = distState[cur] + 1
-					queue = append(queue, pi)
-				}
+}
+
+// row returns destination d's distance row, computing and publishing it
+// on first use. Safe for concurrent callers: the BFS is deterministic,
+// so every racer computes an identical row and CompareAndSwap keeps
+// exactly one.
+func (r *Routing) row(d topology.SwitchID) *distRow {
+	if p := r.dist[d].Load(); p != nil {
+		return p
+	}
+	row := r.computeRow(int(d))
+	if r.dist[d].CompareAndSwap(nil, row) {
+		return row
+	}
+	return r.dist[d].Load()
+}
+
+// computeRow runs the reverse BFS for one destination switch over the
+// (switch, phase) state graph.
+func (r *Routing) computeRow(d int) *distRow {
+	S := r.Topo.NumSwitches
+	distState := make([]int32, 2*S)
+	for i := range distState {
+		distState[i] = unreachable32
+	}
+	// Arriving at switch d in either phase terminates the route.
+	distState[d*2+int(PhaseUp)] = 0
+	distState[d*2+int(PhaseDown)] = 0
+	queue := make([]int32, 0, 2*S)
+	queue = append(queue, int32(d*2+int(PhaseUp)), int32(d*2+int(PhaseDown)))
+	for qi := 0; qi < len(queue); qi++ {
+		cur := queue[qi]
+		for _, prev := range r.revAdj[cur] {
+			pi := prev.s*2 + int32(prev.phase)
+			if distState[pi] == unreachable32 {
+				distState[pi] = distState[cur] + 1
+				queue = append(queue, pi)
 			}
 		}
-		up := make([]int, S)
-		down := make([]int, S)
-		for s := 0; s < S; s++ {
-			up[s] = distState[s*2+int(PhaseUp)]
-			down[s] = distState[s*2+int(PhaseDown)]
-		}
-		r.distUp[d] = up
-		r.distDown[d] = down
 	}
+	row := &distRow{up: make([]int32, S), down: make([]int32, S)}
+	for s := 0; s < S; s++ {
+		row.up[s] = distState[s*2+int(PhaseUp)]
+		row.down[s] = distState[s*2+int(PhaseDown)]
+	}
+	return row
 }
 
 // computeReachability fills DownReach and Cover. Down links form a DAG
@@ -510,6 +550,10 @@ func (r *Routing) computeReachability() {
 	}
 }
 
+// verifyPairwiseMax bounds the switch count for verify's exhaustive
+// pairwise-reachability sweep (covers every paper/S/M experiment size).
+const verifyPairwiseMax = 2048
+
 // verify checks the invariants the rest of the system depends on,
 // restricted to the alive subgraph when faults are masked out.
 func (r *Routing) verify() error {
@@ -534,16 +578,27 @@ func (r *Routing) verify() error {
 		}
 	}
 	// Every alive switch pair must be mutually reachable by a legal route.
-	for d := 0; d < t.NumSwitches; d++ {
-		if r.deadSwitch[d] {
-			continue
-		}
-		for s := 0; s < t.NumSwitches; s++ {
-			if r.deadSwitch[s] {
+	// The explicit pairwise sweep materializes every distance row — O(S²)
+	// space and O(S·(S+L)) time — so it is gated to paper/experiment
+	// sizes. At larger sizes the property holds structurally: every alive
+	// switch has an all-up path to the root (the tree-parent chain, whose
+	// (level, id) strictly decreases — checked above via up ports), and
+	// every tree edge parent→child is a down link, so the root reaches
+	// every alive switch down-only (the root-cover check below confirms
+	// the node-level consequence). Climb-then-descend is a legal route.
+	if t.NumSwitches <= verifyPairwiseMax {
+		for d := 0; d < t.NumSwitches; d++ {
+			if r.deadSwitch[d] {
 				continue
 			}
-			if r.distUp[d][s] >= unreachable {
-				return fmt.Errorf("updown: no legal route %d -> %d", s, d)
+			up := r.row(topology.SwitchID(d)).up
+			for s := 0; s < t.NumSwitches; s++ {
+				if r.deadSwitch[s] {
+					continue
+				}
+				if up[s] >= unreachable32 {
+					return fmt.Errorf("updown: no legal route %d -> %d", s, d)
+				}
 			}
 		}
 	}
@@ -582,13 +637,22 @@ func (r *Routing) PortAlive(s topology.SwitchID, p int) bool {
 
 // DistUp returns the shortest legal route length in switch hops from s
 // (fresh) to d.
-func (r *Routing) DistUp(s, d topology.SwitchID) int { return r.distUp[d][s] }
+func (r *Routing) DistUp(s, d topology.SwitchID) int {
+	v := r.row(d).up[s]
+	if v >= unreachable32 {
+		return unreachable
+	}
+	return int(v)
+}
 
 // DistDown returns the shortest down-only route length from s to d, or
 // ok=false when no down-only route exists.
 func (r *Routing) DistDown(s, d topology.SwitchID) (int, bool) {
-	v := r.distDown[d][s]
-	return v, v < unreachable
+	v := r.row(d).down[s]
+	if v >= unreachable32 {
+		return unreachable, false
+	}
+	return int(v), true
 }
 
 // NodePortAt returns the port of switch s wired to node n, or -1 if n is
@@ -611,11 +675,12 @@ func (r *Routing) NextHops(s topology.SwitchID, ph Phase, d topology.SwitchID) (
 		return nil, nil
 	}
 	t := r.Topo
-	var cur int
+	row := r.row(d)
+	var cur int32
 	if ph == PhaseUp {
-		cur = r.distUp[d][s]
+		cur = row.up[s]
 	} else {
-		cur = r.distDown[d][s]
+		cur = row.down[s]
 	}
 	for p := 0; p < t.PortsPerSwitch; p++ {
 		e := t.Conn[s][p]
@@ -628,12 +693,12 @@ func (r *Routing) NextHops(s topology.SwitchID, ph Phase, d topology.SwitchID) (
 			if ph == PhaseDown {
 				continue // illegal turn
 			}
-			if r.distUp[d][q]+1 == cur {
+			if row.up[q]+1 == cur {
 				ports = append(ports, p)
 				phases = append(phases, PhaseUp)
 			}
 		case DirDown:
-			if r.distDown[d][q]+1 == cur {
+			if row.down[q]+1 == cur {
 				ports = append(ports, p)
 				phases = append(phases, PhaseDown)
 			}
@@ -700,7 +765,11 @@ func (r *Routing) PartitionDown(s topology.SwitchID, set *bitset.Set) (local []t
 			if _, used := perPort[p]; used {
 				continue
 			}
-			c := bitset.And(remaining, r.DownReach[s][p]).Count()
+			// AndCount, not And().Count(): the greedy loop runs ports ×
+			// rounds times per switch, and a materialized intersection is
+			// a universe-sized allocation each — gigabytes of garbage per
+			// tree plan at the 1M-host tiers.
+			c := bitset.AndCount(remaining, r.DownReach[s][p])
 			if c > bestCount {
 				best, bestCount = p, c
 			}

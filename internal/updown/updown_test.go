@@ -162,14 +162,15 @@ func TestNextHopsLegalAndShortest(t *testing.T) {
 					continue
 				}
 				for _, ph := range []Phase{PhaseUp, PhaseDown} {
-					var cur int
+					row := r.row(topology.SwitchID(b))
+					var cur int32
 					if ph == PhaseUp {
-						cur = r.distUp[b][a]
+						cur = row.up[a]
 					} else {
-						cur = r.distDown[b][a]
+						cur = row.down[a]
 					}
 					ports, phases := r.NextHops(topology.SwitchID(a), ph, topology.SwitchID(b))
-					if cur >= unreachable {
+					if cur >= unreachable32 {
 						if len(ports) != 0 {
 							t.Fatalf("unreachable state has next hops")
 						}
@@ -184,11 +185,11 @@ func TestNextHopsLegalAndShortest(t *testing.T) {
 							t.Fatalf("illegal up turn offered at switch %d", a)
 						}
 						q := topo.Conn[a][p].Switch
-						var rem int
+						var rem int32
 						if phases[i] == PhaseUp {
-							rem = r.distUp[b][q]
+							rem = row.up[q]
 						} else {
-							rem = r.distDown[b][q]
+							rem = row.down[q]
 						}
 						if rem+1 != cur {
 							t.Fatalf("non-shortest hop offered at switch %d", a)
