@@ -61,15 +61,12 @@ func singleBench(b *testing.B, rts []*updown.Routing, sch mcast.Scheme, p sim.Pa
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rt := rts[i%len(rts)]
-		got, err := traffic.RunSingle(rt, traffic.SingleConfig{
-			Workload: traffic.Workload{Scheme: sch, Params: p, Degree: degree,
-				MsgFlits: flits, Seed: uint64(i)},
-			Probes: 4,
-		})
+		got, err := traffic.Run(rt, traffic.Workload{Scheme: sch, Params: p,
+			Degree: degree, MsgFlits: flits, Seed: uint64(i)}, traffic.WithProbes(4))
 		if err != nil {
 			b.Fatal(err)
 		}
-		lats = append(lats, got...)
+		lats = append(lats, got.Latencies...)
 	}
 	b.ReportMetric(metrics.Mean(lats), "cycles/mcast")
 }
@@ -82,15 +79,14 @@ func loadBench(b *testing.B, rts []*updown.Routing, sch mcast.Scheme, p sim.Para
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rt := rts[i%len(rts)]
-		res, err := traffic.RunLoad(rt, traffic.LoadConfig{
-			Workload: traffic.Workload{Scheme: sch, Params: p, Degree: degree,
-				MsgFlits: flits, Seed: uint64(i) * 13},
-			LoadSpec: traffic.LoadSpec{EffectiveLoad: load,
-				Warmup: 5_000, Measure: 30_000, Drain: 25_000},
-		})
+		r, err := traffic.Run(rt, traffic.Workload{Scheme: sch, Params: p,
+			Degree: degree, MsgFlits: flits, Seed: uint64(i) * 13},
+			traffic.WithLoad(traffic.LoadSpec{EffectiveLoad: load,
+				Warmup: 5_000, Measure: 30_000, Drain: 25_000}))
 		if err != nil {
 			b.Fatal(err)
 		}
+		res := r.Load
 		if res.Saturated {
 			sat++
 		}

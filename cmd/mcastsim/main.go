@@ -9,17 +9,23 @@
 //	mcastsim -list                     # experiment catalogue
 //	mcastsim -compare net.topo -degree 16   # scheme comparison on a
 //	                                        # topogen-format topology
+//	mcastsim -exp all -full -checkpoint ck/ # journal cells; kill + rerun
+//	mcastsim -exp all -full -resume ck/     #   with -resume to continue
+//	mcastsim serve -addr :8029 -checkpoint ck/  # long-run HTTP service
 //
 // Experiment IDs map to the paper's figures and text experiments; see
 // DESIGN.md §4 and `mcastsim -list`.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"mcastsim/internal/core"
@@ -36,6 +42,9 @@ func main() { os.Exit(run()) }
 // run is main's body with exit codes returned instead of called, so the
 // deferred profile writers fire on every path, including failures.
 func run() int {
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		return runServe(os.Args[2:])
+	}
 	var (
 		expID      = flag.String("exp", "", "experiment id (or 'all')")
 		list       = flag.Bool("list", false, "list experiments and exit")
@@ -56,6 +65,9 @@ func run() int {
 		obsOn      = flag.Bool("obs", false, "sample per-cell telemetry (link utilization, buffer occupancy, queue depths) during -exp runs")
 		obsEvery   = flag.Uint64("obs-every", uint64(obs.DefaultEvery), "telemetry sampling cadence in cycles (with -obs)")
 		obsOut     = flag.String("obs-out", "", "write sampled telemetry bundles to this file; .csv extension selects CSV, anything else JSONL (with -obs)")
+		ckDir      = flag.String("checkpoint", "", "journal completed simulation cells into this directory; rerunning with the same directory and arguments resumes, and resumed tables are byte-identical")
+		resumeDir  = flag.String("resume", "", "resume from this checkpoint directory (must already exist); same journaling as -checkpoint")
+		stopCells  = flag.Int("stop-after-cells", 0, "with -checkpoint: stop with a resumable journal after N newly-completed cells (deterministic kill stand-in for smokes)")
 	)
 	flag.Parse()
 
@@ -120,6 +132,42 @@ func run() int {
 		sink = &experiment.ObsSink{Config: obs.Config{Every: event.Time(*obsEvery)}}
 		cfg.Obs = sink
 	}
+	dir := *ckDir
+	if *resumeDir != "" {
+		if _, err := os.Stat(*resumeDir); err != nil {
+			fmt.Fprintf(os.Stderr, "mcastsim: -resume: %v\n", err)
+			return 2
+		}
+		dir = *resumeDir
+	}
+	if dir != "" {
+		if *obsOn {
+			fmt.Fprintln(os.Stderr, "mcastsim: -checkpoint/-resume and -obs are mutually exclusive (a resumed run cannot reproduce skipped cells' telemetry)")
+			return 2
+		}
+		ck, err := experiment.OpenCheckpointer(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mcastsim:", err)
+			return 1
+		}
+		defer ck.Close()
+		if *stopCells > 0 {
+			ck.StopAfter(*stopCells)
+		}
+		cfg.Checkpoint = ck
+		// SIGTERM/SIGINT drain to the journal at the next cell boundary
+		// instead of dying mid-run; a hard kill is also safe (the journal
+		// tolerates a torn final record), it just loses the last cell.
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		defer signal.Stop(sig)
+		go func() {
+			if _, ok := <-sig; ok {
+				fmt.Fprintln(os.Stderr, "mcastsim: draining to checkpoint...")
+				ck.Interrupt()
+			}
+		}()
+	}
 
 	var entries []experiment.Entry
 	if *expID == "all" {
@@ -141,6 +189,10 @@ func run() int {
 		tables, err := e.Run(cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mcastsim: %s: %v\n", e.ID, err)
+			var intr *experiment.Interrupted
+			if errors.As(err, &intr) {
+				return 3 // resumable: rerun with -resume <dir>
+			}
 			return 1
 		}
 		for ti, tab := range tables {

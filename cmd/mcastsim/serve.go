@@ -1,0 +1,62 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mcastsim/internal/serve"
+)
+
+// runServe is the `mcastsim serve` subcommand: the long-run service
+// mode. It listens for JSON workload specs, runs them on the experiment
+// worker pool, and streams progress/telemetry/tables over SSE (see
+// internal/serve). SIGTERM and SIGINT drain gracefully: running jobs
+// stop at their next cell boundary with a resumable checkpoint journal
+// (when -checkpoint is set), then the listener shuts down.
+func runServe(args []string) int {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8029", "listen address")
+	ckDir := fs.String("checkpoint", "", "checkpoint directory: each job journals cell completions under <dir>/<job-id>, and SIGTERM drains every running job to a resumable state")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	srv := serve.New(serve.Options{CheckpointDir: *ckDir})
+	hs := &http.Server{Handler: srv.Handler()}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcastsim serve:", err)
+		return 1
+	}
+	fmt.Printf("mcastsim serve: listening on http://%s\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		fmt.Fprintln(os.Stderr, "mcastsim serve:", err)
+		return 1
+	case <-ctx.Done():
+	}
+	stop() // restore default handling so a second signal kills hard
+	fmt.Fprintln(os.Stderr, "mcastsim serve: draining jobs to checkpoint...")
+	srv.Drain()
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		fmt.Fprintln(os.Stderr, "mcastsim serve: shutdown:", err)
+		return 1
+	}
+	fmt.Fprintln(os.Stderr, "mcastsim serve: drained; bye")
+	return 0
+}

@@ -15,12 +15,12 @@
 // engine's profile; the steady-state flit pipeline posts and dispatches
 // with zero allocations.
 //
-// Deprecated shim: At and After still accept func() callbacks — each one
-// is carried as KindClosure with the func value as the actor, which is
-// allocation-free for pre-bound funcs but allocates whenever the literal
-// captures variables. They remain for cold paths (experiment drivers,
-// tests, one-shot timers) and for incremental migration; hot-path code
-// should define a Kind and use Post/PostAfter instead.
+// Typed-kind registration (Register + Post/PostAfter) is the public
+// scheduling API. KindClosure — an event whose actor is a func() value —
+// remains as the carrier for test-only closure scheduling (see the
+// eventtest subpackage); production code defines a Kind per event type
+// so the record stays enumerable, which is what the snapshot layer
+// (SnapshotPending/ResetTo, sim.Network.Checkpoint) relies on.
 //
 // # Scheduling structure
 //
@@ -159,10 +159,10 @@ type Queue struct {
 
 	// obs, when non-nil, receives cold-path scheduling counters. The
 	// in-window Post fast path and fastStep are deliberately untouched:
-	// the only instrumented sites are the far-heap overflow, far→ring
-	// migration, and the deprecated closure shim, all of which are off
-	// the steady flit path, so the disabled AND enabled cases both stay
-	// allocation-free and branch-free where it matters.
+	// the only instrumented sites are the far-heap overflow and far→ring
+	// migration, both of which are off the steady flit path, so the
+	// disabled AND enabled cases both stay allocation-free and
+	// branch-free where it matters.
 	obs *EngineObs
 }
 
@@ -170,9 +170,8 @@ type Queue struct {
 // fields are cumulative; samplers take deltas. The struct is plain data
 // (no methods, no locks): the queue's single-goroutine contract covers it.
 type EngineObs struct {
-	FarPosts     uint64 // posts landing beyond the calendar window
-	Migrations   uint64 // far-heap entries migrated into ring buckets
-	ClosurePosts uint64 // posts through the deprecated At/After shim
+	FarPosts   uint64 // posts landing beyond the calendar window
+	Migrations uint64 // far-heap entries migrated into ring buckets
 }
 
 // SetObs attaches (or, with nil, detaches) a counter sink. The sink may
@@ -310,31 +309,6 @@ func (q *Queue) PostAfter(delay Time, k Kind, actor any, arg int64) {
 	q.Post(q.now+delay, k, actor, arg)
 }
 
-// At schedules fn to run at absolute time t.
-//
-// Deprecated: closure shim retained for cold paths and tests; hot paths
-// should Register a Kind and use Post (see the package comment).
-func (q *Queue) At(t Time, fn func()) {
-	if q.obs != nil {
-		q.obs.ClosurePosts++
-	}
-	q.Post(t, KindClosure, fn, 0)
-}
-
-// After schedules fn to run delay cycles from now.
-//
-// Deprecated: closure shim retained for cold paths and tests; hot paths
-// should Register a Kind and use PostAfter (see the package comment).
-func (q *Queue) After(delay Time, fn func()) {
-	if delay < 0 {
-		panic("event: negative delay")
-	}
-	if q.obs != nil {
-		q.obs.ClosurePosts++
-	}
-	q.Post(q.now+delay, KindClosure, fn, 0)
-}
-
 // SetBackend switches the priority structure, transferring any pending
 // events. The transfer preserves (at, seq) order exactly, so switching
 // backends never perturbs the schedule.
@@ -342,6 +316,17 @@ func (q *Queue) SetBackend(b Backend) {
 	if b == q.backend {
 		return
 	}
+	moved := q.drainRealized()
+	q.backend = b
+	q.reinsert(moved)
+}
+
+// drainRealized removes every pending event and returns them in realized
+// dispatch order — the exact order Step would have run them — with seq
+// renumbered in that order. Ring pops carry no sequence number, so the
+// renumbering is what lets reinsert (into either backend) reproduce
+// exactly the drained total order, with later posts sorting after.
+func (q *Queue) drainRealized() []entry {
 	var moved []entry
 	for {
 		e, ok := q.popNext(maxTime)
@@ -350,19 +335,20 @@ func (q *Queue) SetBackend(b Backend) {
 		}
 		moved = append(moved, e)
 	}
-	// Ring pops carry no sequence number; re-number the drained events in
-	// pop order — the realized total order — so heap re-insertion keeps
-	// exactly that order and later posts sort after them.
 	for i := range moved {
 		moved[i].seq = q.seq
 		q.seq++
 	}
-	q.backend = b
-	if b == BackendCalendar {
-		// Draining walked the cursor forward; rewind the window to now
-		// (the ring is empty, so this cannot strand an entry) before
-		// re-inserting. moved is sorted in realized order with at >= now,
-		// so bucket FIFO order is kept.
+	return moved
+}
+
+// reinsert restores events drained by drainRealized into the current
+// backend. Draining walked the calendar cursor forward; the window is
+// rewound to now (the ring is empty, so this cannot strand an entry)
+// before re-inserting. moved is sorted in realized order with at >= now,
+// so bucket FIFO order is kept.
+func (q *Queue) reinsert(moved []entry) {
+	if q.backend == BackendCalendar {
 		if q.buckets == nil {
 			q.buckets = make([]bucket, ringSize)
 		}

@@ -7,12 +7,24 @@ import (
 	"mcastsim/internal/rng"
 )
 
+// postAt and postAfter mirror the eventtest helpers (which the
+// in-package tests cannot import without a cycle): closures ride as
+// KindClosure records.
+func postAt(q *Queue, t Time, fn func()) { q.Post(t, KindClosure, fn, 0) }
+
+func postAfter(q *Queue, delay Time, fn func()) {
+	if delay < 0 {
+		panic("event: negative delay")
+	}
+	q.Post(q.Now()+delay, KindClosure, fn, 0)
+}
+
 func TestTimeOrdering(t *testing.T) {
 	var q Queue
 	var got []Time
 	for _, at := range []Time{50, 10, 30, 20, 40} {
 		at := at
-		q.At(at, func() { got = append(got, at) })
+		postAt(&q, at, func() { got = append(got, at) })
 	}
 	for q.Step() {
 	}
@@ -29,7 +41,7 @@ func TestFIFOWithinCycle(t *testing.T) {
 	var got []int
 	for i := 0; i < 10; i++ {
 		i := i
-		q.At(5, func() { got = append(got, i) })
+		postAt(&q, 5, func() { got = append(got, i) })
 	}
 	for q.Step() {
 	}
@@ -42,7 +54,7 @@ func TestFIFOWithinCycle(t *testing.T) {
 
 func TestClockAdvances(t *testing.T) {
 	var q Queue
-	q.At(7, func() {})
+	postAt(&q, 7, func() {})
 	q.Step()
 	if q.Now() != 7 {
 		t.Fatalf("Now = %d, want 7", q.Now())
@@ -52,8 +64,8 @@ func TestClockAdvances(t *testing.T) {
 func TestAfterRelative(t *testing.T) {
 	var q Queue
 	var fired Time = -1
-	q.At(10, func() {
-		q.After(5, func() { fired = q.Now() })
+	postAt(&q, 10, func() {
+		postAfter(&q, 5, func() { fired = q.Now() })
 	})
 	for q.Step() {
 	}
@@ -67,11 +79,11 @@ func TestSchedulingDuringExecution(t *testing.T) {
 	// still run, after already-queued same-cycle events.
 	var q Queue
 	var got []string
-	q.At(1, func() {
+	postAt(&q, 1, func() {
 		got = append(got, "a")
-		q.At(1, func() { got = append(got, "c") })
+		postAt(&q, 1, func() { got = append(got, "c") })
 	})
-	q.At(1, func() { got = append(got, "b") })
+	postAt(&q, 1, func() { got = append(got, "b") })
 	for q.Step() {
 	}
 	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
@@ -81,14 +93,14 @@ func TestSchedulingDuringExecution(t *testing.T) {
 
 func TestPastSchedulingPanics(t *testing.T) {
 	var q Queue
-	q.At(10, func() {})
+	postAt(&q, 10, func() {})
 	q.Step()
 	defer func() {
 		if recover() == nil {
 			t.Fatal("scheduling in the past did not panic")
 		}
 	}()
-	q.At(5, func() {})
+	postAt(&q, 5, func() {})
 }
 
 func TestNegativeDelayPanics(t *testing.T) {
@@ -98,7 +110,7 @@ func TestNegativeDelayPanics(t *testing.T) {
 			t.Fatal("negative delay did not panic")
 		}
 	}()
-	q.After(-1, func() {})
+	postAfter(&q, -1, func() {})
 }
 
 func TestRunUntil(t *testing.T) {
@@ -106,7 +118,7 @@ func TestRunUntil(t *testing.T) {
 	var ran []Time
 	for _, at := range []Time{5, 10, 15, 20} {
 		at := at
-		q.At(at, func() { ran = append(ran, at) })
+		postAt(&q, at, func() { ran = append(ran, at) })
 	}
 	n := q.RunUntil(12)
 	if n != 2 || len(ran) != 2 || ran[1] != 10 {
@@ -132,13 +144,13 @@ func TestDrainBound(t *testing.T) {
 	var q Queue
 	// Self-perpetuating event chain: Drain must give up at the bound.
 	var tick func()
-	tick = func() { q.After(1, tick) }
-	q.At(0, tick)
+	tick = func() { postAfter(&q, 1, tick) }
+	postAt(&q, 0, tick)
 	if q.Drain(100) {
 		t.Fatal("Drain claimed an endless chain drained")
 	}
 	var q2 Queue
-	q2.At(1, func() {})
+	postAt(&q2, 1, func() {})
 	if !q2.Drain(100) {
 		t.Fatal("Drain failed on a finite queue")
 	}
@@ -147,7 +159,7 @@ func TestDrainBound(t *testing.T) {
 func TestProcessedCounts(t *testing.T) {
 	var q Queue
 	for i := 0; i < 5; i++ {
-		q.At(Time(i), func() {})
+		postAt(&q, Time(i), func() {})
 	}
 	for q.Step() {
 	}
@@ -162,7 +174,7 @@ func TestHeapPropertyRandom(t *testing.T) {
 		var got []Time
 		for _, v := range raw {
 			at := Time(v % 1000)
-			q.At(at, func() { got = append(got, at) })
+			postAt(&q, at, func() { got = append(got, at) })
 		}
 		for q.Step() {
 		}
@@ -184,7 +196,7 @@ func BenchmarkScheduleAndRun(b *testing.B) {
 	nop := func() {}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		q.At(q.Now()+Time(r.Intn(64)), nop)
+		postAt(&q, q.Now()+Time(r.Intn(64)), nop)
 		q.Step()
 	}
 }

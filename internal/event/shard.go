@@ -190,8 +190,9 @@ func (s *ShardSet) Len() int {
 // Stats returns the window/crossing counters.
 func (s *ShardSet) Stats() ShardStats { return s.stats }
 
-// SetObs attaches a scheduler-counter sink (closure posts only; the
-// lane heaps have no far/ring split to instrument).
+// SetObs attaches a scheduler-counter sink. The lane heaps have no
+// far/ring split to instrument, so the sink currently accumulates
+// nothing here; the method exists so engine attachment is uniform.
 func (s *ShardSet) SetObs(o *EngineObs) { s.obs = o }
 
 // EngineStats reports occupancy and progress for samplers.
@@ -295,21 +296,6 @@ func (l *Lane) PostAfter(delay Time, k Kind, actor any, arg int64) {
 
 // Now returns the set-wide simulation time.
 func (l *Lane) Now() Time { return l.set.now }
-
-// At schedules a closure (the legacy shim) on lane 0. Lane choice is
-// immaterial for ordering: the global sequence counter makes the merge
-// order independent of lane assignment.
-func (s *ShardSet) At(t Time, fn func()) {
-	if s.obs != nil {
-		s.obs.ClosurePosts++
-	}
-	s.lanes[0].Post(t, KindClosure, fn, 0)
-}
-
-// After schedules a closure delay cycles from now on lane 0.
-func (s *ShardSet) After(delay Time, fn func()) {
-	s.At(s.now+delay, fn)
-}
 
 // --- parallel engine ---
 

@@ -140,7 +140,7 @@ func UnicastSaturation(cfg Config) ([]*metrics.Table, error) {
 	sch := unicastScheme{}
 	for _, l := range cfg.Loads {
 		l := l
-		res, err := runCells(cfg.workerCount(), len(rts), func(i int) (traffic.LoadResult, error) {
+		res, err := runCells(cfg, len(rts), func(i int, _ cellCtx) (traffic.LoadResult, error) {
 			rec, commit := cfg.cellObs(fmt.Sprintf("unisat/l=%v/topo%03d", l, i))
 			r, err := traffic.Run(rts[i], traffic.Workload{
 				Scheme: sch, Params: cfg.Params, Degree: 1, MsgFlits: cfg.MsgFlits,

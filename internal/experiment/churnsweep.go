@@ -94,7 +94,7 @@ func ChurnSweep(cfg Config) ([]*metrics.Table, error) {
 			}
 		}
 	}
-	cells, err := runCells(cfg.workerCount(), len(keys), func(i int) ([]traffic.ChurnProbe, error) {
+	cells, err := runCells(cfg, len(keys), func(i int, _ cellCtx) ([]traffic.ChurnProbe, error) {
 		k := keys[i]
 		f := failures[k.fi]
 		rec, commit := cfg.cellObs(fmt.Sprintf("churnsweep/%s/e=%d/f=%d/topo%03d",

@@ -58,7 +58,7 @@ func FaultSweep(cfg Config) ([]*metrics.Table, error) {
 			}
 		}
 	}
-	cells, err := runCells(cfg.workerCount(), len(keys), func(i int) ([]traffic.FaultProbe, error) {
+	cells, err := runCells(cfg, len(keys), func(i int, _ cellCtx) ([]traffic.FaultProbe, error) {
 		k := keys[i]
 		f := failures[k.fi]
 		rec, commit := cfg.cellObs(fmt.Sprintf("faultsweep/%s/f=%d/topo%03d",

@@ -36,7 +36,7 @@ func MixedTraffic(cfg Config) ([]*metrics.Table, error) {
 			}
 		}
 	}
-	res, err := runCells(cfg.workerCount(), len(keys), func(i int) ([]float64, error) {
+	res, err := runCells(cfg, len(keys), func(i int, _ cellCtx) ([]float64, error) {
 		k := keys[i]
 		rec, commit := cfg.cellObs(fmt.Sprintf("mixed/%s/bg=%v/topo%03d",
 			schemes[k.si].Name(), bgs[k.bi], k.ti))

@@ -15,6 +15,11 @@ import (
 type ObsSink struct {
 	// Config parameterizes every cell recorder the sink hands out.
 	Config obs.Config
+	// OnAdd, when non-nil, observes every bundle as it commits — in
+	// completion order, from worker goroutines (must be safe for
+	// concurrent use). The serve subsystem streams telemetry live
+	// through this hook; Bundles still returns the sorted total.
+	OnAdd func(b obs.Bundle)
 
 	mu      sync.Mutex
 	bundles []obs.Bundle
@@ -25,6 +30,9 @@ func (s *ObsSink) add(b obs.Bundle) {
 	s.mu.Lock()
 	s.bundles = append(s.bundles, b)
 	s.mu.Unlock()
+	if s.OnAdd != nil {
+		s.OnAdd(b)
+	}
 }
 
 // Bundles returns every committed bundle sorted by cell label.

@@ -51,26 +51,62 @@ func (c Config) workerCount() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// runCells executes n independent cells across at most workers
+// runCells executes n independent cells across at most cfg.workerCount()
 // goroutines and returns their results in cell order. On error the pool
 // cancels: cells not yet started are skipped, in-flight cells finish,
 // and the error of the lowest-indexed failed cell is returned (with one
 // worker that is exactly the serial first error). A worker count of one
 // degenerates to a plain loop, so `-workers 1` is the serial harness.
-func runCells[T any](workers, n int, cell func(i int) (T, error)) ([]T, error) {
+//
+// When cfg.Checkpoint is set, every completed cell is journaled and
+// already-journaled cells return their recorded results without
+// executing — resumed output is byte-identical because cell seeds are
+// pure functions of cell indices and gob round-trips are bit-exact. The
+// cellCtx handed to the callback carries the cell's journal identity so
+// single-probe cells can checkpoint at probe granularity (cc.trafficOpts).
+func runCells[T any](cfg Config, n int, cell func(i int, cc cellCtx) (T, error)) ([]T, error) {
 	out := make([]T, n)
 	if n == 0 {
 		return out, nil
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	ck := cfg.Checkpoint
+	if ck != nil && cfg.Obs != nil {
+		return nil, fmt.Errorf("experiment: checkpointing and telemetry are mutually exclusive (a resumed run cannot reproduce skipped cells' obs streams)")
 	}
+	call := 0
+	if ck != nil {
+		call = ck.nextCall()
+	}
+	var prog atomic.Int64
+	runOne := func(i int) (T, error) {
+		if ck != nil {
+			if v, ok, err := ckLoad[T](ck, call, i); err != nil || ok {
+				if err == nil && cfg.Progress != nil {
+					cfg.Progress(int(prog.Add(1)), n)
+				}
+				return v, err
+			}
+			if e := ck.stopError(); e != nil {
+				var zero T
+				return zero, e
+			}
+		}
+		v, err := cell(i, cellCtx{ck: ck, call: call, cell: i})
+		if err == nil && ck != nil {
+			err = ckStore(ck, call, i, v)
+		}
+		if err == nil && cfg.Progress != nil {
+			cfg.Progress(int(prog.Add(1)), n)
+		}
+		return v, err
+	}
+	workers := cfg.workerCount()
 	if workers > n {
 		workers = n
 	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			v, err := cell(i)
+			v, err := runOne(i)
 			if err != nil {
 				return nil, err
 			}
@@ -96,7 +132,7 @@ func runCells[T any](workers, n int, cell func(i int) (T, error)) ([]T, error) {
 				if i >= n || failed.Load() {
 					return
 				}
-				v, err := cell(i)
+				v, err := runOne(i)
 				if err != nil {
 					failed.Store(true)
 					mu.Lock()
@@ -162,7 +198,7 @@ func runLoadCurves(cfg Config, specs []loadCurveSpec) ([]metrics.Series, error) 
 		if len(keys) == 0 {
 			break
 		}
-		res, err := runCells(cfg.workerCount(), len(keys), func(i int) (traffic.LoadResult, error) {
+		res, err := runCells(cfg, len(keys), func(i int, _ cellCtx) (traffic.LoadResult, error) {
 			k := keys[i]
 			sp := specs[k.ci]
 			rec, commit := cfg.cellObs(fmt.Sprintf("load/%s%s/l=%v/topo%03d",

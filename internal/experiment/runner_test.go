@@ -12,7 +12,7 @@ import (
 
 func TestRunCellsOrderStable(t *testing.T) {
 	const n = 200
-	out, err := runCells(8, n, func(i int) (int, error) { return i * i, nil })
+	out, err := runCells(Config{Workers: 8}, n, func(i int, _ cellCtx) (int, error) { return i * i, nil })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -27,18 +27,18 @@ func TestRunCellsOrderStable(t *testing.T) {
 }
 
 func TestRunCellsFirstError(t *testing.T) {
-	boom := func(i int) (int, error) {
+	boom := func(i int, _ cellCtx) (int, error) {
 		if i == 3 || i == 7 {
 			return 0, fmt.Errorf("cell %d failed", i)
 		}
 		return i, nil
 	}
 	// Serial: the first error in cell order, exactly.
-	if _, err := runCells(1, 10, boom); err == nil || err.Error() != "cell 3 failed" {
+	if _, err := runCells(Config{Workers: 1}, 10, boom); err == nil || err.Error() != "cell 3 failed" {
 		t.Fatalf("serial error = %v", err)
 	}
 	// Parallel: some failing cell's error (the lowest-indexed one observed).
-	_, err := runCells(4, 10, boom)
+	_, err := runCells(Config{Workers: 4}, 10, boom)
 	if err == nil {
 		t.Fatal("parallel run swallowed the error")
 	}
@@ -48,11 +48,11 @@ func TestRunCellsFirstError(t *testing.T) {
 }
 
 func TestRunCellsEdgeCases(t *testing.T) {
-	if out, err := runCells(4, 0, func(int) (int, error) { return 0, errors.New("never") }); err != nil || len(out) != 0 {
+	if out, err := runCells(Config{Workers: 4}, 0, func(int, cellCtx) (int, error) { return 0, errors.New("never") }); err != nil || len(out) != 0 {
 		t.Fatalf("empty grid: %v %v", out, err)
 	}
 	// workers <= 0 falls back to GOMAXPROCS.
-	out, err := runCells(0, 5, func(i int) (int, error) { return i, nil })
+	out, err := runCells(Config{}, 5, func(i int, _ cellCtx) (int, error) { return i, nil })
 	if err != nil || len(out) != 5 {
 		t.Fatalf("default workers: %v %v", out, err)
 	}

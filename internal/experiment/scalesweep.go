@@ -201,11 +201,13 @@ func planHeaderBytes(t *topology.Topology, p sim.Params, plan *sim.Plan) int {
 
 // scaleCellResult is one (case, combo) cell's aggregate over its probes.
 type scaleCellResult struct {
-	headerBytes float64 // mean encoded header bytes per multicast
-	planMS      float64 // mean plan+size wall time per multicast (NOT deterministic)
-	latency     float64 // mean single-multicast latency (NaN when not simulated)
-	throughput  float64 // mean delivered payload bytes/cycle (NaN when not simulated)
-	dests       float64 // mean destination count (table note)
+	// Fields are exported so the checkpoint journal's gob codec can
+	// round-trip them (gob silently drops unexported fields).
+	HeaderBytes float64 // mean encoded header bytes per multicast
+	PlanMS      float64 // mean plan+size wall time per multicast (NOT deterministic)
+	Latency     float64 // mean single-multicast latency (NaN when not simulated)
+	Throughput  float64 // mean delivered payload bytes/cycle (NaN when not simulated)
+	Dests       float64 // mean destination count (table note)
 	// Simulated-probe capacity figures (NaN when not simulated). Both are
 	// wall-clock measurements and live only in the NOT-deterministic
 	// tables: eventsPerSec is events processed over sim wall time;
@@ -213,8 +215,8 @@ type scaleCellResult struct {
 	// while the cell's probes ran (coarse when cells run in parallel —
 	// concurrent cells share one heap — but exactly the capacity number
 	// the XL acceptance bound is about).
-	eventsPerSec float64
-	peakHeapMB   float64
+	EventsPerSec float64
+	PeakHeapMB   float64
 }
 
 // ScaleSweep re-asks the paper's NI-vs-switch question at datacenter
@@ -278,13 +280,13 @@ func ScaleSweep(cfg Config) ([]*metrics.Table, error) {
 			}
 		}
 		numNodes[ci] = t.NumNodes
-		res, err := runCells(cfg.workerCount(), len(combos), func(mi int) (scaleCellResult, error) {
+		res, err := runCells(cfg, len(combos), func(mi int, _ cellCtx) (scaleCellResult, error) {
 			cb := combos[mi]
 			p := cfg.Params
 			p.DestCoding = cb.coding
 			res := scaleCellResult{
-				latency: math.NaN(), throughput: math.NaN(),
-				eventsPerSec: math.NaN(), peakHeapMB: math.NaN(),
+				Latency: math.NaN(), Throughput: math.NaN(),
+				EventsPerSec: math.NaN(), PeakHeapMB: math.NaN(),
 			}
 			// Simulated probes per cell: every probe at tiers that simulate
 			// by default; with -sim-l, ONE probe at the L and XL tiers (the
@@ -347,16 +349,16 @@ func ScaleSweep(cfg Config) ([]*metrics.Table, error) {
 				latSum += lat
 				tputSum += float64(len(dests)*cfg.MsgFlits) / lat
 			}
-			res.headerBytes = float64(hdrSum) / float64(probes)
-			res.planMS = float64(planNS) / float64(probes) / 1e6
-			res.dests = float64(destSum) / float64(probes)
+			res.HeaderBytes = float64(hdrSum) / float64(probes)
+			res.PlanMS = float64(planNS) / float64(probes) / 1e6
+			res.Dests = float64(destSum) / float64(probes)
 			if simProbes > 0 {
-				res.latency = latSum / float64(simProbes)
-				res.throughput = tputSum / float64(simProbes)
+				res.Latency = latSum / float64(simProbes)
+				res.Throughput = tputSum / float64(simProbes)
 				if simNS > 0 {
-					res.eventsPerSec = float64(simEvents) / (float64(simNS) / 1e9)
+					res.EventsPerSec = float64(simEvents) / (float64(simNS) / 1e9)
 				}
-				res.peakHeapMB = float64(peakHeap) / (1 << 20)
+				res.PeakHeapMB = float64(peakHeap) / (1 << 20)
 			}
 			return res, nil
 		})
@@ -413,7 +415,7 @@ func ScaleSweep(cfg Config) ([]*metrics.Table, error) {
 				}
 				r := cellAt(ci, mi)
 				x := float64(numNodes[ci])
-				note := fmt.Sprintf("%s, %.0f dests", cases[ci].tier, r.dests)
+				note := fmt.Sprintf("%s, %.0f dests", cases[ci].tier, r.Dests)
 				simNote := note
 				if !cases[ci].simulate {
 					if cfg.SimulateL {
@@ -423,22 +425,22 @@ func ScaleSweep(cfg Config) ([]*metrics.Table, error) {
 					}
 				}
 				hSer.X = append(hSer.X, x)
-				hSer.Y = append(hSer.Y, r.headerBytes)
+				hSer.Y = append(hSer.Y, r.HeaderBytes)
 				hSer.Note = append(hSer.Note, note)
 				lSer.X = append(lSer.X, x)
-				lSer.Y = append(lSer.Y, r.latency)
+				lSer.Y = append(lSer.Y, r.Latency)
 				lSer.Note = append(lSer.Note, simNote)
 				tSer.X = append(tSer.X, x)
-				tSer.Y = append(tSer.Y, r.throughput)
+				tSer.Y = append(tSer.Y, r.Throughput)
 				tSer.Note = append(tSer.Note, simNote)
 				wSer.X = append(wSer.X, x)
-				wSer.Y = append(wSer.Y, r.planMS)
+				wSer.Y = append(wSer.Y, r.PlanMS)
 				wSer.Note = append(wSer.Note, note)
 				rSer.X = append(rSer.X, x)
-				rSer.Y = append(rSer.Y, r.eventsPerSec)
+				rSer.Y = append(rSer.Y, r.EventsPerSec)
 				rSer.Note = append(rSer.Note, simNote)
 				pSer.X = append(pSer.X, x)
-				pSer.Y = append(pSer.Y, r.peakHeapMB)
+				pSer.Y = append(pSer.Y, r.PeakHeapMB)
 				pSer.Note = append(pSer.Note, simNote)
 			}
 			header.Series = append(header.Series, hSer)

@@ -12,8 +12,8 @@ import (
 //
 // Adding a kind: pick the next constant, register its handler in
 // registerKinds, and Post/PostAfter it with the owning object as actor.
-// Kinds must stay below event.MaxKinds; cold one-shot callbacks can keep
-// using the closure shim (Network.Schedule, retry backoff).
+// Kinds must stay below event.MaxKinds; cold one-shot callbacks ride
+// the evSched kind (Network.Schedule, retry backoff).
 const (
 	// evPump advances one branch's flit stream (actor *branch).
 	evPump event.Kind = iota + 1
@@ -69,6 +69,13 @@ const (
 	// evMembership applies one scheduled group membership change
 	// (actor *MembershipEvent). Never posted without registered groups.
 	evMembership
+	// evSched runs a one-shot control-plane closure (actor func()). This
+	// is the typed home of Network.Schedule and the retry backoff — the
+	// last closure-shaped state in the engine. A pending evSched cannot
+	// be serialized (the func captures arbitrary driver state), so
+	// Checkpoint refuses while one is scheduled; everything else in the
+	// queue is a fixed-shape record.
+	evSched
 )
 
 // kindRegistrar is the jump-table surface shared by the single calendar
@@ -116,4 +123,5 @@ func (n *Network) registerKinds(q kindRegistrar) {
 	q.Register(evReclaim, func(a any, _ int64) { br := a.(*branch); br.sh.reclaimBranch(br) })
 	q.Register(evObsFlush, func(_ any, _ int64) { n.obsTick() })
 	q.Register(evMembership, func(a any, _ int64) { n.applyMembership(a.(*MembershipEvent)) })
+	q.Register(evSched, func(a any, _ int64) { a.(func())() })
 }

@@ -28,7 +28,7 @@ func unicastReplanner(rt *updown.Routing, src topology.NodeID, dests []topology.
 // mid-flight severing of the worm's own path.
 func killFirstGrantedLink(n *Network) {
 	fired := false
-	n.SetTracer(func(ev TraceEvent) {
+	setTestTracer(n, func(ev TraceEvent) {
 		if fired || ev.Kind != TraceGrant {
 			return
 		}
@@ -240,7 +240,7 @@ func TestStallWatchdogReportsStructure(t *testing.T) {
 	// home buffer's credit return into a no-op, so the sender blocks on
 	// backpressure forever.
 	sabotaged := false
-	n.SetTracer(func(ev TraceEvent) {
+	setTestTracer(n, func(ev TraceEvent) {
 		if sabotaged || ev.Kind != TraceInject {
 			return
 		}

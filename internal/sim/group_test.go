@@ -28,7 +28,7 @@ func TestGroupApplyAndEpoch(t *testing.T) {
 		t.Fatalf("NewGroup: %v", err)
 	}
 	var members []TraceEvent
-	n.SetTracer(func(ev TraceEvent) {
+	setTestTracer(n, func(ev TraceEvent) {
 		if ev.Kind == TraceMember {
 			members = append(members, ev)
 		}
@@ -315,7 +315,7 @@ func TestGroupInvalidateIntersecting(t *testing.T) {
 func churnScript(t *testing.T, n *Network, g *Group, flush bool) []TraceEvent {
 	t.Helper()
 	var evs []TraceEvent
-	n.SetTracer(func(ev TraceEvent) { evs = append(evs, ev) })
+	setTestTracer(n, func(ev TraceEvent) { evs = append(evs, ev) })
 	if flush {
 		// Full-flush variant: every delta also bumps the routing epoch,
 		// so the next lookup drops the whole cache instead of only the

@@ -122,6 +122,16 @@ type Network struct {
 	routingEpoch int
 	cache        routeCache
 
+	// origOpts is the routing-options value the network was constructed
+	// with — the stable identity Checkpoint fingerprints, since rt.Opts
+	// changes when reconfiguration swaps tables. lastSwapOpts records
+	// the updown options of the most recent successful reconfiguration
+	// swap, so Checkpoint can serialize the routing state as "rebuild
+	// with these options" instead of the full tables (the rebuild is
+	// deterministic). Nil until the first swap.
+	origOpts     updown.Options
+	lastSwapOpts *updown.Options
+
 	// Dynamic multicast groups (see group.go); empty on static runs.
 	groups []*Group
 
@@ -168,14 +178,6 @@ const (
 	EngineHeap = event.BackendHeap
 )
 
-// NewWithEngine assembles a network like New but pins the scheduler
-// backend.
-//
-// Deprecated: use New(rt, params, seed, WithEngine(eng)).
-func NewWithEngine(rt *updown.Routing, params Params, seed uint64, eng Engine) (*Network, error) {
-	return New(rt, params, seed, WithEngine(eng))
-}
-
 // New assembles a network over a routed topology. The seed drives only
 // adaptive-routing tie-breaks; identical seeds give identical runs.
 // Options (WithEngine, WithTrace, WithObs) are applied after assembly,
@@ -194,10 +196,11 @@ func New(rt *updown.Routing, params Params, seed uint64, opts ...Option) (*Netwo
 	}
 	t := rt.Topo
 	n := &Network{
-		topo:   t,
-		rt:     rt,
-		params: params,
-		arb:    rng.New(seed),
+		topo:     t,
+		rt:       rt,
+		params:   params,
+		arb:      rng.New(seed),
+		origOpts: rt.Opts,
 	}
 	n.sparse = params.SetRep == RepSparse ||
 		(params.SetRep == RepAuto && t.NumNodes >= SparseUniverseThreshold)
@@ -474,10 +477,8 @@ func (n *Network) msgStart(m *Message) {
 }
 
 // DeadlockError reports a simulation that stopped making progress with
-// messages still in flight.
-//
-// Deprecated: Drain now diagnoses stalls with the richer StallError; this
-// type remains for message-format compatibility.
+// messages still in flight. Drain now diagnoses stalls with the richer
+// StallError; this type remains only for message-format compatibility.
 type DeadlockError struct {
 	At          event.Time
 	Outstanding int

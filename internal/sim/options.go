@@ -2,11 +2,11 @@ package sim
 
 import "mcastsim/internal/obs"
 
-// Option configures a Network at assembly time. Options replace the
-// ad-hoc post-construction setters (SetTracer, NewWithEngine's extra
-// constructor): New applies them after the topology is wired but before
-// any event is posted, so an option can never observe a half-run network
-// and the engine can be swapped while the queue is still empty.
+// Option configures a Network at assembly time. Options are the only
+// construction surface (the old post-construction setters are gone):
+// New applies them after the topology is wired but before any event is
+// posted, so an option can never observe a half-run network and the
+// engine can be swapped while the queue is still empty.
 type Option func(*netOptions)
 
 // netOptions is the collected option state New applies. Application

@@ -33,7 +33,7 @@ func treeStormPlan(src topology.NodeID) *Plan {
 func runTreeStorm(t *testing.T, n *Network) []TraceEvent {
 	t.Helper()
 	var evs []TraceEvent
-	n.SetTracer(func(ev TraceEvent) { evs = append(evs, ev) })
+	setTestTracer(n, func(ev TraceEvent) { evs = append(evs, ev) })
 	for round := 0; round < 3; round++ {
 		for _, src := range []topology.NodeID{0, 4, 7} {
 			mustRun(t, n, treeStormPlan(src), 48)
@@ -91,7 +91,7 @@ func TestRouteCacheTraceEquivalence(t *testing.T) {
 func runFaultScript(t *testing.T, n *Network) []TraceEvent {
 	t.Helper()
 	var evs []TraceEvent
-	n.SetTracer(func(ev TraceEvent) { evs = append(evs, ev) })
+	setTestTracer(n, func(ev TraceEvent) { evs = append(evs, ev) })
 
 	settle := n.Params().FaultDetectCycles + 500
 

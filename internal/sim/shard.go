@@ -191,15 +191,13 @@ func (n *Network) engineStep() bool {
 
 // schedAt runs fn at absolute time t (control-plane closures; serial
 // engines only — the closure would race with shard workers otherwise).
+// Closures ride the typed evSched kind, so the engine-level closure
+// shim stays test-only (see event/eventtest).
 func (n *Network) schedAt(t event.Time, fn func()) {
 	if n.fset != nil {
 		panic((&FastModeError{Feature: "Schedule (mid-run closures)"}).Error())
 	}
-	if n.lanes != nil {
-		n.lanes.At(t, fn)
-		return
-	}
-	n.queue.At(t, fn)
+	n.ctlPost(t, evSched, fn, 0)
 }
 
 // schedAfter runs fn delay cycles from now.

@@ -68,14 +68,6 @@ type TraceEvent struct {
 	Node   topology.NodeID
 }
 
-// SetTracer installs fn as the trace sink (nil disables tracing). Install
-// before the first Send.
-//
-// Deprecated: pass sim.WithTrace(fn) to New instead; the option applies
-// before any event exists, which this setter can only promise by
-// convention.
-func (n *Network) SetTracer(fn func(TraceEvent)) { n.tracer = fn }
-
 func (n *Network) trace(ev TraceEvent) {
 	if n.tracer != nil {
 		ev.At = n.nowAt()

@@ -8,12 +8,17 @@ import (
 	"mcastsim/internal/updown"
 )
 
+// setTestTracer installs a trace sink on an already-built network. The
+// public surface is sim.WithTrace at construction; in-package tests that
+// build fixtures first reach the field directly through this helper.
+func setTestTracer(n *Network, fn func(TraceEvent)) { n.tracer = fn }
+
 // collectTrace runs a plan on a traced network and groups route events per
 // worm ID.
 func collectTrace(t *testing.T, n *Network, plan *Plan, flits int) (map[int64][]TraceEvent, []TraceEvent) {
 	t.Helper()
 	var all []TraceEvent
-	n.SetTracer(func(ev TraceEvent) { all = append(all, ev) })
+	setTestTracer(n, func(ev TraceEvent) { all = append(all, ev) })
 	if _, err := n.RunSingle(plan, flits); err != nil {
 		t.Fatal(err)
 	}

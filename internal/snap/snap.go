@@ -1,0 +1,451 @@
+// Package snap is the compact self-describing binary codec behind the
+// simulator's snapshot files (sim.Network.Checkpoint / Restore and the
+// experiment journal headers).
+//
+// A snapshot stream is:
+//
+//	magic   [4]byte  — format identifier, e.g. "MCS1"
+//	version uint16   — format version; readers reject unknown versions
+//	body    sections — tagged sections, each length-prefixed
+//	crc     uint32   — IEEE CRC-32 of everything before it
+//
+// Every section opens with a one-byte tag and a uvarint byte length, so
+// a reader can verify it consumed exactly the bytes the writer emitted
+// (catching encoder/decoder drift loudly) and a future version can skip
+// sections it does not understand. Scalars use unsigned varints
+// (zig-zag for signed), which keeps mostly-small counters to one or two
+// bytes; fixed 64-bit words (RNG state, float bits) use little-endian.
+//
+// Decoding never trusts the stream: the trailing checksum is verified
+// before any field is decoded (framing catches truncation and drift,
+// but only the CRC catches a flipped bit inside value bytes), lengths
+// are bounds-checked against the remaining input and declared limits,
+// and every failure surfaces
+// as a *CorruptError (wrapping io.ErrUnexpectedEOF for truncation) so
+// callers can distinguish "bad file" from I/O errors and guarantee
+// no-partial-restore semantics by staging decodes before applying them.
+package snap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// CorruptError reports a malformed or truncated snapshot stream. It
+// wraps the underlying cause (often io.ErrUnexpectedEOF) and names the
+// decode context that failed.
+type CorruptError struct {
+	Context string // what was being decoded
+	Err     error  // underlying cause, possibly nil
+}
+
+func (e *CorruptError) Error() string {
+	if e.Err == nil {
+		return "snap: corrupt snapshot: " + e.Context
+	}
+	return fmt.Sprintf("snap: corrupt snapshot: %s: %v", e.Context, e.Err)
+}
+
+func (e *CorruptError) Unwrap() error { return e.Err }
+
+// VersionError reports a snapshot whose magic or format version does
+// not match what the reader supports. Old snapshots fail loudly here.
+type VersionError struct {
+	Magic       [4]byte
+	Got, Want   uint16
+	MagicWanted [4]byte
+}
+
+func (e *VersionError) Error() string {
+	if e.Magic != e.MagicWanted {
+		return fmt.Sprintf("snap: bad magic %q (want %q): not a snapshot of this format", e.Magic[:], e.MagicWanted[:])
+	}
+	return fmt.Sprintf("snap: unsupported snapshot format version %d (this build reads version %d)", e.Got, e.Want)
+}
+
+// maxSliceLen bounds any single decoded length. It is far above any
+// real snapshot section but small enough that a corrupted length
+// cannot drive a multi-gigabyte allocation.
+const maxSliceLen = 1 << 28
+
+// Writer serializes a snapshot stream. Errors are sticky: the first
+// write failure is retained and later calls become no-ops, so call
+// sites encode straight-line and check Close once.
+type Writer struct {
+	w   io.Writer
+	err error
+	buf []byte
+	crc uint32
+}
+
+// NewWriter starts a snapshot stream on w with the given magic and
+// version header.
+func NewWriter(w io.Writer, magic [4]byte, version uint16) *Writer {
+	sw := &Writer{w: w}
+	sw.write(magic[:])
+	sw.U16(version)
+	return sw
+}
+
+func (w *Writer) write(p []byte) {
+	if w.err != nil {
+		return
+	}
+	if _, w.err = w.w.Write(p); w.err == nil {
+		w.crc = crc32.Update(w.crc, crc32.IEEETable, p)
+	}
+}
+
+// U8 emits one byte.
+func (w *Writer) U8(v uint8) { w.write([]byte{v}) }
+
+// U16 emits a little-endian 16-bit word.
+func (w *Writer) U16(v uint16) {
+	var b [2]byte
+	binary.LittleEndian.PutUint16(b[:], v)
+	w.write(b[:])
+}
+
+// U64 emits a fixed little-endian 64-bit word (RNG state, float bits).
+func (w *Writer) U64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	w.write(b[:])
+}
+
+// Uvarint emits an unsigned varint.
+func (w *Writer) Uvarint(v uint64) {
+	var b [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(b[:], v)
+	w.write(b[:n])
+}
+
+// Varint emits a zig-zag signed varint.
+func (w *Writer) Varint(v int64) {
+	var b [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(b[:], v)
+	w.write(b[:n])
+}
+
+// Int emits an int as a signed varint.
+func (w *Writer) Int(v int) { w.Varint(int64(v)) }
+
+// Bool emits a boolean byte.
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+}
+
+// F64 emits a float64 as its IEEE bits (NaN-exact).
+func (w *Writer) F64(v float64) { w.U64(math.Float64bits(v)) }
+
+// String emits a length-prefixed string.
+func (w *Writer) String(s string) {
+	w.Uvarint(uint64(len(s)))
+	w.write([]byte(s))
+}
+
+// Ints emits a length-prefixed signed-varint slice.
+func (w *Writer) Ints(vs []int) {
+	w.Uvarint(uint64(len(vs)))
+	for _, v := range vs {
+		w.Int(v)
+	}
+}
+
+// Bitmap emits a []bool as a length-prefixed packed bitmap. A nil
+// slice is distinguished from an empty one (lazily allocated masks
+// round-trip as nil).
+func (w *Writer) Bitmap(bs []bool) {
+	if bs == nil {
+		w.Uvarint(0)
+		return
+	}
+	w.Uvarint(uint64(len(bs)) + 1)
+	var cur byte
+	for i, b := range bs {
+		if b {
+			cur |= 1 << (i & 7)
+		}
+		if i&7 == 7 {
+			w.U8(cur)
+			cur = 0
+		}
+	}
+	if len(bs)&7 != 0 {
+		w.U8(cur)
+	}
+}
+
+// Section opens a tagged, length-prefixed section: body runs against a
+// scratch writer and the accumulated bytes are emitted with the tag and
+// length. Sections make the stream self-describing and let the reader
+// verify exact consumption.
+func (w *Writer) Section(tag uint8, body func(*Writer)) {
+	if w.err != nil {
+		return
+	}
+	sub := &Writer{w: (*sliceWriter)(&w.buf)}
+	w.buf = w.buf[:0]
+	body(sub)
+	if sub.err != nil {
+		w.err = sub.err
+		return
+	}
+	w.U8(tag)
+	w.Uvarint(uint64(len(w.buf)))
+	w.write(w.buf)
+}
+
+type sliceWriter []byte
+
+func (s *sliceWriter) Write(p []byte) (int, error) {
+	*s = append(*s, p...)
+	return len(p), nil
+}
+
+// Close seals the stream with its CRC-32 trailer and reports the first
+// error encountered while encoding. The trailer itself is not hashed.
+func (w *Writer) Close() error {
+	if w.err != nil {
+		return w.err
+	}
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], w.crc)
+	_, w.err = w.w.Write(b[:])
+	return w.err
+}
+
+// Reader decodes a snapshot stream produced by Writer. All input is
+// slurped up front so truncation is detected deterministically; decode
+// errors are sticky and surface as *CorruptError from Err.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader reads the magic/version header from r and returns a Reader
+// positioned at the body. A wrong magic or version yields a
+// *VersionError; a short header yields a *CorruptError.
+func NewReader(r io.Reader, magic [4]byte, version uint16) (*Reader, error) {
+	buf, err := io.ReadAll(io.LimitReader(r, maxSliceLen))
+	if err != nil {
+		return nil, err
+	}
+	if len(buf) < 6 {
+		return nil, &CorruptError{Context: "header", Err: io.ErrUnexpectedEOF}
+	}
+	var got [4]byte
+	copy(got[:], buf[:4])
+	ver := binary.LittleEndian.Uint16(buf[4:6])
+	if got != magic || ver != version {
+		return nil, &VersionError{Magic: got, Got: ver, Want: version, MagicWanted: magic}
+	}
+	if len(buf) < 6+4 {
+		return nil, &CorruptError{Context: "checksum", Err: io.ErrUnexpectedEOF}
+	}
+	body := buf[:len(buf)-4]
+	want := binary.LittleEndian.Uint32(buf[len(buf)-4:])
+	if sum := crc32.ChecksumIEEE(body); sum != want {
+		return nil, &CorruptError{Context: "checksum", Err: fmt.Errorf("crc32 %08x, trailer says %08x", sum, want)}
+	}
+	return &Reader{buf: body, off: 6}, nil
+}
+
+func (r *Reader) fail(ctx string, err error) {
+	if r.err == nil {
+		r.err = &CorruptError{Context: ctx, Err: err}
+	}
+}
+
+// Fail records a caller-detected corruption (an implausible decoded
+// value) as the reader's sticky error, so section decoders can reject
+// bad data through the same error path as framing failures.
+func (r *Reader) Fail(ctx string, err error) { r.fail(ctx, err) }
+
+func (r *Reader) take(n int, ctx string) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || n > len(r.buf)-r.off {
+		r.fail(ctx, io.ErrUnexpectedEOF)
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+// U8 decodes one byte.
+func (r *Reader) U8() uint8 {
+	b := r.take(1, "u8")
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// U16 decodes a little-endian 16-bit word.
+func (r *Reader) U16() uint16 {
+	b := r.take(2, "u16")
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+// U64 decodes a fixed little-endian 64-bit word.
+func (r *Reader) U64() uint64 {
+	b := r.take(8, "u64")
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// Uvarint decodes an unsigned varint.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail("uvarint", io.ErrUnexpectedEOF)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Varint decodes a zig-zag signed varint.
+func (r *Reader) Varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail("varint", io.ErrUnexpectedEOF)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Int decodes an int-sized signed varint.
+func (r *Reader) Int() int { return int(r.Varint()) }
+
+// Bool decodes a boolean byte; any value other than 0 or 1 is corrupt.
+func (r *Reader) Bool() bool {
+	switch r.U8() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		r.fail("bool", errors.New("invalid boolean byte"))
+		return false
+	}
+}
+
+// F64 decodes IEEE float64 bits.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// String decodes a length-prefixed string.
+func (r *Reader) String() string {
+	n := r.Uvarint()
+	if n > maxSliceLen {
+		r.fail("string", fmt.Errorf("length %d exceeds limit", n))
+		return ""
+	}
+	return string(r.take(int(n), "string"))
+}
+
+// Ints decodes a length-prefixed signed-varint slice.
+func (r *Reader) Ints() []int {
+	n := r.Uvarint()
+	if n > maxSliceLen {
+		r.fail("ints", fmt.Errorf("length %d exceeds limit", n))
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = r.Int()
+	}
+	return out
+}
+
+// Bitmap decodes a packed bitmap written by Writer.Bitmap (nil-aware).
+func (r *Reader) Bitmap() []bool {
+	n := r.Uvarint()
+	if n == 0 {
+		return nil
+	}
+	n--
+	if n > maxSliceLen {
+		r.fail("bitmap", fmt.Errorf("length %d exceeds limit", n))
+		return nil
+	}
+	bytes := r.take(int(n+7)/8, "bitmap")
+	if bytes == nil {
+		return nil
+	}
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = bytes[i/8]&(1<<(i&7)) != 0
+	}
+	return out
+}
+
+// Section decodes a tagged section written by Writer.Section: the tag
+// must match, and body must consume the section's bytes exactly.
+func (r *Reader) Section(tag uint8, body func(*Reader)) {
+	if r.err != nil {
+		return
+	}
+	ctx := fmt.Sprintf("section %d", tag)
+	if got := r.U8(); r.err == nil && got != tag {
+		r.fail(ctx, fmt.Errorf("found tag %d", got))
+	}
+	n := r.Uvarint()
+	if n > maxSliceLen {
+		r.fail(ctx, fmt.Errorf("length %d exceeds limit", n))
+	}
+	b := r.take(int(n), ctx)
+	if r.err != nil {
+		return
+	}
+	sub := &Reader{buf: b}
+	body(sub)
+	if sub.err != nil {
+		r.fail(ctx, sub.err)
+		return
+	}
+	if sub.off != len(sub.buf) {
+		r.fail(ctx, fmt.Errorf("%d trailing bytes", len(sub.buf)-sub.off))
+	}
+}
+
+// Err reports the first decode error, if any. Call after decoding.
+func (r *Reader) Err() error { return r.err }
+
+// ExpectEOF verifies the whole stream was consumed.
+func (r *Reader) ExpectEOF() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.buf) {
+		return &CorruptError{Context: "trailer", Err: fmt.Errorf("%d trailing bytes", len(r.buf)-r.off)}
+	}
+	return nil
+}

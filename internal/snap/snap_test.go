@@ -1,0 +1,167 @@
+package snap
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+)
+
+var testMagic = [4]byte{'T', 'S', 'T', '1'}
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, testMagic, 3)
+	w.Section(1, func(w *Writer) {
+		w.U8(7)
+		w.U16(65500)
+		w.U64(1<<63 + 5)
+		w.Uvarint(300)
+		w.Varint(-12345)
+		w.Int(42)
+		w.Bool(true)
+		w.Bool(false)
+		w.F64(math.NaN())
+		w.String("hello")
+		w.Ints([]int{3, -1, 0})
+		w.Bitmap([]bool{true, false, true, true, false, false, false, true, true})
+		w.Bitmap(nil)
+		w.Bitmap([]bool{})
+	})
+	w.Section(9, func(w *Writer) { w.Uvarint(0) })
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(bytes.NewReader(buf.Bytes()), testMagic, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Section(1, func(r *Reader) {
+		if got := r.U8(); got != 7 {
+			t.Errorf("u8 = %d", got)
+		}
+		if got := r.U16(); got != 65500 {
+			t.Errorf("u16 = %d", got)
+		}
+		if got := r.U64(); got != 1<<63+5 {
+			t.Errorf("u64 = %d", got)
+		}
+		if got := r.Uvarint(); got != 300 {
+			t.Errorf("uvarint = %d", got)
+		}
+		if got := r.Varint(); got != -12345 {
+			t.Errorf("varint = %d", got)
+		}
+		if got := r.Int(); got != 42 {
+			t.Errorf("int = %d", got)
+		}
+		if !r.Bool() || r.Bool() {
+			t.Error("bool round-trip failed")
+		}
+		if got := r.F64(); !math.IsNaN(got) {
+			t.Errorf("f64 = %v, want NaN", got)
+		}
+		if got := r.String(); got != "hello" {
+			t.Errorf("string = %q", got)
+		}
+		ints := r.Ints()
+		if len(ints) != 3 || ints[0] != 3 || ints[1] != -1 || ints[2] != 0 {
+			t.Errorf("ints = %v", ints)
+		}
+		bm := r.Bitmap()
+		want := []bool{true, false, true, true, false, false, false, true, true}
+		if len(bm) != len(want) {
+			t.Fatalf("bitmap len = %d", len(bm))
+		}
+		for i := range bm {
+			if bm[i] != want[i] {
+				t.Errorf("bitmap[%d] = %v", i, bm[i])
+			}
+		}
+		if r.Bitmap() != nil {
+			t.Error("nil bitmap did not round-trip as nil")
+		}
+		if got := r.Bitmap(); got == nil || len(got) != 0 {
+			t.Errorf("empty bitmap = %v", got)
+		}
+	})
+	r.Section(9, func(r *Reader) {
+		if got := r.Uvarint(); got != 0 {
+			t.Errorf("uvarint = %d", got)
+		}
+	})
+	if err := r.ExpectEOF(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadMagicAndVersion(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, testMagic, 1)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var ve *VersionError
+	if _, err := NewReader(bytes.NewReader(buf.Bytes()), [4]byte{'N', 'O', 'P', 'E'}, 1); !errors.As(err, &ve) {
+		t.Errorf("bad magic: got %v, want *VersionError", err)
+	}
+	if _, err := NewReader(bytes.NewReader(buf.Bytes()), testMagic, 2); !errors.As(err, &ve) {
+		t.Errorf("bad version: got %v, want *VersionError", err)
+	}
+	var ce *CorruptError
+	if _, err := NewReader(bytes.NewReader(buf.Bytes()[:3]), testMagic, 1); !errors.As(err, &ce) {
+		t.Errorf("short header: got %v, want *CorruptError", err)
+	}
+}
+
+func TestTruncationAndDrift(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, testMagic, 1)
+	w.Section(4, func(w *Writer) {
+		w.String("payload")
+		w.U64(99)
+	})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	// Truncation anywhere in the body must yield a CorruptError.
+	for cut := 6; cut < len(full); cut++ {
+		r, err := NewReader(bytes.NewReader(full[:cut]), testMagic, 1)
+		if err != nil {
+			var ce *CorruptError
+			if !errors.As(err, &ce) {
+				t.Fatalf("cut %d: header error %v", cut, err)
+			}
+			continue
+		}
+		r.Section(4, func(r *Reader) { _ = r.String(); r.U64() })
+		if err := r.ExpectEOF(); err == nil {
+			t.Errorf("cut %d: truncated stream decoded cleanly", cut)
+		}
+	}
+
+	// Under-consuming a section is decoder drift and must fail too.
+	r, err := NewReader(bytes.NewReader(full), testMagic, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Section(4, func(r *Reader) { _ = r.String() }) // leaves the U64 unread
+	var ce *CorruptError
+	if err := r.Err(); !errors.As(err, &ce) {
+		t.Errorf("drift: got %v, want *CorruptError", err)
+	}
+
+	// Wrong section tag.
+	r2, err := NewReader(bytes.NewReader(full), testMagic, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Section(5, func(r *Reader) {})
+	if err := r2.Err(); !errors.As(err, &ce) {
+		t.Errorf("wrong tag: got %v, want *CorruptError", err)
+	}
+}

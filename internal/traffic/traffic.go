@@ -4,10 +4,9 @@
 // generates degree-d multicasts with exponential interarrival times and
 // latency is measured against effective applied load (§4.3).
 //
-// Run is the unified entrypoint: a Workload plus functional options
-// selecting the mode and cross-cutting concerns (telemetry, tracing).
-// The RunSingle/RunLoad/RunMixed/RunFault entrypoints predate it and
-// remain as thin deprecated wrappers.
+// Run is the only entrypoint: a Workload plus functional options
+// selecting the mode and cross-cutting concerns (telemetry, tracing,
+// probe-granular checkpointing for resumable experiments).
 package traffic
 
 import (
@@ -54,32 +53,27 @@ func destsFrom(r *rng.Source, numNodes, degree int, src topology.NodeID) []topol
 	return out
 }
 
-// SingleConfig parameterizes isolated-multicast latency probes.
-type SingleConfig struct {
-	Workload
-	Probes int // random (source, destination-set) draws
-}
-
-// RunSingle measures isolated multicast latencies (cycles) on one routed
-// topology: Probes independent random multicasts, each on a quiet network.
-//
-// Deprecated: use Run(rt, cfg.Workload, WithProbes(cfg.Probes)).
-func RunSingle(rt *updown.Routing, cfg SingleConfig) ([]float64, error) {
-	res, err := Run(rt, cfg.Workload, WithProbes(cfg.Probes))
-	if err != nil {
-		return nil, err
-	}
-	return res.Latencies, nil
-}
-
-// runSingle is single mode's implementation (Run's default mode).
+// runSingle is single mode's implementation (Run's default mode). Each
+// probe runs on its own quiet network, so between probes the only live
+// state is the draw RNG and the collected latencies — exactly what
+// CellCheckpoint captures; WithResume re-enters the loop mid-cell with
+// the same per-probe seeds and draws as the uninterrupted run.
 func runSingle(rt *updown.Routing, w Workload, probes int, o *runOpts) ([]float64, error) {
 	if probes <= 0 {
 		return nil, fmt.Errorf("traffic: non-positive probe count")
 	}
 	r := rng.New(w.Seed)
 	out := make([]float64, 0, probes)
-	for i := 0; i < probes; i++ {
+	start := 0
+	if o.resume != nil {
+		if o.resume.NextProbe < 0 || o.resume.NextProbe > probes {
+			return nil, fmt.Errorf("traffic: resume checkpoint at probe %d of %d", o.resume.NextProbe, probes)
+		}
+		start = o.resume.NextProbe
+		r.SetState(o.resume.RNG)
+		out = append(out, o.resume.Latencies...)
+	}
+	for i := start; i < probes; i++ {
 		src, dests := randomSet(r, rt.Topo.NumNodes, w.Degree)
 		plan, err := w.Scheme.Plan(rt, w.Params, src, dests, w.MsgFlits)
 		if err != nil {
@@ -101,6 +95,13 @@ func runSingle(rt *updown.Routing, w Workload, probes int, o *runOpts) ([]float6
 		}
 		n.FlushObs()
 		out = append(out, float64(m.Latency()))
+		if o.ckpt != nil {
+			o.ckpt(CellCheckpoint{
+				NextProbe: i + 1,
+				RNG:       r.State(),
+				Latencies: append([]float64(nil), out...),
+			})
+		}
 	}
 	return out, nil
 }
@@ -123,17 +124,6 @@ type LoadResult struct {
 	// Saturated flags the point: completions fell behind initiations or
 	// the queue kept growing (latency values then mean little).
 	Saturated bool
-}
-
-// RunLoad simulates one load point on one routed topology.
-//
-// Deprecated: use Run(rt, cfg.Workload, WithLoad(cfg.LoadSpec)).
-func RunLoad(rt *updown.Routing, cfg LoadConfig) (LoadResult, error) {
-	res, err := Run(rt, cfg.Workload, WithLoad(cfg.LoadSpec))
-	if err != nil {
-		return LoadResult{}, err
-	}
-	return *res.Load, nil
 }
 
 // runLoad is load mode's implementation: a fresh network assembled with
@@ -226,26 +216,10 @@ func RunLoadOn(n *sim.Network, rt *updown.Routing, cfg LoadConfig) (LoadResult, 
 	return res, nil
 }
 
-// MixedConfig runs multicast probes over a background of uniform unicast
-// traffic — the regime a real NOW lives in, where multicast competes with
-// ordinary point-to-point messages rather than only with other multicasts.
-type MixedConfig struct {
-	Workload
-	MixedSpec
-}
-
-// RunMixed measures multicast latency under unicast background traffic.
-//
-// Deprecated: use Run(rt, cfg.Workload, WithMixed(cfg.MixedSpec)).
-func RunMixed(rt *updown.Routing, cfg MixedConfig) ([]float64, error) {
-	res, err := Run(rt, cfg.Workload, WithMixed(cfg.MixedSpec))
-	if err != nil {
-		return nil, err
-	}
-	return res.Latencies, nil
-}
-
-// runMixed is mixed mode's implementation.
+// runMixed is mixed mode's implementation: multicast probes over a
+// background of uniform unicast traffic — the regime a real NOW lives
+// in, where multicast competes with ordinary point-to-point messages
+// rather than only with other multicasts.
 func runMixed(rt *updown.Routing, w Workload, spec MixedSpec, o *runOpts) ([]float64, error) {
 	if spec.Probes <= 0 || spec.ProbeGap <= 0 {
 		return nil, fmt.Errorf("traffic: bad mixed probe settings")
@@ -338,13 +312,6 @@ func AsReplanner(s mcast.Scheme, p sim.Params) sim.Replanner {
 	}
 }
 
-// FaultConfig parameterizes reliable single-multicast probes under an
-// injected fault schedule.
-type FaultConfig struct {
-	Workload
-	FaultSpec
-}
-
 // FaultProbe is one reliable multicast's outcome under faults, plus a
 // post-fault steady-state measurement taken on the same (reconfigured)
 // network once the dust settles.
@@ -364,22 +331,11 @@ type FaultProbe struct {
 	PostDelivered, PostTotal int
 }
 
-// RunFault measures reliable multicast delivery under a fault schedule:
-// each probe gets a fresh network, its schedule installed, one reliable
-// multicast driven to completion, and then one clean follow-up multicast
-// measuring post-fault steady-state latency. Conservation is not checked
-// — torn-down worms legitimately drop flits.
-//
-// Deprecated: use Run(rt, cfg.Workload, WithFaults(cfg.FaultSpec)).
-func RunFault(rt *updown.Routing, cfg FaultConfig) ([]FaultProbe, error) {
-	res, err := Run(rt, cfg.Workload, WithFaults(cfg.FaultSpec))
-	if err != nil {
-		return nil, err
-	}
-	return res.Faults, nil
-}
-
-// runFault is fault mode's implementation.
+// runFault is fault mode's implementation: each probe gets a fresh
+// network, its schedule installed, one reliable multicast driven to
+// completion, and then one clean follow-up multicast measuring
+// post-fault steady-state latency. Conservation is not checked —
+// torn-down worms legitimately drop flits.
 func runFault(rt *updown.Routing, w Workload, spec FaultSpec, o *runOpts) ([]FaultProbe, error) {
 	if spec.Probes <= 0 {
 		return nil, fmt.Errorf("traffic: non-positive probe count")
@@ -466,20 +422,21 @@ func postFaultProbe(n *sim.Network, r *rng.Source, w Workload, replan sim.Replan
 	return pr, true
 }
 
-// LoadSweep runs RunLoad across the given effective loads, stopping early
-// once a point saturates (the curve past saturation is off the chart, as
-// in the paper's figures). It always evaluates at least one point.
+// LoadSweep runs load mode across the given effective loads, stopping
+// early once a point saturates (the curve past saturation is off the
+// chart, as in the paper's figures). It always evaluates at least one
+// point.
 func LoadSweep(rt *updown.Routing, base LoadConfig, loads []float64) ([]LoadResult, error) {
 	var out []LoadResult
 	for _, l := range loads {
-		cfg := base
-		cfg.EffectiveLoad = l
-		res, err := RunLoad(rt, cfg)
+		spec := base.LoadSpec
+		spec.EffectiveLoad = l
+		res, err := Run(rt, base.Workload, WithLoad(spec))
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, res)
-		if res.Saturated {
+		out = append(out, *res.Load)
+		if res.Load.Saturated {
 			break
 		}
 	}

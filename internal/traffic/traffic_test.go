@@ -14,6 +14,32 @@ import (
 	"mcastsim/internal/updown"
 )
 
+// runSingleLats, runLoadPoint and runMixedLats drive Run in one mode
+// and unwrap that mode's result, keeping call sites compact.
+func runSingleLats(rt *updown.Routing, w Workload, probes int) ([]float64, error) {
+	res, err := Run(rt, w, WithProbes(probes))
+	if err != nil {
+		return nil, err
+	}
+	return res.Latencies, nil
+}
+
+func runLoadPoint(rt *updown.Routing, w Workload, spec LoadSpec) (LoadResult, error) {
+	res, err := Run(rt, w, WithLoad(spec))
+	if err != nil {
+		return LoadResult{}, err
+	}
+	return *res.Load, nil
+}
+
+func runMixedLats(rt *updown.Routing, w Workload, spec MixedSpec) ([]float64, error) {
+	res, err := Run(rt, w, WithMixed(spec))
+	if err != nil {
+		return nil, err
+	}
+	return res.Latencies, nil
+}
+
 func routed(t *testing.T, seed uint64) *updown.Routing {
 	t.Helper()
 	topo, err := topology.Generate(topology.DefaultConfig(), rng.New(seed))
@@ -54,11 +80,8 @@ func TestDestsFromExcludesSource(t *testing.T) {
 func TestRunSingleAllSchemes(t *testing.T) {
 	rt := routed(t, 3)
 	for _, sch := range []mcast.Scheme{binomial.New(), kbinomial.New(), treeworm.New(), pathworm.New()} {
-		lats, err := RunSingle(rt, SingleConfig{
-			Workload: Workload{Scheme: sch, Params: sim.DefaultParams(),
-				Degree: 16, MsgFlits: 128, Seed: 9},
-			Probes: 5,
-		})
+		lats, err := runSingleLats(rt, Workload{Scheme: sch, Params: sim.DefaultParams(),
+			Degree: 16, MsgFlits: 128, Seed: 9}, 5)
 		if err != nil {
 			t.Fatalf("%s: %v", sch.Name(), err)
 		}
@@ -75,13 +98,13 @@ func TestRunSingleAllSchemes(t *testing.T) {
 
 func TestRunSingleDeterministic(t *testing.T) {
 	rt := routed(t, 4)
-	cfg := SingleConfig{Workload: Workload{Scheme: treeworm.New(),
-		Params: sim.DefaultParams(), Degree: 8, MsgFlits: 128, Seed: 11}, Probes: 4}
-	a, err := RunSingle(rt, cfg)
+	w := Workload{Scheme: treeworm.New(),
+		Params: sim.DefaultParams(), Degree: 8, MsgFlits: 128, Seed: 11}
+	a, err := runSingleLats(rt, w, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RunSingle(rt, cfg)
+	b, err := runSingleLats(rt, w, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,13 +115,58 @@ func TestRunSingleDeterministic(t *testing.T) {
 	}
 }
 
+func TestRunSingleCheckpointResume(t *testing.T) {
+	// Resuming single mode from any probe-granular checkpoint must
+	// reproduce the uninterrupted run's latencies exactly.
+	rt := routed(t, 4)
+	w := Workload{Scheme: treeworm.New(), Params: sim.DefaultParams(),
+		Degree: 8, MsgFlits: 128, Seed: 17}
+	const probes = 6
+	full, err := runSingleLats(rt, w, probes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cps []CellCheckpoint
+	if _, err := Run(rt, w, WithProbes(probes),
+		WithCheckpoint(func(cp CellCheckpoint) { cps = append(cps, cp) })); err != nil {
+		t.Fatal(err)
+	}
+	if len(cps) != probes {
+		t.Fatalf("got %d checkpoints, want %d", len(cps), probes)
+	}
+	for _, cp := range cps {
+		res, err := Run(rt, w, WithProbes(probes), WithResume(cp))
+		if err != nil {
+			t.Fatalf("resume at probe %d: %v", cp.NextProbe, err)
+		}
+		if len(res.Latencies) != probes {
+			t.Fatalf("resume at probe %d: %d latencies", cp.NextProbe, len(res.Latencies))
+		}
+		for i := range full {
+			if res.Latencies[i] != full[i] {
+				t.Fatalf("resume at probe %d: latency %d diverged: %v vs %v",
+					cp.NextProbe, i, res.Latencies[i], full[i])
+			}
+		}
+	}
+	// Checkpoint options are single-mode only.
+	if _, err := Run(rt, w, WithLoad(LoadSpec{EffectiveLoad: 0.1, Measure: 1}),
+		WithCheckpoint(func(CellCheckpoint) {})); err == nil {
+		t.Fatal("WithCheckpoint accepted alongside WithLoad")
+	}
+	// A checkpoint past the probe count is rejected.
+	if _, err := Run(rt, w, WithProbes(2), WithResume(cps[probes-1])); err == nil {
+		t.Fatal("out-of-range resume accepted")
+	}
+}
+
 func TestSingleMulticastOrdering(t *testing.T) {
 	// At default parameters the paper's central single-multicast result:
 	// tree (one phase) < {NI-based, path-based} < binomial baseline.
 	rt := routed(t, 5)
 	p := sim.DefaultParams()
 	mean := func(s mcast.Scheme) float64 {
-		lats, err := RunSingle(rt, SingleConfig{Workload: Workload{Scheme: s, Params: p, Degree: 16, MsgFlits: 128, Seed: 21}, Probes: 10})
+		lats, err := runSingleLats(rt, Workload{Scheme: s, Params: p, Degree: 16, MsgFlits: 128, Seed: 21}, 10)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -125,7 +193,7 @@ func TestRunLoadLowLoadMatchesSingle(t *testing.T) {
 	rt := routed(t, 6)
 	p := sim.DefaultParams()
 	sch := treeworm.New()
-	iso, err := RunSingle(rt, SingleConfig{Workload: Workload{Scheme: sch, Params: p, Degree: 8, MsgFlits: 128, Seed: 3}, Probes: 10})
+	iso, err := runSingleLats(rt, Workload{Scheme: sch, Params: p, Degree: 8, MsgFlits: 128, Seed: 3}, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,10 +203,9 @@ func TestRunLoadLowLoadMatchesSingle(t *testing.T) {
 	}
 	isoMean /= float64(len(iso))
 
-	res, err := RunLoad(rt, LoadConfig{
-		Workload: Workload{Scheme: sch, Params: p, Degree: 8, MsgFlits: 128, Seed: 12},
-		LoadSpec: LoadSpec{EffectiveLoad: 0.02, Warmup: 20000, Measure: 60000, Drain: 30000},
-	})
+	res, err := runLoadPoint(rt,
+		Workload{Scheme: sch, Params: p, Degree: 8, MsgFlits: 128, Seed: 12},
+		LoadSpec{EffectiveLoad: 0.02, Warmup: 20000, Measure: 60000, Drain: 30000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,19 +223,17 @@ func TestRunLoadLowLoadMatchesSingle(t *testing.T) {
 func TestRunLoadLatencyIncreasesWithLoad(t *testing.T) {
 	rt := routed(t, 7)
 	p := sim.DefaultParams()
-	base := LoadConfig{
-		Workload: Workload{Scheme: treeworm.New(), Params: p, Degree: 8, MsgFlits: 128, Seed: 13},
-		LoadSpec: LoadSpec{Warmup: 20000, Measure: 60000, Drain: 40000},
-	}
+	w := Workload{Scheme: treeworm.New(), Params: p, Degree: 8, MsgFlits: 128, Seed: 13}
+	base := LoadSpec{Warmup: 20000, Measure: 60000, Drain: 40000}
 	lo := base
 	lo.EffectiveLoad = 0.05
 	hi := base
 	hi.EffectiveLoad = 0.5
-	rl, err := RunLoad(rt, lo)
+	rl, err := runLoadPoint(rt, w, lo)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rh, err := RunLoad(rt, hi)
+	rh, err := runLoadPoint(rt, w, hi)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,23 +270,22 @@ func TestLoadSweepStopsAtSaturation(t *testing.T) {
 
 func TestRunLoadRejectsBadConfig(t *testing.T) {
 	rt := routed(t, 9)
-	if _, err := RunLoad(rt, LoadConfig{
-		Workload: Workload{Scheme: treeworm.New(), Params: sim.DefaultParams(), Degree: 8, MsgFlits: 128},
-		LoadSpec: LoadSpec{EffectiveLoad: 0, Warmup: 1, Measure: 1, Drain: 1}}); err == nil {
+	w := Workload{Scheme: treeworm.New(), Params: sim.DefaultParams(), Degree: 8, MsgFlits: 128}
+	if _, err := runLoadPoint(rt, w,
+		LoadSpec{EffectiveLoad: 0, Warmup: 1, Measure: 1, Drain: 1}); err == nil {
 		t.Fatal("zero load accepted")
 	}
-	if _, err := RunLoad(rt, LoadConfig{
-		Workload: Workload{Scheme: treeworm.New(), Params: sim.DefaultParams(), Degree: 8, MsgFlits: 128},
-		LoadSpec: LoadSpec{EffectiveLoad: 0.1, Warmup: 1, Measure: 0, Drain: 1}}); err == nil {
+	if _, err := runLoadPoint(rt, w,
+		LoadSpec{EffectiveLoad: 0.1, Warmup: 1, Measure: 0, Drain: 1}); err == nil {
 		t.Fatal("zero measure window accepted")
 	}
 }
 
 func TestRunSingleRejectsBadProbes(t *testing.T) {
 	rt := routed(t, 10)
-	if _, err := RunSingle(rt, SingleConfig{
-		Workload: Workload{Scheme: treeworm.New(), Params: sim.DefaultParams(), Degree: 8, MsgFlits: 128},
-		Probes:   0}); err == nil {
+	if _, err := runSingleLats(rt,
+		Workload{Scheme: treeworm.New(), Params: sim.DefaultParams(), Degree: 8, MsgFlits: 128},
+		0); err == nil {
 		t.Fatal("zero probes accepted")
 	}
 }
@@ -229,19 +293,17 @@ func TestRunSingleRejectsBadProbes(t *testing.T) {
 func TestRunMixedBackgroundSlowsMulticast(t *testing.T) {
 	rt := routed(t, 11)
 	p := sim.DefaultParams()
-	base := MixedConfig{
-		Workload:  Workload{Scheme: treeworm.New(), Params: p, Degree: 8, MsgFlits: 128, Seed: 31},
-		MixedSpec: MixedSpec{BackgroundFlits: 128, Probes: 8, ProbeGap: 4000, Warmup: 8000},
-	}
+	w := Workload{Scheme: treeworm.New(), Params: p, Degree: 8, MsgFlits: 128, Seed: 31}
+	base := MixedSpec{BackgroundFlits: 128, Probes: 8, ProbeGap: 4000, Warmup: 8000}
 	quiet := base
 	quiet.BackgroundLoad = 0
-	qLats, err := RunMixed(rt, quiet)
+	qLats, err := runMixedLats(rt, w, quiet)
 	if err != nil {
 		t.Fatal(err)
 	}
 	busy := base
 	busy.BackgroundLoad = 0.15
-	bLats, err := RunMixed(rt, busy)
+	bLats, err := runMixedLats(rt, w, busy)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -262,16 +324,15 @@ func TestRunMixedBackgroundSlowsMulticast(t *testing.T) {
 func TestRunMixedQuietMatchesSingle(t *testing.T) {
 	rt := routed(t, 12)
 	p := sim.DefaultParams()
-	lats, err := RunMixed(rt, MixedConfig{
-		Workload: Workload{Scheme: treeworm.New(), Params: p, Degree: 8, MsgFlits: 128, Seed: 32},
-		MixedSpec: MixedSpec{BackgroundLoad: 0, BackgroundFlits: 128,
-			Probes: 6, ProbeGap: 5000, Warmup: 1000},
-	})
+	lats, err := runMixedLats(rt,
+		Workload{Scheme: treeworm.New(), Params: p, Degree: 8, MsgFlits: 128, Seed: 32},
+		MixedSpec{BackgroundLoad: 0, BackgroundFlits: 128,
+			Probes: 6, ProbeGap: 5000, Warmup: 1000})
 	if err != nil {
 		t.Fatal(err)
 	}
-	iso, err := RunSingle(rt, SingleConfig{Workload: Workload{Scheme: treeworm.New(),
-		Params: p, Degree: 8, MsgFlits: 128, Seed: 33}, Probes: 6})
+	iso, err := runSingleLats(rt, Workload{Scheme: treeworm.New(),
+		Params: p, Degree: 8, MsgFlits: 128, Seed: 33}, 6)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -291,14 +352,11 @@ func TestRunMixedQuietMatchesSingle(t *testing.T) {
 
 func TestRunMixedRejectsBadConfig(t *testing.T) {
 	rt := routed(t, 13)
-	if _, err := RunMixed(rt, MixedConfig{
-		Workload:  Workload{Scheme: treeworm.New(), Params: sim.DefaultParams(), Degree: 8, MsgFlits: 128},
-		MixedSpec: MixedSpec{Probes: 0, ProbeGap: 100}}); err == nil {
+	w := Workload{Scheme: treeworm.New(), Params: sim.DefaultParams(), Degree: 8, MsgFlits: 128}
+	if _, err := runMixedLats(rt, w, MixedSpec{Probes: 0, ProbeGap: 100}); err == nil {
 		t.Fatal("zero probes accepted")
 	}
-	if _, err := RunMixed(rt, MixedConfig{
-		Workload:  Workload{Scheme: treeworm.New(), Params: sim.DefaultParams(), Degree: 8, MsgFlits: 128},
-		MixedSpec: MixedSpec{Probes: 3, ProbeGap: 100, BackgroundLoad: -1}}); err == nil {
+	if _, err := runMixedLats(rt, w, MixedSpec{Probes: 3, ProbeGap: 100, BackgroundLoad: -1}); err == nil {
 		t.Fatal("negative background accepted")
 	}
 }
